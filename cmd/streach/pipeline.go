@@ -1,0 +1,117 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"streach/internal/mapmatch"
+	"streach/internal/traj"
+)
+
+// The pipeline subcommands expose the thesis's pre-processing flow
+// (§3.1) on the command line:
+//
+//	streach gen-gps -taxis 20 -days 2 -out gps.csv     # simulate raw GPS
+//	streach match  -gps gps.csv -out dataset.bin       # map-match onto the network
+//
+// The matched dataset then feeds NewSystemFromData / OpenSystem.
+
+func runGenGPS(args []string) error {
+	fs := flag.NewFlagSet("gen-gps", flag.ExitOnError)
+	wf := addWorldFlags(fs)
+	out := fs.String("out", "gps.csv", "output CSV path")
+	interval := fs.Duration("interval", 30*time.Second, "GPS sampling interval")
+	noise := fs.Float64("noise", 15, "GPS noise sigma in metres")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	world, err := wf.build()
+	if err != nil {
+		return err
+	}
+	var raws []traj.Trajectory
+	points := 0
+	for i := range world.DS.Matched {
+		mt := &world.DS.Matched[i]
+		raw := traj.RawFromMatched(world.Net, mt, world.DS.DayStart(mt.Day), *interval, *noise, int64(i))
+		if len(raw.Points) == 0 {
+			continue
+		}
+		raws = append(raws, *raw)
+		points += len(raw.Points)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := traj.WriteGPSCSV(f, raws); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d trajectories, %d GPS records\n", *out, len(raws), points)
+	return nil
+}
+
+func runMatch(args []string) error {
+	fs := flag.NewFlagSet("match", flag.ExitOnError)
+	wf := addWorldFlags(fs)
+	in := fs.String("gps", "", "input GPS CSV (required)")
+	out := fs.String("out", "dataset.bin", "output matched-dataset path")
+	base := fs.String("base", "2014-11-01", "base date (day 0), YYYY-MM-DD")
+	days := fs.Int("span", 30, "number of days the dataset spans")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("match: -gps is required")
+	}
+	baseDate, err := time.Parse("2006-01-02", *base)
+	if err != nil {
+		return fmt.Errorf("match: parse base date: %w", err)
+	}
+	// The network must be the same one the queries will run over; it is
+	// regenerated deterministically from the world flags.
+	net, err := buildNetworkOnly(wf)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	raws, err := traj.ReadGPSCSV(f, baseDate)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "map-matching %d trajectories...\n", len(raws))
+	matcher := mapmatch.New(net, mapmatch.DefaultConfig())
+	ds := &traj.Dataset{BaseDate: baseDate.UTC(), Days: *days}
+	matchedVisits := 0
+	t0 := time.Now()
+	for i := range raws {
+		mt, err := matcher.Match(&raws[i])
+		if err != nil {
+			return fmt.Errorf("match: trajectory %d: %w", i, err)
+		}
+		if len(mt.Visits) == 0 {
+			continue
+		}
+		ds.Matched = append(ds.Matched, *mt)
+		matchedVisits += len(mt.Visits)
+	}
+	fmt.Fprintf(os.Stderr, "matched in %.1fs\n", time.Since(t0).Seconds())
+	g, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	if err := traj.WriteDataset(g, ds); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d matched trajectories, %d segment visits\n",
+		*out, len(ds.Matched), matchedVisits)
+	return nil
+}

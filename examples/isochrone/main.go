@@ -1,0 +1,77 @@
+// Isochrone comparison (thesis §1.1–1.2): the traditional reachability
+// query is a static distance/free-flow-time expansion over the road
+// network — it returns the same answer at 03:00 and at 18:00. The
+// data-driven Prob-reachable region changes with the clock. This example
+// computes both and quantifies how misleading the static answer is at
+// rush hour.
+//
+// Run with: go run ./examples/isochrone
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"streach"
+	"streach/internal/geo"
+	"streach/internal/roadnet"
+)
+
+func main() {
+	sys, err := streach.NewSystem(streach.CityConfig{
+		OriginLat: 22.50, OriginLng: 114.00,
+		Rows: 12, Cols: 12,
+		SpacingMeters:   900,
+		LocalFraction:   0.4,
+		ResegmentMeters: 450,
+		Seed:            51,
+	}, streach.FleetConfig{Taxis: 130, Days: 12, Seed: 52}, streach.DefaultIndexConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	loc := sys.BusiestLocation(10 * time.Hour)
+	const horizon = 10 * time.Minute
+	net := sys.Network()
+
+	// Static isochrone: expand at per-class free-flow speeds — the
+	// time-invariant answer of the traditional approach.
+	start, _, _, ok := net.SnapPoint(geo.Point{Lat: loc.Lat, Lng: loc.Lng})
+	if !ok {
+		log.Fatal("snap failed")
+	}
+	w := net.TravelTimeWeight(func(id roadnet.SegmentID) float64 {
+		return net.Segment(id).Class.FreeFlowSpeed()
+	})
+	staticSet := map[roadnet.SegmentID]bool{}
+	var staticKm float64
+	net.Expand(start, horizon.Seconds(), w, func(id roadnet.SegmentID, _ float64) bool {
+		staticSet[id] = true
+		staticKm += net.Segment(id).Length / 1000
+		return true
+	})
+	fmt.Printf("static free-flow isochrone (any time of day): %d segments, %.1f km\n\n",
+		len(staticSet), staticKm)
+
+	fmt.Printf("%-8s %10s %10s %22s\n", "time", "segments", "km", "static overestimates by")
+	for _, h := range []int{3, 8, 13, 18} {
+		tod := time.Duration(h) * time.Hour
+		sys.Warm(tod, horizon)
+		region, err := sys.Reach(streach.Query{
+			Lat: loc.Lat, Lng: loc.Lng, Start: tod, Duration: horizon, Prob: 0.2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		over := "—"
+		if region.RoadKm > 0 {
+			over = fmt.Sprintf("%.1fx", staticKm/region.RoadKm)
+		}
+		fmt.Printf("%02d:00    %10d %10.1f %22s\n", h, len(region.SegmentIDs), region.RoadKm, over)
+	}
+
+	fmt.Println("\nthe static answer never changes; the data-driven region shrinks at rush")
+	fmt.Println("hour and is bounded by where taxis actually went — the paper's motivation.")
+}

@@ -1,0 +1,80 @@
+package streach
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"streach/internal/roadnet"
+)
+
+// GeoJSON renders the region as a FeatureCollection of LineStrings, one
+// per reachable road segment, with the segment ID and road class as
+// properties. The output plugs directly into Leaflet/Mapbox/geojson.io,
+// matching how the thesis visualises Prob-reachable regions (Fig 4.2,
+// 4.4, 4.6, 4.9).
+func (r *Region) GeoJSON() (string, error) {
+	type feature struct {
+		Type       string                 `json:"type"`
+		Geometry   map[string]interface{} `json:"geometry"`
+		Properties map[string]interface{} `json:"properties"`
+	}
+	fc := struct {
+		Type     string    `json:"type"`
+		Features []feature `json:"features"`
+	}{Type: "FeatureCollection"}
+
+	if r.sys == nil {
+		return "", fmt.Errorf("streach: region is not attached to a system")
+	}
+	for _, id := range r.SegmentIDs {
+		seg := r.sys.net.Segment(roadnet.SegmentID(id))
+		coords := make([][2]float64, len(seg.Shape))
+		for i, p := range seg.Shape {
+			coords[i] = [2]float64{p.Lng, p.Lat} // GeoJSON is lng,lat
+		}
+		fc.Features = append(fc.Features, feature{
+			Type: "Feature",
+			Geometry: map[string]interface{}{
+				"type":        "LineString",
+				"coordinates": coords,
+			},
+			Properties: map[string]interface{}{
+				"segment": id,
+				"class":   seg.Class.String(),
+				"length":  seg.Length,
+			},
+		})
+	}
+	out, err := json.Marshal(fc)
+	if err != nil {
+		return "", fmt.Errorf("streach: marshal geojson: %w", err)
+	}
+	return string(out), nil
+}
+
+// Bounds returns the region's bounding box as (minLat, minLng, maxLat,
+// maxLng); ok is false for an empty region.
+func (r *Region) Bounds() (minLat, minLng, maxLat, maxLng float64, ok bool) {
+	if r.sys == nil || len(r.SegmentIDs) == 0 {
+		return 0, 0, 0, 0, false
+	}
+	var box = r.sys.net.Segment(roadnet.SegmentID(r.SegmentIDs[0])).Box
+	for _, id := range r.SegmentIDs[1:] {
+		box.ExpandMBR(r.sys.net.Segment(roadnet.SegmentID(id)).Box)
+	}
+	return box.MinLat, box.MinLng, box.MaxLat, box.MaxLng, true
+}
+
+// Contains reports whether the region includes the segment ID.
+func (r *Region) Contains(id int32) bool {
+	lo, hi := 0, len(r.SegmentIDs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.SegmentIDs[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(r.SegmentIDs) && r.SegmentIDs[lo] == id
+}

@@ -1,0 +1,251 @@
+// Package btree implements the B+tree used as the temporal level of the
+// ST-Index (thesis §3.2.1): one day is divided into fixed Δt time slots and
+// the tree maps each slot's start offset to the identifier of the spatial
+// partition for that slot. Keys are int64 (seconds since midnight, or any
+// monotone slot key) and values are int64 handles.
+//
+// The tree supports point lookup, insertion (replacing on duplicate key),
+// range scans over [lo, hi], and floor/ceiling queries used to snap an
+// arbitrary query timestamp onto its enclosing slot.
+package btree
+
+import "sort"
+
+const (
+	// order is the maximum number of children of an internal node.
+	order      = 32
+	maxKeys    = order - 1
+	minKeys    = maxKeys / 2
+	maxLeafLen = order
+	minLeafLen = maxLeafLen / 2
+)
+
+// Tree is a B+tree from int64 keys to int64 values. The zero value is not
+// usable; call New.
+type Tree struct {
+	root  treeNode
+	size  int
+	first *leafNode // head of the leaf linked list for range scans
+}
+
+type treeNode interface {
+	// isLeaf distinguishes the two node kinds without reflection.
+	isLeaf() bool
+}
+
+type leafNode struct {
+	keys   []int64
+	values []int64
+	next   *leafNode
+}
+
+type innerNode struct {
+	// keys[i] is the smallest key in children[i+1]'s subtree.
+	keys     []int64
+	children []treeNode
+}
+
+func (*leafNode) isLeaf() bool  { return true }
+func (*innerNode) isLeaf() bool { return false }
+
+// New returns an empty tree.
+func New() *Tree {
+	leaf := &leafNode{}
+	return &Tree{root: leaf, first: leaf}
+}
+
+// Len returns the number of key/value pairs stored.
+func (t *Tree) Len() int { return t.size }
+
+// Get returns the value stored at key and whether it was present.
+func (t *Tree) Get(key int64) (int64, bool) {
+	leaf := t.findLeaf(key)
+	i := sort.Search(len(leaf.keys), func(i int) bool { return leaf.keys[i] >= key })
+	if i < len(leaf.keys) && leaf.keys[i] == key {
+		return leaf.values[i], true
+	}
+	return 0, false
+}
+
+// Floor returns the largest key <= key and its value. ok is false when no
+// such key exists.
+func (t *Tree) Floor(key int64) (k, v int64, ok bool) {
+	var bestK, bestV int64
+	found := false
+	n := t.root
+	for !n.isLeaf() {
+		in := n.(*innerNode)
+		i := sort.Search(len(in.keys), func(i int) bool { return in.keys[i] > key })
+		n = in.children[i]
+	}
+	leaf := n.(*leafNode)
+	i := sort.Search(len(leaf.keys), func(i int) bool { return leaf.keys[i] > key })
+	if i > 0 {
+		return leaf.keys[i-1], leaf.values[i-1], true
+	}
+	// The floor may live in an earlier leaf; walk the leaf list from the
+	// start (leaves are small and this path is cold: it only triggers for
+	// keys before the first key of their leaf, i.e. keys smaller than any
+	// stored key or at leaf boundaries).
+	for l := t.first; l != nil; l = l.next {
+		for j, lk := range l.keys {
+			if lk > key {
+				if found {
+					return bestK, bestV, true
+				}
+				return 0, 0, false
+			}
+			bestK, bestV, found = lk, l.values[j], true
+		}
+		if l == leaf {
+			break
+		}
+	}
+	if found {
+		return bestK, bestV, true
+	}
+	return 0, 0, false
+}
+
+// Ceiling returns the smallest key >= key and its value. ok is false when
+// no such key exists.
+func (t *Tree) Ceiling(key int64) (k, v int64, ok bool) {
+	leaf := t.findLeaf(key)
+	for l := leaf; l != nil; l = l.next {
+		i := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= key })
+		if i < len(l.keys) {
+			return l.keys[i], l.values[i], true
+		}
+	}
+	return 0, 0, false
+}
+
+// Put inserts or replaces the value at key.
+func (t *Tree) Put(key, value int64) {
+	splitKey, sibling := t.insert(t.root, key, value)
+	if sibling != nil {
+		newRoot := &innerNode{
+			keys:     []int64{splitKey},
+			children: []treeNode{t.root, sibling},
+		}
+		t.root = newRoot
+	}
+}
+
+func (t *Tree) findLeaf(key int64) *leafNode {
+	n := t.root
+	for !n.isLeaf() {
+		in := n.(*innerNode)
+		i := sort.Search(len(in.keys), func(i int) bool { return in.keys[i] > key })
+		n = in.children[i]
+	}
+	return n.(*leafNode)
+}
+
+// insert adds key/value under n. When n splits, it returns the separator
+// key and the new right sibling.
+func (t *Tree) insert(n treeNode, key, value int64) (int64, treeNode) {
+	if leaf, ok := n.(*leafNode); ok {
+		i := sort.Search(len(leaf.keys), func(i int) bool { return leaf.keys[i] >= key })
+		if i < len(leaf.keys) && leaf.keys[i] == key {
+			leaf.values[i] = value // replace
+			return 0, nil
+		}
+		leaf.keys = append(leaf.keys, 0)
+		leaf.values = append(leaf.values, 0)
+		copy(leaf.keys[i+1:], leaf.keys[i:])
+		copy(leaf.values[i+1:], leaf.values[i:])
+		leaf.keys[i] = key
+		leaf.values[i] = value
+		t.size++
+		if len(leaf.keys) > maxLeafLen {
+			mid := len(leaf.keys) / 2
+			sib := &leafNode{
+				keys:   append([]int64(nil), leaf.keys[mid:]...),
+				values: append([]int64(nil), leaf.values[mid:]...),
+				next:   leaf.next,
+			}
+			leaf.keys = leaf.keys[:mid]
+			leaf.values = leaf.values[:mid]
+			leaf.next = sib
+			return sib.keys[0], sib
+		}
+		return 0, nil
+	}
+
+	in := n.(*innerNode)
+	i := sort.Search(len(in.keys), func(i int) bool { return in.keys[i] > key })
+	splitKey, sibling := t.insert(in.children[i], key, value)
+	if sibling == nil {
+		return 0, nil
+	}
+	in.keys = append(in.keys, 0)
+	copy(in.keys[i+1:], in.keys[i:])
+	in.keys[i] = splitKey
+	in.children = append(in.children, nil)
+	copy(in.children[i+2:], in.children[i+1:])
+	in.children[i+1] = sibling
+	if len(in.keys) > maxKeys {
+		mid := len(in.keys) / 2
+		upKey := in.keys[mid]
+		sib := &innerNode{
+			keys:     append([]int64(nil), in.keys[mid+1:]...),
+			children: append([]treeNode(nil), in.children[mid+1:]...),
+		}
+		in.keys = in.keys[:mid]
+		in.children = in.children[:mid+1]
+		return upKey, sib
+	}
+	return 0, nil
+}
+
+// Range calls fn for each key/value with lo <= key <= hi in ascending key
+// order; fn returning false stops the scan early.
+func (t *Tree) Range(lo, hi int64, fn func(key, value int64) bool) {
+	leaf := t.findLeaf(lo)
+	for l := leaf; l != nil; l = l.next {
+		i := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= lo })
+		for ; i < len(l.keys); i++ {
+			if l.keys[i] > hi {
+				return
+			}
+			if !fn(l.keys[i], l.values[i]) {
+				return
+			}
+		}
+	}
+}
+
+// Keys returns all keys in ascending order. Intended for tests and tools.
+func (t *Tree) Keys() []int64 {
+	out := make([]int64, 0, t.size)
+	for l := t.first; l != nil; l = l.next {
+		out = append(out, l.keys...)
+	}
+	return out
+}
+
+// Min returns the smallest key and its value; ok is false when empty.
+func (t *Tree) Min() (k, v int64, ok bool) {
+	for l := t.first; l != nil; l = l.next {
+		if len(l.keys) > 0 {
+			return l.keys[0], l.values[0], true
+		}
+	}
+	return 0, 0, false
+}
+
+// Max returns the largest key and its value; ok is false when empty.
+func (t *Tree) Max() (k, v int64, ok bool) {
+	n := t.root
+	for !n.isLeaf() {
+		in := n.(*innerNode)
+		n = in.children[len(in.children)-1]
+	}
+	leaf := n.(*leafNode)
+	if len(leaf.keys) == 0 {
+		return 0, 0, false
+	}
+	last := len(leaf.keys) - 1
+	return leaf.keys[last], leaf.values[last], true
+}

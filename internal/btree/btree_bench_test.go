@@ -1,0 +1,58 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkPut(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	keys := make([]int64, 100000)
+	for i := range keys {
+		keys[i] = rng.Int63n(1 << 40)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		tr.Put(keys[i%len(keys)], int64(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	for i := int64(0); i < 100000; i++ {
+		tr.Put(i*7, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(int64(i%100000) * 7)
+	}
+}
+
+func BenchmarkFloor(b *testing.B) {
+	tr := New()
+	for i := int64(0); i < 100000; i++ {
+		tr.Put(i*7, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Floor(int64(i%700000) + 3)
+	}
+}
+
+func BenchmarkRangeScan(b *testing.B) {
+	tr := New()
+	for i := int64(0); i < 100000; i++ {
+		tr.Put(i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := int64(i % 90000)
+		n := 0
+		tr.Range(lo, lo+1000, func(k, v int64) bool { n++; return true })
+	}
+}

@@ -1,0 +1,273 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("new tree should be empty")
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Fatal("Get on empty tree should miss")
+	}
+	if _, _, ok := tr.Floor(5); ok {
+		t.Fatal("Floor on empty tree should miss")
+	}
+	if _, _, ok := tr.Ceiling(5); ok {
+		t.Fatal("Ceiling on empty tree should miss")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree should miss")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree should miss")
+	}
+}
+
+func TestPutGetSequential(t *testing.T) {
+	tr := New()
+	const n = 10000
+	for i := int64(0); i < n; i++ {
+		tr.Put(i, i*10)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := int64(0); i < n; i++ {
+		v, ok := tr.Get(i)
+		if !ok || v != i*10 {
+			t.Fatalf("Get(%d) = %d,%v, want %d,true", i, v, ok, i*10)
+		}
+	}
+	if _, ok := tr.Get(n); ok {
+		t.Fatal("Get past max should miss")
+	}
+	if _, ok := tr.Get(-1); ok {
+		t.Fatal("Get below min should miss")
+	}
+}
+
+func TestPutGetRandomOrder(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(3))
+	keys := rng.Perm(5000)
+	for _, k := range keys {
+		tr.Put(int64(k), int64(k)+1)
+	}
+	for _, k := range keys {
+		v, ok := tr.Get(int64(k))
+		if !ok || v != int64(k)+1 {
+			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+	got := tr.Keys()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("Keys() not sorted")
+	}
+	if len(got) != 5000 {
+		t.Fatalf("Keys() has %d entries, want 5000", len(got))
+	}
+}
+
+func TestReplaceOnDuplicate(t *testing.T) {
+	tr := New()
+	tr.Put(42, 1)
+	tr.Put(42, 2)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate put, want 1", tr.Len())
+	}
+	if v, _ := tr.Get(42); v != 2 {
+		t.Fatalf("Get(42) = %d, want 2", v)
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i++ {
+		tr.Put(i*5, i) // keys 0,5,10,...495
+	}
+	var keys []int64
+	tr.Range(12, 37, func(k, v int64) bool {
+		keys = append(keys, k)
+		return true
+	})
+	want := []int64{15, 20, 25, 30, 35}
+	if len(keys) != len(want) {
+		t.Fatalf("Range returned %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Range returned %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i++ {
+		tr.Put(i, i)
+	}
+	count := 0
+	tr.Range(0, 99, func(k, v int64) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop visited %d, want 7", count)
+	}
+}
+
+func TestRangeFullAndEmpty(t *testing.T) {
+	tr := New()
+	for i := int64(10); i <= 20; i++ {
+		tr.Put(i, i)
+	}
+	var n int
+	tr.Range(-100, 100, func(k, v int64) bool { n++; return true })
+	if n != 11 {
+		t.Fatalf("full range visited %d, want 11", n)
+	}
+	n = 0
+	tr.Range(21, 100, func(k, v int64) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("empty range visited %d", n)
+	}
+	n = 0
+	tr.Range(0, 9, func(k, v int64) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("below-range visited %d", n)
+	}
+}
+
+func TestFloorCeiling(t *testing.T) {
+	tr := New()
+	for _, k := range []int64{10, 20, 30, 40} {
+		tr.Put(k, k*2)
+	}
+	cases := []struct {
+		q       int64
+		floorK  int64
+		floorOK bool
+		ceilK   int64
+		ceilOK  bool
+	}{
+		{5, 0, false, 10, true},
+		{10, 10, true, 10, true},
+		{15, 10, true, 20, true},
+		{25, 20, true, 30, true},
+		{40, 40, true, 40, true},
+		{45, 40, true, 0, false},
+	}
+	for _, c := range cases {
+		k, v, ok := tr.Floor(c.q)
+		if ok != c.floorOK || (ok && k != c.floorK) {
+			t.Fatalf("Floor(%d) = %d,%v, want %d,%v", c.q, k, ok, c.floorK, c.floorOK)
+		}
+		if ok && v != k*2 {
+			t.Fatalf("Floor(%d) value = %d, want %d", c.q, v, k*2)
+		}
+		k, v, ok = tr.Ceiling(c.q)
+		if ok != c.ceilOK || (ok && k != c.ceilK) {
+			t.Fatalf("Ceiling(%d) = %d,%v, want %d,%v", c.q, k, ok, c.ceilK, c.ceilOK)
+		}
+		if ok && v != k*2 {
+			t.Fatalf("Ceiling(%d) value = %d, want %d", c.q, v, k*2)
+		}
+	}
+}
+
+func TestFloorAcrossManyLeaves(t *testing.T) {
+	// Dense keys force many leaf splits; Floor must be right at leaf
+	// boundaries.
+	tr := New()
+	for i := int64(0); i < 2000; i += 2 {
+		tr.Put(i, i)
+	}
+	for i := int64(1); i < 1999; i += 2 {
+		k, _, ok := tr.Floor(i)
+		if !ok || k != i-1 {
+			t.Fatalf("Floor(%d) = %d,%v, want %d", i, k, ok, i-1)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(4))
+	var lo, hi int64 = 1 << 62, -(1 << 62)
+	for i := 0; i < 1000; i++ {
+		k := int64(rng.Intn(100000))
+		tr.Put(k, k)
+		if k < lo {
+			lo = k
+		}
+		if k > hi {
+			hi = k
+		}
+	}
+	if k, _, ok := tr.Min(); !ok || k != lo {
+		t.Fatalf("Min = %d,%v, want %d", k, ok, lo)
+	}
+	if k, _, ok := tr.Max(); !ok || k != hi {
+		t.Fatalf("Max = %d,%v, want %d", k, ok, hi)
+	}
+}
+
+func TestQuickCheckAgainstMap(t *testing.T) {
+	f := func(keys []int64) bool {
+		tr := New()
+		oracle := map[int64]int64{}
+		for i, k := range keys {
+			tr.Put(k, int64(i))
+			oracle[k] = int64(i)
+		}
+		if tr.Len() != len(oracle) {
+			return false
+		}
+		for k, want := range oracle {
+			got, ok := tr.Get(k)
+			if !ok || got != want {
+				return false
+			}
+		}
+		// Range over everything must visit exactly the oracle keys in order.
+		var visited []int64
+		tr.Range(-(1<<63 - 1), 1<<63-1, func(k, v int64) bool {
+			visited = append(visited, k)
+			return true
+		})
+		if len(visited) != len(oracle) {
+			return false
+		}
+		for i := 1; i < len(visited); i++ {
+			if visited[i-1] >= visited[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeKeys(t *testing.T) {
+	tr := New()
+	for i := int64(-500); i <= 500; i++ {
+		tr.Put(i, -i)
+	}
+	for i := int64(-500); i <= 500; i++ {
+		v, ok := tr.Get(i)
+		if !ok || v != -i {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if k, _, _ := tr.Min(); k != -500 {
+		t.Fatalf("Min = %d, want -500", k)
+	}
+}

@@ -1,0 +1,381 @@
+// Package conindex implements the Connection Index (thesis §3.2.2).
+//
+// For every road segment and Δt time slot, the Con-Index records two
+// reachable-segment lists derived from historical trajectory speeds:
+//
+//   - Far(r, t) — the upper-bound list: every segment that could be
+//     *entered* within one Δt when travelling at the maximum speed
+//     observed on each road during slot t;
+//   - Near(r, t) — the lower-bound list: every segment that can be fully
+//     traversed within one Δt even at the minimum observed speed
+//     (zero-speed records are dropped, per the thesis).
+//
+// The lists are produced by the modified incremental network expansion of
+// Papadias et al. [21] with per-slot travel-time weights. Lists are
+// materialised on demand and memoised, so memory stays proportional to
+// the (segment, slot) pairs queries actually touch; PrecomputeAll builds
+// every list eagerly for small configurations.
+package conindex
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+
+	"streach/internal/roadnet"
+	"streach/internal/traj"
+)
+
+// Config controls Con-Index construction.
+type Config struct {
+	// SlotSeconds is the temporal granularity Δt (default 300).
+	SlotSeconds int
+	// MinSpeedFloor drops implausibly slow records (m/s, default 0.5);
+	// the thesis removes 0-speed records when building Near lists.
+	MinSpeedFloor float64
+	// FallbackMinFraction sets the assumed minimum speed on segments with
+	// no observations, as a fraction of free-flow speed (default 0.2).
+	FallbackMinFraction float64
+	// FallbackMaxFraction sets the assumed maximum speed on segments with
+	// no observations, as a fraction of free-flow speed (default 1.0).
+	FallbackMaxFraction float64
+	// NearSafetyFactor scales the minimum speeds used for the Near
+	// (lower-bound) tables, default 0.5. Observed per-slot minima are
+	// sample minima over few observations and overestimate the true
+	// worst-case speed; the Near region must only contain segments that
+	// are reachable with near-certainty, so it is built at half the
+	// observed minimum. Set to 1.0 to use raw minima (ablation).
+	NearSafetyFactor float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SlotSeconds <= 0 {
+		c.SlotSeconds = 300
+	}
+	if c.MinSpeedFloor <= 0 {
+		c.MinSpeedFloor = 0.5
+	}
+	if c.FallbackMinFraction <= 0 {
+		c.FallbackMinFraction = 0.2
+	}
+	if c.FallbackMaxFraction <= 0 {
+		c.FallbackMaxFraction = 1.0
+	}
+	if c.NearSafetyFactor <= 0 {
+		c.NearSafetyFactor = 0.5
+	}
+	return c
+}
+
+// Index is the built Con-Index.
+type Index struct {
+	net      *roadnet.Network
+	slotSec  int
+	numSlots int
+	// minSpeed/maxSpeed are indexed [slot*numSegments + segment], m/s.
+	minSpeed []float32
+	maxSpeed []float32
+	// sumSpeed/cntSpeed accumulate per-slot means for MeanSpeed (used by
+	// the time-dependent router).
+	sumSpeed []float32
+	cntSpeed []uint32
+
+	mu        sync.Mutex
+	nearCache map[int64][]roadnet.SegmentID
+	farCache  map[int64][]roadnet.SegmentID
+
+	// Dijkstra scratch space, reused across expansions (guarded by expMu).
+	expMu      sync.Mutex
+	enterCost  []float64
+	enterStamp []int32
+	stamp      int32
+	pq         entryPQ
+
+	// Reverse-table caches (see reverse.go), built on first use.
+	revOnce sync.Once
+	rev     *reverseCaches
+}
+
+// Build scans the dataset once to derive per-(segment, slot) speed
+// extremes, then returns the index. List materialisation happens lazily.
+func Build(net *roadnet.Network, ds *traj.Dataset, cfg Config) (*Index, error) {
+	cfg = cfg.withDefaults()
+	if net.NumSegments() == 0 {
+		return nil, fmt.Errorf("conindex: empty network")
+	}
+	if 86400%cfg.SlotSeconds != 0 {
+		return nil, fmt.Errorf("conindex: slot seconds %d must divide 86400", cfg.SlotSeconds)
+	}
+	numSlots := 86400 / cfg.SlotSeconds
+	n := net.NumSegments()
+	idx := &Index{
+		net:       net,
+		slotSec:   cfg.SlotSeconds,
+		numSlots:  numSlots,
+		minSpeed:  make([]float32, numSlots*n),
+		maxSpeed:  make([]float32, numSlots*n),
+		sumSpeed:  make([]float32, numSlots*n),
+		cntSpeed:  make([]uint32, numSlots*n),
+		nearCache: map[int64][]roadnet.SegmentID{},
+		farCache:  map[int64][]roadnet.SegmentID{},
+	}
+	for i := range ds.Matched {
+		mt := &ds.Matched[i]
+		for _, v := range mt.Visits {
+			if float64(v.Speed) < cfg.MinSpeedFloor {
+				continue
+			}
+			s0 := int(v.EnterMs) / 1000 / cfg.SlotSeconds
+			s1 := int(v.ExitMs) / 1000 / cfg.SlotSeconds
+			for s := s0; s <= s1; s++ {
+				if s < 0 || s >= numSlots {
+					continue
+				}
+				k := s*n + int(v.Segment)
+				sp := v.Speed
+				if idx.minSpeed[k] == 0 || sp < idx.minSpeed[k] {
+					idx.minSpeed[k] = sp
+				}
+				if sp > idx.maxSpeed[k] {
+					idx.maxSpeed[k] = sp
+				}
+				idx.sumSpeed[k] += sp
+				idx.cntSpeed[k]++
+			}
+		}
+	}
+	// Fallbacks for unobserved (segment, slot) pairs, then the Near-table
+	// safety factor on the minima.
+	for s := 0; s < numSlots; s++ {
+		for seg := 0; seg < n; seg++ {
+			k := s*n + seg
+			ff := net.Segment(roadnet.SegmentID(seg)).Class.FreeFlowSpeed()
+			if idx.minSpeed[k] == 0 {
+				idx.minSpeed[k] = float32(ff * cfg.FallbackMinFraction)
+			}
+			if idx.maxSpeed[k] == 0 {
+				idx.maxSpeed[k] = float32(ff * cfg.FallbackMaxFraction)
+			}
+			idx.minSpeed[k] *= float32(cfg.NearSafetyFactor)
+		}
+	}
+	return idx, nil
+}
+
+// SlotSeconds returns Δt.
+func (x *Index) SlotSeconds() int { return x.slotSec }
+
+// NumSlots returns the slots per day.
+func (x *Index) NumSlots() int { return x.numSlots }
+
+// MinSpeed returns the slot's minimum observed (or fallback) speed on seg.
+func (x *Index) MinSpeed(seg roadnet.SegmentID, slot int) float64 {
+	return float64(x.minSpeed[x.key(seg, slot)])
+}
+
+// MaxSpeed returns the slot's maximum observed (or fallback) speed on seg.
+func (x *Index) MaxSpeed(seg roadnet.SegmentID, slot int) float64 {
+	return float64(x.maxSpeed[x.key(seg, slot)])
+}
+
+// MeanSpeed returns the slot's mean observed speed on seg, falling back
+// to 70% of free-flow when the slot was never observed. Used by the
+// time-dependent route queries.
+func (x *Index) MeanSpeed(seg roadnet.SegmentID, slot int) float64 {
+	k := x.key(seg, slot)
+	if x.cntSpeed[k] > 0 {
+		return float64(x.sumSpeed[k]) / float64(x.cntSpeed[k])
+	}
+	return 0.7 * x.net.Segment(seg).Class.FreeFlowSpeed()
+}
+
+// Observations returns how many speed samples the slot has for seg.
+func (x *Index) Observations(seg roadnet.SegmentID, slot int) int {
+	return int(x.cntSpeed[x.key(seg, slot)])
+}
+
+func (x *Index) key(seg roadnet.SegmentID, slot int) int {
+	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
+	return slot*x.net.NumSegments() + int(seg)
+}
+
+func cacheKey(seg roadnet.SegmentID, slot int) int64 {
+	return int64(slot)<<32 | int64(uint32(seg))
+}
+
+// Far returns F(r, t): the segments enterable from seg within one Δt at
+// the slot's maximum speeds (seg itself included). The returned slice is
+// shared; callers must not modify it.
+func (x *Index) Far(seg roadnet.SegmentID, slot int) []roadnet.SegmentID {
+	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
+	key := cacheKey(seg, slot)
+	x.mu.Lock()
+	if got, ok := x.farCache[key]; ok {
+		x.mu.Unlock()
+		return got
+	}
+	x.mu.Unlock()
+	list := x.expand(seg, slot, true)
+	x.mu.Lock()
+	x.farCache[key] = list
+	x.mu.Unlock()
+	return list
+}
+
+// Near returns N(r, t): the segments fully traversable from seg within
+// one Δt at the slot's minimum speeds (seg itself included). The returned
+// slice is shared; callers must not modify it.
+func (x *Index) Near(seg roadnet.SegmentID, slot int) []roadnet.SegmentID {
+	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
+	key := cacheKey(seg, slot)
+	x.mu.Lock()
+	if got, ok := x.nearCache[key]; ok {
+		x.mu.Unlock()
+		return got
+	}
+	x.mu.Unlock()
+	list := x.expand(seg, slot, false)
+	x.mu.Lock()
+	x.nearCache[key] = list
+	x.mu.Unlock()
+	return list
+}
+
+// expand runs a travel-time Dijkstra from seg bounded by Δt.
+//
+// Far mode (upper bound): a segment is reached when it can be *entered*
+// within the budget, travelling at per-slot maximum speeds, starting from
+// the entry of seg at time 0 with seg itself free (the object may already
+// be at seg's exit).
+//
+// Near mode (lower bound): a segment is reached when it can be *fully
+// traversed* within the budget at per-slot minimum speeds, including
+// traversing seg itself first.
+func (x *Index) expand(seg roadnet.SegmentID, slot int, far bool) []roadnet.SegmentID {
+	n := x.net.NumSegments()
+	if seg < 0 || int(seg) >= n {
+		return nil
+	}
+	budget := float64(x.slotSec)
+	base := slot * n
+	speeds := x.minSpeed
+	if far {
+		speeds = x.maxSpeed
+	}
+
+	x.expMu.Lock()
+	defer x.expMu.Unlock()
+	if len(x.enterCost) != n {
+		x.enterCost = make([]float64, n)
+		x.enterStamp = make([]int32, n)
+	}
+	x.stamp++
+	stamp := x.stamp
+	x.pq = x.pq[:0]
+	pq := &x.pq
+
+	// enterCost[s]: earliest time s can be entered. Both modes enter the
+	// start segment at time 0; Near must additionally finish traversing
+	// segments (exit <= budget) while Far only needs to enter them.
+	x.enterCost[seg] = 0
+	x.enterStamp[seg] = stamp
+	heap.Push(pq, entryItem{seg, 0})
+	var out []roadnet.SegmentID
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(entryItem)
+		if x.enterStamp[it.seg] == stamp && it.cost > x.enterCost[it.seg] {
+			continue // stale entry
+		}
+		sp := float64(speeds[base+int(it.seg)])
+		exit := budget + 1
+		if sp > 0 {
+			exit = it.cost + x.net.Segment(it.seg).Length/sp
+		}
+		if far {
+			if it.cost > budget {
+				continue
+			}
+			out = append(out, it.seg)
+		} else {
+			if exit > budget {
+				continue // cannot finish this segment: prune the branch
+			}
+			out = append(out, it.seg)
+		}
+		if exit > budget {
+			continue // successors cannot be entered in time
+		}
+		succ := x.net.Outgoing(it.seg)
+		rev := x.net.Segment(it.seg).Reverse
+		for _, next := range succ {
+			if next == rev && len(succ) > 1 {
+				continue
+			}
+			if x.enterStamp[next] != stamp || exit < x.enterCost[next] {
+				x.enterCost[next] = exit
+				x.enterStamp[next] = stamp
+				heap.Push(pq, entryItem{next, exit})
+			}
+		}
+	}
+	return out
+}
+
+// PrecomputeSlot materialises the Near and Far lists of every segment for
+// one slot. This is the offline index-construction step of the thesis;
+// queries against warmed slots are pure lookups.
+func (x *Index) PrecomputeSlot(slot int) {
+	for seg := 0; seg < x.net.NumSegments(); seg++ {
+		x.Far(roadnet.SegmentID(seg), slot)
+		x.Near(roadnet.SegmentID(seg), slot)
+	}
+}
+
+// PrecomputeSlots warms a slot range [lo, hi] inclusive (wrapping modulo
+// the day).
+func (x *Index) PrecomputeSlots(lo, hi int) {
+	for s := lo; s <= hi; s++ {
+		x.PrecomputeSlot(((s % x.numSlots) + x.numSlots) % x.numSlots)
+	}
+}
+
+type entryItem struct {
+	seg  roadnet.SegmentID
+	cost float64
+}
+
+type entryPQ []entryItem
+
+func (q entryPQ) Len() int            { return len(q) }
+func (q entryPQ) Less(i, j int) bool  { return q[i].cost < q[j].cost }
+func (q entryPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *entryPQ) Push(v interface{}) { *q = append(*q, v.(entryItem)) }
+func (q *entryPQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// PrecomputeAll materialises every (segment, slot) Near and Far list.
+// Only sensible for small networks or coarse Δt; returns the number of
+// lists built.
+func (x *Index) PrecomputeAll() int {
+	count := 0
+	for slot := 0; slot < x.numSlots; slot++ {
+		for seg := 0; seg < x.net.NumSegments(); seg++ {
+			x.Far(roadnet.SegmentID(seg), slot)
+			x.Near(roadnet.SegmentID(seg), slot)
+			count += 2
+		}
+	}
+	return count
+}
+
+// CachedLists reports how many lists are materialised.
+func (x *Index) CachedLists() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return len(x.nearCache) + len(x.farCache)
+}

@@ -1,0 +1,111 @@
+package conindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"streach/internal/roadnet"
+)
+
+// Con-Index persistence: the index is fully determined by its per-slot
+// speed statistics (the Near/Far lists are derived views), so Save
+// serializes just those arrays and Load rebuilds a lazy index over them.
+//
+// Format (little endian):
+//
+//	magic "CIDX" | version u16 | slotSec u32 | numSegments u32 |
+//	then numSlots*numSegments x (min f32, max f32, sum f32, cnt u32)
+const (
+	conMagic   = "CIDX"
+	conVersion = 1
+)
+
+// Save writes the index's speed statistics.
+func (x *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(conMagic); err != nil {
+		return fmt.Errorf("conindex: write magic: %w", err)
+	}
+	var buf [16]byte
+	binary.LittleEndian.PutUint16(buf[:2], conVersion)
+	if _, err := bw.Write(buf[:2]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(buf[:4], uint32(x.slotSec))
+	if _, err := bw.Write(buf[:4]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(buf[:4], uint32(x.net.NumSegments()))
+	if _, err := bw.Write(buf[:4]); err != nil {
+		return err
+	}
+	for i := range x.minSpeed {
+		binary.LittleEndian.PutUint32(buf[0:4], math.Float32bits(x.minSpeed[i]))
+		binary.LittleEndian.PutUint32(buf[4:8], math.Float32bits(x.maxSpeed[i]))
+		binary.LittleEndian.PutUint32(buf[8:12], math.Float32bits(x.sumSpeed[i]))
+		binary.LittleEndian.PutUint32(buf[12:16], x.cntSpeed[i])
+		if _, err := bw.Write(buf[:16]); err != nil {
+			return fmt.Errorf("conindex: write stats %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reopens a saved index over the same network.
+func Load(net *roadnet.Network, r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("conindex: read magic: %w", err)
+	}
+	if string(magic) != conMagic {
+		return nil, fmt.Errorf("conindex: bad magic %q", magic)
+	}
+	var buf [16]byte
+	if _, err := io.ReadFull(br, buf[:2]); err != nil {
+		return nil, fmt.Errorf("conindex: read version: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(buf[:2]); v != conVersion {
+		return nil, fmt.Errorf("conindex: unsupported version %d", v)
+	}
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		return nil, fmt.Errorf("conindex: read slot seconds: %w", err)
+	}
+	slotSec := int(binary.LittleEndian.Uint32(buf[:4]))
+	if slotSec <= 0 || 86400%slotSec != 0 {
+		return nil, fmt.Errorf("conindex: invalid slot seconds %d", slotSec)
+	}
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		return nil, fmt.Errorf("conindex: read segment count: %w", err)
+	}
+	numSeg := int(binary.LittleEndian.Uint32(buf[:4]))
+	if numSeg != net.NumSegments() {
+		return nil, fmt.Errorf("conindex: saved over %d segments, network has %d", numSeg, net.NumSegments())
+	}
+	numSlots := 86400 / slotSec
+	total := numSlots * numSeg
+	idx := &Index{
+		net:       net,
+		slotSec:   slotSec,
+		numSlots:  numSlots,
+		minSpeed:  make([]float32, total),
+		maxSpeed:  make([]float32, total),
+		sumSpeed:  make([]float32, total),
+		cntSpeed:  make([]uint32, total),
+		nearCache: map[int64][]roadnet.SegmentID{},
+		farCache:  map[int64][]roadnet.SegmentID{},
+	}
+	for i := 0; i < total; i++ {
+		if _, err := io.ReadFull(br, buf[:16]); err != nil {
+			return nil, fmt.Errorf("conindex: read stats %d: %w", i, err)
+		}
+		idx.minSpeed[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[0:4]))
+		idx.maxSpeed[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4:8]))
+		idx.sumSpeed[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[8:12]))
+		idx.cntSpeed[i] = binary.LittleEndian.Uint32(buf[12:16])
+	}
+	return idx, nil
+}

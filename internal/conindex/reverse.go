@@ -1,0 +1,155 @@
+package conindex
+
+import (
+	"container/heap"
+	"sync"
+
+	"streach/internal/roadnet"
+)
+
+// Reverse connection tables support reverse reachability queries ("from
+// which segments can this destination be reached within Δt?"). They are
+// the mirror image of the forward tables: the expansion runs over
+// predecessor edges with the same per-slot speed extremes.
+//
+// FarReverse(r, t) is the upper bound — every segment from which r can be
+// *entered* within one Δt at maximum speeds, assuming the mover starts at
+// the candidate's entry and must traverse everything up to (excluding) r.
+// NearReverse(r, t) is the lower bound at minimum speeds, requiring r
+// itself to be fully traversed too.
+
+type reverseCaches struct {
+	mu   sync.Mutex
+	near map[int64][]roadnet.SegmentID
+	far  map[int64][]roadnet.SegmentID
+}
+
+func (x *Index) revCaches() *reverseCaches {
+	x.revOnce.Do(func() {
+		x.rev = &reverseCaches{
+			near: map[int64][]roadnet.SegmentID{},
+			far:  map[int64][]roadnet.SegmentID{},
+		}
+	})
+	return x.rev
+}
+
+// FarReverse returns the segments from which seg is reachable within one
+// Δt at the slot's maximum speeds (seg itself included). The returned
+// slice is shared; callers must not modify it.
+func (x *Index) FarReverse(seg roadnet.SegmentID, slot int) []roadnet.SegmentID {
+	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
+	rc := x.revCaches()
+	key := cacheKey(seg, slot)
+	rc.mu.Lock()
+	if got, ok := rc.far[key]; ok {
+		rc.mu.Unlock()
+		return got
+	}
+	rc.mu.Unlock()
+	list := x.expandReverse(seg, slot, true)
+	rc.mu.Lock()
+	rc.far[key] = list
+	rc.mu.Unlock()
+	return list
+}
+
+// NearReverse returns the segments from which seg is surely reachable
+// within one Δt even at the slot's minimum speeds.
+func (x *Index) NearReverse(seg roadnet.SegmentID, slot int) []roadnet.SegmentID {
+	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
+	rc := x.revCaches()
+	key := cacheKey(seg, slot)
+	rc.mu.Lock()
+	if got, ok := rc.near[key]; ok {
+		rc.mu.Unlock()
+		return got
+	}
+	rc.mu.Unlock()
+	list := x.expandReverse(seg, slot, false)
+	rc.mu.Lock()
+	rc.near[key] = list
+	rc.mu.Unlock()
+	return list
+}
+
+// expandReverse runs the mirrored travel-time Dijkstra: cost[q] is the
+// travel time from the *entry* of q to the *entry* of seg, i.e. the sum
+// of traversal times of q and every intermediate segment, excluding seg.
+//
+// Far mode: include q when cost[q] <= budget (the mover enters seg in
+// time). Near mode: include q when cost[q] + time(seg) <= budget (the
+// whole journey, including finishing seg, fits).
+func (x *Index) expandReverse(seg roadnet.SegmentID, slot int, far bool) []roadnet.SegmentID {
+	n := x.net.NumSegments()
+	if seg < 0 || int(seg) >= n {
+		return nil
+	}
+	budget := float64(x.slotSec)
+	base := slot * n
+	speeds := x.minSpeed
+	if far {
+		speeds = x.maxSpeed
+	}
+	timeOf := func(s roadnet.SegmentID) float64 {
+		sp := float64(speeds[base+int(s)])
+		if sp <= 0 {
+			return budget + 1
+		}
+		return x.net.Segment(s).Length / sp
+	}
+
+	segTime := timeOf(seg)
+	// In Near mode, if seg itself cannot be traversed in time, nothing —
+	// not even seg — is surely reachable.
+	if !far && segTime > budget {
+		return nil
+	}
+	effBudget := budget
+	if !far {
+		effBudget = budget - segTime
+	}
+
+	x.expMu.Lock()
+	defer x.expMu.Unlock()
+	if len(x.enterCost) != n {
+		x.enterCost = make([]float64, n)
+		x.enterStamp = make([]int32, n)
+	}
+	x.stamp++
+	stamp := x.stamp
+
+	x.pq = x.pq[:0]
+	pq := &x.pq
+	x.enterCost[seg] = 0
+	x.enterStamp[seg] = stamp
+	heap.Push(pq, entryItem{seg, 0})
+	var out []roadnet.SegmentID
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(entryItem)
+		if x.enterStamp[it.seg] == stamp && it.cost > x.enterCost[it.seg] {
+			continue
+		}
+		if it.cost > effBudget {
+			continue
+		}
+		out = append(out, it.seg)
+		pred := x.net.Incoming(it.seg)
+		rev := x.net.Segment(it.seg).Reverse
+		for _, prev := range pred {
+			if prev == rev && len(pred) > 1 {
+				continue // mirror of the forward no-U-turn rule
+			}
+			c := it.cost + timeOf(prev)
+			if c > effBudget {
+				continue
+			}
+			if x.enterStamp[prev] != stamp || c < x.enterCost[prev] {
+				x.enterCost[prev] = c
+				x.enterStamp[prev] = stamp
+				heap.Push(pq, entryItem{prev, c})
+			}
+		}
+	}
+	return out
+}

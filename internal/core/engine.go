@@ -1,0 +1,281 @@
+// Package core implements the spatio-temporal reachability query
+// processing of the thesis (§3.3): the exhaustive-search baseline (ES),
+// the single-location maximum/minimum bounding region search (SQMB,
+// Algorithm 1), the trace back search (TBS, Algorithm 2), and the
+// multi-location bounding region search (MQMB, Algorithm 3).
+//
+// A query q = (S, T, L, Prob) asks for every road segment reachable from
+// location S within [T, T+L] on at least a Prob fraction of the dataset's
+// days, where reachability is witnessed by historical trajectories: a day
+// d supports segment r when some trajectory visited the start segment
+// during [T, T+Δt] on day d and also visited r during [T, T+L] on day d
+// (thesis §3.3.1, Eq. 3.1).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"streach/internal/conindex"
+	"streach/internal/geo"
+	"streach/internal/roadnet"
+	"streach/internal/stindex"
+	"streach/internal/storage"
+	"streach/internal/traj"
+)
+
+// Query is a single-location ST reachability query (s-query).
+type Query struct {
+	// Location is the start location S.
+	Location geo.Point
+	// Start is the time of day T (offset from midnight).
+	Start time.Duration
+	// Duration is the prediction length L.
+	Duration time.Duration
+	// Prob is the required reachability probability in (0, 1].
+	Prob float64
+}
+
+// MultiQuery is a multi-location ST reachability query (m-query).
+type MultiQuery struct {
+	Locations []geo.Point
+	Start     time.Duration
+	Duration  time.Duration
+	Prob      float64
+}
+
+// Metrics reports the cost of answering one query.
+type Metrics struct {
+	// Elapsed is the wall-clock processing time.
+	Elapsed time.Duration
+	// Evaluated counts segments whose reachability probability was
+	// verified against the on-disk time lists.
+	Evaluated int
+	// IO is the buffer-pool activity attributed to the query.
+	IO storage.IOStats
+	// MaxRegion and MinRegion are the bounding-region sizes (SQMB/MQMB
+	// only; zero for ES).
+	MaxRegion, MinRegion int
+	// ResultSegments is the size of the Prob-reachable region.
+	ResultSegments int
+	// RoadKm is the total length of the result's road segments.
+	RoadKm float64
+}
+
+// Result is the answer to a reachability query.
+type Result struct {
+	// Starts holds the snapped start segment(s).
+	Starts []roadnet.SegmentID
+	// Segments is the Prob-reachable region, ascending by ID.
+	Segments []roadnet.SegmentID
+	// Probability holds the verified reachability probability of result
+	// segments. Segments admitted without verification (the minimum
+	// bounding region, EarlyStop interior) have no entry.
+	Probability map[roadnet.SegmentID]float64
+	// Metrics is the query cost breakdown.
+	Metrics Metrics
+}
+
+// Contains reports whether the result region includes seg.
+func (r *Result) Contains(seg roadnet.SegmentID) bool {
+	i := sort.Search(len(r.Segments), func(i int) bool { return r.Segments[i] >= seg })
+	return i < len(r.Segments) && r.Segments[i] == seg
+}
+
+// Options tune the engine; the zero value is the default configuration
+// (verify between the bounding regions, admit the minimum region
+// unverified).
+type Options struct {
+	// VerifyAll makes TBS verify every segment in the maximum bounding
+	// region, including the minimum region. Slower, but the result is
+	// exactly {r in Bmax : probability(r, r0) >= Prob}. Used by
+	// ablations and correctness tests.
+	VerifyAll bool
+	// EarlyStop enables the thesis's literal Algorithm 2 queue: branches
+	// stop at qualifying segments and the interior the failing wave never
+	// reaches is admitted unverified. Fastest, over-approximates on
+	// sparse data.
+	EarlyStop bool
+	// NoVisitedSet disables the TBS visited-set deduplication (thesis
+	// §3.3.1's r* example); applies to the EarlyStop wave. Ablation
+	// only: the search is then bounded by a pop budget to guarantee
+	// termination.
+	NoVisitedSet bool
+	// NoOverlapFilter disables MQMB's overlap elimination (Algorithm 3
+	// lines 7–10). Ablation only.
+	NoOverlapFilter bool
+}
+
+// Engine answers reachability queries over one indexed dataset.
+type Engine struct {
+	net  *roadnet.Network
+	st   *stindex.Index
+	con  *conindex.Index
+	opts Options
+}
+
+// NewEngine wires the indexes together. The ST-Index and Con-Index must
+// have been built over the same network and with the same Δt.
+func NewEngine(st *stindex.Index, con *conindex.Index, opts Options) (*Engine, error) {
+	if st == nil || con == nil {
+		return nil, fmt.Errorf("core: both indexes are required")
+	}
+	if st.SlotSeconds() != con.SlotSeconds() {
+		return nil, fmt.Errorf("core: index granularity mismatch: ST-Index %ds, Con-Index %ds",
+			st.SlotSeconds(), con.SlotSeconds())
+	}
+	return &Engine{net: st.Network(), st: st, con: con, opts: opts}, nil
+}
+
+// Network returns the engine's road network.
+func (e *Engine) Network() *roadnet.Network { return e.net }
+
+// STIndex returns the engine's spatio-temporal index.
+func (e *Engine) STIndex() *stindex.Index { return e.st }
+
+// ConIndex returns the engine's connection index.
+func (e *Engine) ConIndex() *conindex.Index { return e.con }
+
+func (e *Engine) validate(start, dur time.Duration, prob float64) error {
+	if prob <= 0 || prob > 1 {
+		return fmt.Errorf("core: Prob must be in (0, 1], got %v", prob)
+	}
+	if dur <= 0 {
+		return fmt.Errorf("core: duration must be positive, got %v", dur)
+	}
+	if start < 0 || start >= 24*time.Hour {
+		return fmt.Errorf("core: start must be a time of day, got %v", start)
+	}
+	return nil
+}
+
+// slotWindow returns the slot range [lo, hi] covering [T, T+L], capped at
+// the end of the day.
+func (e *Engine) slotWindow(start, dur time.Duration) (lo, hi int) {
+	slotSec := e.st.SlotSeconds()
+	lo = int(start.Seconds()) / slotSec
+	hi = int((start + dur).Seconds()) / slotSec
+	if hi >= e.st.NumSlots() {
+		hi = e.st.NumSlots() - 1
+	}
+	return lo, hi
+}
+
+// finish fills the derived metrics fields and sorts the result.
+func (e *Engine) finish(res *Result, began time.Time, io0 storage.IOStats) {
+	sort.Slice(res.Segments, func(i, j int) bool { return res.Segments[i] < res.Segments[j] })
+	var km float64
+	for _, s := range res.Segments {
+		km += e.net.Segment(s).Length / 1000
+	}
+	res.Metrics.RoadKm = km
+	res.Metrics.ResultSegments = len(res.Segments)
+	res.Metrics.IO = e.st.Pool().Stats().Sub(io0)
+	res.Metrics.Elapsed = time.Since(began)
+}
+
+// probe verifies reachability probabilities against the ST-Index time
+// lists. It caches the per-day start sets of each query source.
+type probe struct {
+	e *Engine
+	// starts[i][d] is the sorted taxi list seen at source i's segment
+	// during the start slot on day d.
+	starts    []map[traj.Day][]traj.TaxiID
+	loSlot    int
+	hiSlot    int
+	days      int
+	evaluated int
+	// matched is per-call scratch: matched[source][day].
+	matched [][]bool
+}
+
+// newProbe reads each source's start-slot time list once.
+func (e *Engine) newProbe(sources []roadnet.SegmentID, startSlot, loSlot, hiSlot int) (*probe, error) {
+	p := &probe{
+		e:      e,
+		starts: make([]map[traj.Day][]traj.TaxiID, len(sources)),
+		loSlot: loSlot,
+		hiSlot: hiSlot,
+		days:   e.st.Days(),
+	}
+	for i, src := range sources {
+		tl, err := e.st.TimeListAt(src, startSlot)
+		if err != nil {
+			return nil, err
+		}
+		m := make(map[traj.Day][]traj.TaxiID, len(tl.Days))
+		for j, d := range tl.Days {
+			m[d] = tl.Taxis[j] // already sorted by the index encoder
+		}
+		p.starts[i] = m
+	}
+	p.matched = make([][]bool, len(sources))
+	for i := range p.matched {
+		p.matched[i] = make([]bool, p.days)
+	}
+	return p, nil
+}
+
+// prob returns max over sources of probability(seg, source): the fraction
+// of days on which some trajectory appears both in the source's start
+// window and at seg within the query window (Eq. 3.1).
+func (p *probe) prob(seg roadnet.SegmentID) (float64, error) {
+	p.evaluated++
+	nsrc := len(p.starts)
+	matched := p.matched
+	for i := range matched {
+		for d := range matched[i] {
+			matched[i][d] = false
+		}
+	}
+	for slot := p.loSlot; slot <= p.hiSlot; slot++ {
+		tl, err := p.e.st.TimeListAt(seg, slot)
+		if err != nil {
+			return 0, err
+		}
+		for j, d := range tl.Days {
+			if int(d) >= p.days {
+				continue
+			}
+			for i := 0; i < nsrc; i++ {
+				if matched[i][d] {
+					continue
+				}
+				if intersectSorted(p.starts[i][d], tl.Taxis[j]) {
+					matched[i][d] = true
+				}
+			}
+		}
+	}
+	best := 0.0
+	for i := 0; i < nsrc; i++ {
+		n := 0
+		for _, ok := range matched[i] {
+			if ok {
+				n++
+			}
+		}
+		if pr := float64(n) / float64(p.days); pr > best {
+			best = pr
+		}
+	}
+	return best, nil
+}
+
+// intersectSorted reports whether two ascending TaxiID slices share an
+// element.
+func intersectSorted(a, b []traj.TaxiID) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}

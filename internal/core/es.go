@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"streach/internal/roadnet"
+)
+
+// ES answers an s-query with the exhaustive search baseline (§4.1).
+//
+// Without the Con-Index, the baseline has no data-driven bound on how far
+// traffic can travel in L, so it falls back to the conservative network
+// expansion of [21]: expand the road network from the start segment out
+// to the worst-case radius (free-flow speed of the fastest road class
+// times L), and verify the reachability probability of every expanded
+// segment against the on-disk time lists. The search "terminates until
+// Prob-reachable road segments at all possible branches" — i.e. it is
+// exhaustive within the worst-case reach, which is what makes it pay
+// 2–10x the disk reads of SQMB+TBS.
+func (e *Engine) ES(q Query) (*Result, error) {
+	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
+		return nil, err
+	}
+	began := now()
+	io0 := e.st.Pool().Stats()
+
+	r0, ok := e.st.SnapLocation(q.Location)
+	if !ok {
+		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
+	}
+	lo, hi := e.slotWindow(q.Start, q.Duration)
+	pr, err := e.newProbe([]roadnet.SegmentID{r0}, lo, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+
+	// Worst-case travel budget in metres.
+	budget := q.Duration.Seconds() * roadnet.Highway.FreeFlowSpeed()
+
+	res := &Result{Starts: []roadnet.SegmentID{r0}, Probability: map[roadnet.SegmentID]float64{}}
+	var expandErr error
+	e.net.Expand(r0, budget, e.net.DistanceWeight(), func(r roadnet.SegmentID, _ float64) bool {
+		if expandErr != nil {
+			return false
+		}
+		p, err := pr.prob(r)
+		if err != nil {
+			expandErr = err
+			return false
+		}
+		if p >= q.Prob {
+			res.Segments = append(res.Segments, r)
+			res.Probability[r] = p
+		}
+		return true
+	})
+	if expandErr != nil {
+		return nil, expandErr
+	}
+	res.Metrics.Evaluated = pr.evaluated
+	e.finish(res, began, io0)
+	return res, nil
+}

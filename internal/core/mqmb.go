@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"streach/internal/roadnet"
+)
+
+// MQMB answers a multi-location ST reachability query (m-query) with the
+// m-query maximum bounding region search (Algorithm 3) followed by one
+// trace back search over the unified region. Compared with running SQMB
+// once per location, segments in overlapping bounding regions are
+// attributed to their nearest start location and expanded only once.
+func (e *Engine) MQMB(q MultiQuery) (*Result, error) {
+	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
+		return nil, err
+	}
+	if len(q.Locations) == 0 {
+		return nil, fmt.Errorf("core: m-query needs at least one location")
+	}
+	began := now()
+	io0 := e.st.Pool().Stats()
+
+	starts := make([]roadnet.SegmentID, 0, len(q.Locations))
+	seen := map[roadnet.SegmentID]bool{}
+	for _, loc := range q.Locations {
+		r0, ok := e.st.SnapLocation(loc)
+		if !ok {
+			return nil, fmt.Errorf("core: no road segment near %v", loc)
+		}
+		if !seen[r0] {
+			seen[r0] = true
+			starts = append(starts, r0)
+		}
+	}
+
+	maxReg := e.unifiedRegion(starts, q.Start, q.Duration, true)
+	minReg := e.unifiedRegion(starts, q.Start, q.Duration, false)
+
+	res, err := e.traceBack(starts, maxReg, minReg, q.Start, q.Duration, q.Prob)
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics.MaxRegion = maxReg.size()
+	res.Metrics.MinRegion = minReg.size()
+	e.finish(res, began, io0)
+	return res, nil
+}
+
+// SQuerySequential answers an m-query the naive way (§3.3.2): one SQMB+TBS
+// run per location, results unioned. It is the baseline MQMB is compared
+// against in Fig 4.8.
+func (e *Engine) SQuerySequential(q MultiQuery) (*Result, error) {
+	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
+		return nil, err
+	}
+	if len(q.Locations) == 0 {
+		return nil, fmt.Errorf("core: m-query needs at least one location")
+	}
+	began := now()
+	io0 := e.st.Pool().Stats()
+
+	union := map[roadnet.SegmentID]bool{}
+	res := &Result{}
+	for _, loc := range q.Locations {
+		one, err := e.SQMB(Query{Location: loc, Start: q.Start, Duration: q.Duration, Prob: q.Prob})
+		if err != nil {
+			return nil, err
+		}
+		res.Starts = append(res.Starts, one.Starts...)
+		res.Metrics.Evaluated += one.Metrics.Evaluated
+		res.Metrics.MaxRegion += one.Metrics.MaxRegion
+		res.Metrics.MinRegion += one.Metrics.MinRegion
+		for _, s := range one.Segments {
+			union[s] = true
+		}
+	}
+	for s := range union {
+		res.Segments = append(res.Segments, s)
+	}
+	e.finish(res, began, io0)
+	return res, nil
+}
+
+// unifiedRegion grows the m-query bounding region (Algorithm 3). Each
+// round unions the Con-Index lists of every region segment, then filters
+// candidates through the overlap rule: a candidate b survives only when
+// it appears in the list of its nearest region segment rs (line 8's
+// rs = argmin dis(r', b)), so duplicated influence inside overlapping
+// regions is eliminated.
+func (e *Engine) unifiedRegion(starts []roadnet.SegmentID, startOfDay, dur time.Duration, far bool) *region {
+	reg := newRegion(e.net.NumSegments())
+	for _, r := range starts {
+		reg.add(r, 0)
+	}
+	k := e.rounds(dur)
+	slotSec := e.st.SlotSeconds()
+	listOf := func(r roadnet.SegmentID, slot int) []roadnet.SegmentID {
+		if far {
+			return e.con.Far(r, slot)
+		}
+		return e.con.Near(r, slot)
+	}
+	for i := 0; i < k; i++ {
+		if reg.size() == e.net.NumSegments() {
+			break
+		}
+		slot := (int(startOfDay.Seconds()) + i*slotSec) / slotSec
+		snapshot := append([]roadnet.SegmentID(nil), reg.segs...)
+		// Candidate set B: union of the lists of every region segment,
+		// remembering which region segments produced each candidate.
+		producers := map[roadnet.SegmentID][]roadnet.SegmentID{}
+		for _, r := range snapshot {
+			for _, b := range listOf(r, slot) {
+				if reg.has(b) {
+					continue
+				}
+				producers[b] = append(producers[b], r)
+			}
+		}
+		if len(producers) == 0 {
+			continue
+		}
+		if e.opts.NoOverlapFilter {
+			for b := range producers {
+				reg.add(b, i+1)
+			}
+			continue
+		}
+		// Overlap elimination: nearest region segment per candidate via
+		// one multi-source expansion, then the membership test b ∈ F(rs).
+		nearest := e.nearestAttribution(snapshot, producers)
+		for b, prods := range producers {
+			rs, ok := nearest[b]
+			if !ok {
+				continue // not reached by the bounded expansion: drop
+			}
+			for _, p := range prods {
+				if p == rs {
+					reg.add(b, i+1)
+					break
+				}
+			}
+		}
+	}
+	return reg
+}
+
+// nearestAttribution finds, for every candidate, the nearest source
+// segment by network distance (thesis: "employing shortest path
+// techniques"). One multi-source Dijkstra covers all candidates.
+func (e *Engine) nearestAttribution(sources []roadnet.SegmentID, candidates map[roadnet.SegmentID][]roadnet.SegmentID) map[roadnet.SegmentID]roadnet.SegmentID {
+	// Bound the expansion by the furthest plausible candidate distance:
+	// one Δt at a generous speed, plus slack.
+	budget := float64(e.st.SlotSeconds())*35 + 3000
+	out := make(map[roadnet.SegmentID]roadnet.SegmentID, len(candidates))
+	remaining := len(candidates)
+	e.net.ExpandMulti(sources, budget, e.net.DistanceWeight(), func(id roadnet.SegmentID, cost float64, srcIdx int) bool {
+		if _, isCand := candidates[id]; isCand {
+			if _, done := out[id]; !done {
+				out[id] = sources[srcIdx]
+				remaining--
+			}
+		}
+		return remaining > 0
+	})
+	return out
+}

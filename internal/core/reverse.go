@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"streach/internal/roadnet"
+	"streach/internal/traj"
+)
+
+// Reverse reachability queries answer the mirror question: from which
+// road segments can the query location be reached within [T, T+L] on at
+// least Prob of the days? This is the natural direction for the
+// location-based advertising scenario (thesis Fig 1.2): the coupon-drop
+// area is where customers can reach the mall from, not where the mall's
+// own traffic disperses to.
+//
+// A day d supports segment r when some trajectory appears at r during
+// [T, T+Δt] and at the destination during [T, T+L] on day d — Eq 3.1
+// with the roles of the endpoints swapped.
+
+// reverseProbe verifies reverse reachability probabilities. The
+// destination's day sets over the whole window are read once; each
+// candidate then costs a single start-slot time list read.
+type reverseProbe struct {
+	e         *Engine
+	targets   map[traj.Day]map[traj.TaxiID]bool
+	startSlot int
+	days      int
+	evaluated int
+}
+
+func (e *Engine) newReverseProbe(dst roadnet.SegmentID, startSlot, loSlot, hiSlot int) (*reverseProbe, error) {
+	targets, err := e.st.DaySets(dst, loSlot, hiSlot)
+	if err != nil {
+		return nil, err
+	}
+	return &reverseProbe{e: e, targets: targets, startSlot: startSlot, days: e.st.Days()}, nil
+}
+
+// prob returns the fraction of days on which some trajectory appears at
+// seg in the start window and at the destination within the full window.
+func (p *reverseProbe) prob(seg roadnet.SegmentID) (float64, error) {
+	p.evaluated++
+	tl, err := p.e.st.TimeListAt(seg, p.startSlot)
+	if err != nil {
+		return 0, err
+	}
+	matched := 0
+	for i, d := range tl.Days {
+		set := p.targets[d]
+		if set == nil {
+			continue
+		}
+		for _, taxi := range tl.Taxis[i] {
+			if set[taxi] {
+				matched++
+				break
+			}
+		}
+	}
+	return float64(matched) / float64(p.days), nil
+}
+
+// ReverseES answers a reverse reachability query by exhaustive reverse
+// network expansion out to the worst-case radius, verifying every
+// candidate.
+func (e *Engine) ReverseES(q Query) (*Result, error) {
+	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
+		return nil, err
+	}
+	began := now()
+	io0 := e.st.Pool().Stats()
+
+	dst, ok := e.st.SnapLocation(q.Location)
+	if !ok {
+		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
+	}
+	lo, hi := e.slotWindow(q.Start, q.Duration)
+	pr, err := e.newReverseProbe(dst, lo, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+
+	budget := q.Duration.Seconds() * roadnet.Highway.FreeFlowSpeed()
+	res := &Result{Starts: []roadnet.SegmentID{dst}, Probability: map[roadnet.SegmentID]float64{}}
+	var expandErr error
+	e.expandReverseDistance(dst, budget, func(r roadnet.SegmentID) bool {
+		p, err := pr.prob(r)
+		if err != nil {
+			expandErr = err
+			return false
+		}
+		if p >= q.Prob {
+			res.Segments = append(res.Segments, r)
+			res.Probability[r] = p
+		}
+		return true
+	})
+	if expandErr != nil {
+		return nil, expandErr
+	}
+	res.Metrics.Evaluated = pr.evaluated
+	e.finish(res, began, io0)
+	return res, nil
+}
+
+// expandReverseDistance walks the reverse graph from dst in increasing
+// cumulative length order up to budget metres.
+func (e *Engine) expandReverseDistance(dst roadnet.SegmentID, budget float64, visit func(roadnet.SegmentID) bool) {
+	type item struct {
+		seg  roadnet.SegmentID
+		cost float64
+	}
+	dist := map[roadnet.SegmentID]float64{dst: 0}
+	queue := []item{{dst, 0}}
+	for len(queue) > 0 {
+		// Simple Dijkstra-by-scan: queue sizes here are modest and the
+		// per-pop verification dominates anyway.
+		best := 0
+		for i := 1; i < len(queue); i++ {
+			if queue[i].cost < queue[best].cost {
+				best = i
+			}
+		}
+		it := queue[best]
+		queue[best] = queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if d, ok := dist[it.seg]; !ok || it.cost > d {
+			continue
+		}
+		if !visit(it.seg) {
+			return
+		}
+		pred := e.net.Incoming(it.seg)
+		rev := e.net.Segment(it.seg).Reverse
+		for _, prev := range pred {
+			if prev == rev && len(pred) > 1 {
+				continue
+			}
+			c := it.cost + e.net.Segment(prev).Length
+			if c > budget {
+				continue
+			}
+			if d, ok := dist[prev]; !ok || c < d {
+				dist[prev] = c
+				queue = append(queue, item{prev, c})
+			}
+		}
+	}
+}
+
+// reverseBoundingRegion mirrors SQMB over the reverse connection tables.
+func (e *Engine) reverseBoundingRegion(dst roadnet.SegmentID, startOfDay, dur time.Duration, far bool) *region {
+	reg := newRegion(e.net.NumSegments())
+	reg.add(dst, 0)
+	k := e.rounds(dur)
+	slotSec := e.st.SlotSeconds()
+	for i := 0; i < k; i++ {
+		if reg.size() == e.net.NumSegments() {
+			break
+		}
+		slot := (int(startOfDay.Seconds()) + i*slotSec) / slotSec
+		snapshot := len(reg.segs)
+		for j := 0; j < snapshot; j++ {
+			r := reg.segs[j]
+			var list []roadnet.SegmentID
+			if far {
+				list = e.con.FarReverse(r, slot)
+			} else {
+				list = e.con.NearReverse(r, slot)
+			}
+			for _, s := range list {
+				reg.add(s, i+1)
+			}
+		}
+	}
+	return reg
+}
+
+// ReverseSQMB answers a reverse reachability query with the bounded
+// pipeline: reverse maximum/minimum bounding regions from the reverse
+// connection tables, then a trace back verification between them (same
+// policies as the forward TBS).
+func (e *Engine) ReverseSQMB(q Query) (*Result, error) {
+	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
+		return nil, err
+	}
+	began := now()
+	io0 := e.st.Pool().Stats()
+
+	dst, ok := e.st.SnapLocation(q.Location)
+	if !ok {
+		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
+	}
+	maxReg := e.reverseBoundingRegion(dst, q.Start, q.Duration, true)
+	minReg := e.reverseBoundingRegion(dst, q.Start, q.Duration, false)
+
+	lo, hi := e.slotWindow(q.Start, q.Duration)
+	pr, err := e.newReverseProbe(dst, lo, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Starts: []roadnet.SegmentID{dst}, Probability: map[roadnet.SegmentID]float64{}}
+	include := make(map[roadnet.SegmentID]bool, maxReg.size())
+
+	if e.opts.VerifyAll {
+		for _, s := range maxReg.segs {
+			p, err := pr.prob(s)
+			if err != nil {
+				return nil, err
+			}
+			if p >= q.Prob {
+				include[s] = true
+				res.Probability[s] = p
+			}
+		}
+	} else {
+		for _, s := range maxReg.segs {
+			if minReg.has(s) {
+				include[s] = true
+				continue
+			}
+			p, err := pr.prob(s)
+			if err != nil {
+				return nil, err
+			}
+			if p >= q.Prob {
+				include[s] = true
+				res.Probability[s] = p
+			}
+		}
+	}
+	for s := range include {
+		res.Segments = append(res.Segments, s)
+	}
+	res.Metrics.Evaluated = pr.evaluated
+	res.Metrics.MaxRegion = maxReg.size()
+	res.Metrics.MinRegion = minReg.size()
+	e.finish(res, began, io0)
+	return res, nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReverseSQMBBasics(t *testing.T) {
+	f := getFixture(t)
+	e := newEngine(t, Options{})
+	q := baseQuery(f)
+	res, err := e.ReverseSQMB(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Segments) == 0 {
+		t.Fatal("reverse region from the busiest segment should be non-empty")
+	}
+	if res.Metrics.MaxRegion < len(res.Segments) {
+		t.Fatalf("reverse max region %d < result %d", res.Metrics.MaxRegion, len(res.Segments))
+	}
+	if res.Metrics.Evaluated == 0 {
+		t.Fatal("reverse query should verify candidates")
+	}
+}
+
+func TestReverseESMatchesReverseVerifyAll(t *testing.T) {
+	f := getFixture(t)
+	exact := newEngine(t, Options{VerifyAll: true})
+	q := baseQuery(f)
+	es, err := exact.ReverseES(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := exact.ReverseSQMB(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es.Segments) == 0 {
+		t.Fatal("reverse ES found nothing")
+	}
+	esSet := toSet(es.Segments)
+	missing := 0
+	for _, s := range sq.Segments {
+		if !esSet[s] {
+			missing++
+		}
+	}
+	if frac := float64(missing) / float64(max(1, len(sq.Segments))); frac > 0.05 {
+		t.Fatalf("%.0f%% of reverse SQMB result missing from reverse ES", frac*100)
+	}
+}
+
+func TestReverseCheaperPerCandidate(t *testing.T) {
+	// Reverse candidates cost one time-list read each, so the probe's
+	// read count should be far below the forward probe's for the same
+	// number of evaluations.
+	f := getFixture(t)
+	e := newEngine(t, Options{})
+	q := baseQuery(f)
+	fwd, err := e.SQMB(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := e.ReverseSQMB(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwdPerEval := float64(fwd.Metrics.IO.Hits+fwd.Metrics.IO.Misses) / float64(max(1, fwd.Metrics.Evaluated))
+	revPerEval := float64(rev.Metrics.IO.Hits+rev.Metrics.IO.Misses) / float64(max(1, rev.Metrics.Evaluated))
+	if revPerEval >= fwdPerEval {
+		t.Fatalf("reverse per-candidate I/O (%.1f) should be below forward (%.1f)", revPerEval, fwdPerEval)
+	}
+}
+
+func TestReverseRegionDirectionality(t *testing.T) {
+	// On a one-way ring... our generated city is mostly two-way, so test
+	// the weaker directional property: the reverse region of a segment
+	// at T is not identical to the forward region unless the city is
+	// fully symmetric. Just assert both run and are plausibly sized.
+	f := getFixture(t)
+	e := newEngine(t, Options{})
+	q := baseQuery(f)
+	fwd, err := e.SQMB(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := e.ReverseSQMB(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.Metrics.MaxRegion == 0 || fwd.Metrics.MaxRegion == 0 {
+		t.Fatal("both directions should produce bounding regions")
+	}
+}
+
+func TestReverseValidation(t *testing.T) {
+	e := newEngine(t, Options{})
+	f := getFixture(t)
+	q := baseQuery(f)
+	q.Prob = -1
+	if _, err := e.ReverseSQMB(q); err == nil {
+		t.Fatal("invalid Prob should error")
+	}
+	if _, err := e.ReverseES(q); err == nil {
+		t.Fatal("invalid Prob should error for ES too")
+	}
+}
+
+func TestReverseMonotoneInProb(t *testing.T) {
+	f := getFixture(t)
+	exact := newEngine(t, Options{VerifyAll: true})
+	q := baseQuery(f)
+	q.Prob = 0.2
+	loose, err := exact.ReverseSQMB(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Prob = 0.8
+	strict, err := exact.ReverseSQMB(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	looseSet := toSet(loose.Segments)
+	for _, s := range strict.Segments {
+		if !looseSet[s] {
+			t.Fatalf("segment %d reverse-reachable at 80%% but not 20%%", s)
+		}
+	}
+}
+
+func TestReverseDurationGrowsRegion(t *testing.T) {
+	f := getFixture(t)
+	e := newEngine(t, Options{})
+	q := baseQuery(f)
+	q.Duration = 5 * time.Minute
+	small, err := e.ReverseSQMB(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Duration = 20 * time.Minute
+	large, err := e.ReverseSQMB(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Metrics.MaxRegion < small.Metrics.MaxRegion {
+		t.Fatalf("reverse max region should grow with duration: %d -> %d",
+			small.Metrics.MaxRegion, large.Metrics.MaxRegion)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"streach/internal/roadnet"
+)
+
+// region is a bounding region over a fixed-size network: for each member
+// segment it records the expansion round (0 = start) in which it first
+// appeared. Rounds order segments outer-to-inner for the trace back
+// search. Slice-backed: membership tests and inserts are O(1) without
+// map overhead on the query hot path.
+type region struct {
+	round []int16 // -1 = not a member
+	segs  []roadnet.SegmentID
+}
+
+func newRegion(numSegments int) *region {
+	r := &region{round: make([]int16, numSegments)}
+	for i := range r.round {
+		r.round[i] = -1
+	}
+	return r
+}
+
+func (r *region) add(s roadnet.SegmentID, round int) {
+	if r.round[s] >= 0 {
+		return
+	}
+	r.round[s] = int16(round)
+	r.segs = append(r.segs, s)
+}
+
+func (r *region) has(s roadnet.SegmentID) bool { return r.round[s] >= 0 }
+
+func (r *region) size() int { return len(r.segs) }
+
+// rounds returns how many Δt expansion steps cover the duration: k such
+// that k*Δt >= L (Algorithm 1 keeps searching until the duration is met).
+func (e *Engine) rounds(dur time.Duration) int {
+	slot := time.Duration(e.st.SlotSeconds()) * time.Second
+	k := int((dur + slot - 1) / slot)
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// maxBoundingRegion implements the s-query maximum bounding region search
+// (SQMB, Algorithm 1): starting from r0, repeatedly union the Con-Index
+// Far lists of every region segment, stepping the time slot by Δt each
+// round, until the duration is covered. With far=false it computes the
+// minimum bounding region from the Near lists instead (the thesis notes
+// SQMB applies "naturally" to the minimum region).
+func (e *Engine) boundingRegion(starts []roadnet.SegmentID, startOfDay, dur time.Duration, far bool) *region {
+	reg := newRegion(e.net.NumSegments())
+	for _, r := range starts {
+		reg.add(r, 0)
+	}
+	k := e.rounds(dur)
+	slotSec := e.st.SlotSeconds()
+	for i := 0; i < k; i++ {
+		if reg.size() == e.net.NumSegments() {
+			break // the region saturated the network; no round can add more
+		}
+		slot := (int(startOfDay.Seconds()) + i*slotSec) / slotSec
+		// Expand a snapshot of the whole accumulated region (Algorithm 1
+		// line 8 sets R = B each round).
+		snapshot := len(reg.segs)
+		for j := 0; j < snapshot; j++ {
+			r := reg.segs[j]
+			var list []roadnet.SegmentID
+			if far {
+				list = e.con.Far(r, slot)
+			} else {
+				list = e.con.Near(r, slot)
+			}
+			for _, s := range list {
+				reg.add(s, i+1)
+			}
+		}
+	}
+	return reg
+}
+
+// SQMB answers an s-query with the paper's two-step pipeline: maximum/
+// minimum bounding region search via the Con-Index, then trace back
+// search (TBS) to refine the Prob-reachable region.
+func (e *Engine) SQMB(q Query) (*Result, error) {
+	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
+		return nil, err
+	}
+	began := now()
+	io0 := e.st.Pool().Stats()
+
+	r0, ok := e.st.SnapLocation(q.Location)
+	if !ok {
+		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
+	}
+	starts := []roadnet.SegmentID{r0}
+	maxReg := e.boundingRegion(starts, q.Start, q.Duration, true)
+	minReg := e.boundingRegion(starts, q.Start, q.Duration, false)
+
+	res, err := e.traceBack(starts, maxReg, minReg, q.Start, q.Duration, q.Prob)
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics.MaxRegion = maxReg.size()
+	res.Metrics.MinRegion = minReg.size()
+	e.finish(res, began, io0)
+	return res, nil
+}
+
+// MaxBoundingRegion exposes the SQMB maximum bounding region for tests,
+// tools, and visualisation.
+func (e *Engine) MaxBoundingRegion(q Query) ([]roadnet.SegmentID, error) {
+	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
+		return nil, err
+	}
+	r0, ok := e.st.SnapLocation(q.Location)
+	if !ok {
+		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
+	}
+	reg := e.boundingRegion([]roadnet.SegmentID{r0}, q.Start, q.Duration, true)
+	return append([]roadnet.SegmentID(nil), reg.segs...), nil
+}
+
+// MinBoundingRegion exposes the SQMB minimum bounding region.
+func (e *Engine) MinBoundingRegion(q Query) ([]roadnet.SegmentID, error) {
+	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
+		return nil, err
+	}
+	r0, ok := e.st.SnapLocation(q.Location)
+	if !ok {
+		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
+	}
+	reg := e.boundingRegion([]roadnet.SegmentID{r0}, q.Start, q.Duration, false)
+	return append([]roadnet.SegmentID(nil), reg.segs...), nil
+}
+
+// now is indirected for tests.
+var now = time.Now

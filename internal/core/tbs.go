@@ -1,0 +1,169 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"streach/internal/roadnet"
+)
+
+// traceBack implements the Trace Back Search (TBS, Algorithm 2): starting
+// from the outer boundary of the maximum bounding region and moving
+// inwards, verify each segment's reachability probability against the
+// on-disk time lists; the minimum bounding region is admitted to the
+// result without verification — the "skip the nearby region of the
+// starting location" saving the thesis credits for most of the speedup
+// (§4.2.1/§4.2.2).
+//
+// Three verification policies are supported (Options):
+//
+//   - default: every segment between the bounding regions is verified,
+//     visited exactly once, in outer-to-inner order; the result is the
+//     qualifying set plus the unverified minimum region.
+//   - EarlyStop: the thesis's aggressive variant — qualifying segments
+//     stop their branch, and anything the failing wave never reached is
+//     admitted unverified. Fastest, but over-approximates on sparse data.
+//   - VerifyAll: everything in the maximum region is verified, including
+//     the minimum region. The result is exactly
+//     {r in Bmax : probability(r, r0) >= Prob}.
+func (e *Engine) traceBack(starts []roadnet.SegmentID, maxReg, minReg *region, startOfDay, dur time.Duration, prob float64) (*Result, error) {
+	lo, hi := e.slotWindow(startOfDay, dur)
+	pr, err := e.newProbe(starts, lo, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Starts:      append([]roadnet.SegmentID(nil), starts...),
+		Probability: map[roadnet.SegmentID]float64{},
+	}
+	include := make(map[roadnet.SegmentID]bool, maxReg.size())
+
+	switch {
+	case e.opts.VerifyAll:
+		for _, s := range maxReg.segs {
+			p, err := pr.prob(s)
+			if err != nil {
+				return nil, err
+			}
+			if p >= prob {
+				include[s] = true
+				res.Probability[s] = p
+			}
+		}
+
+	case e.opts.EarlyStop:
+		if err := e.earlyStopWave(maxReg, minReg, pr, prob, include, res.Probability); err != nil {
+			return nil, err
+		}
+
+	default:
+		// Verify Bmax \ Bmin outer-to-inner (descending expansion round,
+		// the trace back order), admit Bmin unverified.
+		order := make([]roadnet.SegmentID, 0, maxReg.size())
+		for _, s := range maxReg.segs {
+			if minReg.has(s) {
+				include[s] = true
+				continue
+			}
+			order = append(order, s)
+		}
+		sort.Slice(order, func(i, j int) bool {
+			ri, rj := maxReg.round[order[i]], maxReg.round[order[j]]
+			if ri != rj {
+				return ri > rj // outer rounds first
+			}
+			return order[i] < order[j]
+		})
+		for _, s := range order {
+			p, err := pr.prob(s)
+			if err != nil {
+				return nil, err
+			}
+			if p >= prob {
+				include[s] = true
+				res.Probability[s] = p
+			}
+		}
+	}
+
+	for s := range include {
+		res.Segments = append(res.Segments, s)
+	}
+	res.Metrics.Evaluated = pr.evaluated
+	return res, nil
+}
+
+// earlyStopWave runs the thesis's literal Algorithm 2 queue mechanics:
+// seed with the outer boundary, stop branches at qualifying segments,
+// expand through failing ones, and admit everything the wave never
+// reached (the minimum region and the shielded interior) unverified.
+func (e *Engine) earlyStopWave(maxReg, minReg *region, pr *probe, prob float64, include map[roadnet.SegmentID]bool, probs map[roadnet.SegmentID]float64) error {
+	visited := make(map[roadnet.SegmentID]bool, maxReg.size())
+	var queue []roadnet.SegmentID
+	for _, s := range maxReg.segs {
+		for _, nb := range e.net.Neighbors(s) {
+			if !maxReg.has(nb) {
+				queue = append(queue, s)
+				visited[s] = true
+				break
+			}
+		}
+	}
+	if len(queue) == 0 {
+		// The max region swallowed the whole network: fall back to the
+		// last expansion round as the outer boundary.
+		maxRound := int16(0)
+		for _, s := range maxReg.segs {
+			if maxReg.round[s] > maxRound {
+				maxRound = maxReg.round[s]
+			}
+		}
+		for _, s := range maxReg.segs {
+			if maxReg.round[s] == maxRound {
+				queue = append(queue, s)
+				visited[s] = true
+			}
+		}
+	}
+	// Safety budget for the NoVisitedSet ablation, which could otherwise
+	// loop forever.
+	budget := 10 * maxReg.size()
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		if e.opts.NoVisitedSet {
+			if budget <= 0 {
+				break
+			}
+			budget--
+		}
+		p, err := pr.prob(r)
+		if err != nil {
+			return err
+		}
+		if p >= prob {
+			include[r] = true
+			probs[r] = p
+			continue
+		}
+		for _, nb := range e.net.Neighbors(r) {
+			if !maxReg.has(nb) || minReg.has(nb) {
+				continue
+			}
+			if !e.opts.NoVisitedSet {
+				if visited[nb] {
+					continue
+				}
+				visited[nb] = true
+			}
+			queue = append(queue, nb)
+		}
+	}
+	for _, s := range maxReg.segs {
+		if !visited[s] {
+			include[s] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package geo
+
+import "math"
+
+// Polyline is an ordered sequence of points describing a road segment's
+// shape or a trajectory's path.
+type Polyline []Point
+
+// Length returns the total length of the polyline in metres.
+func (pl Polyline) Length() float64 {
+	var total float64
+	for i := 1; i < len(pl); i++ {
+		total += Distance(pl[i-1], pl[i])
+	}
+	return total
+}
+
+// MBR returns the minimum bounding rectangle of the polyline.
+func (pl Polyline) MBR() MBR {
+	return MBROf(pl)
+}
+
+// PointAt returns the point located dist metres along the polyline from its
+// start, clamped to the endpoints.
+func (pl Polyline) PointAt(dist float64) Point {
+	if len(pl) == 0 {
+		return Point{}
+	}
+	if dist <= 0 {
+		return pl[0]
+	}
+	remaining := dist
+	for i := 1; i < len(pl); i++ {
+		segLen := Distance(pl[i-1], pl[i])
+		if remaining <= segLen && segLen > 0 {
+			return Lerp(pl[i-1], pl[i], remaining/segLen)
+		}
+		remaining -= segLen
+	}
+	return pl[len(pl)-1]
+}
+
+// Project returns the closest point on the polyline to p, the distance from
+// p to that point in metres, and the arc length from the polyline start to
+// the projection in metres.
+func (pl Polyline) Project(p Point) (closest Point, distMeters, alongMeters float64) {
+	if len(pl) == 0 {
+		return Point{}, math.Inf(1), 0
+	}
+	if len(pl) == 1 {
+		return pl[0], Distance(p, pl[0]), 0
+	}
+	best := math.Inf(1)
+	var bestPt Point
+	var bestAlong float64
+	var walked float64
+	for i := 1; i < len(pl); i++ {
+		a, b := pl[i-1], pl[i]
+		cand, t := projectOnSegment(p, a, b)
+		d := Distance(p, cand)
+		segLen := Distance(a, b)
+		if d < best {
+			best = d
+			bestPt = cand
+			bestAlong = walked + t*segLen
+		}
+		walked += segLen
+	}
+	return bestPt, best, bestAlong
+}
+
+// projectOnSegment projects p onto the straight segment ab in a local
+// planar frame, returning the projected point and the parameter t in [0,1].
+func projectOnSegment(p, a, b Point) (Point, float64) {
+	// Local equirectangular frame centred at a.
+	cosLat := math.Cos(a.Lat * math.Pi / 180)
+	ax, ay := 0.0, 0.0
+	bx := (b.Lng - a.Lng) * cosLat
+	by := b.Lat - a.Lat
+	px := (p.Lng - a.Lng) * cosLat
+	py := p.Lat - a.Lat
+
+	dx, dy := bx-ax, by-ay
+	lenSq := dx*dx + dy*dy
+	if lenSq == 0 {
+		return a, 0
+	}
+	t := (px*dx + py*dy) / lenSq
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return Lerp(a, b, t), t
+}
+
+// Reverse returns a new polyline with the points in opposite order.
+func (pl Polyline) Reverse() Polyline {
+	out := make(Polyline, len(pl))
+	for i, p := range pl {
+		out[len(pl)-1-i] = p
+	}
+	return out
+}
+
+// SplitAt splits the polyline at arc length dist metres from the start,
+// returning the two halves. Both halves share the split point. When dist is
+// outside (0, Length), one of the halves is the whole polyline and the
+// other contains just the nearer endpoint.
+func (pl Polyline) SplitAt(dist float64) (Polyline, Polyline) {
+	if len(pl) < 2 {
+		return pl, pl
+	}
+	total := pl.Length()
+	if dist <= 0 {
+		return Polyline{pl[0]}, pl
+	}
+	if dist >= total {
+		return pl, Polyline{pl[len(pl)-1]}
+	}
+	remaining := dist
+	first := Polyline{pl[0]}
+	for i := 1; i < len(pl); i++ {
+		segLen := Distance(pl[i-1], pl[i])
+		if remaining < segLen {
+			split := Lerp(pl[i-1], pl[i], remaining/segLen)
+			first = append(first, split)
+			second := make(Polyline, 0, len(pl)-i+1)
+			second = append(second, split)
+			second = append(second, pl[i:]...)
+			return first, second
+		}
+		remaining -= segLen
+		first = append(first, pl[i])
+	}
+	return first, Polyline{pl[len(pl)-1]}
+}

@@ -1,0 +1,167 @@
+// Package gridindex implements a SETI-style spatial grid index (Chakka
+// et al. [7], discussed in thesis §5.1): space is partitioned into fixed
+// cells and each cell lists the road segments whose MBRs intersect it.
+// It answers the same segment-lookup queries as the R-tree used by the
+// ST-Index and exists as the comparison point the related-work chapter
+// discusses — see BenchmarkGridVsRTree.
+package gridindex
+
+import (
+	"fmt"
+	"math"
+
+	"streach/internal/geo"
+	"streach/internal/roadnet"
+)
+
+// Grid is a fixed-resolution spatial index over a road network.
+type Grid struct {
+	net        *roadnet.Network
+	bounds     geo.MBR
+	rows, cols int
+	cellLat    float64 // cell height in degrees
+	cellLng    float64 // cell width in degrees
+	cells      [][]roadnet.SegmentID
+}
+
+// Build creates a grid whose cells are approximately cellMeters across.
+func Build(net *roadnet.Network, cellMeters float64) (*Grid, error) {
+	if net.NumSegments() == 0 {
+		return nil, fmt.Errorf("gridindex: empty network")
+	}
+	if cellMeters <= 0 {
+		return nil, fmt.Errorf("gridindex: cell size must be positive, got %v", cellMeters)
+	}
+	b := net.Bounds()
+	heightM := geo.Distance(geo.Point{Lat: b.MinLat, Lng: b.MinLng}, geo.Point{Lat: b.MaxLat, Lng: b.MinLng})
+	widthM := geo.Distance(geo.Point{Lat: b.MinLat, Lng: b.MinLng}, geo.Point{Lat: b.MinLat, Lng: b.MaxLng})
+	rows := int(math.Ceil(heightM / cellMeters))
+	cols := int(math.Ceil(widthM / cellMeters))
+	if rows < 1 {
+		rows = 1
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	g := &Grid{
+		net:     net,
+		bounds:  b,
+		rows:    rows,
+		cols:    cols,
+		cellLat: (b.MaxLat - b.MinLat) / float64(rows),
+		cellLng: (b.MaxLng - b.MinLng) / float64(cols),
+		cells:   make([][]roadnet.SegmentID, rows*cols),
+	}
+	if g.cellLat <= 0 || g.cellLng <= 0 {
+		return nil, fmt.Errorf("gridindex: degenerate network bounds %+v", b)
+	}
+	for i := 0; i < net.NumSegments(); i++ {
+		id := roadnet.SegmentID(i)
+		box := net.Segment(id).Box
+		r0, c0 := g.cellOf(geo.Point{Lat: box.MinLat, Lng: box.MinLng})
+		r1, c1 := g.cellOf(geo.Point{Lat: box.MaxLat, Lng: box.MaxLng})
+		for r := r0; r <= r1; r++ {
+			for c := c0; c <= c1; c++ {
+				idx := r*g.cols + c
+				g.cells[idx] = append(g.cells[idx], id)
+			}
+		}
+	}
+	return g, nil
+}
+
+// cellOf maps a point to its (row, col), clamped to the grid.
+func (g *Grid) cellOf(p geo.Point) (int, int) {
+	r := int((p.Lat - g.bounds.MinLat) / g.cellLat)
+	c := int((p.Lng - g.bounds.MinLng) / g.cellLng)
+	if r < 0 {
+		r = 0
+	}
+	if r >= g.rows {
+		r = g.rows - 1
+	}
+	if c < 0 {
+		c = 0
+	}
+	if c >= g.cols {
+		c = g.cols - 1
+	}
+	return r, c
+}
+
+// Rows returns the grid's row count.
+func (g *Grid) Rows() int { return g.rows }
+
+// Cols returns the grid's column count.
+func (g *Grid) Cols() int { return g.cols }
+
+// CellCount returns the number of cells.
+func (g *Grid) CellCount() int { return g.rows * g.cols }
+
+// Search appends the IDs of segments whose MBRs intersect query,
+// deduplicated (a segment may be listed in several cells).
+func (g *Grid) Search(query geo.MBR, dst []roadnet.SegmentID) []roadnet.SegmentID {
+	if query.Empty() || !query.Intersects(g.bounds) {
+		return dst
+	}
+	r0, c0 := g.cellOf(geo.Point{Lat: query.MinLat, Lng: query.MinLng})
+	r1, c1 := g.cellOf(geo.Point{Lat: query.MaxLat, Lng: query.MaxLng})
+	seen := map[roadnet.SegmentID]bool{}
+	for r := r0; r <= r1; r++ {
+		for c := c0; c <= c1; c++ {
+			for _, id := range g.cells[r*g.cols+c] {
+				if seen[id] {
+					continue
+				}
+				seen[id] = true
+				if g.net.Segment(id).Box.Intersects(query) {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// SnapPoint returns the segment nearest to p by exact polyline projection,
+// searching outward ring by ring. ok is false only for an empty grid.
+func (g *Grid) SnapPoint(p geo.Point) (id roadnet.SegmentID, distMeters float64, ok bool) {
+	best := roadnet.SegmentID(-1)
+	bestDist := math.Inf(1)
+	pr, pc := g.cellOf(p)
+	// cellMin is a conservative lower bound on the distance from p to any
+	// cell `ring` steps away, in metres.
+	cellMin := math.Min(g.cellLat, g.cellLng) * 111_000
+	maxRing := g.rows + g.cols
+	for ring := 0; ring <= maxRing; ring++ {
+		// Once a candidate exists, a further ring cannot beat it when the
+		// ring's minimum possible distance already exceeds the best.
+		if best >= 0 && float64(ring-1)*cellMin > bestDist {
+			break
+		}
+		for r := pr - ring; r <= pr+ring; r++ {
+			if r < 0 || r >= g.rows {
+				continue
+			}
+			for c := pc - ring; c <= pc+ring; c++ {
+				if c < 0 || c >= g.cols {
+					continue
+				}
+				// Only the ring's border cells are new.
+				if ring > 0 && r != pr-ring && r != pr+ring && c != pc-ring && c != pc+ring {
+					continue
+				}
+				for _, segID := range g.cells[r*g.cols+c] {
+					_, d, _ := g.net.Segment(segID).Shape.Project(p)
+					if d < bestDist {
+						best, bestDist = segID, d
+					}
+				}
+			}
+		}
+	}
+	if best < 0 {
+		return -1, 0, false
+	}
+	return best, bestDist, true
+}

@@ -1,0 +1,160 @@
+package gridindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"streach/internal/geo"
+	"streach/internal/roadnet"
+)
+
+func testNetwork(t testing.TB) *roadnet.Network {
+	t.Helper()
+	n, err := roadnet.Generate(roadnet.GenerateConfig{
+		Origin:        geo.Point{Lat: 22.5, Lng: 114.0},
+		Rows:          8,
+		Cols:          8,
+		SpacingMeters: 800,
+		LocalFraction: 0.4,
+		Seed:          6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestBuildValidations(t *testing.T) {
+	n := testNetwork(t)
+	if _, err := Build(roadnet.NewBuilder().Build(), 500); err == nil {
+		t.Fatal("empty network should error")
+	}
+	if _, err := Build(n, 0); err == nil {
+		t.Fatal("zero cell size should error")
+	}
+	g, err := Build(n, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CellCount() < 4 {
+		t.Fatalf("suspiciously few cells: %d", g.CellCount())
+	}
+}
+
+func TestSearchMatchesRTree(t *testing.T) {
+	n := testNetwork(t)
+	g, err := Build(n, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	origin := geo.Point{Lat: 22.5, Lng: 114.0}
+	for i := 0; i < 100; i++ {
+		a := geo.Offset(origin, rng.Float64()*6000, rng.Float64()*6000)
+		b := geo.Offset(a, rng.Float64()*2000, rng.Float64()*2000)
+		query := geo.NewMBR(a, b)
+		got := g.Search(query, nil)
+		want := n.SegmentsWithin(query, nil)
+		sortIDs(got)
+		sortIDs(want)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: grid %d segments, rtree %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("query %d: result %d differs (%d vs %d)", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestSnapPointMatchesNetworkSnap(t *testing.T) {
+	n := testNetwork(t)
+	g, err := Build(n, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	origin := geo.Point{Lat: 22.5, Lng: 114.0}
+	for i := 0; i < 200; i++ {
+		p := geo.Offset(origin, rng.Float64()*6000, rng.Float64()*6000)
+		gid, gdist, ok := g.SnapPoint(p)
+		if !ok {
+			t.Fatal("grid snap failed")
+		}
+		_, ndist, _, ok := n.SnapPoint(p)
+		if !ok {
+			t.Fatal("network snap failed")
+		}
+		// Both must find the same nearest distance (the segment itself may
+		// differ when twins overlap).
+		if diff := gdist - ndist; diff > 1 || diff < -1 {
+			t.Fatalf("point %d: grid snapped %v m (seg %d), rtree %v m", i, gdist, gid, ndist)
+		}
+	}
+}
+
+func TestSearchOutsideBounds(t *testing.T) {
+	n := testNetwork(t)
+	g, err := Build(n, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := geo.Point{Lat: 10, Lng: 10}
+	if got := g.Search(geo.NewMBR(far, far), nil); len(got) != 0 {
+		t.Fatalf("search outside bounds returned %d segments", len(got))
+	}
+	var empty geo.MBR
+	if got := g.Search(empty, nil); len(got) != 0 {
+		t.Fatal("empty query should return nothing")
+	}
+}
+
+func TestSnapPointFarAway(t *testing.T) {
+	n := testNetwork(t)
+	g, err := Build(n, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A point far outside still snaps to the closest boundary segment.
+	far := geo.Offset(geo.Point{Lat: 22.5, Lng: 114.0}, -20000, -20000)
+	id, dist, ok := g.SnapPoint(far)
+	if !ok || id < 0 {
+		t.Fatal("snap from far away should still succeed")
+	}
+	if dist < 20000 {
+		t.Fatalf("far snap distance %v implausibly small", dist)
+	}
+}
+
+func sortIDs(s []roadnet.SegmentID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// BenchmarkGridVsRTree compares point-snapping throughput between the
+// SETI-style grid and the R-tree the ST-Index uses (thesis §5.1's
+// structural comparison).
+func BenchmarkGridVsRTree(b *testing.B) {
+	n := testNetwork(b)
+	g, err := Build(n, 400)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	origin := geo.Point{Lat: 22.5, Lng: 114.0}
+	points := make([]geo.Point, 512)
+	for i := range points {
+		points[i] = geo.Offset(origin, rng.Float64()*6000, rng.Float64()*6000)
+	}
+	b.Run("grid-snap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.SnapPoint(points[i%len(points)])
+		}
+	})
+	b.Run("rtree-snap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n.SnapPoint(points[i%len(points)])
+		}
+	})
+}

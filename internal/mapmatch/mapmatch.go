@@ -1,0 +1,333 @@
+// Package mapmatch projects raw GPS trajectories onto the road network
+// (the pre-processing map-matching step, thesis §3.1). The paper uses the
+// interactive-voting map matcher of Yuan et al. [29]; this implementation
+// substitutes the standard HMM formulation (Gaussian emission over GPS
+// error, route-vs-geodesic transition plausibility, Viterbi decoding),
+// which satisfies the same contract: raw (lat, lng, t, speed) points in,
+// a connected sequence of (segment, enter, exit, speed) visits out.
+package mapmatch
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"streach/internal/geo"
+	"streach/internal/roadnet"
+	"streach/internal/traj"
+)
+
+// Config tunes the matcher.
+type Config struct {
+	// SigmaMeters is the GPS error standard deviation (emission model).
+	SigmaMeters float64
+	// CandidateRadius bounds the candidate search around each point.
+	CandidateRadius float64
+	// MaxCandidates caps candidates per point.
+	MaxCandidates int
+	// Beta scales the transition penalty on |routeDist - geodesicDist|.
+	Beta float64
+	// TripGap splits a trajectory into independent trips when consecutive
+	// points are further apart in time.
+	TripGap time.Duration
+}
+
+// DefaultConfig returns settings suitable for ~30 s, ~15 m-noise GPS data.
+func DefaultConfig() Config {
+	return Config{
+		SigmaMeters:     20,
+		CandidateRadius: 120,
+		MaxCandidates:   6,
+		Beta:            0.015,
+		TripGap:         3 * time.Minute,
+	}
+}
+
+// Matcher matches raw trajectories onto a fixed network.
+type Matcher struct {
+	net *roadnet.Network
+	cfg Config
+}
+
+// New returns a matcher over the network.
+func New(net *roadnet.Network, cfg Config) *Matcher {
+	if cfg.SigmaMeters <= 0 {
+		cfg.SigmaMeters = 20
+	}
+	if cfg.CandidateRadius <= 0 {
+		cfg.CandidateRadius = 120
+	}
+	if cfg.MaxCandidates <= 0 {
+		cfg.MaxCandidates = 6
+	}
+	if cfg.Beta <= 0 {
+		cfg.Beta = 0.015
+	}
+	if cfg.TripGap <= 0 {
+		cfg.TripGap = 3 * time.Minute
+	}
+	return &Matcher{net: net, cfg: cfg}
+}
+
+// candidate is one (segment, projection) hypothesis for a GPS point.
+type candidate struct {
+	seg   roadnet.SegmentID
+	dist  float64 // projection distance, metres
+	along float64 // arc length along the segment, metres
+}
+
+// Match projects tr onto the network. Points with no candidate within
+// CandidateRadius are dropped; time gaps larger than TripGap split the
+// output into independent trips concatenated in one MatchedTrajectory.
+func (m *Matcher) Match(tr *traj.Trajectory) (*traj.MatchedTrajectory, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("mapmatch: %w", err)
+	}
+	out := &traj.MatchedTrajectory{Taxi: tr.Taxi, Day: tr.Day}
+	var trip []traj.GPSPoint
+	flush := func() error {
+		if len(trip) == 0 {
+			return nil
+		}
+		visits, err := m.matchTrip(trip)
+		if err != nil {
+			return err
+		}
+		out.Visits = append(out.Visits, visits...)
+		trip = trip[:0]
+		return nil
+	}
+	for i, p := range tr.Points {
+		if i > 0 && p.Time.Sub(tr.Points[i-1].Time) > m.cfg.TripGap {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+		trip = append(trip, p)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// matchTrip runs Viterbi over one gap-free run of points.
+func (m *Matcher) matchTrip(pts []traj.GPSPoint) ([]traj.Visit, error) {
+	// Candidate generation; skip points with no nearby road.
+	type step struct {
+		pt    traj.GPSPoint
+		cands []candidate
+	}
+	var steps []step
+	for _, p := range pts {
+		cands := m.candidates(p.Pos)
+		if len(cands) == 0 {
+			continue
+		}
+		steps = append(steps, step{pt: p, cands: cands})
+	}
+	if len(steps) == 0 {
+		return nil, nil
+	}
+
+	// Viterbi.
+	const minLog = -1e18
+	prevScore := make([]float64, len(steps[0].cands))
+	for i, c := range steps[0].cands {
+		prevScore[i] = m.emission(c.dist)
+	}
+	back := make([][]int, len(steps)) // back[t][j] = best predecessor index
+	for t := 1; t < len(steps); t++ {
+		cur := steps[t]
+		prev := steps[t-1]
+		gc := geo.Distance(prev.pt.Pos, cur.pt.Pos)
+		// Route distances from every previous candidate to every current
+		// candidate, via one bounded expansion per previous candidate.
+		routeDist := m.routeDistances(prev.cands, cur.cands, gc)
+		score := make([]float64, len(cur.cands))
+		back[t] = make([]int, len(cur.cands))
+		for j, cj := range cur.cands {
+			best := minLog
+			bestI := 0
+			for i := range prev.cands {
+				rd := routeDist[i][j]
+				tr := m.transition(gc, rd)
+				if s := prevScore[i] + tr; s > best {
+					best = s
+					bestI = i
+				}
+			}
+			score[j] = best + m.emission(cj.dist)
+			back[t][j] = bestI
+		}
+		prevScore = score
+	}
+
+	// Backtrack the best candidate chain.
+	bestJ := 0
+	for j := 1; j < len(prevScore); j++ {
+		if prevScore[j] > prevScore[bestJ] {
+			bestJ = j
+		}
+	}
+	chain := make([]candidate, len(steps))
+	times := make([]time.Time, len(steps))
+	speeds := make([]float64, len(steps))
+	j := bestJ
+	for t := len(steps) - 1; t >= 0; t-- {
+		chain[t] = steps[t].cands[j]
+		times[t] = steps[t].pt.Time
+		speeds[t] = steps[t].pt.Speed
+		if t > 0 {
+			j = back[t][j]
+		}
+	}
+	return m.chainToVisits(chain, times, speeds), nil
+}
+
+// candidates returns candidate segments for a GPS point, ordered by exact
+// projection distance.
+func (m *Matcher) candidates(p geo.Point) []candidate {
+	ids := m.net.CandidatesNear(p, m.cfg.CandidateRadius, m.cfg.MaxCandidates*3)
+	var out []candidate
+	for _, id := range ids {
+		seg := m.net.Segment(id)
+		_, d, along := seg.Shape.Project(p)
+		if d > m.cfg.CandidateRadius {
+			continue
+		}
+		out = append(out, candidate{seg: id, dist: d, along: along})
+	}
+	// Partial selection sort: keep the MaxCandidates closest.
+	for i := 0; i < len(out) && i < m.cfg.MaxCandidates; i++ {
+		min := i
+		for k := i + 1; k < len(out); k++ {
+			if out[k].dist < out[min].dist {
+				min = k
+			}
+		}
+		out[i], out[min] = out[min], out[i]
+	}
+	if len(out) > m.cfg.MaxCandidates {
+		out = out[:m.cfg.MaxCandidates]
+	}
+	return out
+}
+
+// emission is the log emission probability for a projection distance.
+func (m *Matcher) emission(dist float64) float64 {
+	z := dist / m.cfg.SigmaMeters
+	return -0.5 * z * z
+}
+
+// transition is the log transition probability given the geodesic distance
+// between points and the route distance between candidates.
+func (m *Matcher) transition(gc, route float64) float64 {
+	if math.IsInf(route, 1) {
+		return -1e18
+	}
+	return -m.cfg.Beta * math.Abs(route-gc)
+}
+
+// routeDistances returns route[i][j]: the on-network distance from
+// prev.cands[i] to cur.cands[j], measured between projection points.
+func (m *Matcher) routeDistances(prev, cur []candidate, gc float64) [][]float64 {
+	budget := gc*4 + 1000
+	out := make([][]float64, len(prev))
+	// Index current candidates by segment for O(1) hit tests.
+	curBySeg := map[roadnet.SegmentID][]int{}
+	for j, c := range cur {
+		curBySeg[c.seg] = append(curBySeg[c.seg], j)
+	}
+	for i, pc := range prev {
+		row := make([]float64, len(cur))
+		for j := range row {
+			row[j] = math.Inf(1)
+		}
+		// Same segment, moving forward: direct along-segment distance.
+		for _, j := range curBySeg[pc.seg] {
+			if cur[j].along >= pc.along {
+				row[j] = cur[j].along - pc.along
+			}
+		}
+		// Expand over successors. Expansion costs count whole segments;
+		// adjust ends by the projections' offsets.
+		segLen := m.net.Segment(pc.seg).Length
+		remainder := segLen - pc.along // metres left on the source segment
+		m.net.Expand(pc.seg, budget+segLen, m.net.DistanceWeight(), func(id roadnet.SegmentID, cost float64) bool {
+			if id == pc.seg {
+				return true
+			}
+			// cost includes the full source segment and the full target
+			// segment; replace them with the partial lengths.
+			for _, j := range curBySeg[id] {
+				d := cost - segLen + remainder - m.net.Segment(id).Length + cur[j].along
+				if d < 0 {
+					d = 0
+				}
+				if d < row[j] {
+					row[j] = d
+				}
+			}
+			return true
+		})
+		out[i] = row
+	}
+	return out
+}
+
+// chainToVisits converts a matched candidate chain into connected segment
+// visits, routing between consecutive candidates and splitting each leg's
+// time across its segments proportionally to length. Visit times are
+// stored relative to the UTC midnight of the chain's first point.
+func (m *Matcher) chainToVisits(chain []candidate, times []time.Time, speeds []float64) []traj.Visit {
+	dayStart := times[0].UTC().Truncate(24 * time.Hour)
+	toMs := func(t time.Time) int32 { return int32(t.Sub(dayStart).Milliseconds()) }
+	var visits []traj.Visit
+	appendVisit := func(seg roadnet.SegmentID, enter, exit time.Time, speed float64) {
+		// Merge with the previous visit when it is the same segment.
+		if n := len(visits); n > 0 && visits[n-1].Segment == seg {
+			if ms := toMs(exit); ms > visits[n-1].ExitMs {
+				visits[n-1].ExitMs = ms
+			}
+			return
+		}
+		visits = append(visits, traj.Visit{Segment: seg, EnterMs: toMs(enter), ExitMs: toMs(exit), Speed: float32(speed)})
+	}
+
+	appendVisit(chain[0].seg, times[0], times[0], speeds[0])
+	for t := 1; t < len(chain); t++ {
+		a, b := chain[t-1], chain[t]
+		legStart, legEnd := times[t-1], times[t]
+		speed := (speeds[t-1] + speeds[t]) / 2
+		if a.seg == b.seg {
+			appendVisit(a.seg, legStart, legEnd, speed)
+			continue
+		}
+		path, _, ok := m.net.ShortestPath(a.seg, b.seg, m.net.DistanceWeight())
+		if !ok || len(path) == 0 {
+			// Disconnected hypothesis (shouldn't survive Viterbi, but GPS
+			// outages can cause it): restart at b.
+			appendVisit(b.seg, legEnd, legEnd, speed)
+			continue
+		}
+		// Length-proportional time split across the leg's segments.
+		var totalLen float64
+		for _, s := range path {
+			totalLen += m.net.Segment(s).Length
+		}
+		if totalLen <= 0 {
+			totalLen = 1
+		}
+		legDur := legEnd.Sub(legStart)
+		cursor := legStart
+		for _, s := range path {
+			frac := m.net.Segment(s).Length / totalLen
+			segDur := time.Duration(float64(legDur) * frac)
+			exit := cursor.Add(segDur)
+			appendVisit(s, cursor, exit, speed)
+			cursor = exit
+		}
+	}
+	return visits
+}

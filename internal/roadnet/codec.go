@@ -1,0 +1,135 @@
+package roadnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"streach/internal/geo"
+)
+
+// Binary network format (little endian):
+//
+//	magic "STRN" | version u16 | numRoads u32
+//	per road: class u8 | oneway u8 | npoints u16 | npoints x (lat f64, lng f64)
+//
+// Only the underlying roads are stored; vertices, adjacency, MBRs and the
+// spatial index are rebuilt on load, and two-way roads re-create their
+// twins, so a round trip reproduces the same segment IDs as the original
+// build order.
+const (
+	netMagic   = "STRN"
+	netVersion = 1
+)
+
+// WriteNetwork encodes n to w.
+func WriteNetwork(w io.Writer, n *Network) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(netMagic); err != nil {
+		return fmt.Errorf("roadnet: write magic: %w", err)
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint16(buf[:2], netVersion)
+	if _, err := bw.Write(buf[:2]); err != nil {
+		return err
+	}
+	// Count roads: every one-way segment and one member of each two-way
+	// pair (the one with the lower ID, which was built first).
+	var roads []*Segment
+	for i := range n.segments {
+		s := &n.segments[i]
+		if s.Reverse == NoSegment || s.ID < s.Reverse {
+			roads = append(roads, s)
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(roads)))
+	if _, err := bw.Write(buf[:4]); err != nil {
+		return err
+	}
+	for _, s := range roads {
+		if len(s.Shape) > math.MaxUint16 {
+			return fmt.Errorf("roadnet: segment %d has %d shape points, max %d", s.ID, len(s.Shape), math.MaxUint16)
+		}
+		if err := bw.WriteByte(byte(s.Class)); err != nil {
+			return err
+		}
+		oneway := byte(0)
+		if s.OneWay {
+			oneway = 1
+		}
+		if err := bw.WriteByte(oneway); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint16(buf[:2], uint16(len(s.Shape)))
+		if _, err := bw.Write(buf[:2]); err != nil {
+			return err
+		}
+		for _, p := range s.Shape {
+			binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(p.Lat))
+			if _, err := bw.Write(buf[:8]); err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(p.Lng))
+			if _, err := bw.Write(buf[:8]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNetwork decodes a network from r, rebuilding adjacency and the
+// spatial index.
+func ReadNetwork(r io.Reader) (*Network, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("roadnet: read magic: %w", err)
+	}
+	if string(magic) != netMagic {
+		return nil, fmt.Errorf("roadnet: bad magic %q", magic)
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:2]); err != nil {
+		return nil, fmt.Errorf("roadnet: read version: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(buf[:2]); v != netVersion {
+		return nil, fmt.Errorf("roadnet: unsupported version %d", v)
+	}
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		return nil, fmt.Errorf("roadnet: read road count: %w", err)
+	}
+	numRoads := binary.LittleEndian.Uint32(buf[:4])
+	b := NewBuilder()
+	for i := uint32(0); i < numRoads; i++ {
+		class, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("roadnet: road %d class: %w", i, err)
+		}
+		oneway, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("roadnet: road %d oneway: %w", i, err)
+		}
+		if _, err := io.ReadFull(br, buf[:2]); err != nil {
+			return nil, fmt.Errorf("roadnet: road %d npoints: %w", i, err)
+		}
+		np := binary.LittleEndian.Uint16(buf[:2])
+		shape := make(geo.Polyline, np)
+		for j := range shape {
+			if _, err := io.ReadFull(br, buf[:8]); err != nil {
+				return nil, fmt.Errorf("roadnet: road %d point %d: %w", i, j, err)
+			}
+			shape[j].Lat = math.Float64frombits(binary.LittleEndian.Uint64(buf[:8]))
+			if _, err := io.ReadFull(br, buf[:8]); err != nil {
+				return nil, fmt.Errorf("roadnet: road %d point %d: %w", i, j, err)
+			}
+			shape[j].Lng = math.Float64frombits(binary.LittleEndian.Uint64(buf[:8]))
+		}
+		if _, err := b.AddRoad(shape, RoadClass(class), oneway == 1); err != nil {
+			return nil, fmt.Errorf("roadnet: road %d: %w", i, err)
+		}
+	}
+	return b.Build(), nil
+}

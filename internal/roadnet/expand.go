@@ -1,0 +1,235 @@
+package roadnet
+
+import (
+	"container/heap"
+	"math"
+)
+
+// pqItem is a priority-queue entry for Dijkstra-style searches over
+// segments. cost is travel time in seconds or distance in metres depending
+// on the caller's weight function.
+type pqItem struct {
+	seg  SegmentID
+	cost float64
+}
+
+type segPQ []pqItem
+
+func (q segPQ) Len() int            { return len(q) }
+func (q segPQ) Less(i, j int) bool  { return q[i].cost < q[j].cost }
+func (q segPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *segPQ) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *segPQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// WeightFunc returns the cost of traversing a segment. Costs must be
+// positive. Typical weights: travel time (length/speed) or plain length.
+type WeightFunc func(id SegmentID) float64
+
+// DistanceWeight weights each segment by its length in metres.
+func (n *Network) DistanceWeight() WeightFunc {
+	return func(id SegmentID) float64 { return n.segments[id].Length }
+}
+
+// TravelTimeWeight weights each segment by length divided by speed(id)
+// (m/s). Speeds of zero or below yield an effectively unreachable segment.
+func (n *Network) TravelTimeWeight(speed func(id SegmentID) float64) WeightFunc {
+	return func(id SegmentID) float64 {
+		v := speed(id)
+		if v <= 0 {
+			return math.Inf(1)
+		}
+		return n.segments[id].Length / v
+	}
+}
+
+// Expand performs incremental network expansion (Papadias et al. [21], as
+// modified in thesis §3.2.2): starting from src, it explores successor
+// segments in increasing cumulative cost order and calls visit for every
+// segment whose total cost (cost to finish traversing it, including the
+// source segment itself at cost w(src)) is at most budget. visit returning
+// false prunes expansion beyond that segment. The source segment is
+// visited first.
+func (n *Network) Expand(src SegmentID, budget float64, w WeightFunc, visit func(id SegmentID, cost float64) bool) {
+	if src < 0 || int(src) >= len(n.segments) {
+		return
+	}
+	dist := map[SegmentID]float64{}
+	pq := &segPQ{}
+	start := w(src)
+	if start > budget {
+		return
+	}
+	dist[src] = start
+	heap.Push(pq, pqItem{src, start})
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		if d, ok := dist[it.seg]; !ok || it.cost > d {
+			continue // stale entry
+		}
+		if !visit(it.seg, it.cost) {
+			continue
+		}
+		out := n.Outgoing(it.seg)
+		for _, next := range out {
+			if next == n.segments[it.seg].Reverse && len(out) > 1 {
+				continue // no immediate U-turns except at dead ends
+			}
+			c := it.cost + w(next)
+			if c > budget || math.IsInf(c, 1) {
+				continue
+			}
+			if d, ok := dist[next]; !ok || c < d {
+				dist[next] = c
+				heap.Push(pq, pqItem{next, c})
+			}
+		}
+	}
+}
+
+// ExpandMulti runs Expand from several sources simultaneously, reporting
+// for each reached segment the minimum cost and the source index that
+// achieved it. Used by the m-query bounding-region search to attribute
+// segments to their nearest start location (Algorithm 3, line 8).
+func (n *Network) ExpandMulti(srcs []SegmentID, budget float64, w WeightFunc, visit func(id SegmentID, cost float64, srcIdx int) bool) {
+	type state struct {
+		cost float64
+		src  int
+	}
+	dist := map[SegmentID]state{}
+	pq := &multiPQ{}
+	for i, s := range srcs {
+		if s < 0 || int(s) >= len(n.segments) {
+			continue
+		}
+		c := w(s)
+		if c > budget {
+			continue
+		}
+		if cur, ok := dist[s]; !ok || c < cur.cost {
+			dist[s] = state{c, i}
+			heap.Push(pq, multiItem{s, c, i})
+		}
+	}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(multiItem)
+		if cur, ok := dist[it.seg]; !ok || it.cost > cur.cost || cur.src != it.src {
+			continue
+		}
+		if !visit(it.seg, it.cost, it.src) {
+			continue
+		}
+		out := n.Outgoing(it.seg)
+		for _, next := range out {
+			if next == n.segments[it.seg].Reverse && len(out) > 1 {
+				continue
+			}
+			c := it.cost + w(next)
+			if c > budget || math.IsInf(c, 1) {
+				continue
+			}
+			if cur, ok := dist[next]; !ok || c < cur.cost {
+				dist[next] = state{c, it.src}
+				heap.Push(pq, multiItem{next, c, it.src})
+			}
+		}
+	}
+}
+
+type multiItem struct {
+	seg  SegmentID
+	cost float64
+	src  int
+}
+
+type multiPQ []multiItem
+
+func (q multiPQ) Len() int            { return len(q) }
+func (q multiPQ) Less(i, j int) bool  { return q[i].cost < q[j].cost }
+func (q multiPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *multiPQ) Push(x interface{}) { *q = append(*q, x.(multiItem)) }
+func (q *multiPQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPath returns the minimum-cost segment sequence from src to dst
+// (both inclusive) under w, and the total cost. found is false when dst is
+// unreachable. src == dst returns the single-segment path.
+func (n *Network) ShortestPath(src, dst SegmentID, w WeightFunc) (path []SegmentID, cost float64, found bool) {
+	if src < 0 || dst < 0 || int(src) >= len(n.segments) || int(dst) >= len(n.segments) {
+		return nil, 0, false
+	}
+	dist := map[SegmentID]float64{src: w(src)}
+	prev := map[SegmentID]SegmentID{}
+	pq := &segPQ{{src, dist[src]}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		if d, ok := dist[it.seg]; !ok || it.cost > d {
+			continue
+		}
+		if it.seg == dst {
+			// Reconstruct.
+			var rev []SegmentID
+			for at := dst; ; {
+				rev = append(rev, at)
+				p, ok := prev[at]
+				if !ok {
+					break
+				}
+				at = p
+			}
+			path = make([]SegmentID, len(rev))
+			for i, s := range rev {
+				path[len(rev)-1-i] = s
+			}
+			return path, it.cost, true
+		}
+		out := n.Outgoing(it.seg)
+		for _, next := range out {
+			if next == n.segments[it.seg].Reverse && len(out) > 1 {
+				continue
+			}
+			c := it.cost + w(next)
+			if math.IsInf(c, 1) {
+				continue
+			}
+			if d, ok := dist[next]; !ok || c < d {
+				dist[next] = c
+				prev[next] = it.seg
+				heap.Push(pq, pqItem{next, c})
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// NetworkDistance returns the shortest travel distance in metres from the
+// start of src to the end of dst, or +Inf when unreachable.
+func (n *Network) NetworkDistance(src, dst SegmentID) float64 {
+	_, cost, ok := n.ShortestPath(src, dst, n.DistanceWeight())
+	if !ok {
+		return math.Inf(1)
+	}
+	return cost
+}
+
+// StronglyConnectedFrom returns the set of segments reachable from src
+// with unbounded budget — used by tests and the generator to verify
+// connectivity.
+func (n *Network) StronglyConnectedFrom(src SegmentID) map[SegmentID]bool {
+	seen := map[SegmentID]bool{}
+	n.Expand(src, math.Inf(1), func(SegmentID) float64 { return 1 }, func(id SegmentID, _ float64) bool {
+		seen[id] = true
+		return true
+	})
+	return seen
+}

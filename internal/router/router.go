@@ -1,0 +1,189 @@
+// Package router answers route queries (thesis §5.2) with time-dependent
+// travel times derived from the trajectory data: each segment's traversal
+// time depends on the mean observed speed in the Δt slot the mover enters
+// it, so the same origin-destination pair gets different routes and ETAs
+// at 03:00 and 18:00. A static free-flow router is included for the
+// comparison the thesis's introduction draws.
+package router
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"streach/internal/conindex"
+	"streach/internal/roadnet"
+)
+
+// Router plans routes over a network with per-slot speed statistics.
+type Router struct {
+	net *roadnet.Network
+	con *conindex.Index
+}
+
+// New wires a router over the network and the Con-Index speed statistics.
+func New(net *roadnet.Network, con *conindex.Index) *Router {
+	return &Router{net: net, con: con}
+}
+
+// Route is a planned journey.
+type Route struct {
+	// Path is the segment sequence, origin and destination inclusive.
+	Path []roadnet.SegmentID
+	// TravelTimeSec is the predicted door-to-door travel time.
+	TravelTimeSec float64
+	// DistanceMeters is the path length.
+	DistanceMeters float64
+}
+
+// TimeDependent plans the fastest route from src to dst departing at
+// departSec seconds after midnight, using mean observed speeds per slot.
+// The traversal speed of each segment is taken from the slot in which it
+// is entered (the usual FIFO approximation).
+func (r *Router) TimeDependent(src, dst roadnet.SegmentID, departSec float64) (*Route, error) {
+	return r.route(src, dst, departSec, func(seg roadnet.SegmentID, atSec float64) float64 {
+		slot := int(atSec) / r.con.SlotSeconds()
+		return r.con.MeanSpeed(seg, slot)
+	})
+}
+
+// FreeFlow plans the static route at per-class free-flow speeds: the
+// traditional time-invariant answer.
+func (r *Router) FreeFlow(src, dst roadnet.SegmentID) (*Route, error) {
+	return r.route(src, dst, 0, func(seg roadnet.SegmentID, _ float64) float64 {
+		return r.net.Segment(seg).Class.FreeFlowSpeed()
+	})
+}
+
+type routeItem struct {
+	seg roadnet.SegmentID
+	at  float64 // arrival time at the segment's entry, seconds of day
+}
+
+type routePQ []routeItem
+
+func (q routePQ) Len() int            { return len(q) }
+func (q routePQ) Less(i, j int) bool  { return q[i].at < q[j].at }
+func (q routePQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *routePQ) Push(x interface{}) { *q = append(*q, x.(routeItem)) }
+func (q *routePQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+func (r *Router) route(src, dst roadnet.SegmentID, departSec float64, speedAt func(roadnet.SegmentID, float64) float64) (*Route, error) {
+	n := r.net.NumSegments()
+	if src < 0 || int(src) >= n || dst < 0 || int(dst) >= n {
+		return nil, fmt.Errorf("router: segment out of range (src=%d dst=%d, %d segments)", src, dst, n)
+	}
+	if departSec < 0 || departSec >= 86400 {
+		return nil, fmt.Errorf("router: departure %v is not a time of day", departSec)
+	}
+	arrive := map[roadnet.SegmentID]float64{src: departSec}
+	prev := map[roadnet.SegmentID]roadnet.SegmentID{}
+	pq := &routePQ{{src, departSec}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(routeItem)
+		if a, ok := arrive[it.seg]; !ok || it.at > a {
+			continue
+		}
+		sp := speedAt(it.seg, it.at)
+		if sp <= 0 {
+			continue
+		}
+		exit := it.at + r.net.Segment(it.seg).Length/sp
+		if it.seg == dst {
+			path := reconstruct(prev, dst)
+			var dist float64
+			for _, s := range path {
+				dist += r.net.Segment(s).Length
+			}
+			return &Route{Path: path, TravelTimeSec: exit - departSec, DistanceMeters: dist}, nil
+		}
+		succ := r.net.Outgoing(it.seg)
+		rev := r.net.Segment(it.seg).Reverse
+		for _, next := range succ {
+			if next == rev && len(succ) > 1 {
+				continue
+			}
+			if a, ok := arrive[next]; !ok || exit < a {
+				arrive[next] = exit
+				prev[next] = it.seg
+				heap.Push(pq, routeItem{next, exit})
+			}
+		}
+	}
+	return nil, fmt.Errorf("router: no route from %d to %d", src, dst)
+}
+
+func reconstruct(prev map[roadnet.SegmentID]roadnet.SegmentID, dst roadnet.SegmentID) []roadnet.SegmentID {
+	var rev []roadnet.SegmentID
+	for at := dst; ; {
+		rev = append(rev, at)
+		p, ok := prev[at]
+		if !ok {
+			break
+		}
+		at = p
+	}
+	out := make([]roadnet.SegmentID, len(rev))
+	for i, s := range rev {
+		out[len(rev)-1-i] = s
+	}
+	return out
+}
+
+// ETAProfile returns the time-dependent travel time for the same
+// origin-destination pair at each hour of the day — the "ETA by time of
+// day" curve applications plot.
+func (r *Router) ETAProfile(src, dst roadnet.SegmentID) ([24]float64, error) {
+	var out [24]float64
+	for h := 0; h < 24; h++ {
+		route, err := r.TimeDependent(src, dst, float64(h)*3600)
+		if err != nil {
+			return out, err
+		}
+		out[h] = route.TravelTimeSec
+	}
+	return out, nil
+}
+
+// validatePath reports whether the path is a connected forward walk.
+// Exported for tests via Validate.
+func (r *Router) validatePath(path []roadnet.SegmentID) error {
+	for i := 1; i < len(path); i++ {
+		connected := false
+		for _, s := range r.net.Outgoing(path[i-1]) {
+			if s == path[i] {
+				connected = true
+				break
+			}
+		}
+		if !connected {
+			return fmt.Errorf("router: path hop %d -> %d not adjacent", path[i-1], path[i])
+		}
+	}
+	return nil
+}
+
+// Validate checks that a route's path is connected and its distance
+// matches the summed segment lengths.
+func (r *Router) Validate(route *Route) error {
+	if len(route.Path) == 0 {
+		return fmt.Errorf("router: empty path")
+	}
+	if err := r.validatePath(route.Path); err != nil {
+		return err
+	}
+	var dist float64
+	for _, s := range route.Path {
+		dist += r.net.Segment(s).Length
+	}
+	if math.Abs(dist-route.DistanceMeters) > 1 {
+		return fmt.Errorf("router: distance %v does not match path length %v", route.DistanceMeters, dist)
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"streach/internal/geo"
+)
+
+var origin = geo.Point{Lat: 22.5, Lng: 114.0}
+
+// randomItems scatters n small boxes across a ~20 km square.
+func randomItems(n int, seed int64) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		p := geo.Offset(origin, rng.Float64()*20000, rng.Float64()*20000)
+		q := geo.Offset(p, rng.Float64()*200, rng.Float64()*200)
+		items[i] = Item{ID: int64(i), Box: geo.NewMBR(p, q)}
+	}
+	return items
+}
+
+// bruteSearch is the oracle for Search.
+func bruteSearch(items []Item, query geo.MBR) []int64 {
+	var out []int64
+	for _, it := range items {
+		if it.Box.Intersects(query) {
+			out = append(out, it.ID)
+		}
+	}
+	return out
+}
+
+func sortIDs(ids []int64) []int64 {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("new tree should be empty")
+	}
+	if got := tr.Search(geo.NewMBR(origin, origin), nil); len(got) != 0 {
+		t.Fatal("search on empty tree should return nothing")
+	}
+	if got := tr.Nearest(origin, 3); len(got) != 0 {
+		t.Fatal("nearest on empty tree should return nothing")
+	}
+	bl := BulkLoad(nil)
+	if bl.Len() != 0 {
+		t.Fatal("bulk load of nil should be empty")
+	}
+}
+
+func TestBulkLoadSearchMatchesBruteForce(t *testing.T) {
+	items := randomItems(2000, 7)
+	tr := BulkLoad(items)
+	if tr.Len() != len(items) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(items))
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		a := geo.Offset(origin, rng.Float64()*20000, rng.Float64()*20000)
+		b := geo.Offset(a, rng.Float64()*4000, rng.Float64()*4000)
+		query := geo.NewMBR(a, b)
+		got := sortIDs(tr.Search(query, nil))
+		want := sortIDs(bruteSearch(items, query))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: got %d ids, want %d", i, len(got), len(want))
+		}
+	}
+}
+
+func TestInsertSearchMatchesBruteForce(t *testing.T) {
+	items := randomItems(1500, 9)
+	tr := New()
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	if tr.Len() != len(items) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(items))
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 100; i++ {
+		a := geo.Offset(origin, rng.Float64()*20000, rng.Float64()*20000)
+		b := geo.Offset(a, rng.Float64()*3000, rng.Float64()*3000)
+		query := geo.NewMBR(a, b)
+		got := sortIDs(tr.Search(query, nil))
+		want := sortIDs(bruteSearch(items, query))
+		if !equalIDs(got, want) {
+			t.Fatalf("query %d: got %d ids, want %d", i, len(got), len(want))
+		}
+	}
+}
+
+func TestMixedBulkLoadThenInsert(t *testing.T) {
+	base := randomItems(500, 11)
+	tr := BulkLoad(base)
+	extra := randomItems(500, 12)
+	for i := range extra {
+		extra[i].ID += 500
+		tr.Insert(extra[i])
+	}
+	all := append(append([]Item(nil), base...), extra...)
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	query := tr.Bounds()
+	got := sortIDs(tr.Search(query, nil))
+	want := sortIDs(bruteSearch(all, query))
+	if !equalIDs(got, want) {
+		t.Fatalf("full-extent search: got %d, want %d", len(got), len(want))
+	}
+}
+
+func TestSearchPoint(t *testing.T) {
+	items := []Item{
+		{ID: 1, Box: geo.NewMBR(origin, geo.Offset(origin, 1000, 1000))},
+		{ID: 2, Box: geo.NewMBR(geo.Offset(origin, 2000, 2000), geo.Offset(origin, 3000, 3000))},
+	}
+	tr := BulkLoad(items)
+	inside := geo.Offset(origin, 500, 500)
+	got := tr.SearchPoint(inside, nil)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("SearchPoint inside box 1: got %v", got)
+	}
+	nowhere := geo.Offset(origin, 1500, 1500)
+	if got := tr.SearchPoint(nowhere, nil); len(got) != 0 {
+		t.Fatalf("SearchPoint in gap: got %v", got)
+	}
+}
+
+func TestNearestOrdering(t *testing.T) {
+	// Items on a line east of origin at 1 km spacing.
+	var items []Item
+	for i := 0; i < 10; i++ {
+		p := geo.Offset(origin, float64(i+1)*1000, 0)
+		items = append(items, Item{ID: int64(i), Box: geo.NewMBR(p, p)})
+	}
+	tr := BulkLoad(items)
+	got := tr.Nearest(origin, 3)
+	if len(got) != 3 {
+		t.Fatalf("Nearest returned %d items, want 3", len(got))
+	}
+	for i, it := range got {
+		if it.ID != int64(i) {
+			t.Fatalf("Nearest[%d].ID = %d, want %d", i, it.ID, i)
+		}
+	}
+}
+
+func TestNearestMoreThanAvailable(t *testing.T) {
+	items := randomItems(5, 13)
+	tr := BulkLoad(items)
+	got := tr.Nearest(origin, 50)
+	if len(got) != 5 {
+		t.Fatalf("Nearest returned %d, want all 5", len(got))
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	items := randomItems(800, 14)
+	tr := BulkLoad(items)
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 30; trial++ {
+		p := geo.Offset(origin, rng.Float64()*20000, rng.Float64()*20000)
+		got := tr.Nearest(p, 5)
+		type distItem struct {
+			d  float64
+			id int64
+		}
+		all := make([]distItem, len(items))
+		for i, it := range items {
+			all[i] = distItem{it.Box.DistanceTo(p), it.ID}
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].d < all[j].d })
+		// Distances must match even if ties reorder IDs.
+		for i := 0; i < 5; i++ {
+			gd := got[i].Box.DistanceTo(p)
+			if diff := gd - all[i].d; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("trial %d: nearest[%d] dist %v, want %v", trial, i, gd, all[i].d)
+			}
+		}
+	}
+}
+
+func TestNearestWithin(t *testing.T) {
+	var items []Item
+	for i := 0; i < 10; i++ {
+		p := geo.Offset(origin, float64(i+1)*1000, 0)
+		items = append(items, Item{ID: int64(i), Box: geo.NewMBR(p, p)})
+	}
+	tr := BulkLoad(items)
+	got := tr.NearestWithin(origin, 3500, 0)
+	if len(got) != 3 {
+		t.Fatalf("NearestWithin(3500m) returned %d items, want 3", len(got))
+	}
+	got = tr.NearestWithin(origin, 3500, 2)
+	if len(got) != 2 {
+		t.Fatalf("NearestWithin limit 2 returned %d items", len(got))
+	}
+	if got := tr.NearestWithin(origin, 100, 0); len(got) != 0 {
+		t.Fatalf("NearestWithin(100m) should be empty, got %d", len(got))
+	}
+}
+
+func TestDepthGrowsLogarithmically(t *testing.T) {
+	tr := BulkLoad(randomItems(5000, 16))
+	d := tr.Depth()
+	if d < 2 || d > 6 {
+		t.Fatalf("depth %d for 5000 items looks wrong", d)
+	}
+}
+
+func TestBoundsCoverEverything(t *testing.T) {
+	items := randomItems(300, 17)
+	tr := BulkLoad(items)
+	b := tr.Bounds()
+	for _, it := range items {
+		if !b.ContainsMBR(it.Box) {
+			t.Fatalf("tree bounds do not cover item %d", it.ID)
+		}
+	}
+}
+
+func TestDuplicateBoxes(t *testing.T) {
+	// Many items sharing the exact same MBR must all be stored and found.
+	box := geo.NewMBR(origin, geo.Offset(origin, 100, 100))
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(Item{ID: int64(i), Box: box})
+	}
+	got := tr.Search(box, nil)
+	if len(got) != 100 {
+		t.Fatalf("found %d duplicates, want 100", len(got))
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}

@@ -1,0 +1,188 @@
+package stindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"streach/internal/btree"
+	"streach/internal/roadnet"
+	"streach/internal/storage"
+)
+
+// Index persistence: the time-list blobs already live in the page store
+// (a file when built over storage.FileStore); SaveMeta serializes the
+// remaining in-memory state — granularity, day range, blob tail, and the
+// handle table — so the index can be reopened without rebuilding from
+// trajectories.
+//
+// Meta format (little endian):
+//
+//	magic "STIX" | version u16 | slotSec u32 | days u32 |
+//	baseDate unix s i64 | numSegments u32 | blob tail i64 |
+//	numHandles u32 | numHandles x (offset i64, length i32)
+
+const (
+	metaMagic   = "STIX"
+	metaVersion = 1
+)
+
+// SaveMeta writes the index metadata. The page store must be flushed (or
+// the index Closed) separately for the blobs to be durable.
+func (x *Index) SaveMeta(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(metaMagic); err != nil {
+		return fmt.Errorf("stindex: write meta magic: %w", err)
+	}
+	var buf [12]byte
+	u16 := func(v uint16) error {
+		binary.LittleEndian.PutUint16(buf[:2], v)
+		_, err := bw.Write(buf[:2])
+		return err
+	}
+	u32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		_, err := bw.Write(buf[:4])
+		return err
+	}
+	u64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(buf[:8], v)
+		_, err := bw.Write(buf[:8])
+		return err
+	}
+	if err := u16(metaVersion); err != nil {
+		return err
+	}
+	if err := u32(uint32(x.slotSec)); err != nil {
+		return err
+	}
+	if err := u32(uint32(x.days)); err != nil {
+		return err
+	}
+	if err := u64(uint64(x.baseDate.Unix())); err != nil {
+		return err
+	}
+	if err := u32(uint32(x.net.NumSegments())); err != nil {
+		return err
+	}
+	if err := u64(uint64(x.blob.Tail())); err != nil {
+		return err
+	}
+	if err := u32(uint32(len(x.handles))); err != nil {
+		return err
+	}
+	for _, h := range x.handles {
+		binary.LittleEndian.PutUint64(buf[:8], uint64(h.Offset))
+		binary.LittleEndian.PutUint32(buf[8:12], uint32(h.Length))
+		if _, err := bw.Write(buf[:12]); err != nil {
+			return fmt.Errorf("stindex: write handle: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadIndex reopens a persisted index: net must be the same network it
+// was built over (the network is deterministic from its generator config
+// or its own codec), and cfg.Store must hold the original pages.
+func LoadIndex(net *roadnet.Network, cfg Config, meta io.Reader) (*Index, error) {
+	cfg = cfg.withDefaults()
+	br := bufio.NewReader(meta)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("stindex: read meta magic: %w", err)
+	}
+	if string(magic) != metaMagic {
+		return nil, fmt.Errorf("stindex: bad meta magic %q", magic)
+	}
+	var buf [12]byte
+	u16 := func() (uint16, error) {
+		if _, err := io.ReadFull(br, buf[:2]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint16(buf[:2]), nil
+	}
+	u32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:4]), nil
+	}
+	u64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, buf[:8]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:8]), nil
+	}
+	ver, err := u16()
+	if err != nil {
+		return nil, fmt.Errorf("stindex: read meta version: %w", err)
+	}
+	if ver != metaVersion {
+		return nil, fmt.Errorf("stindex: unsupported meta version %d", ver)
+	}
+	slotSec, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	days, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	baseUnix, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	numSeg, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(numSeg) != net.NumSegments() {
+		return nil, fmt.Errorf("stindex: meta built over %d segments, network has %d", numSeg, net.NumSegments())
+	}
+	tail, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	numHandles, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if slotSec == 0 || 86400%int(slotSec) != 0 {
+		return nil, fmt.Errorf("stindex: meta has invalid slot seconds %d", slotSec)
+	}
+	numSlots := 86400 / int(slotSec)
+	if int(numHandles) != numSlots*int(numSeg) {
+		return nil, fmt.Errorf("stindex: meta has %d handles, want %d", numHandles, numSlots*int(numSeg))
+	}
+
+	pool, err := storage.NewBufferPool(cfg.Store, cfg.PoolPages)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{
+		net:      net,
+		slotSec:  int(slotSec),
+		numSlots: numSlots,
+		days:     int(days),
+		baseDate: time.Unix(int64(baseUnix), 0).UTC(),
+		temporal: btree.New(),
+		pool:     pool,
+		blob:     storage.ReopenBlobFile(pool, int64(tail)),
+		handles:  make([]storage.BlobHandle, numHandles),
+	}
+	for s := 0; s < numSlots; s++ {
+		idx.temporal.Put(int64(s*int(slotSec)), int64(s))
+	}
+	for i := range idx.handles {
+		if _, err := io.ReadFull(br, buf[:12]); err != nil {
+			return nil, fmt.Errorf("stindex: read handle %d: %w", i, err)
+		}
+		idx.handles[i] = storage.BlobHandle{
+			Offset: int64(binary.LittleEndian.Uint64(buf[:8])),
+			Length: int32(binary.LittleEndian.Uint32(buf[8:12])),
+		}
+	}
+	return idx, nil
+}

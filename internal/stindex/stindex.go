@@ -1,0 +1,360 @@
+// Package stindex implements the Spatio-Temporal Index (thesis §3.2.1).
+//
+// The ST-Index has three levels:
+//
+//  1. a temporal B+tree over fixed Δt time slots of the day;
+//  2. a spatial R-tree over the re-segmented road network — the network is
+//     static, so a single R-tree is shared by every temporal leaf, exactly
+//     as the thesis observes;
+//  3. per-(segment, slot) *time lists*: for each date in the dataset, the
+//     IDs of the trajectories that traversed the segment during the slot.
+//
+// Time lists live on disk as blobs behind a buffer pool; reading one is
+// the unit of I/O the evaluation charges queries for.
+package stindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"streach/internal/btree"
+	"streach/internal/geo"
+	"streach/internal/roadnet"
+	"streach/internal/storage"
+	"streach/internal/traj"
+)
+
+// Config controls index construction.
+type Config struct {
+	// SlotSeconds is the temporal granularity Δt (default 300 s = 5 min).
+	SlotSeconds int
+	// PoolPages is the buffer pool capacity in pages (default 256).
+	PoolPages int
+	// Store is the page backend; nil means a fresh in-memory store.
+	Store storage.Store
+}
+
+func (c Config) withDefaults() Config {
+	if c.SlotSeconds <= 0 {
+		c.SlotSeconds = 300
+	}
+	if c.PoolPages <= 0 {
+		c.PoolPages = 256
+	}
+	if c.Store == nil {
+		c.Store = storage.NewMemStore()
+	}
+	return c
+}
+
+// TimeList is the decoded per-day content of one (segment, slot) entry:
+// for each day that has traffic, the sorted taxi IDs observed.
+type TimeList struct {
+	Days  []traj.Day
+	Taxis [][]traj.TaxiID // parallel to Days
+}
+
+// TaxisOn returns the taxi IDs for a day (nil when the day has none).
+func (tl *TimeList) TaxisOn(day traj.Day) []traj.TaxiID {
+	for i, d := range tl.Days {
+		if d == day {
+			return tl.Taxis[i]
+		}
+	}
+	return nil
+}
+
+// Index is the built ST-Index.
+type Index struct {
+	net      *roadnet.Network
+	slotSec  int
+	numSlots int
+	days     int
+	baseDate time.Time
+
+	temporal *btree.Tree // slot start second -> slot index
+	pool     *storage.BufferPool
+	blob     *storage.BlobFile
+	// handles[slot*numSegments + segment] locates the time list blob.
+	handles []storage.BlobHandle
+}
+
+// Build constructs the ST-Index over the dataset. Every visit contributes
+// its taxi ID to the time lists of each slot it overlaps.
+func Build(net *roadnet.Network, ds *traj.Dataset, cfg Config) (*Index, error) {
+	cfg = cfg.withDefaults()
+	if net.NumSegments() == 0 {
+		return nil, fmt.Errorf("stindex: empty network")
+	}
+	if ds.Days <= 0 {
+		return nil, fmt.Errorf("stindex: dataset has no days")
+	}
+	if 86400%cfg.SlotSeconds != 0 {
+		return nil, fmt.Errorf("stindex: slot seconds %d must divide 86400", cfg.SlotSeconds)
+	}
+	numSlots := 86400 / cfg.SlotSeconds
+	pool, err := storage.NewBufferPool(cfg.Store, cfg.PoolPages)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{
+		net:      net,
+		slotSec:  cfg.SlotSeconds,
+		numSlots: numSlots,
+		days:     ds.Days,
+		baseDate: ds.BaseDate,
+		temporal: btree.New(),
+		pool:     pool,
+		blob:     storage.NewBlobFile(pool),
+		handles:  make([]storage.BlobHandle, numSlots*net.NumSegments()),
+	}
+	for s := 0; s < numSlots; s++ {
+		idx.temporal.Put(int64(s*cfg.SlotSeconds), int64(s))
+	}
+
+	// Accumulate (slot, segment, day, taxi) tuples packed into uint64s,
+	// then sort and deduplicate. This keeps construction memory at ~8
+	// bytes per tuple, which matters for multi-million-visit datasets.
+	// Layout (high to low): slot 18b | segment 22b | day 9b | taxi 15b —
+	// sorting the packed value groups tuples exactly in the order the
+	// serializer needs.
+	if net.NumSegments() >= 1<<22 {
+		return nil, fmt.Errorf("stindex: network too large (%d segments, max %d)", net.NumSegments(), 1<<22-1)
+	}
+	if ds.Days >= 1<<9 {
+		return nil, fmt.Errorf("stindex: too many days (%d, max %d)", ds.Days, 1<<9-1)
+	}
+	var tuples []uint64
+	maxTaxi := traj.TaxiID(0)
+	for i := range ds.Matched {
+		mt := &ds.Matched[i]
+		if mt.Taxi > maxTaxi {
+			maxTaxi = mt.Taxi
+		}
+		for _, v := range mt.Visits {
+			s0 := int(v.EnterMs) / 1000 / cfg.SlotSeconds
+			s1 := int(v.ExitMs) / 1000 / cfg.SlotSeconds
+			for s := s0; s <= s1; s++ {
+				if s < 0 || s >= numSlots {
+					continue // visit ran past midnight
+				}
+				tuples = append(tuples, packTuple(s, int(v.Segment), int(mt.Day), int(mt.Taxi)))
+			}
+		}
+	}
+	if maxTaxi >= 1<<15 {
+		return nil, fmt.Errorf("stindex: taxi ID %d too large (max %d)", maxTaxi, 1<<15-1)
+	}
+	sort.Slice(tuples, func(i, j int) bool { return tuples[i] < tuples[j] })
+
+	// Serialize each (slot, segment) run to the blob file.
+	for i := 0; i < len(tuples); {
+		if i > 0 && tuples[i] == tuples[i-1] {
+			i++ // duplicate tuple
+			continue
+		}
+		slot, seg, _, _ := unpackTuple(tuples[i])
+		j := i
+		for j < len(tuples) {
+			s2, g2, _, _ := unpackTuple(tuples[j])
+			if s2 != slot || g2 != seg {
+				break
+			}
+			j++
+		}
+		blob := encodeTimeListRun(tuples[i:j])
+		h, err := idx.blob.Append(blob)
+		if err != nil {
+			return nil, fmt.Errorf("stindex: write time list: %w", err)
+		}
+		idx.handles[slot*net.NumSegments()+seg] = h
+		i = j
+	}
+	// Construction happens offline: flush, drop the cache so queries start
+	// cold, and zero the I/O counters.
+	if err := pool.Invalidate(); err != nil {
+		return nil, err
+	}
+	pool.ResetStats()
+	return idx, nil
+}
+
+// packTuple packs (slot, segment, day, taxi) so that numeric order equals
+// (slot, segment, day, taxi) lexicographic order.
+func packTuple(slot, seg, day, taxi int) uint64 {
+	return uint64(slot)<<46 | uint64(seg)<<24 | uint64(day)<<15 | uint64(taxi)
+}
+
+func unpackTuple(t uint64) (slot, seg, day, taxi int) {
+	return int(t >> 46), int(t >> 24 & (1<<22 - 1)), int(t >> 15 & (1<<9 - 1)), int(t & (1<<15 - 1))
+}
+
+// encodeTimeListRun serializes one sorted, deduplicated (slot, segment)
+// run of packed tuples as:
+//
+//	u16 numDays, then per day: u16 day, u16 count, count x u32 taxi
+func encodeTimeListRun(run []uint64) []byte {
+	// Count distinct days first.
+	numDays := 0
+	prevDay := -1
+	for i, t := range run {
+		if i > 0 && t == run[i-1] {
+			continue
+		}
+		_, _, d, _ := unpackTuple(t)
+		if d != prevDay {
+			numDays++
+			prevDay = d
+		}
+	}
+	out := make([]byte, 0, 2+len(run)*4+numDays*4)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(numDays))
+	out = append(out, tmp[:2]...)
+	i := 0
+	for i < len(run) {
+		if i > 0 && run[i] == run[i-1] {
+			i++
+			continue
+		}
+		_, _, day, _ := unpackTuple(run[i])
+		// Collect this day's distinct taxis (already sorted by packing).
+		start := len(out)
+		binary.LittleEndian.PutUint16(tmp[:2], uint16(day))
+		out = append(out, tmp[:2]...)
+		out = append(out, 0, 0) // count placeholder
+		count := 0
+		for i < len(run) {
+			if i > 0 && run[i] == run[i-1] {
+				i++
+				continue
+			}
+			_, _, d, taxi := unpackTuple(run[i])
+			if d != day {
+				break
+			}
+			binary.LittleEndian.PutUint32(tmp[:4], uint32(taxi))
+			out = append(out, tmp[:4]...)
+			count++
+			i++
+		}
+		binary.LittleEndian.PutUint16(out[start+2:start+4], uint16(count))
+	}
+	return out
+}
+
+func decodeTimeList(blob []byte) (*TimeList, error) {
+	if len(blob) < 2 {
+		return &TimeList{}, nil
+	}
+	n := int(binary.LittleEndian.Uint16(blob[:2]))
+	tl := &TimeList{Days: make([]traj.Day, 0, n), Taxis: make([][]traj.TaxiID, 0, n)}
+	off := 2
+	for i := 0; i < n; i++ {
+		if off+4 > len(blob) {
+			return nil, fmt.Errorf("stindex: truncated time list header at day %d", i)
+		}
+		day := traj.Day(binary.LittleEndian.Uint16(blob[off : off+2]))
+		cnt := int(binary.LittleEndian.Uint16(blob[off+2 : off+4]))
+		off += 4
+		if off+4*cnt > len(blob) {
+			return nil, fmt.Errorf("stindex: truncated time list entries at day %d", i)
+		}
+		taxis := make([]traj.TaxiID, cnt)
+		for j := 0; j < cnt; j++ {
+			taxis[j] = traj.TaxiID(binary.LittleEndian.Uint32(blob[off : off+4]))
+			off += 4
+		}
+		tl.Days = append(tl.Days, day)
+		tl.Taxis = append(tl.Taxis, taxis)
+	}
+	return tl, nil
+}
+
+// SlotSeconds returns the temporal granularity Δt.
+func (x *Index) SlotSeconds() int { return x.slotSec }
+
+// NumSlots returns the number of slots per day.
+func (x *Index) NumSlots() int { return x.numSlots }
+
+// Days returns the number of dataset days m.
+func (x *Index) Days() int { return x.days }
+
+// BaseDate returns midnight of day 0.
+func (x *Index) BaseDate() time.Time { return x.baseDate }
+
+// Network returns the indexed road network (the shared spatial level).
+func (x *Index) Network() *roadnet.Network { return x.net }
+
+// Pool exposes the buffer pool for I/O accounting.
+func (x *Index) Pool() *storage.BufferPool { return x.pool }
+
+// SlotOf maps a time to its slot index via the temporal B+tree.
+func (x *Index) SlotOf(t time.Time) int {
+	sec := int64(traj.SecondsOfDay(x.baseDate, t))
+	_, slot, ok := x.temporal.Floor(sec)
+	if !ok {
+		return 0
+	}
+	return int(slot)
+}
+
+// DayOf maps a time to its dataset day index (may be out of range for
+// times outside the dataset).
+func (x *Index) DayOf(t time.Time) traj.Day {
+	return traj.Day(int(t.Sub(x.baseDate).Hours()) / 24)
+}
+
+// SnapLocation finds the road segment a query location lies on, using the
+// spatial R-tree (thesis: "identify the start road segment r0 in the
+// R-tree from ST-Index").
+func (x *Index) SnapLocation(p geo.Point) (roadnet.SegmentID, bool) {
+	id, _, _, ok := x.net.SnapPoint(p)
+	return id, ok
+}
+
+// TimeListAt reads the time list for (segment, slot) from disk through
+// the buffer pool. A nil TimeList with no days means no traffic.
+func (x *Index) TimeListAt(seg roadnet.SegmentID, slot int) (*TimeList, error) {
+	if slot < 0 || slot >= x.numSlots || seg < 0 || int(seg) >= x.net.NumSegments() {
+		return &TimeList{}, nil
+	}
+	h := x.handles[slot*x.net.NumSegments()+int(seg)]
+	if h.IsZero() {
+		return &TimeList{}, nil
+	}
+	blob, err := x.blob.Read(h)
+	if err != nil {
+		return nil, fmt.Errorf("stindex: read time list seg=%d slot=%d: %w", seg, slot, err)
+	}
+	return decodeTimeList(blob)
+}
+
+// DaySets returns, for (segment, slots lo..hi inclusive), the per-day taxi
+// sets merged across the slots: result[day] = set of taxis seen at seg in
+// the window. Missing days have no entry.
+func (x *Index) DaySets(seg roadnet.SegmentID, loSlot, hiSlot int) (map[traj.Day]map[traj.TaxiID]bool, error) {
+	out := map[traj.Day]map[traj.TaxiID]bool{}
+	for s := loSlot; s <= hiSlot; s++ {
+		tl, err := x.TimeListAt(seg, s)
+		if err != nil {
+			return nil, err
+		}
+		for i, d := range tl.Days {
+			set := out[d]
+			if set == nil {
+				set = map[traj.TaxiID]bool{}
+				out[d] = set
+			}
+			for _, t := range tl.Taxis[i] {
+				set[t] = true
+			}
+		}
+	}
+	return out, nil
+}
+
+// Close flushes and closes the underlying storage.
+func (x *Index) Close() error { return x.pool.Close() }

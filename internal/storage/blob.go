@@ -1,0 +1,122 @@
+package storage
+
+import (
+	"fmt"
+)
+
+// BlobHandle locates a variable-length record inside the page space of a
+// store: a byte offset from page 0 and a length. Blobs may span pages.
+type BlobHandle struct {
+	Offset int64
+	Length int32
+}
+
+// IsZero reports whether the handle is the zero value (no blob).
+func (h BlobHandle) IsZero() bool { return h.Offset == 0 && h.Length == 0 }
+
+// BlobFile lays variable-length records sequentially across the pages of a
+// buffer pool. Writers append; readers fetch by handle. This is how the
+// ST-Index persists its per-(segment, slot) time lists: each list is one
+// blob, and reading it costs ceil(len/PageSize) buffered page reads — the
+// unit of I/O the evaluation counts.
+type BlobFile struct {
+	pool *BufferPool
+	// tail is the next free byte offset.
+	tail int64
+}
+
+// NewBlobFile wraps the pool. Offset 0 is reserved so that the zero
+// BlobHandle can mean "absent"; a fresh file starts writing at byte 1.
+func NewBlobFile(pool *BufferPool) *BlobFile {
+	return &BlobFile{pool: pool, tail: 1}
+}
+
+// ReopenBlobFile wraps a pool whose pages already hold blobs, resuming
+// appends at the given tail offset (as returned by Tail).
+func ReopenBlobFile(pool *BufferPool, tail int64) *BlobFile {
+	if tail < 1 {
+		tail = 1
+	}
+	return &BlobFile{pool: pool, tail: tail}
+}
+
+// Tail returns the next free byte offset; persist it alongside the data to
+// reopen the file later.
+func (f *BlobFile) Tail() int64 { return f.tail }
+
+// Pool exposes the underlying buffer pool (for stats).
+func (f *BlobFile) Pool() *BufferPool { return f.pool }
+
+// Append writes data as a new blob and returns its handle.
+func (f *BlobFile) Append(data []byte) (BlobHandle, error) {
+	h := BlobHandle{Offset: f.tail, Length: int32(len(data))}
+	if len(data) == 0 {
+		return h, nil
+	}
+	if err := f.writeAt(f.tail, data); err != nil {
+		return BlobHandle{}, err
+	}
+	f.tail += int64(len(data))
+	return h, nil
+}
+
+// Read returns the blob's contents.
+func (f *BlobFile) Read(h BlobHandle) ([]byte, error) {
+	if h.Length < 0 {
+		return nil, fmt.Errorf("storage: negative blob length %d", h.Length)
+	}
+	if h.Length == 0 {
+		return nil, nil
+	}
+	out := make([]byte, h.Length)
+	if err := f.readAt(h.Offset, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (f *BlobFile) writeAt(off int64, data []byte) error {
+	for len(data) > 0 {
+		pid := PageID(off / PageSize)
+		inPage := int(off % PageSize)
+		n := PageSize - inPage
+		if n > len(data) {
+			n = len(data)
+		}
+		for pid >= PageID(f.pool.NumPages()) {
+			if _, err := f.pool.Allocate(); err != nil {
+				return err
+			}
+		}
+		page, err := f.pool.GetPage(pid)
+		if err != nil {
+			return err
+		}
+		copy(page[inPage:inPage+n], data[:n])
+		if err := f.pool.WritePage(pid, page); err != nil {
+			return err
+		}
+		off += int64(n)
+		data = data[n:]
+	}
+	return nil
+}
+
+func (f *BlobFile) readAt(off int64, out []byte) error {
+	for len(out) > 0 {
+		pid := PageID(off / PageSize)
+		inPage := int(off % PageSize)
+		n := PageSize - inPage
+		if n > len(out) {
+			n = len(out)
+		}
+		page, err := f.pool.GetPage(pid)
+		if err != nil {
+			return err
+		}
+		copy(out[:n], page[inPage:inPage+n])
+		off += int64(n)
+		out = out[n:]
+	}
+	return nil
+}

@@ -1,0 +1,201 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// IOStats counts page-level activity through a BufferPool. Reads are the
+// physical reads the paper's evaluation charges queries for; Hits are
+// requests served from memory.
+type IOStats struct {
+	Reads     int64 // physical page reads from the backend
+	Writes    int64 // physical page writes to the backend
+	Hits      int64 // GetPage served from the pool
+	Misses    int64 // GetPage that had to read from the backend
+	Evictions int64 // pages dropped (after flush when dirty)
+}
+
+// Sub returns the delta s - o, used to attribute I/O to one query.
+func (s IOStats) Sub(o IOStats) IOStats {
+	return IOStats{
+		Reads:     s.Reads - o.Reads,
+		Writes:    s.Writes - o.Writes,
+		Hits:      s.Hits - o.Hits,
+		Misses:    s.Misses - o.Misses,
+		Evictions: s.Evictions - o.Evictions,
+	}
+}
+
+// String implements fmt.Stringer.
+func (s IOStats) String() string {
+	return fmt.Sprintf("reads=%d writes=%d hits=%d misses=%d evictions=%d",
+		s.Reads, s.Writes, s.Hits, s.Misses, s.Evictions)
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+}
+
+// BufferPool is an LRU page cache over a Store. It is safe for concurrent
+// use. Capacity is in pages.
+type BufferPool struct {
+	mu       sync.Mutex
+	store    Store
+	capacity int
+	lru      *list.List               // of *frame, front = most recent
+	frames   map[PageID]*list.Element // page -> lru element
+	stats    IOStats
+}
+
+// NewBufferPool wraps store with an LRU pool of the given page capacity.
+func NewBufferPool(store Store, capacity int) (*BufferPool, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("storage: buffer pool capacity must be >= 1, got %d", capacity)
+	}
+	return &BufferPool{
+		store:    store,
+		capacity: capacity,
+		lru:      list.New(),
+		frames:   map[PageID]*list.Element{},
+	}, nil
+}
+
+// Allocate creates a new zeroed page in the backend.
+func (bp *BufferPool) Allocate() (PageID, error) { return bp.store.Allocate() }
+
+// NumPages reports the backend's allocated page count.
+func (bp *BufferPool) NumPages() int64 { return bp.store.NumPages() }
+
+// Stats returns a snapshot of the pool's I/O counters.
+func (bp *BufferPool) Stats() IOStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// ResetStats zeroes the I/O counters (pool contents are untouched).
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats = IOStats{}
+}
+
+// GetPage returns the contents of the page, reading through the cache.
+// The returned slice is a copy; mutate it via WritePage.
+func (bp *BufferPool) GetPage(id PageID) ([]byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if el, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		bp.lru.MoveToFront(el)
+		fr := el.Value.(*frame)
+		out := make([]byte, PageSize)
+		copy(out, fr.data)
+		return out, nil
+	}
+	bp.stats.Misses++
+	bp.stats.Reads++
+	data := make([]byte, PageSize)
+	if err := bp.store.ReadPage(id, data); err != nil {
+		return nil, err
+	}
+	if err := bp.admit(&frame{id: id, data: data}); err != nil {
+		return nil, err
+	}
+	out := make([]byte, PageSize)
+	copy(out, data)
+	return out, nil
+}
+
+// WritePage stores new contents for the page through the cache
+// (write-back: the backend is updated on eviction or Flush).
+func (bp *BufferPool) WritePage(id PageID, data []byte) error {
+	if len(data) != PageSize {
+		return fmt.Errorf("storage: WritePage needs exactly %d bytes, got %d", PageSize, len(data))
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if el, ok := bp.frames[id]; ok {
+		fr := el.Value.(*frame)
+		copy(fr.data, data)
+		fr.dirty = true
+		bp.lru.MoveToFront(el)
+		return nil
+	}
+	buf := make([]byte, PageSize)
+	copy(buf, data)
+	return bp.admit(&frame{id: id, data: buf, dirty: true})
+}
+
+// admit inserts fr, evicting the LRU frame when over capacity.
+// Caller holds bp.mu.
+func (bp *BufferPool) admit(fr *frame) error {
+	bp.frames[fr.id] = bp.lru.PushFront(fr)
+	for bp.lru.Len() > bp.capacity {
+		tail := bp.lru.Back()
+		victim := tail.Value.(*frame)
+		if victim.dirty {
+			bp.stats.Writes++
+			if err := bp.store.WritePage(victim.id, victim.data); err != nil {
+				return fmt.Errorf("storage: evict page %d: %w", victim.id, err)
+			}
+		}
+		bp.stats.Evictions++
+		bp.lru.Remove(tail)
+		delete(bp.frames, victim.id)
+	}
+	return nil
+}
+
+// Flush writes every dirty page back to the backend, keeping the cache.
+func (bp *BufferPool) Flush() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for el := bp.lru.Front(); el != nil; el = el.Next() {
+		fr := el.Value.(*frame)
+		if !fr.dirty {
+			continue
+		}
+		bp.stats.Writes++
+		if err := bp.store.WritePage(fr.id, fr.data); err != nil {
+			return fmt.Errorf("storage: flush page %d: %w", fr.id, err)
+		}
+		fr.dirty = false
+	}
+	return nil
+}
+
+// Invalidate drops every cached page (flushing dirty ones first). Used by
+// experiments to measure cold-cache behaviour.
+func (bp *BufferPool) Invalidate() error {
+	if err := bp.Flush(); err != nil {
+		return err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.lru.Init()
+	bp.frames = map[PageID]*list.Element{}
+	return nil
+}
+
+// Len returns the number of cached pages.
+func (bp *BufferPool) Len() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.lru.Len()
+}
+
+// Capacity returns the pool capacity in pages.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// Close flushes and closes the backend store.
+func (bp *BufferPool) Close() error {
+	if err := bp.Flush(); err != nil {
+		return err
+	}
+	return bp.store.Close()
+}

@@ -1,0 +1,182 @@
+package traj
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Binary dataset format (little endian):
+//
+//	magic "STRJ" | version u16 | baseDate unix s i64 | days u32 | ntraj u32
+//	per trajectory: taxi i32 | day i16 | nvisits u32
+//	per visit: segment i32 | enter day-ms u32 | exit day-ms u32 | speed f32
+const (
+	codecMagic   = "STRJ"
+	codecVersion = 2
+)
+
+// WriteDataset encodes ds to w.
+func WriteDataset(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return fmt.Errorf("traj: write magic: %w", err)
+	}
+	var scratch [8]byte
+	writeU16 := func(v uint16) error {
+		binary.LittleEndian.PutUint16(scratch[:2], v)
+		_, err := bw.Write(scratch[:2])
+		return err
+	}
+	writeU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	writeU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		_, err := bw.Write(scratch[:8])
+		return err
+	}
+	if err := writeU16(codecVersion); err != nil {
+		return fmt.Errorf("traj: write version: %w", err)
+	}
+	if err := writeU64(uint64(ds.BaseDate.Unix())); err != nil {
+		return fmt.Errorf("traj: write base date: %w", err)
+	}
+	if err := writeU32(uint32(ds.Days)); err != nil {
+		return fmt.Errorf("traj: write days: %w", err)
+	}
+	if err := writeU32(uint32(len(ds.Matched))); err != nil {
+		return fmt.Errorf("traj: write count: %w", err)
+	}
+	for i := range ds.Matched {
+		mt := &ds.Matched[i]
+		if err := writeU32(uint32(mt.Taxi)); err != nil {
+			return err
+		}
+		if err := writeU16(uint16(mt.Day)); err != nil {
+			return err
+		}
+		if err := writeU32(uint32(len(mt.Visits))); err != nil {
+			return err
+		}
+		for _, v := range mt.Visits {
+			if err := writeU32(uint32(v.Segment)); err != nil {
+				return err
+			}
+			if err := writeU32(uint32(v.EnterMs)); err != nil {
+				return err
+			}
+			if err := writeU32(uint32(v.ExitMs)); err != nil {
+				return err
+			}
+			if err := writeU32(floatBits(float64(v.Speed))); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDataset decodes a dataset from r.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("traj: read magic: %w", err)
+	}
+	if string(magic) != codecMagic {
+		return nil, fmt.Errorf("traj: bad magic %q", magic)
+	}
+	var scratch [8]byte
+	readU16 := func() (uint16, error) {
+		if _, err := io.ReadFull(br, scratch[:2]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint16(scratch[:2]), nil
+	}
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	readU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:8]), nil
+	}
+	ver, err := readU16()
+	if err != nil {
+		return nil, fmt.Errorf("traj: read version: %w", err)
+	}
+	if ver != codecVersion {
+		return nil, fmt.Errorf("traj: unsupported version %d", ver)
+	}
+	baseUnix, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("traj: read base date: %w", err)
+	}
+	days, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("traj: read days: %w", err)
+	}
+	count, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("traj: read count: %w", err)
+	}
+	ds := &Dataset{
+		BaseDate: time.Unix(int64(baseUnix), 0).UTC(),
+		Days:     int(days),
+		Matched:  make([]MatchedTrajectory, 0, count),
+	}
+	for i := uint32(0); i < count; i++ {
+		taxi, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("traj: trajectory %d: %w", i, err)
+		}
+		day, err := readU16()
+		if err != nil {
+			return nil, fmt.Errorf("traj: trajectory %d: %w", i, err)
+		}
+		nv, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("traj: trajectory %d: %w", i, err)
+		}
+		mt := MatchedTrajectory{
+			Taxi:   TaxiID(taxi),
+			Day:    Day(day),
+			Visits: make([]Visit, nv),
+		}
+		for j := uint32(0); j < nv; j++ {
+			seg, err := readU32()
+			if err != nil {
+				return nil, fmt.Errorf("traj: trajectory %d visit %d: %w", i, j, err)
+			}
+			enter, err := readU32()
+			if err != nil {
+				return nil, fmt.Errorf("traj: trajectory %d visit %d: %w", i, j, err)
+			}
+			exit, err := readU32()
+			if err != nil {
+				return nil, fmt.Errorf("traj: trajectory %d visit %d: %w", i, j, err)
+			}
+			spd, err := readU32()
+			if err != nil {
+				return nil, fmt.Errorf("traj: trajectory %d visit %d: %w", i, j, err)
+			}
+			mt.Visits[j] = Visit{
+				Segment: segID(seg),
+				EnterMs: int32(enter),
+				ExitMs:  int32(exit),
+				Speed:   float32(bitsFloat(spd)),
+			}
+		}
+		ds.Matched = append(ds.Matched, mt)
+	}
+	return ds, nil
+}

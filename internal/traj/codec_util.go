@@ -1,0 +1,11 @@
+package traj
+
+import (
+	"math"
+
+	"streach/internal/roadnet"
+)
+
+func floatBits(f float64) uint32       { return math.Float32bits(float32(f)) }
+func bitsFloat(b uint32) float64       { return float64(math.Float32frombits(b)) }
+func segID(v uint32) roadnet.SegmentID { return roadnet.SegmentID(int32(v)) }

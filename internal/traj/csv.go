@@ -1,0 +1,129 @@
+package traj
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"streach/internal/geo"
+)
+
+// CSV interchange for raw GPS records, the practical equivalent of the
+// thesis's "reads the massive trajectory data from a database". Columns
+// match the paper's five core attributes:
+//
+//	taxi_id,timestamp,lat,lng,speed
+//
+// with timestamp in RFC 3339 and speed in m/s. Records may arrive in any
+// order; ReadGPSCSV groups them into per-taxi-per-day trajectories
+// (thesis §3.1: "one moving object only has one trajectory per day") and
+// sorts each by time.
+
+// WriteGPSCSV encodes raw trajectories, one GPS record per row.
+func WriteGPSCSV(w io.Writer, trs []Trajectory) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"taxi_id", "timestamp", "lat", "lng", "speed"}); err != nil {
+		return fmt.Errorf("traj: write csv header: %w", err)
+	}
+	for i := range trs {
+		tr := &trs[i]
+		for _, p := range tr.Points {
+			rec := []string{
+				strconv.FormatInt(int64(tr.Taxi), 10),
+				p.Time.UTC().Format(time.RFC3339),
+				strconv.FormatFloat(p.Pos.Lat, 'f', 6, 64),
+				strconv.FormatFloat(p.Pos.Lng, 'f', 6, 64),
+				strconv.FormatFloat(p.Speed, 'f', 2, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("traj: write csv record: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadGPSCSV decodes raw GPS rows and groups them into trajectories.
+// baseDate fixes day 0 (records before it are rejected); rows are grouped
+// by (taxi, calendar day since baseDate) and time-sorted within a group.
+func ReadGPSCSV(r io.Reader, baseDate time.Time) ([]Trajectory, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("traj: read csv header: %w", err)
+	}
+	if header[0] != "taxi_id" {
+		return nil, fmt.Errorf("traj: unexpected csv header %v", header)
+	}
+	baseDate = baseDate.UTC().Truncate(24 * time.Hour)
+
+	type key struct {
+		taxi TaxiID
+		day  Day
+	}
+	groups := map[key][]GPSPoint{}
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("traj: csv line %d: %w", line, err)
+		}
+		taxi, err := strconv.ParseInt(rec[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("traj: csv line %d taxi_id: %w", line, err)
+		}
+		ts, err := time.Parse(time.RFC3339, rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("traj: csv line %d timestamp: %w", line, err)
+		}
+		lat, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("traj: csv line %d lat: %w", line, err)
+		}
+		lng, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("traj: csv line %d lng: %w", line, err)
+		}
+		speed, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("traj: csv line %d speed: %w", line, err)
+		}
+		p := geo.Point{Lat: lat, Lng: lng}
+		if !p.Valid() {
+			return nil, fmt.Errorf("traj: csv line %d: invalid position %v", line, p)
+		}
+		day := int(ts.UTC().Sub(baseDate).Hours()) / 24
+		if day < 0 {
+			return nil, fmt.Errorf("traj: csv line %d: timestamp %v before base date %v", line, ts, baseDate)
+		}
+		k := key{TaxiID(taxi), Day(day)}
+		groups[k] = append(groups[k], GPSPoint{Pos: p, Time: ts.UTC(), Speed: speed})
+	}
+
+	keys := make([]key, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].taxi != keys[j].taxi {
+			return keys[i].taxi < keys[j].taxi
+		}
+		return keys[i].day < keys[j].day
+	})
+	out := make([]Trajectory, 0, len(keys))
+	for _, k := range keys {
+		pts := groups[k]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].Time.Before(pts[j].Time) })
+		out = append(out, Trajectory{Taxi: k.taxi, Day: k.day, Points: pts})
+	}
+	return out, nil
+}

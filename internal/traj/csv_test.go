@@ -1,0 +1,137 @@
+package traj
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGPSCSVRoundTrip(t *testing.T) {
+	n := testNetwork(t)
+	ds := smallSim(t, n)
+	base := ds.BaseDate
+	// Synthesize raw streams for three taxi-days.
+	var raws []Trajectory
+	for i := 0; i < 3 && i < len(ds.Matched); i++ {
+		mt := &ds.Matched[i]
+		raw := RawFromMatched(n, mt, ds.DayStart(mt.Day), 30*time.Second, 10, int64(i))
+		raws = append(raws, *raw)
+	}
+	var buf bytes.Buffer
+	if err := WriteGPSCSV(&buf, raws); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGPSCSV(&buf, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(raws) {
+		t.Fatalf("round trip returned %d trajectories, want %d", len(got), len(raws))
+	}
+	// Match by (taxi, day).
+	byKey := map[[2]int]*Trajectory{}
+	for i := range got {
+		byKey[[2]int{int(got[i].Taxi), int(got[i].Day)}] = &got[i]
+	}
+	for i := range raws {
+		want := &raws[i]
+		g := byKey[[2]int{int(want.Taxi), int(want.Day)}]
+		if g == nil {
+			t.Fatalf("trajectory taxi=%d day=%d missing after round trip", want.Taxi, want.Day)
+		}
+		if len(g.Points) != len(want.Points) {
+			t.Fatalf("taxi=%d day=%d: %d points, want %d", want.Taxi, want.Day, len(g.Points), len(want.Points))
+		}
+		for j := range want.Points {
+			a, b := want.Points[j], g.Points[j]
+			if math.Abs(a.Pos.Lat-b.Pos.Lat) > 1e-5 || math.Abs(a.Pos.Lng-b.Pos.Lng) > 1e-5 {
+				t.Fatalf("point %d position drifted", j)
+			}
+			if a.Time.Unix() != b.Time.Unix() {
+				t.Fatalf("point %d time drifted: %v vs %v", j, a.Time, b.Time)
+			}
+			if math.Abs(a.Speed-b.Speed) > 0.05 {
+				t.Fatalf("point %d speed drifted", j)
+			}
+		}
+	}
+}
+
+func TestGPSCSVGroupsOutOfOrderRows(t *testing.T) {
+	base := time.Date(2014, 11, 1, 0, 0, 0, 0, time.UTC)
+	csv := `taxi_id,timestamp,lat,lng,speed
+7,2014-11-02T10:05:00Z,22.500000,114.000000,5.00
+7,2014-11-01T09:00:00Z,22.500000,114.000000,5.00
+7,2014-11-02T10:00:00Z,22.501000,114.000000,6.00
+8,2014-11-01T09:00:00Z,22.502000,114.000000,7.00
+`
+	trs, err := ReadGPSCSV(strings.NewReader(csv), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 3 { // taxi7-day0, taxi7-day1, taxi8-day0
+		t.Fatalf("got %d trajectories, want 3", len(trs))
+	}
+	// taxi 7 day 1 must be time-sorted despite reversed input.
+	var t7d1 *Trajectory
+	for i := range trs {
+		if trs[i].Taxi == 7 && trs[i].Day == 1 {
+			t7d1 = &trs[i]
+		}
+	}
+	if t7d1 == nil || len(t7d1.Points) != 2 {
+		t.Fatalf("taxi7/day1 grouping wrong: %+v", trs)
+	}
+	if !t7d1.Points[0].Time.Before(t7d1.Points[1].Time) {
+		t.Fatal("points not sorted by time")
+	}
+	if err := t7d1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGPSCSVRejectsBadInput(t *testing.T) {
+	base := time.Date(2014, 11, 1, 0, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		csv  string
+	}{
+		{"bad header", "nope,b,c,d,e\n"},
+		{"bad taxi", "taxi_id,timestamp,lat,lng,speed\nX,2014-11-01T00:00:00Z,22,114,5\n"},
+		{"bad time", "taxi_id,timestamp,lat,lng,speed\n1,yesterday,22,114,5\n"},
+		{"bad lat", "taxi_id,timestamp,lat,lng,speed\n1,2014-11-01T00:00:00Z,heaps,114,5\n"},
+		{"invalid position", "taxi_id,timestamp,lat,lng,speed\n1,2014-11-01T00:00:00Z,99,114,5\n"},
+		{"before base", "taxi_id,timestamp,lat,lng,speed\n1,2013-01-01T00:00:00Z,22,114,5\n"},
+		{"wrong fields", "taxi_id,timestamp,lat,lng,speed\n1,2014-11-01T00:00:00Z,22,114\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadGPSCSV(strings.NewReader(c.csv), base); err == nil {
+			t.Fatalf("%s should error", c.name)
+		}
+	}
+}
+
+func TestGPSCSVThroughMapMatcherShape(t *testing.T) {
+	// End-to-end raw pipeline shape check: CSV rows in, trajectories
+	// grouped per day, ready for the matcher (the matcher itself is
+	// exercised in internal/mapmatch).
+	base := time.Date(2014, 11, 1, 0, 0, 0, 0, time.UTC)
+	var b strings.Builder
+	b.WriteString("taxi_id,timestamp,lat,lng,speed\n")
+	for i := 0; i < 10; i++ {
+		b.WriteString("3,2014-11-01T08:00:")
+		if i < 10 {
+			b.WriteString("0")
+		}
+		b.WriteString(string(rune('0'+i)) + "Z,22.500000,114.000000,4.00\n")
+	}
+	trs, err := ReadGPSCSV(strings.NewReader(b.String()), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 1 || len(trs[0].Points) != 10 {
+		t.Fatalf("pipeline grouping wrong: %d trajectories", len(trs))
+	}
+}

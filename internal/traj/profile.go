@@ -1,0 +1,69 @@
+package traj
+
+import "math"
+
+// SpeedProfile maps a time of day to a congestion multiplier in (0, 1].
+// The reachability results in the paper's Fig 4.5/4.6 depend on traffic
+// slowing down in rush hours; the default profile reproduces that shape
+// with morning (~07:30) and evening (~18:00) congestion troughs.
+type SpeedProfile struct {
+	// Troughs are the congested periods.
+	Troughs []Trough
+	// NightBoost adds free-flow headroom in the small hours.
+	NightBoost float64
+}
+
+// Trough is one congestion dip: at CenterSec the multiplier drops by
+// Depth, decaying as a Gaussian with the given width.
+type Trough struct {
+	CenterSec float64 // seconds since midnight
+	Depth     float64 // in (0,1): 0.55 means speeds drop to 45% at the centre
+	WidthSec  float64 // Gaussian sigma
+}
+
+// DefaultSpeedProfile models a metropolis with two rush hours.
+func DefaultSpeedProfile() SpeedProfile {
+	return SpeedProfile{
+		Troughs: []Trough{
+			{CenterSec: 7.5 * 3600, Depth: 0.55, WidthSec: 4500},
+			{CenterSec: 18 * 3600, Depth: 0.60, WidthSec: 5400},
+		},
+		NightBoost: 0.10,
+	}
+}
+
+// FlatSpeedProfile always returns 1.0; used by tests that need
+// time-invariant behaviour.
+func FlatSpeedProfile() SpeedProfile { return SpeedProfile{} }
+
+// Factor returns the congestion multiplier at secOfDay seconds after
+// midnight. The result is clamped to [0.05, 1+NightBoost].
+func (p SpeedProfile) Factor(secOfDay float64) float64 {
+	secOfDay = math.Mod(secOfDay, 86400)
+	if secOfDay < 0 {
+		secOfDay += 86400
+	}
+	f := 1.0
+	for _, tr := range p.Troughs {
+		// Evaluate the trough and its day-wrapped copies so a trough near
+		// midnight affects both ends of the day.
+		for _, c := range []float64{tr.CenterSec - 86400, tr.CenterSec, tr.CenterSec + 86400} {
+			d := secOfDay - c
+			f -= tr.Depth * math.Exp(-d*d/(2*tr.WidthSec*tr.WidthSec))
+		}
+	}
+	if p.NightBoost > 0 {
+		// Peak boost at 03:00, fading over ~3 hours.
+		for _, c := range []float64{3*3600 - 86400, 3 * 3600, 3*3600 + 86400} {
+			d := secOfDay - c
+			f += p.NightBoost * math.Exp(-d*d/(2*10800.0*10800.0))
+		}
+	}
+	if f < 0.05 {
+		f = 0.05
+	}
+	if max := 1 + p.NightBoost; f > max {
+		f = max
+	}
+	return f
+}

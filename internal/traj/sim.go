@@ -1,0 +1,242 @@
+package traj
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"streach/internal/geo"
+	"streach/internal/roadnet"
+)
+
+// SimConfig controls the synthetic taxi-fleet simulator.
+type SimConfig struct {
+	// Taxis is the fleet size.
+	Taxis int
+	// Days is how many consecutive days to simulate.
+	Days int
+	// BaseDate is midnight of day 0. Zero means 2014-11-01 UTC, matching
+	// the paper's November 2014 collection window.
+	BaseDate time.Time
+	// Profile is the time-of-day congestion model.
+	Profile SpeedProfile
+	// Seed drives all randomness.
+	Seed int64
+	// MeanTripMinutes is the average trip duration (exponential).
+	MeanTripMinutes float64
+	// MeanIdleMinutes is the average idle gap between trips (exponential).
+	MeanIdleMinutes float64
+	// ActiveStartSec/ActiveEndSec bound each taxi's shift within the day.
+	// Zero values mean the full day.
+	ActiveStartSec, ActiveEndSec int
+	// DaySpeedJitter scales each day's overall speed by U(1-j, 1+j),
+	// creating the day-to-day variation that Prob-reachability measures.
+	DaySpeedJitter float64
+	// CenterAttraction in [0, ~2] biases route choice towards the city
+	// centre, concentrating traffic downtown the way real fleets do
+	// (default 0.6). Zero disables the bias.
+	CenterAttraction float64
+}
+
+// DefaultSimConfig returns a laptop-scale stand-in for the Shenzhen fleet.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{
+		Taxis:            250,
+		Days:             30,
+		Profile:          DefaultSpeedProfile(),
+		Seed:             1,
+		MeanTripMinutes:  18,
+		MeanIdleMinutes:  6,
+		DaySpeedJitter:   0.15,
+		CenterAttraction: 0.6,
+	}
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.BaseDate.IsZero() {
+		c.BaseDate = time.Date(2014, 11, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.MeanTripMinutes <= 0 {
+		c.MeanTripMinutes = 18
+	}
+	if c.MeanIdleMinutes <= 0 {
+		c.MeanIdleMinutes = 6
+	}
+	if c.ActiveEndSec <= c.ActiveStartSec {
+		c.ActiveStartSec, c.ActiveEndSec = 0, 86400
+	}
+	if c.CenterAttraction == 0 {
+		c.CenterAttraction = 0.6
+	}
+	if c.CenterAttraction < 0 {
+		c.CenterAttraction = 0
+	}
+	return c
+}
+
+// Simulate drives a fleet of taxis over the network and returns their
+// map-matched trajectories. Taxis perform trips as speed-biased random
+// walks (highways preferred on through-travel), with per-segment speeds
+// set by road class, the time-of-day congestion profile, a per-day
+// multiplier, and per-taxi noise. The output is deterministic for a given
+// config.
+func Simulate(n *roadnet.Network, cfg SimConfig) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Taxis <= 0 || cfg.Days <= 0 {
+		return nil, fmt.Errorf("traj: need positive Taxis and Days, got %d and %d", cfg.Taxis, cfg.Days)
+	}
+	if n.NumSegments() == 0 {
+		return nil, fmt.Errorf("traj: cannot simulate on an empty network")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Per-day speed multipliers.
+	dayFactor := make([]float64, cfg.Days)
+	for d := range dayFactor {
+		dayFactor[d] = 1 + (rng.Float64()*2-1)*cfg.DaySpeedJitter
+	}
+
+	// Precompute each segment's distance to the city centre for the
+	// route-choice attraction bias.
+	center := n.Bounds().Center()
+	centerDist := make([]float64, n.NumSegments())
+	for i := 0; i < n.NumSegments(); i++ {
+		centerDist[i] = geo.Distance(n.Segment(roadnet.SegmentID(i)).Midpoint(), center)
+	}
+
+	ds := &Dataset{BaseDate: cfg.BaseDate, Days: cfg.Days}
+	for taxi := 0; taxi < cfg.Taxis; taxi++ {
+		taxiJitter := 0.9 + rng.Float64()*0.2
+		for day := 0; day < cfg.Days; day++ {
+			mt := simulateTaxiDay(n, cfg, rng, centerDist, TaxiID(taxi), Day(day), dayFactor[day]*taxiJitter)
+			if len(mt.Visits) > 0 {
+				ds.Matched = append(ds.Matched, mt)
+			}
+		}
+	}
+	return ds, nil
+}
+
+// segmentSpeed returns the instantaneous speed on seg at secOfDay.
+func segmentSpeed(n *roadnet.Network, profile SpeedProfile, seg roadnet.SegmentID, secOfDay, mult float64) float64 {
+	base := n.Segment(seg).Class.FreeFlowSpeed()
+	v := base * profile.Factor(secOfDay) * mult
+	if v < 0.5 {
+		v = 0.5
+	}
+	return v
+}
+
+func simulateTaxiDay(n *roadnet.Network, cfg SimConfig, rng *rand.Rand, centerDist []float64, taxi TaxiID, day Day, mult float64) MatchedTrajectory {
+	mt := MatchedTrajectory{Taxi: taxi, Day: day}
+	// Shift start spreads taxis across the first hour of the window.
+	sec := float64(cfg.ActiveStartSec) + rng.Float64()*3600
+	end := float64(cfg.ActiveEndSec)
+	cur := roadnet.SegmentID(rng.Intn(n.NumSegments()))
+
+	for sec < end {
+		tripDur := rng.ExpFloat64() * cfg.MeanTripMinutes * 60
+		if tripDur < 120 {
+			tripDur = 120
+		}
+		tripEnd := sec + tripDur
+		for sec < tripEnd && sec < end {
+			// Per-visit noise models lights, stops and micro-congestion:
+			// most visits near nominal speed, occasional crawls.
+			noise := 0.6 + rng.Float64()*0.65 // U(0.6, 1.25)
+			if rng.Float64() < 0.06 {
+				noise *= 0.35 // stuck behind a light or pickup
+			}
+			speed := segmentSpeed(n, cfg.Profile, cur, sec, mult) * noise
+			dt := n.Segment(cur).Length / speed
+			mt.Visits = append(mt.Visits, Visit{
+				Segment: cur,
+				EnterMs: int32(sec * 1000),
+				ExitMs:  int32((sec + dt) * 1000),
+				Speed:   float32(speed),
+			})
+			sec += dt
+			next, ok := pickNext(n, rng, cfg, centerDist, cur)
+			if !ok {
+				break
+			}
+			cur = next
+		}
+		// Idle between trips; next trip starts wherever this one ended.
+		sec += rng.ExpFloat64() * cfg.MeanIdleMinutes * 60
+	}
+	return mt
+}
+
+// pickNext chooses the next segment from cur's successors, weighted by
+// free-flow speed so highways carry through-traffic, and by the centre
+// attraction so the fleet concentrates downtown. U-turns onto the twin
+// are only taken at dead ends.
+func pickNext(n *roadnet.Network, rng *rand.Rand, cfg SimConfig, centerDist []float64, cur roadnet.SegmentID) (roadnet.SegmentID, bool) {
+	out := n.Outgoing(cur)
+	if len(out) == 0 {
+		return 0, false
+	}
+	rev := n.Segment(cur).Reverse
+	var total float64
+	weights := make([]float64, len(out))
+	for i, s := range out {
+		if s == rev && len(out) > 1 {
+			continue
+		}
+		w := n.Segment(s).Class.FreeFlowSpeed()
+		if centerDist[s] < centerDist[cur] {
+			w *= 1 + cfg.CenterAttraction
+		}
+		weights[i] = w
+		total += w
+	}
+	if total == 0 {
+		return out[0], true
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		if r < w {
+			return out[i], true
+		}
+		r -= w
+	}
+	return out[len(out)-1], true
+}
+
+// RawFromMatched synthesizes the raw GPS record stream a taxi's device
+// would have produced for a matched trajectory: samples every interval
+// along the segment shapes, with isotropic Gaussian position noise of the
+// given sigma in metres. Used to exercise the map-matching stage.
+// RawFromMatched needs absolute timestamps, so the caller supplies the
+// day's midnight (e.g. Dataset.DayStart(mt.Day)).
+func RawFromMatched(n *roadnet.Network, mt *MatchedTrajectory, dayStart time.Time, interval time.Duration, noiseMeters float64, seed int64) *Trajectory {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trajectory{Taxi: mt.Taxi, Day: mt.Day}
+	if len(mt.Visits) == 0 {
+		return tr
+	}
+	next := mt.Visits[0].Enter(dayStart)
+	for _, v := range mt.Visits {
+		seg := n.Segment(v.Segment)
+		enter, exit := v.Enter(dayStart), v.Exit(dayStart)
+		dur := exit.Sub(enter)
+		if dur <= 0 {
+			continue
+		}
+		for !next.After(exit) {
+			if next.Before(enter) {
+				next = enter
+			}
+			frac := float64(next.Sub(enter)) / float64(dur)
+			pos := seg.Shape.PointAt(frac * seg.Length)
+			pos = geo.Offset(pos, rng.NormFloat64()*noiseMeters, rng.NormFloat64()*noiseMeters)
+			tr.Points = append(tr.Points, GPSPoint{Pos: pos, Time: next, Speed: float64(v.Speed)})
+			next = next.Add(interval)
+		}
+	}
+	return tr
+}

@@ -1,0 +1,146 @@
+// Package traj defines the trajectory data model and the synthetic
+// taxi-fleet simulator that stands in for the paper's 194 GB Shenzhen GPS
+// dataset (DESIGN.md §2).
+//
+// Terminology follows the thesis: a GPS record carries (trajectory ID,
+// longitude, latitude, speed, time); one moving object produces one
+// trajectory per day, and the same taxi on different dates counts as
+// different trajectories when computing reachability probabilities.
+package traj
+
+import (
+	"fmt"
+	"time"
+
+	"streach/internal/geo"
+	"streach/internal/roadnet"
+)
+
+// TaxiID identifies a vehicle across days.
+type TaxiID int32
+
+// Day is a zero-based day index within the dataset.
+type Day int16
+
+// GPSPoint is one raw GPS record.
+type GPSPoint struct {
+	Pos   geo.Point
+	Time  time.Time
+	Speed float64 // instantaneous speed, m/s
+}
+
+// Trajectory is one taxi's raw GPS sequence for one day, ordered by time.
+type Trajectory struct {
+	Taxi   TaxiID
+	Day    Day
+	Points []GPSPoint
+}
+
+// Validate checks ordering and coordinate sanity.
+func (tr *Trajectory) Validate() error {
+	for i, p := range tr.Points {
+		if !p.Pos.Valid() {
+			return fmt.Errorf("traj: taxi %d day %d point %d has invalid position %v", tr.Taxi, tr.Day, i, p.Pos)
+		}
+		if i > 0 && p.Time.Before(tr.Points[i-1].Time) {
+			return fmt.Errorf("traj: taxi %d day %d point %d goes back in time", tr.Taxi, tr.Day, i)
+		}
+	}
+	return nil
+}
+
+// Visit is one map-matched traversal: the taxi occupied Segment from
+// EnterMs to ExitMs (milliseconds since the trajectory's day midnight)
+// travelling at Speed m/s on average. The compact 16-byte layout matters:
+// datasets hold tens of millions of visits.
+type Visit struct {
+	Segment roadnet.SegmentID
+	EnterMs int32
+	ExitMs  int32
+	Speed   float32
+}
+
+// Enter returns the absolute entry time given the day's midnight.
+func (v Visit) Enter(dayStart time.Time) time.Time {
+	return dayStart.Add(time.Duration(v.EnterMs) * time.Millisecond)
+}
+
+// Exit returns the absolute exit time given the day's midnight.
+func (v Visit) Exit(dayStart time.Time) time.Time {
+	return dayStart.Add(time.Duration(v.ExitMs) * time.Millisecond)
+}
+
+// EnterSec returns the entry time in seconds since the day's midnight.
+func (v Visit) EnterSec() float64 { return float64(v.EnterMs) / 1000 }
+
+// ExitSec returns the exit time in seconds since the day's midnight.
+func (v Visit) ExitSec() float64 { return float64(v.ExitMs) / 1000 }
+
+// MatchedTrajectory is a trajectory projected onto the road network: an
+// ordered, connected sequence of segment visits. This is the form the
+// index builders consume.
+type MatchedTrajectory struct {
+	Taxi   TaxiID
+	Day    Day
+	Visits []Visit
+}
+
+// Validate checks temporal ordering of visits.
+func (mt *MatchedTrajectory) Validate() error {
+	for i, v := range mt.Visits {
+		if v.ExitMs < v.EnterMs {
+			return fmt.Errorf("traj: taxi %d day %d visit %d exits before entering", mt.Taxi, mt.Day, i)
+		}
+		if i > 0 && v.EnterMs < mt.Visits[i-1].EnterMs {
+			return fmt.Errorf("traj: taxi %d day %d visit %d out of order", mt.Taxi, mt.Day, i)
+		}
+	}
+	return nil
+}
+
+// Dataset bundles the matched trajectories of a fleet over several days,
+// as produced by the simulator or the map-matching stage.
+type Dataset struct {
+	// BaseDate is midnight of day 0 (all days are consecutive).
+	BaseDate time.Time
+	// Days is the number of days covered.
+	Days int
+	// Matched holds every matched taxi-day trajectory.
+	Matched []MatchedTrajectory
+}
+
+// Stats summarises a dataset for Table 4.1-style reporting.
+type DatasetStats struct {
+	Taxis        int
+	Days         int
+	Trajectories int
+	Visits       int
+	GPSEquiv     int // visits are the matched form; raw points ~= visits * (segment time / sampling)
+}
+
+// Stats computes dataset statistics.
+func (d *Dataset) Stats() DatasetStats {
+	taxis := map[TaxiID]bool{}
+	visits := 0
+	for i := range d.Matched {
+		taxis[d.Matched[i].Taxi] = true
+		visits += len(d.Matched[i].Visits)
+	}
+	return DatasetStats{
+		Taxis:        len(taxis),
+		Days:         d.Days,
+		Trajectories: len(d.Matched),
+		Visits:       visits,
+	}
+}
+
+// DayStart returns midnight of day d.
+func (d *Dataset) DayStart(day Day) time.Time {
+	return d.BaseDate.AddDate(0, 0, int(day))
+}
+
+// SecondsOfDay returns t's offset from its day's midnight in seconds,
+// relative to base.
+func SecondsOfDay(base, t time.Time) int {
+	return int(t.Sub(base).Seconds()) % 86400
+}

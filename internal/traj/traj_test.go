@@ -1,0 +1,366 @@
+package traj
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"streach/internal/geo"
+	"streach/internal/roadnet"
+)
+
+func testNetwork(t *testing.T) *roadnet.Network {
+	t.Helper()
+	n, err := roadnet.Generate(roadnet.GenerateConfig{
+		Origin:        geo.Point{Lat: 22.5, Lng: 114.0},
+		Rows:          6,
+		Cols:          6,
+		SpacingMeters: 800,
+		LocalFraction: 0.4,
+		Seed:          2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func smallSim(t *testing.T, n *roadnet.Network) *Dataset {
+	t.Helper()
+	ds, err := Simulate(n, SimConfig{
+		Taxis:          10,
+		Days:           5,
+		Profile:        DefaultSpeedProfile(),
+		Seed:           3,
+		ActiveStartSec: 8 * 3600,
+		ActiveEndSec:   12 * 3600,
+		DaySpeedJitter: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestSimulateProducesValidTrajectories(t *testing.T) {
+	n := testNetwork(t)
+	ds := smallSim(t, n)
+	if len(ds.Matched) == 0 {
+		t.Fatal("no trajectories simulated")
+	}
+	for i := range ds.Matched {
+		mt := &ds.Matched[i]
+		if err := mt.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range mt.Visits {
+			if v.Segment < 0 || int(v.Segment) >= n.NumSegments() {
+				t.Fatalf("visit references segment %d outside network", v.Segment)
+			}
+			if v.Speed <= 0 {
+				t.Fatalf("non-positive speed %v", v.Speed)
+			}
+		}
+	}
+}
+
+func TestSimulateVisitsAreConnected(t *testing.T) {
+	n := testNetwork(t)
+	ds := smallSim(t, n)
+	for i := range ds.Matched {
+		mt := &ds.Matched[i]
+		for j := 1; j < len(mt.Visits); j++ {
+			prev, cur := mt.Visits[j-1], mt.Visits[j]
+			// Either consecutive on the network or a new trip after idling.
+			gap := cur.EnterMs - prev.ExitMs
+			if gap > 1 {
+				continue // idle gap between trips
+			}
+			connected := false
+			for _, s := range n.Outgoing(prev.Segment) {
+				if s == cur.Segment {
+					connected = true
+					break
+				}
+			}
+			if !connected {
+				t.Fatalf("taxi %d day %d: visit %d jumps from segment %d to non-adjacent %d",
+					mt.Taxi, mt.Day, j, prev.Segment, cur.Segment)
+			}
+		}
+	}
+}
+
+func TestSimulateRespectsActiveWindow(t *testing.T) {
+	n := testNetwork(t)
+	ds := smallSim(t, n)
+	for i := range ds.Matched {
+		mt := &ds.Matched[i]
+		for _, v := range mt.Visits {
+			sec := v.EnterSec()
+			if sec < 8*3600-1 {
+				t.Fatalf("visit entered at %v s, before the active window", sec)
+			}
+			// A trip may run a little past the window end but not wildly.
+			if sec > 13*3600 {
+				t.Fatalf("visit entered at %v s, far past the active window", sec)
+			}
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	n := testNetwork(t)
+	a := smallSim(t, n)
+	b := smallSim(t, n)
+	if len(a.Matched) != len(b.Matched) {
+		t.Fatal("same seed should give identical datasets")
+	}
+	for i := range a.Matched {
+		if len(a.Matched[i].Visits) != len(b.Matched[i].Visits) {
+			t.Fatalf("trajectory %d differs", i)
+		}
+	}
+}
+
+func TestSimulateRejectsBadConfig(t *testing.T) {
+	n := testNetwork(t)
+	if _, err := Simulate(n, SimConfig{Taxis: 0, Days: 5}); err == nil {
+		t.Fatal("zero taxis should error")
+	}
+	if _, err := Simulate(n, SimConfig{Taxis: 5, Days: 0}); err == nil {
+		t.Fatal("zero days should error")
+	}
+	empty := roadnet.NewBuilder().Build()
+	if _, err := Simulate(empty, SimConfig{Taxis: 1, Days: 1}); err == nil {
+		t.Fatal("empty network should error")
+	}
+}
+
+func TestRushHourSlowdown(t *testing.T) {
+	p := DefaultSpeedProfile()
+	rush := p.Factor(7.5 * 3600)
+	evening := p.Factor(18 * 3600)
+	night := p.Factor(3 * 3600)
+	noon := p.Factor(12.5 * 3600)
+	if rush >= noon || evening >= noon {
+		t.Fatalf("rush hours should be slower than midday: rush=%v evening=%v noon=%v", rush, evening, noon)
+	}
+	if night <= noon {
+		t.Fatalf("night should be at least as fast as midday: night=%v noon=%v", night, noon)
+	}
+	if rush < 0.05 || rush > 1 {
+		t.Fatalf("rush factor out of range: %v", rush)
+	}
+}
+
+func TestSpeedProfileWrapsMidnight(t *testing.T) {
+	p := DefaultSpeedProfile()
+	if math.Abs(p.Factor(0)-p.Factor(86400)) > 1e-9 {
+		t.Fatal("profile should be periodic over the day")
+	}
+	if math.Abs(p.Factor(-3600)-p.Factor(82800)) > 1e-9 {
+		t.Fatal("negative offsets should wrap")
+	}
+}
+
+func TestFlatProfileIsOne(t *testing.T) {
+	p := FlatSpeedProfile()
+	for _, s := range []float64{0, 3600, 7.5 * 3600, 43200, 86399} {
+		if p.Factor(s) != 1 {
+			t.Fatalf("flat profile at %v = %v, want 1", s, p.Factor(s))
+		}
+	}
+}
+
+func TestSimulatedSpeedsFollowProfile(t *testing.T) {
+	n := testNetwork(t)
+	// Full-day sim with a strong rush-hour dip and no day jitter.
+	ds, err := Simulate(n, SimConfig{
+		Taxis: 30, Days: 2, Profile: DefaultSpeedProfile(), Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean speed of primary-class visits at rush hour vs midday.
+	avg := func(fromSec, toSec float64) float64 {
+		var sum float64
+		var cnt int
+		for i := range ds.Matched {
+			mt := &ds.Matched[i]
+			for _, v := range mt.Visits {
+				if n.Segment(v.Segment).Class != roadnet.Primary {
+					continue
+				}
+				sec := v.EnterSec()
+				if sec >= fromSec && sec < toSec {
+					sum += float64(v.Speed)
+					cnt++
+				}
+			}
+		}
+		if cnt == 0 {
+			t.Fatalf("no visits between %v and %v", fromSec, toSec)
+		}
+		return sum / float64(cnt)
+	}
+	rush := avg(7*3600, 8*3600)
+	midday := avg(12*3600, 13*3600)
+	if rush >= midday*0.85 {
+		t.Fatalf("rush-hour speeds (%v) should be well below midday (%v)", rush, midday)
+	}
+}
+
+func TestCenterAttractionConcentratesTraffic(t *testing.T) {
+	n := testNetwork(t)
+	center := n.Bounds().Center()
+	visitsNearCenter := func(attraction float64) int {
+		ds, err := Simulate(n, SimConfig{
+			Taxis: 20, Days: 2, Profile: FlatSpeedProfile(), Seed: 77,
+			CenterAttraction: attraction,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		for i := range ds.Matched {
+			for _, v := range ds.Matched[i].Visits {
+				if geo.Distance(n.Segment(v.Segment).Midpoint(), center) < 1200 {
+					count++
+				}
+			}
+		}
+		return count
+	}
+	weak := visitsNearCenter(0.01) // effectively off (0 would default to 0.6)
+	strong := visitsNearCenter(1.5)
+	if strong <= weak {
+		t.Fatalf("attraction should concentrate traffic downtown: weak=%d strong=%d", weak, strong)
+	}
+}
+
+func TestRawFromMatched(t *testing.T) {
+	n := testNetwork(t)
+	ds := smallSim(t, n)
+	mt := &ds.Matched[0]
+	raw := RawFromMatched(n, mt, ds.DayStart(mt.Day), 30*time.Second, 15, 99)
+	if err := raw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(raw.Points) < 5 {
+		t.Fatalf("raw trajectory has only %d points", len(raw.Points))
+	}
+	// Every raw point should be near its source segment (noise sigma 15 m).
+	for _, p := range raw.Points {
+		_, d, _, ok := n.SnapPoint(p.Pos)
+		if !ok {
+			t.Fatal("snap failed")
+		}
+		if d > 120 {
+			t.Fatalf("raw point %v is %v m from any road", p.Pos, d)
+		}
+	}
+	// Sampling interval should be respected.
+	for i := 1; i < len(raw.Points); i++ {
+		dt := raw.Points[i].Time.Sub(raw.Points[i-1].Time)
+		if dt < 0 {
+			t.Fatal("raw points out of order")
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	n := testNetwork(t)
+	ds := smallSim(t, n)
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Days != ds.Days || !got.BaseDate.Equal(ds.BaseDate) {
+		t.Fatalf("header mismatch: %v/%v vs %v/%v", got.Days, got.BaseDate, ds.Days, ds.BaseDate)
+	}
+	if len(got.Matched) != len(ds.Matched) {
+		t.Fatalf("trajectory count %d, want %d", len(got.Matched), len(ds.Matched))
+	}
+	for i := range ds.Matched {
+		a, b := &ds.Matched[i], &got.Matched[i]
+		if a.Taxi != b.Taxi || a.Day != b.Day || len(a.Visits) != len(b.Visits) {
+			t.Fatalf("trajectory %d header mismatch", i)
+		}
+		for j := range a.Visits {
+			va, vb := a.Visits[j], b.Visits[j]
+			if va.Segment != vb.Segment {
+				t.Fatalf("traj %d visit %d segment mismatch", i, j)
+			}
+			if va.EnterMs != vb.EnterMs || va.ExitMs != vb.ExitMs {
+				t.Fatalf("traj %d visit %d time mismatch", i, j)
+			}
+			if math.Abs(float64(va.Speed)-float64(vb.Speed)) > 0.01 {
+				t.Fatalf("traj %d visit %d speed mismatch: %v vs %v", i, j, va.Speed, vb.Speed)
+			}
+		}
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := ReadDataset(bytes.NewReader([]byte("NOPE00000000"))); err == nil {
+		t.Fatal("bad magic should error")
+	}
+	if _, err := ReadDataset(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input should error")
+	}
+	// Truncated valid stream.
+	n := testNetwork(t)
+	ds := smallSim(t, n)
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadDataset(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated input should error")
+	}
+}
+
+func TestDatasetStats(t *testing.T) {
+	n := testNetwork(t)
+	ds := smallSim(t, n)
+	st := ds.Stats()
+	if st.Taxis != 10 {
+		t.Fatalf("Taxis = %d, want 10", st.Taxis)
+	}
+	if st.Days != 5 {
+		t.Fatalf("Days = %d, want 5", st.Days)
+	}
+	if st.Trajectories == 0 || st.Visits == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestTrajectoryValidateCatchesDisorder(t *testing.T) {
+	now := time.Now()
+	tr := &Trajectory{Points: []GPSPoint{
+		{Pos: geo.Point{Lat: 22, Lng: 114}, Time: now},
+		{Pos: geo.Point{Lat: 22, Lng: 114}, Time: now.Add(-time.Minute)},
+	}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("out-of-order trajectory should fail validation")
+	}
+	bad := &Trajectory{Points: []GPSPoint{{Pos: geo.Point{Lat: 999, Lng: 0}, Time: now}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid position should fail validation")
+	}
+}
+
+func TestSecondsOfDay(t *testing.T) {
+	base := time.Date(2014, 11, 1, 0, 0, 0, 0, time.UTC)
+	at := base.Add(26*time.Hour + 30*time.Minute) // day 1, 02:30
+	if got := SecondsOfDay(base, at); got != 2*3600+1800 {
+		t.Fatalf("SecondsOfDay = %d, want %d", got, 2*3600+1800)
+	}
+}

@@ -1,0 +1,204 @@
+// Package trajquery implements the conventional trajectory queries the
+// thesis builds on (§5.2): spatio-temporal range queries, trajectory
+// aggregate (count) queries, and K-nearest-trajectory queries. All of
+// them run over the same ST-Index as the reachability queries, which is
+// the point — the index serves the classic workloads too.
+package trajquery
+
+import (
+	"fmt"
+	"sort"
+
+	"streach/internal/geo"
+	"streach/internal/roadnet"
+	"streach/internal/stindex"
+	"streach/internal/traj"
+)
+
+// TrajRef identifies one trajectory (a taxi-day) matched by a query,
+// together with the segment that witnessed the match and its distance to
+// the query geometry (metres; zero for range queries).
+type TrajRef struct {
+	Taxi    traj.TaxiID
+	Day     traj.Day
+	Segment roadnet.SegmentID
+	Dist    float64
+}
+
+// Window is a time-of-day interval in seconds since midnight, with an
+// optional day restriction (Day = -1 matches every day).
+type Window struct {
+	FromSec, ToSec int
+	Day            traj.Day
+}
+
+// AllDays marks a window as unrestricted by date.
+const AllDays = traj.Day(-1)
+
+// trajKey identifies a trajectory: one taxi on one day.
+type trajKey struct {
+	taxi traj.TaxiID
+	day  traj.Day
+}
+
+// Validate checks the window bounds.
+func (w Window) Validate() error {
+	if w.FromSec < 0 || w.ToSec > 86400 || w.FromSec > w.ToSec {
+		return fmt.Errorf("trajquery: bad window [%d, %d]", w.FromSec, w.ToSec)
+	}
+	return nil
+}
+
+// Range returns the trajectories that traversed any road segment
+// intersecting box during the window, deduplicated by (taxi, day) and
+// sorted by taxi then day. This is the classic spatio-temporal range
+// query ("which trajectories passed this area between 9:00 and 9:30?").
+func Range(st *stindex.Index, box geo.MBR, w Window) ([]TrajRef, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	net := st.Network()
+	segs := net.SegmentsWithin(box, nil)
+	slotSec := st.SlotSeconds()
+	loSlot, hiSlot := w.FromSec/slotSec, (w.ToSec-1)/slotSec
+	if w.ToSec == w.FromSec {
+		hiSlot = loSlot
+	}
+
+	found := map[trajKey]roadnet.SegmentID{}
+	for _, seg := range segs {
+		for slot := loSlot; slot <= hiSlot; slot++ {
+			tl, err := st.TimeListAt(seg, slot)
+			if err != nil {
+				return nil, err
+			}
+			for i, d := range tl.Days {
+				if w.Day != AllDays && d != w.Day {
+					continue
+				}
+				for _, taxi := range tl.Taxis[i] {
+					k := trajKey{taxi, d}
+					if _, ok := found[k]; !ok {
+						found[k] = seg
+					}
+				}
+			}
+		}
+	}
+	out := make([]TrajRef, 0, len(found))
+	for k, seg := range found {
+		out = append(out, TrajRef{Taxi: k.taxi, Day: k.day, Segment: seg})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Taxi != out[j].Taxi {
+			return out[i].Taxi < out[j].Taxi
+		}
+		return out[i].Day < out[j].Day
+	})
+	return out, nil
+}
+
+// Count is the trajectory aggregate query of Li et al. [20]: the number
+// of distinct trajectories in the spatio-temporal region.
+func Count(st *stindex.Index, box geo.MBR, w Window) (int, error) {
+	refs, err := Range(st, box, w)
+	if err != nil {
+		return 0, err
+	}
+	return len(refs), nil
+}
+
+// KNN returns the k trajectories nearest to p that were active during
+// the window, ordered by the distance from p to the first segment each
+// trajectory was observed on. Distance is segment-MBR distance refined by
+// polyline projection — the standard "searching trajectories by
+// locations" formulation [11].
+func KNN(st *stindex.Index, p geo.Point, k int, w Window) ([]TrajRef, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("trajquery: k must be positive, got %d", k)
+	}
+	net := st.Network()
+	slotSec := st.SlotSeconds()
+	loSlot, hiSlot := w.FromSec/slotSec, (w.ToSec-1)/slotSec
+	if w.ToSec == w.FromSec {
+		hiSlot = loSlot
+	}
+
+	best := map[trajKey]TrajRef{}
+
+	// Expanding-ring search: examine segments in increasing distance
+	// bands; once k trajectories are found, segments further than the
+	// current k-th distance cannot improve the result.
+	radius := 500.0
+	maxRadius := 2 * geo.Distance(
+		geo.Point{Lat: net.Bounds().MinLat, Lng: net.Bounds().MinLng},
+		geo.Point{Lat: net.Bounds().MaxLat, Lng: net.Bounds().MaxLng},
+	)
+	if maxRadius < 1000 {
+		maxRadius = 1000
+	}
+	seen := map[roadnet.SegmentID]bool{}
+	for {
+		for _, item := range net.CandidatesNear(p, radius, 0) {
+			if seen[item] {
+				continue
+			}
+			seen[item] = true
+			seg := net.Segment(item)
+			_, dist, _ := seg.Shape.Project(p)
+			for slot := loSlot; slot <= hiSlot; slot++ {
+				tl, err := st.TimeListAt(item, slot)
+				if err != nil {
+					return nil, err
+				}
+				for i, d := range tl.Days {
+					if w.Day != AllDays && d != w.Day {
+						continue
+					}
+					for _, taxi := range tl.Taxis[i] {
+						kk := trajKey{taxi, d}
+						if cur, ok := best[kk]; !ok || dist < cur.Dist {
+							best[kk] = TrajRef{Taxi: taxi, Day: d, Segment: item, Dist: dist}
+						}
+					}
+				}
+			}
+		}
+		if len(best) >= k || radius >= maxRadius {
+			// With k candidates whose distances are all below the ring
+			// radius, no unseen segment (all further than radius) can
+			// displace them.
+			refs := rank(best)
+			if len(refs) >= k && refs[k-1].Dist <= radius {
+				return refs[:k], nil
+			}
+			if radius >= maxRadius {
+				if len(refs) > k {
+					refs = refs[:k]
+				}
+				return refs, nil
+			}
+		}
+		radius *= 2
+	}
+}
+
+func rank(best map[trajKey]TrajRef) []TrajRef {
+	out := make([]TrajRef, 0, len(best))
+	for _, r := range best {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		if out[i].Taxi != out[j].Taxi {
+			return out[i].Taxi < out[j].Taxi
+		}
+		return out[i].Day < out[j].Day
+	})
+	return out
+}

@@ -1,0 +1,280 @@
+package trajquery
+
+import (
+	"sync"
+	"testing"
+
+	"streach/internal/geo"
+	"streach/internal/roadnet"
+	"streach/internal/stindex"
+	"streach/internal/traj"
+)
+
+type world struct {
+	net *roadnet.Network
+	ds  *traj.Dataset
+	st  *stindex.Index
+}
+
+var (
+	wOnce sync.Once
+	w     *world
+	wErr  error
+)
+
+func getWorld(t *testing.T) *world {
+	t.Helper()
+	wOnce.Do(func() {
+		net, err := roadnet.Generate(roadnet.GenerateConfig{
+			Origin:        geo.Point{Lat: 22.5, Lng: 114.0},
+			Rows:          7,
+			Cols:          7,
+			SpacingMeters: 800,
+			LocalFraction: 0.3,
+			Seed:          13,
+		})
+		if err != nil {
+			wErr = err
+			return
+		}
+		ds, err := traj.Simulate(net, traj.SimConfig{
+			Taxis: 25, Days: 5, Profile: traj.FlatSpeedProfile(), Seed: 14,
+			ActiveStartSec: 8 * 3600, ActiveEndSec: 12 * 3600,
+		})
+		if err != nil {
+			wErr = err
+			return
+		}
+		st, err := stindex.Build(net, ds, stindex.Config{SlotSeconds: 300})
+		if err != nil {
+			wErr = err
+			return
+		}
+		w = &world{net: net, ds: ds, st: st}
+	})
+	if wErr != nil {
+		t.Fatal(wErr)
+	}
+	return w
+}
+
+// oracleRange recomputes a range query straight from the dataset.
+func oracleRange(w *world, box geo.MBR, win Window) map[trajKey]bool {
+	out := map[trajKey]bool{}
+	for i := range w.ds.Matched {
+		mt := &w.ds.Matched[i]
+		if win.Day != AllDays && mt.Day != win.Day {
+			continue
+		}
+		for _, v := range mt.Visits {
+			fromSec := int(v.EnterSec())
+			toSec := int(v.ExitSec())
+			if toSec < win.FromSec || fromSec > win.ToSec {
+				continue
+			}
+			if !w.net.Segment(v.Segment).Box.Intersects(box) {
+				continue
+			}
+			out[trajKey{mt.Taxi, mt.Day}] = true
+		}
+	}
+	return out
+}
+
+func TestRangeFindsKnownTraffic(t *testing.T) {
+	w := getWorld(t)
+	// Window around a known visit.
+	mt := &w.ds.Matched[0]
+	v := mt.Visits[len(mt.Visits)/2]
+	sec := int(v.EnterSec())
+	box := w.net.Segment(v.Segment).Box.Buffer(50)
+	win := Window{FromSec: sec - 300, ToSec: sec + 300, Day: mt.Day}
+	refs, err := Range(w.st, box, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range refs {
+		if r.Taxi == mt.Taxi && r.Day == mt.Day {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("range query missed the witness trajectory")
+	}
+}
+
+func TestRangeSupersetOfOracle(t *testing.T) {
+	// The index stores slot-granular membership, so the range result is
+	// a superset of the exact-second oracle (it may include trajectories
+	// that touched the box in the same slot but outside the window) and
+	// must include everything the oracle finds.
+	w := getWorld(t)
+	center := w.net.Bounds().Center()
+	box := geo.NewMBR(geo.Offset(center, -1500, -1500), geo.Offset(center, 1500, 1500))
+	win := Window{FromSec: 9 * 3600, ToSec: 10 * 3600, Day: AllDays}
+	refs, err := Range(w.st, box, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[trajKey]bool{}
+	for _, r := range refs {
+		got[trajKey{r.Taxi, r.Day}] = true
+	}
+	want := oracleRange(w, box, win)
+	if len(want) == 0 {
+		t.Fatal("oracle found nothing; test is vacuous")
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("range query missed trajectory %v", k)
+		}
+	}
+}
+
+func TestRangeEmptyOutsideActiveHours(t *testing.T) {
+	w := getWorld(t)
+	box := w.net.Bounds()
+	box.Expand(geo.Point{Lat: box.MinLat, Lng: box.MinLng})
+	refs, err := Range(w.st, w.net.Bounds(), Window{FromSec: 2 * 3600, ToSec: 3 * 3600, Day: AllDays})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 0 {
+		t.Fatalf("no taxis are active at 02:00, got %d refs", len(refs))
+	}
+}
+
+func TestRangeDayFilter(t *testing.T) {
+	w := getWorld(t)
+	box := w.net.Bounds()
+	all, err := Range(w.st, box, Window{FromSec: 9 * 3600, ToSec: 10 * 3600, Day: AllDays})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Range(w.st, box, Window{FromSec: 9 * 3600, ToSec: 10 * 3600, Day: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) == 0 || len(one) >= len(all) {
+		t.Fatalf("day filter: %d of %d", len(one), len(all))
+	}
+	for _, r := range one {
+		if r.Day != 2 {
+			t.Fatalf("day filter leaked day %d", r.Day)
+		}
+	}
+}
+
+func TestRangeValidation(t *testing.T) {
+	w := getWorld(t)
+	if _, err := Range(w.st, w.net.Bounds(), Window{FromSec: -1, ToSec: 100}); err == nil {
+		t.Fatal("negative FromSec should error")
+	}
+	if _, err := Range(w.st, w.net.Bounds(), Window{FromSec: 200, ToSec: 100}); err == nil {
+		t.Fatal("inverted window should error")
+	}
+	if _, err := Range(w.st, w.net.Bounds(), Window{FromSec: 0, ToSec: 90000}); err == nil {
+		t.Fatal("window past midnight should error")
+	}
+}
+
+func TestCountMatchesRange(t *testing.T) {
+	w := getWorld(t)
+	box := w.net.Bounds()
+	win := Window{FromSec: 9 * 3600, ToSec: 10 * 3600, Day: AllDays}
+	refs, err := Range(w.st, box, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Count(w.st, box, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(refs) {
+		t.Fatalf("Count = %d, Range found %d", n, len(refs))
+	}
+}
+
+func TestKNNOrderedByDistance(t *testing.T) {
+	w := getWorld(t)
+	p := w.net.Bounds().Center()
+	refs, err := KNN(w.st, p, 5, Window{FromSec: 9 * 3600, ToSec: 10 * 3600, Day: AllDays})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) == 0 {
+		t.Fatal("KNN found nothing in a busy window")
+	}
+	for i := 1; i < len(refs); i++ {
+		if refs[i-1].Dist > refs[i].Dist {
+			t.Fatalf("KNN results out of order at %d: %v > %v", i, refs[i-1].Dist, refs[i].Dist)
+		}
+	}
+	// No duplicate trajectories.
+	seen := map[trajKey]bool{}
+	for _, r := range refs {
+		k := trajKey{r.Taxi, r.Day}
+		if seen[k] {
+			t.Fatalf("duplicate trajectory %v in KNN result", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestKNNReturnsAtMostK(t *testing.T) {
+	w := getWorld(t)
+	p := w.net.Bounds().Center()
+	for _, k := range []int{1, 3, 10} {
+		refs, err := KNN(w.st, p, k, Window{FromSec: 9 * 3600, ToSec: 10 * 3600, Day: AllDays})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(refs) > k {
+			t.Fatalf("KNN(k=%d) returned %d", k, len(refs))
+		}
+	}
+}
+
+func TestKNNQuietWindowReturnsFew(t *testing.T) {
+	w := getWorld(t)
+	p := w.net.Bounds().Center()
+	refs, err := KNN(w.st, p, 5, Window{FromSec: 1 * 3600, ToSec: 2 * 3600, Day: AllDays})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 0 {
+		t.Fatalf("KNN at 01:00 should find nothing, got %d", len(refs))
+	}
+}
+
+func TestKNNValidation(t *testing.T) {
+	w := getWorld(t)
+	p := w.net.Bounds().Center()
+	if _, err := KNN(w.st, p, 0, Window{FromSec: 0, ToSec: 100}); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := KNN(w.st, p, 3, Window{FromSec: 100, ToSec: 0}); err == nil {
+		t.Fatal("bad window should error")
+	}
+}
+
+func TestKNNNearestIsGenuinelyNearest(t *testing.T) {
+	w := getWorld(t)
+	// Query point on a known busy segment: the nearest trajectory should
+	// have distance ~0 (it drove over that segment).
+	mt := &w.ds.Matched[0]
+	v := mt.Visits[len(mt.Visits)/2]
+	sec := int(v.EnterSec())
+	p := w.net.Segment(v.Segment).Midpoint()
+	refs, err := KNN(w.st, p, 1, Window{FromSec: sec - 300, ToSec: sec + 300, Day: mt.Day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 {
+		t.Fatalf("KNN returned %d refs", len(refs))
+	}
+	if refs[0].Dist > 50 {
+		t.Fatalf("nearest trajectory is %v m away, expected ~0", refs[0].Dist)
+	}
+}

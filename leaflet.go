@@ -1,0 +1,77 @@
+package streach
+
+import (
+	"fmt"
+	"html/template"
+	"strings"
+)
+
+// LeafletHTML renders the region as a self-contained HTML page with a
+// Leaflet map, matching how the thesis visualises Prob-reachable regions
+// (its Figs 4.2/4.4/4.6/4.9 are Leaflet screenshots). Highways render
+// thicker and darker than local roads. The page loads Leaflet from the
+// public CDN; the region data itself is inlined.
+func (r *Region) LeafletHTML(title string) (string, error) {
+	gj, err := r.GeoJSON()
+	if err != nil {
+		return "", err
+	}
+	minLat, minLng, maxLat, maxLng, ok := r.Bounds()
+	if !ok {
+		return "", fmt.Errorf("streach: cannot render an empty region")
+	}
+	var b strings.Builder
+	err = leafletTemplate.Execute(&b, map[string]interface{}{
+		"Title":   title,
+		"GeoJSON": template.JS(gj),
+		"MinLat":  minLat, "MinLng": minLng,
+		"MaxLat": maxLat, "MaxLng": maxLng,
+		"RoadKm":   fmt.Sprintf("%.1f", r.RoadKm),
+		"Segments": len(r.SegmentIDs),
+	})
+	if err != nil {
+		return "", fmt.Errorf("streach: render leaflet page: %w", err)
+	}
+	return b.String(), nil
+}
+
+var leafletTemplate = template.Must(template.New("leaflet").Parse(`<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<link rel="stylesheet" href="https://unpkg.com/leaflet@1.9.4/dist/leaflet.css">
+<script src="https://unpkg.com/leaflet@1.9.4/dist/leaflet.js"></script>
+<style>
+  html, body, #map { height: 100%; margin: 0; }
+  .legend {
+    position: absolute; bottom: 16px; left: 16px; z-index: 1000;
+    background: rgba(255,255,255,0.9); padding: 8px 12px; border-radius: 6px;
+    font: 13px/1.4 sans-serif; box-shadow: 0 1px 4px rgba(0,0,0,0.3);
+  }
+</style>
+</head>
+<body>
+<div id="map"></div>
+<div class="legend">
+  <b>{{.Title}}</b><br>
+  {{.Segments}} reachable segments, {{.RoadKm}} km of road
+</div>
+<script>
+var region = {{.GeoJSON}};
+var map = L.map('map');
+L.tileLayer('https://tile.openstreetmap.org/{z}/{x}/{y}.png', {
+  maxZoom: 19, attribution: '&copy; OpenStreetMap contributors'
+}).addTo(map);
+function styleOf(f) {
+  var c = f.properties["class"];
+  if (c === "highway")  return {color: "#c0392b", weight: 5, opacity: 0.85};
+  if (c === "primary")  return {color: "#2980b9", weight: 4, opacity: 0.8};
+  return {color: "#27ae60", weight: 3, opacity: 0.75};
+}
+L.geoJSON(region, {style: styleOf}).addTo(map);
+map.fitBounds([[{{.MinLat}}, {{.MinLng}}], [{{.MaxLat}}, {{.MaxLng}}]], {padding: [24, 24]});
+</script>
+</body>
+</html>
+`))

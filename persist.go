@@ -1,0 +1,146 @@
+package streach
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"streach/internal/conindex"
+	"streach/internal/core"
+	"streach/internal/roadnet"
+	"streach/internal/stindex"
+	"streach/internal/storage"
+	"streach/internal/traj"
+)
+
+// On-disk layout of a saved system:
+//
+//	dir/network.bin    road network (roadnet codec)
+//	dir/dataset.bin    matched trajectories (traj codec)
+//	dir/pages.db       ST-Index time-list pages
+//	dir/stindex.meta   ST-Index handle table and metadata
+//	dir/conindex.bin   Con-Index speed statistics
+const (
+	fileNetwork  = "network.bin"
+	fileDataset  = "dataset.bin"
+	filePages    = "pages.db"
+	fileSTMeta   = "stindex.meta"
+	fileConIndex = "conindex.bin"
+)
+
+// Save persists the whole system into dir (created if absent): network,
+// trajectories, and both indexes. A saved system reopens with OpenSystem
+// without re-simulating or re-indexing.
+//
+// Note: a system built with an in-memory page store is persisted by
+// copying its pages into dir/pages.db.
+func (s *System) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("streach: create %s: %w", dir, err)
+	}
+	writeTo := func(name string, fn func(f *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("streach: create %s: %w", name, err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return fmt.Errorf("streach: write %s: %w", name, err)
+		}
+		return f.Close()
+	}
+	if err := writeTo(fileNetwork, func(f *os.File) error { return roadnet.WriteNetwork(f, s.net) }); err != nil {
+		return err
+	}
+	if err := writeTo(fileDataset, func(f *os.File) error { return traj.WriteDataset(f, s.ds) }); err != nil {
+		return err
+	}
+	if err := writeTo(fileConIndex, func(f *os.File) error { return s.con.Save(f) }); err != nil {
+		return err
+	}
+	if err := writeTo(fileSTMeta, func(f *os.File) error { return s.st.SaveMeta(f) }); err != nil {
+		return err
+	}
+	// Copy the page store contents (works for both memory- and
+	// file-backed systems).
+	if err := s.st.Pool().Flush(); err != nil {
+		return err
+	}
+	return writeTo(filePages, func(f *os.File) error {
+		buf := make([]byte, storage.PageSize)
+		n := s.st.Pool().NumPages()
+		for id := storage.PageID(0); int64(id) < n; id++ {
+			page, err := s.st.Pool().GetPage(id)
+			if err != nil {
+				return err
+			}
+			copy(buf, page)
+			if _, err := f.Write(buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// OpenSystem reopens a system saved with Save. PoolPages (and the TBS
+// policy options) are taken from idx; granularity comes from the saved
+// indexes.
+func OpenSystem(dir string, idx IndexConfig) (*System, error) {
+	if idx.PoolPages == 0 {
+		idx.PoolPages = 1024
+	}
+	netFile, err := os.Open(filepath.Join(dir, fileNetwork))
+	if err != nil {
+		return nil, fmt.Errorf("streach: open network: %w", err)
+	}
+	net, err := roadnet.ReadNetwork(netFile)
+	netFile.Close()
+	if err != nil {
+		return nil, err
+	}
+	dsFile, err := os.Open(filepath.Join(dir, fileDataset))
+	if err != nil {
+		return nil, fmt.Errorf("streach: open dataset: %w", err)
+	}
+	ds, err := traj.ReadDataset(dsFile)
+	dsFile.Close()
+	if err != nil {
+		return nil, err
+	}
+	conFile, err := os.Open(filepath.Join(dir, fileConIndex))
+	if err != nil {
+		return nil, fmt.Errorf("streach: open con-index: %w", err)
+	}
+	con, err := conindex.Load(net, conFile)
+	conFile.Close()
+	if err != nil {
+		return nil, err
+	}
+	store, err := storage.OpenFileStore(filepath.Join(dir, filePages))
+	if err != nil {
+		return nil, err
+	}
+	metaFile, err := os.Open(filepath.Join(dir, fileSTMeta))
+	if err != nil {
+		store.Close()
+		return nil, fmt.Errorf("streach: open st-index meta: %w", err)
+	}
+	st, err := stindex.LoadIndex(net, stindex.Config{Store: store, PoolPages: idx.PoolPages}, metaFile)
+	metaFile.Close()
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	engine, err := core.NewEngine(st, con, core.Options{
+		VerifyAll:       idx.VerifyAll,
+		EarlyStop:       idx.EarlyStop,
+		NoVisitedSet:    idx.NoVisitedSet,
+		NoOverlapFilter: idx.NoOverlapFilter,
+	})
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return &System{net: net, ds: ds, st: st, con: con, engine: engine}, nil
+}

@@ -1,0 +1,515 @@
+// Package streach is a data-driven spatio-temporal reachability query
+// system over massive trajectory data, reproducing Ding's ICDE'17 design
+// (see DESIGN.md): given a location S, a start time-of-day T, a duration
+// L, and a probability Prob, it returns every road segment that historical
+// trajectories reached from S within [T, T+L] on at least a Prob fraction
+// of days.
+//
+// The package is a facade over the internal subsystems:
+//
+//   - a synthetic metropolis generator and taxi-fleet simulator (the
+//     stand-in for the paper's Shenzhen network and 194 GB GPS corpus);
+//   - the ST-Index (temporal B+tree → shared R-tree → on-disk time lists
+//     behind an LRU buffer pool) and the Con-Index (per-slot Near/Far
+//     connection tables);
+//   - the query algorithms: SQMB+TBS for single-location queries, MQMB
+//     for multi-location queries, and the exhaustive-search baseline.
+//
+// Quick start:
+//
+//	sys, err := streach.NewSystem(streach.DefaultCityConfig(), streach.DefaultFleetConfig(), streach.DefaultIndexConfig())
+//	...
+//	region, err := sys.Reach(streach.Query{
+//		Lat: 22.53, Lng: 114.05,
+//		Start:    11 * time.Hour,
+//		Duration: 10 * time.Minute,
+//		Prob:     0.2,
+//	})
+package streach
+
+import (
+	"fmt"
+	"time"
+
+	"streach/internal/conindex"
+	"streach/internal/core"
+	"streach/internal/geo"
+	"streach/internal/roadnet"
+	"streach/internal/router"
+	"streach/internal/stindex"
+	"streach/internal/storage"
+	"streach/internal/traj"
+)
+
+// CityConfig controls the synthetic road network.
+type CityConfig struct {
+	// OriginLat/OriginLng is the south-west corner.
+	OriginLat, OriginLng float64
+	// Rows and Cols set the arterial grid size.
+	Rows, Cols int
+	// SpacingMeters is the arterial block size.
+	SpacingMeters float64
+	// LocalFraction in [0,1] adds local streets.
+	LocalFraction float64
+	// ResegmentMeters is the pre-processing granularity (thesis §3.1);
+	// 0 skips re-segmentation.
+	ResegmentMeters float64
+	// Seed drives generation.
+	Seed int64
+}
+
+// DefaultCityConfig is a mid-sized metropolis: ~12x12 km arterial grid
+// re-segmented at 500 m.
+func DefaultCityConfig() CityConfig {
+	return CityConfig{
+		OriginLat: 22.45, OriginLng: 113.90,
+		Rows: 12, Cols: 12,
+		SpacingMeters:   1000,
+		LocalFraction:   0.4,
+		ResegmentMeters: 500,
+		Seed:            1,
+	}
+}
+
+// FleetConfig controls the simulated taxi fleet.
+type FleetConfig struct {
+	Taxis int
+	Days  int
+	// Seed drives the simulation.
+	Seed int64
+	// DaySpeedJitter sets day-to-day traffic variation (default 0.15).
+	DaySpeedJitter float64
+	// FlatTraffic disables the rush-hour congestion profile.
+	FlatTraffic bool
+}
+
+// DefaultFleetConfig simulates 250 taxis over 30 days, mirroring the
+// paper's one-month window.
+func DefaultFleetConfig() FleetConfig {
+	return FleetConfig{Taxis: 250, Days: 30, Seed: 2, DaySpeedJitter: 0.15}
+}
+
+// IndexConfig controls index construction.
+type IndexConfig struct {
+	// SlotSeconds is the Δt granularity (default 300 s).
+	SlotSeconds int
+	// PoolPages is the buffer pool capacity (default 1024 pages).
+	PoolPages int
+	// PageFile, when set, backs the time lists with a real file instead
+	// of memory.
+	PageFile string
+	// VerifyAll switches trace back search to full verification (see
+	// core.Options).
+	VerifyAll bool
+	// EarlyStop enables the thesis's literal Algorithm 2 queue variant
+	// (fastest, over-approximates on sparse data).
+	EarlyStop bool
+	// NoVisitedSet disables TBS visited-set deduplication (ablation).
+	NoVisitedSet bool
+	// NoOverlapFilter disables MQMB overlap elimination (ablation).
+	NoOverlapFilter bool
+}
+
+// DefaultIndexConfig uses the paper's 5-minute granularity.
+func DefaultIndexConfig() IndexConfig {
+	return IndexConfig{SlotSeconds: 300, PoolPages: 1024}
+}
+
+// Query is a single-location reachability query.
+type Query struct {
+	// Lat, Lng locate the start S.
+	Lat, Lng float64
+	// Start is the time of day T.
+	Start time.Duration
+	// Duration is the horizon L.
+	Duration time.Duration
+	// Prob is the required reachability probability in (0, 1].
+	Prob float64
+}
+
+// Location is a query start point.
+type Location struct{ Lat, Lng float64 }
+
+// Metrics describes what a query cost.
+type Metrics struct {
+	Elapsed      time.Duration
+	Evaluated    int   // segments verified against on-disk time lists
+	PageReads    int64 // physical page reads
+	PageHits     int64 // buffer pool hits
+	MaxRegion    int
+	MinRegion    int
+	RoadSegments int
+	RoadKm       float64
+}
+
+// Region is a query answer: the Prob-reachable road segments.
+type Region struct {
+	// SegmentIDs are the reachable segments, ascending.
+	SegmentIDs []int32
+	// Probabilities is parallel to SegmentIDs: the verified reachability
+	// probability of each segment, or -1 for segments admitted without
+	// verification (the minimum bounding region).
+	Probabilities []float32
+	// RoadKm is the total reachable road length.
+	RoadKm float64
+	// Metrics reports processing cost.
+	Metrics Metrics
+
+	sys *System
+}
+
+// System is a built reachability query system.
+type System struct {
+	net    *roadnet.Network
+	ds     *traj.Dataset
+	st     *stindex.Index
+	con    *conindex.Index
+	engine *core.Engine
+}
+
+// NewSystem generates a city, simulates a fleet over it, builds both
+// indexes, and returns a ready query engine.
+func NewSystem(city CityConfig, fleet FleetConfig, idx IndexConfig) (*System, error) {
+	net, err := BuildCity(city)
+	if err != nil {
+		return nil, err
+	}
+	profile := traj.DefaultSpeedProfile()
+	if fleet.FlatTraffic {
+		profile = traj.FlatSpeedProfile()
+	}
+	jitter := fleet.DaySpeedJitter
+	if jitter == 0 {
+		jitter = 0.15
+	}
+	ds, err := traj.Simulate(net, traj.SimConfig{
+		Taxis:          fleet.Taxis,
+		Days:           fleet.Days,
+		Profile:        profile,
+		Seed:           fleet.Seed,
+		DaySpeedJitter: jitter,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("streach: simulate fleet: %w", err)
+	}
+	return NewSystemFromData(net, ds, idx)
+}
+
+// BuildCity generates (and optionally re-segments) a synthetic network.
+func BuildCity(city CityConfig) (*roadnet.Network, error) {
+	net, err := roadnet.Generate(roadnet.GenerateConfig{
+		Origin:        geo.Point{Lat: city.OriginLat, Lng: city.OriginLng},
+		Rows:          city.Rows,
+		Cols:          city.Cols,
+		SpacingMeters: city.SpacingMeters,
+		LocalFraction: city.LocalFraction,
+		Seed:          city.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("streach: generate city: %w", err)
+	}
+	if city.ResegmentMeters > 0 {
+		net, err = roadnet.Resegment(net, city.ResegmentMeters)
+		if err != nil {
+			return nil, fmt.Errorf("streach: resegment: %w", err)
+		}
+	}
+	return net, nil
+}
+
+// NewSystemFromData builds the indexes over an existing network and
+// matched trajectory dataset (e.g. decoded with traj.ReadDataset or
+// produced by the map-matching stage).
+func NewSystemFromData(net *roadnet.Network, ds *traj.Dataset, idx IndexConfig) (*System, error) {
+	if idx.SlotSeconds == 0 {
+		idx.SlotSeconds = 300
+	}
+	if idx.PoolPages == 0 {
+		idx.PoolPages = 1024
+	}
+	var store storage.Store
+	if idx.PageFile != "" {
+		fs, err := storage.OpenFileStore(idx.PageFile)
+		if err != nil {
+			return nil, fmt.Errorf("streach: open page file: %w", err)
+		}
+		store = fs
+	}
+	st, err := stindex.Build(net, ds, stindex.Config{
+		SlotSeconds: idx.SlotSeconds,
+		PoolPages:   idx.PoolPages,
+		Store:       store,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("streach: build ST-Index: %w", err)
+	}
+	con, err := conindex.Build(net, ds, conindex.Config{SlotSeconds: idx.SlotSeconds})
+	if err != nil {
+		return nil, fmt.Errorf("streach: build Con-Index: %w", err)
+	}
+	engine, err := core.NewEngine(st, con, core.Options{
+		VerifyAll:       idx.VerifyAll,
+		EarlyStop:       idx.EarlyStop,
+		NoVisitedSet:    idx.NoVisitedSet,
+		NoOverlapFilter: idx.NoOverlapFilter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{net: net, ds: ds, st: st, con: con, engine: engine}, nil
+}
+
+// Warm precomputes the Con-Index Near/Far tables for every time slot
+// touched by queries starting in [start, start+dur]. The thesis builds
+// these tables offline during index construction; calling Warm moves that
+// cost out of the first query's measured time. Idempotent.
+func (s *System) Warm(start, dur time.Duration) {
+	slotSec := s.con.SlotSeconds()
+	lo := int(start.Seconds()) / slotSec
+	hi := int((start + dur).Seconds()) / slotSec
+	s.con.PrecomputeSlots(lo, hi)
+}
+
+// Close releases index storage.
+func (s *System) Close() error { return s.st.Close() }
+
+// Network exposes the underlying road network (in-module callers).
+func (s *System) Network() *roadnet.Network { return s.net }
+
+// Dataset exposes the underlying trajectory dataset (in-module callers).
+func (s *System) Dataset() *traj.Dataset { return s.ds }
+
+// Engine exposes the query engine (in-module callers, benchmarks).
+func (s *System) Engine() *core.Engine { return s.engine }
+
+// Reach answers a single-location query with SQMB+TBS (the paper's
+// algorithm).
+func (s *System) Reach(q Query) (*Region, error) {
+	res, err := s.engine.SQMB(coreQuery(q))
+	if err != nil {
+		return nil, err
+	}
+	return s.region(res), nil
+}
+
+// ReachES answers the same query with the exhaustive-search baseline.
+func (s *System) ReachES(q Query) (*Region, error) {
+	res, err := s.engine.ES(coreQuery(q))
+	if err != nil {
+		return nil, err
+	}
+	return s.region(res), nil
+}
+
+// ReverseReach answers the mirror query: from which road segments can
+// the location be reached within [T, T+L] on at least Prob of the days?
+// This is the catchment-area direction used by the advertising scenario.
+func (s *System) ReverseReach(q Query) (*Region, error) {
+	res, err := s.engine.ReverseSQMB(coreQuery(q))
+	if err != nil {
+		return nil, err
+	}
+	return s.region(res), nil
+}
+
+// ReverseReachES answers the reverse query with the exhaustive baseline.
+func (s *System) ReverseReachES(q Query) (*Region, error) {
+	res, err := s.engine.ReverseES(coreQuery(q))
+	if err != nil {
+		return nil, err
+	}
+	return s.region(res), nil
+}
+
+// ReachMulti answers a multi-location query with MQMB+TBS.
+func (s *System) ReachMulti(locs []Location, start, duration time.Duration, prob float64) (*Region, error) {
+	res, err := s.engine.MQMB(core.MultiQuery{
+		Locations: toPoints(locs),
+		Start:     start,
+		Duration:  duration,
+		Prob:      prob,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.region(res), nil
+}
+
+// ReachMultiSequential answers a multi-location query by running the
+// single-location pipeline per location and unioning (the m-query
+// baseline of §4.3).
+func (s *System) ReachMultiSequential(locs []Location, start, duration time.Duration, prob float64) (*Region, error) {
+	res, err := s.engine.SQuerySequential(core.MultiQuery{
+		Locations: toPoints(locs),
+		Start:     start,
+		Duration:  duration,
+		Prob:      prob,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.region(res), nil
+}
+
+func coreQuery(q Query) core.Query {
+	return core.Query{
+		Location: geo.Point{Lat: q.Lat, Lng: q.Lng},
+		Start:    q.Start,
+		Duration: q.Duration,
+		Prob:     q.Prob,
+	}
+}
+
+func toPoints(locs []Location) []geo.Point {
+	out := make([]geo.Point, len(locs))
+	for i, l := range locs {
+		out[i] = geo.Point{Lat: l.Lat, Lng: l.Lng}
+	}
+	return out
+}
+
+func (s *System) region(res *core.Result) *Region {
+	ids := make([]int32, len(res.Segments))
+	probs := make([]float32, len(res.Segments))
+	for i, seg := range res.Segments {
+		ids[i] = int32(seg)
+		if p, ok := res.Probability[seg]; ok {
+			probs[i] = float32(p)
+		} else {
+			probs[i] = -1
+		}
+	}
+	return &Region{
+		SegmentIDs:    ids,
+		Probabilities: probs,
+		RoadKm:        res.Metrics.RoadKm,
+		Metrics: Metrics{
+			Elapsed:      res.Metrics.Elapsed,
+			Evaluated:    res.Metrics.Evaluated,
+			PageReads:    res.Metrics.IO.Reads,
+			PageHits:     res.Metrics.IO.Hits,
+			MaxRegion:    res.Metrics.MaxRegion,
+			MinRegion:    res.Metrics.MinRegion,
+			RoadSegments: res.Metrics.ResultSegments,
+			RoadKm:       res.Metrics.RoadKm,
+		},
+		sys: s,
+	}
+}
+
+// RouteResult is a planned journey between two locations.
+type RouteResult struct {
+	// SegmentIDs is the path, origin and destination inclusive.
+	SegmentIDs []int32
+	// TravelTime is the predicted door-to-door travel time.
+	TravelTime time.Duration
+	// DistanceKm is the route length.
+	DistanceKm float64
+}
+
+// Route plans the fastest route between two locations departing at the
+// given time of day, using per-slot mean speeds learned from the
+// trajectories (the time-dependent route query of thesis §5.2). Use
+// RouteFreeFlow for the static baseline.
+func (s *System) Route(from, to Location, departAt time.Duration) (*RouteResult, error) {
+	src, _, _, ok := s.net.SnapPoint(geo.Point{Lat: from.Lat, Lng: from.Lng})
+	if !ok {
+		return nil, fmt.Errorf("streach: no road near %+v", from)
+	}
+	dst, _, _, ok := s.net.SnapPoint(geo.Point{Lat: to.Lat, Lng: to.Lng})
+	if !ok {
+		return nil, fmt.Errorf("streach: no road near %+v", to)
+	}
+	r, err := router.New(s.net, s.con).TimeDependent(src, dst, departAt.Seconds())
+	if err != nil {
+		return nil, err
+	}
+	return routeResult(r), nil
+}
+
+// RouteFreeFlow plans the static free-flow route (time-invariant).
+func (s *System) RouteFreeFlow(from, to Location) (*RouteResult, error) {
+	src, _, _, ok := s.net.SnapPoint(geo.Point{Lat: from.Lat, Lng: from.Lng})
+	if !ok {
+		return nil, fmt.Errorf("streach: no road near %+v", from)
+	}
+	dst, _, _, ok := s.net.SnapPoint(geo.Point{Lat: to.Lat, Lng: to.Lng})
+	if !ok {
+		return nil, fmt.Errorf("streach: no road near %+v", to)
+	}
+	r, err := router.New(s.net, s.con).FreeFlow(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	return routeResult(r), nil
+}
+
+func routeResult(r *router.Route) *RouteResult {
+	ids := make([]int32, len(r.Path))
+	for i, s := range r.Path {
+		ids[i] = int32(s)
+	}
+	return &RouteResult{
+		SegmentIDs: ids,
+		TravelTime: time.Duration(r.TravelTimeSec * float64(time.Second)),
+		DistanceKm: r.DistanceMeters / 1000,
+	}
+}
+
+// Stats describes the built system, Table 4.1-style.
+type Stats struct {
+	Segments     int
+	Vertices     int
+	RoadKm       float64
+	Taxis        int
+	Days         int
+	Trajectories int
+	Visits       int
+	SlotSeconds  int
+}
+
+// Stats summarises the system.
+func (s *System) Stats() Stats {
+	ns := s.net.Stats()
+	ts := s.ds.Stats()
+	return Stats{
+		Segments:     ns.Segments,
+		Vertices:     ns.Vertices,
+		RoadKm:       ns.TotalKm,
+		Taxis:        ts.Taxis,
+		Days:         ts.Days,
+		Trajectories: ts.Trajectories,
+		Visits:       ts.Visits,
+		SlotSeconds:  s.st.SlotSeconds(),
+	}
+}
+
+// BusiestLocation returns the midpoint of the segment with traffic on the
+// most distinct days during the 5-minute window starting at tod. Useful
+// for picking realistic query origins, mirroring the paper's downtown
+// query location.
+func (s *System) BusiestLocation(tod time.Duration) Location {
+	lo, hi := tod, tod+5*time.Minute
+	days := map[roadnet.SegmentID]map[traj.Day]bool{}
+	for i := range s.ds.Matched {
+		mt := &s.ds.Matched[i]
+		for _, v := range mt.Visits {
+			enter := time.Duration(v.EnterMs) * time.Millisecond
+			if enter >= lo && enter < hi {
+				if days[v.Segment] == nil {
+					days[v.Segment] = map[traj.Day]bool{}
+				}
+				days[v.Segment][mt.Day] = true
+			}
+		}
+	}
+	best := roadnet.SegmentID(0)
+	bestN := -1
+	for seg, d := range days {
+		if len(d) > bestN || (len(d) == bestN && seg < best) {
+			best, bestN = seg, len(d)
+		}
+	}
+	p := s.net.Segment(best).Midpoint()
+	return Location{Lat: p.Lat, Lng: p.Lng}
+}

@@ -1,0 +1,386 @@
+package streach
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	sysOnce sync.Once
+	testSys *System
+	sysErr  error
+)
+
+// smallSystem builds a small shared system once for all facade tests.
+func smallSystem(t *testing.T) *System {
+	t.Helper()
+	sysOnce.Do(func() {
+		city := CityConfig{
+			OriginLat: 22.50, OriginLng: 114.00,
+			Rows: 8, Cols: 8,
+			SpacingMeters:   900,
+			LocalFraction:   0.4,
+			ResegmentMeters: 450,
+			Seed:            3,
+		}
+		fleet := FleetConfig{Taxis: 80, Days: 6, Seed: 4}
+		testSys, sysErr = NewSystem(city, fleet, DefaultIndexConfig())
+	})
+	if sysErr != nil {
+		t.Fatal(sysErr)
+	}
+	return testSys
+}
+
+func testQuery(s *System) Query {
+	loc := s.BusiestLocation(11 * time.Hour)
+	return Query{
+		Lat: loc.Lat, Lng: loc.Lng,
+		Start:    11 * time.Hour,
+		Duration: 10 * time.Minute,
+		Prob:     0.2,
+	}
+}
+
+func TestNewSystemAndStats(t *testing.T) {
+	s := smallSystem(t)
+	st := s.Stats()
+	if st.Segments == 0 || st.Vertices == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Taxis != 80 || st.Days != 6 {
+		t.Fatalf("fleet stats wrong: %+v", st)
+	}
+	if st.SlotSeconds != 300 {
+		t.Fatalf("slot seconds = %d", st.SlotSeconds)
+	}
+	if st.RoadKm <= 0 || st.Visits == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReach(t *testing.T) {
+	s := smallSystem(t)
+	region, err := s.Reach(testQuery(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(region.SegmentIDs) == 0 {
+		t.Fatal("empty region from busiest location at 11:00")
+	}
+	if region.RoadKm <= 0 {
+		t.Fatal("region should have road length")
+	}
+	if region.Metrics.MaxRegion < len(region.SegmentIDs) {
+		t.Fatalf("max region %d < result %d", region.Metrics.MaxRegion, len(region.SegmentIDs))
+	}
+	for i := 1; i < len(region.SegmentIDs); i++ {
+		if region.SegmentIDs[i-1] >= region.SegmentIDs[i] {
+			t.Fatal("segment IDs should be ascending and unique")
+		}
+	}
+}
+
+func TestReachESSlowerButVerifiesMore(t *testing.T) {
+	s := smallSystem(t)
+	q := testQuery(s)
+	fast, err := s.Reach(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := s.ReachES(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Metrics.Evaluated <= fast.Metrics.Evaluated {
+		t.Fatalf("ES evaluated %d, SQMB+TBS %d: baseline should verify more segments",
+			slow.Metrics.Evaluated, fast.Metrics.Evaluated)
+	}
+}
+
+func TestReachMulti(t *testing.T) {
+	s := smallSystem(t)
+	q := testQuery(s)
+	locs := []Location{
+		{q.Lat, q.Lng},
+		{q.Lat + 0.01, q.Lng},
+		{q.Lat, q.Lng + 0.01},
+	}
+	m, err := s.ReachMulti(locs, q.Start, q.Duration, q.Prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := s.ReachMultiSequential(locs, q.Start, q.Duration, q.Prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.SegmentIDs) == 0 || len(seq.SegmentIDs) == 0 {
+		t.Fatal("multi-location queries should find regions")
+	}
+	// The m-query region must cover (most of) each single region's union;
+	// check it at least covers the single-location region.
+	one, err := s.Reach(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	for _, id := range one.SegmentIDs {
+		if m.Contains(id) {
+			covered++
+		}
+	}
+	if frac := float64(covered) / float64(len(one.SegmentIDs)); frac < 0.8 {
+		t.Fatalf("m-query covers only %.0f%% of the first s-query region", frac*100)
+	}
+}
+
+func TestQueryValidationSurfacesErrors(t *testing.T) {
+	s := smallSystem(t)
+	q := testQuery(s)
+	q.Prob = 0
+	if _, err := s.Reach(q); err == nil {
+		t.Fatal("Prob=0 should error")
+	}
+	q = testQuery(s)
+	q.Duration = 0
+	if _, err := s.Reach(q); err == nil {
+		t.Fatal("zero duration should error")
+	}
+	if _, err := s.ReachMulti(nil, 11*time.Hour, 10*time.Minute, 0.2); err == nil {
+		t.Fatal("no locations should error")
+	}
+}
+
+func TestGeoJSONWellFormed(t *testing.T) {
+	s := smallSystem(t)
+	region, err := s.Reach(testQuery(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, err := region.GeoJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Type     string `json:"type"`
+			Geometry struct {
+				Type        string       `json:"type"`
+				Coordinates [][2]float64 `json:"coordinates"`
+			} `json:"geometry"`
+			Properties map[string]interface{} `json:"properties"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal([]byte(gj), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if parsed.Type != "FeatureCollection" {
+		t.Fatalf("type = %q", parsed.Type)
+	}
+	if len(parsed.Features) != len(region.SegmentIDs) {
+		t.Fatalf("features = %d, want %d", len(parsed.Features), len(region.SegmentIDs))
+	}
+	for _, f := range parsed.Features {
+		if f.Geometry.Type != "LineString" {
+			t.Fatalf("geometry type = %q", f.Geometry.Type)
+		}
+		if f.Properties["segment"] == nil || f.Properties["class"] == nil {
+			t.Fatal("missing properties")
+		}
+	}
+}
+
+func TestRegionBounds(t *testing.T) {
+	s := smallSystem(t)
+	region, err := s.Reach(testQuery(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	minLat, minLng, maxLat, maxLng, ok := region.Bounds()
+	if !ok {
+		t.Fatal("bounds should exist")
+	}
+	if minLat >= maxLat || minLng >= maxLng {
+		t.Fatalf("degenerate bounds: %v %v %v %v", minLat, minLng, maxLat, maxLng)
+	}
+	empty := &Region{sys: s}
+	if _, _, _, _, ok := empty.Bounds(); ok {
+		t.Fatal("empty region should have no bounds")
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := &Region{SegmentIDs: []int32{1, 4, 9}}
+	for _, id := range []int32{1, 4, 9} {
+		if !r.Contains(id) {
+			t.Fatalf("Contains(%d) = false", id)
+		}
+	}
+	for _, id := range []int32{0, 2, 10} {
+		if r.Contains(id) {
+			t.Fatalf("Contains(%d) = true", id)
+		}
+	}
+}
+
+func TestFileBackedSystem(t *testing.T) {
+	city := CityConfig{
+		OriginLat: 22.50, OriginLng: 114.00,
+		Rows: 4, Cols: 4, SpacingMeters: 800, LocalFraction: 0.3,
+		ResegmentMeters: 400, Seed: 9,
+	}
+	fleet := FleetConfig{Taxis: 20, Days: 3, Seed: 9}
+	idx := DefaultIndexConfig()
+	idx.PageFile = filepath.Join(t.TempDir(), "pages.db")
+	sys, err := NewSystem(city, fleet, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	loc := sys.BusiestLocation(10 * time.Hour)
+	region, err := sys.Reach(Query{Lat: loc.Lat, Lng: loc.Lng, Start: 10 * time.Hour, Duration: 10 * time.Minute, Prob: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.Metrics.PageReads == 0 && region.Metrics.PageHits == 0 {
+		t.Fatal("file-backed query should touch pages")
+	}
+}
+
+func TestBusiestLocationDeterministic(t *testing.T) {
+	s := smallSystem(t)
+	a := s.BusiestLocation(11 * time.Hour)
+	b := s.BusiestLocation(11 * time.Hour)
+	if a != b {
+		t.Fatal("BusiestLocation should be deterministic")
+	}
+}
+
+func TestRouteTimeDependent(t *testing.T) {
+	s := smallSystem(t)
+	loc := s.BusiestLocation(11 * time.Hour)
+	far := Location{Lat: loc.Lat + 0.03, Lng: loc.Lng + 0.03}
+	night, err := s.Route(Location{loc.Lat, loc.Lng}, far, 3*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rush, err := s.Route(Location{loc.Lat, loc.Lng}, far, 18*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rush.TravelTime <= night.TravelTime {
+		t.Fatalf("rush ETA %v should exceed night ETA %v", rush.TravelTime, night.TravelTime)
+	}
+	ff, err := s.RouteFreeFlow(Location{loc.Lat, loc.Lng}, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.TravelTime > night.TravelTime {
+		t.Fatalf("free-flow ETA %v should be the optimistic bound (night %v)", ff.TravelTime, night.TravelTime)
+	}
+	if len(ff.SegmentIDs) == 0 || ff.DistanceKm <= 0 {
+		t.Fatalf("degenerate free-flow route: %+v", ff)
+	}
+}
+
+func TestLeafletHTML(t *testing.T) {
+	s := smallSystem(t)
+	region, err := s.Reach(testQuery(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	html, err := region.LeafletHTML("test region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<!DOCTYPE html>", "leaflet", "FeatureCollection", "test region", "fitBounds"} {
+		if !strings.Contains(html, want) {
+			t.Fatalf("leaflet page missing %q", want)
+		}
+	}
+	empty := &Region{sys: s}
+	if _, err := empty.LeafletHTML("empty"); err == nil {
+		t.Fatal("empty region should not render")
+	}
+}
+
+func TestSystemSaveOpenRoundTrip(t *testing.T) {
+	s := smallSystem(t)
+	q := testQuery(s)
+	want, err := s.Reach(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "saved")
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenSystem(dir, DefaultIndexConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	got, err := reopened.Reach(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.SegmentIDs) != len(want.SegmentIDs) {
+		t.Fatalf("reopened system region has %d segments, want %d", len(got.SegmentIDs), len(want.SegmentIDs))
+	}
+	for i := range want.SegmentIDs {
+		if got.SegmentIDs[i] != want.SegmentIDs[i] {
+			t.Fatalf("reopened region differs at %d", i)
+		}
+	}
+	// Stats must survive too.
+	if reopened.Stats() != s.Stats() {
+		t.Fatalf("stats differ after reopen: %+v vs %+v", reopened.Stats(), s.Stats())
+	}
+}
+
+func TestOpenSystemMissingDir(t *testing.T) {
+	if _, err := OpenSystem(filepath.Join(t.TempDir(), "nope"), DefaultIndexConfig()); err == nil {
+		t.Fatal("missing directory should error")
+	}
+}
+
+func TestRegionProbabilities(t *testing.T) {
+	s := smallSystem(t)
+	region, err := s.Reach(testQuery(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(region.Probabilities) != len(region.SegmentIDs) {
+		t.Fatalf("probabilities (%d) not parallel to segments (%d)",
+			len(region.Probabilities), len(region.SegmentIDs))
+	}
+	verified := 0
+	for _, p := range region.Probabilities {
+		switch {
+		case p == -1:
+			// admitted unverified (min bounding region)
+		case p >= float32(0.2) && p <= 1:
+			verified++
+		default:
+			t.Fatalf("probability %v out of range", p)
+		}
+	}
+	if verified == 0 {
+		t.Fatal("no verified probabilities in the result")
+	}
+	// ES verifies everything, so no -1 entries.
+	es, err := s.ReachES(testQuery(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range es.Probabilities {
+		if p == -1 {
+			t.Fatal("ES result should have no unverified segments")
+		}
+	}
+}
