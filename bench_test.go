@@ -204,6 +204,95 @@ func BenchmarkFig49Union(b *testing.B) {
 	}
 }
 
+// --- Verification fast path ---
+
+// BenchmarkProbe measures the verification inner loop: an exhaustive
+// query is dominated by per-segment probes of the on-disk time lists, so
+// ns/op here tracks the bitset + decoded-cache fast path directly.
+// verified/op reports how many segments each query probes.
+func BenchmarkProbe(b *testing.B) {
+	w := world(b)
+	sys, q := benchQuery(b, w)
+	// Populate the decoded cache the way a warm server would be.
+	if _, err := sys.ReachES(q); err != nil {
+		b.Fatal(err)
+	}
+	var evaluated int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := sys.ReachES(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evaluated += int64(r.Metrics.Evaluated)
+	}
+	b.ReportMetric(float64(evaluated)/float64(b.N), "verified/op")
+}
+
+// BenchmarkProbeColdCache is the same sweep with the decoded time-list
+// cache disabled: every probe decodes blobs through the buffer pool.
+func BenchmarkProbeColdCache(b *testing.B) {
+	w := world(b)
+	sys, err := streach.NewSystemFromData(w.Net, w.DS, streach.IndexConfig{SlotSeconds: 300, TimeListCache: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Warm(11*time.Hour, 10*time.Minute)
+	loc, err := w.QueryLocation()
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := streach.Query{Lat: loc.Lat, Lng: loc.Lng, Start: 11 * time.Hour, Duration: 10 * time.Minute, Prob: 0.2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.ReachES(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReachParallel measures SQMB+TBS throughput under concurrent
+// clients: the engine is safe for concurrent Reach calls, and scaling to
+// 8 clients should be near-linear now that the Con-Index expansion
+// scratch is per-worker and time lists are served from the shared caches.
+func BenchmarkReachParallel(b *testing.B) {
+	w := world(b)
+	sys, q := benchQuery(b, w)
+	if _, err := sys.Reach(q); err != nil { // warm all caches once
+		b.Fatal(err)
+	}
+	for _, clients := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clients-%d", clients), func(b *testing.B) {
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			errs := make(chan error, clients)
+			per := b.N / clients
+			extra := b.N % clients
+			for c := 0; c < clients; c++ {
+				n := per
+				if c < extra {
+					n++
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						if _, err := sys.Reach(q); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(n)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md §5) ---
 
 // benchQuery is the standard ablation query against the shared world.

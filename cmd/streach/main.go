@@ -299,6 +299,10 @@ func printRegion(r *streach.Region) {
 		len(r.SegmentIDs), r.RoadKm)
 	fmt.Printf("processing: %v, %d segments verified, %d page reads, %d pool hits\n",
 		r.Metrics.Elapsed, r.Metrics.Evaluated, r.Metrics.PageReads, r.Metrics.PageHits)
+	if r.Metrics.TLCacheHits+r.Metrics.TLCacheMisses > 0 {
+		fmt.Printf("time-list cache: %d hits, %d misses\n",
+			r.Metrics.TLCacheHits, r.Metrics.TLCacheMisses)
+	}
 	if r.Metrics.MaxRegion > 0 {
 		fmt.Printf("bounding regions: max %d, min %d segments\n",
 			r.Metrics.MaxRegion, r.Metrics.MinRegion)

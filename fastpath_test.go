@@ -1,0 +1,187 @@
+package streach
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"streach/internal/roadnet"
+)
+
+// TestConcurrentReach hammers one System with concurrent forward,
+// exhaustive, and reverse queries (run under -race in CI): results must
+// match the serial answers exactly.
+func TestConcurrentReach(t *testing.T) {
+	s := smallSystem(t)
+	q := testQuery(s)
+
+	serial, err := s.Reach(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialES, err := s.ReachES(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialRev, err := s.ReverseReach(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				var (
+					got  *Region
+					want *Region
+					err  error
+				)
+				switch (g + i) % 3 {
+				case 0:
+					got, err = s.Reach(q)
+					want = serial
+				case 1:
+					got, err = s.ReachES(q)
+					want = serialES
+				default:
+					got, err = s.ReverseReach(q)
+					want = serialRev
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(got.SegmentIDs, want.SegmentIDs) {
+					t.Errorf("goroutine %d: concurrent result has %d segments, serial %d",
+						g, len(got.SegmentIDs), len(want.SegmentIDs))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheMetricsSurfaced checks the decoded time-list cache counters
+// reach the public Metrics: a repeated query must report hits.
+func TestCacheMetricsSurfaced(t *testing.T) {
+	s := smallSystem(t)
+	q := testQuery(s)
+	if _, err := s.Reach(q); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := s.Reach(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Metrics.TLCacheHits == 0 {
+		t.Fatalf("repeat query should hit the decoded cache, metrics: %+v", warm.Metrics)
+	}
+}
+
+// TestWarmCrossingMidnight regression-tests the end-of-day cap: warming a
+// window that runs past midnight must not precompute wrapped slots. With
+// the cap, 23:55+30min warms exactly one slot (the last of the day), so
+// the lists-per-slot ratio of the Con-Index must stay finite and small.
+func TestWarmCrossingMidnight(t *testing.T) {
+	// A private system: the shared one would pollute slot counts.
+	city := CityConfig{
+		OriginLat: 22.50, OriginLng: 114.00,
+		Rows: 4, Cols: 4,
+		SpacingMeters:   900,
+		LocalFraction:   0,
+		ResegmentMeters: 450,
+		Seed:            9,
+	}
+	sys, err := NewSystem(city, FleetConfig{Taxis: 10, Days: 2, Seed: 5}, DefaultIndexConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	before := sys.con.CachedLists()
+	sys.Warm(23*time.Hour+55*time.Minute, 30*time.Minute)
+	after := sys.con.CachedLists()
+	// One slot (the day's last) => exactly 2*NumSegments lists. Without
+	// the cap the wrapped early-morning slots warm too, tripling this.
+	want := 2 * sys.Network().NumSegments()
+	if after-before != want {
+		t.Fatalf("midnight-crossing Warm materialised %d lists, want %d (one slot)", after-before, want)
+	}
+	// Entirely past the end of the day: a no-op, not a wrap-around.
+	sys.Warm(24*time.Hour-time.Nanosecond, time.Hour)
+	if sys.con.CachedLists() != after {
+		t.Fatal("Warm past midnight should be a no-op")
+	}
+}
+
+// TestOpenSystemHonorsFastPathOptions checks the reopened system carries
+// TimeListCache and VerifyWorkers through (regression: OpenSystem used to
+// drop both, silently reverting to defaults).
+func TestOpenSystemHonorsFastPathOptions(t *testing.T) {
+	s := smallSystem(t)
+	dir := t.TempDir()
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenSystem(dir, IndexConfig{TimeListCache: -1, VerifyWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	q := testQuery(s)
+	r, err := reopened.Reach(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := r.Metrics.TLCacheHits, r.Metrics.TLCacheMisses; hits != 0 || misses != 0 {
+		t.Fatalf("decoded cache should be disabled on the reopened system, got %d hits %d misses", hits, misses)
+	}
+}
+
+// TestBusiestLocationMatchesNestedMapScan pins the flat-bitmask rewrite
+// against a straightforward nested-map reference implementation.
+func TestBusiestLocationMatchesNestedMapScan(t *testing.T) {
+	s := smallSystem(t)
+	tod := 11 * time.Hour
+	lo, hi := tod, tod+5*time.Minute
+	type segDay struct {
+		seg int32
+		day int16
+	}
+	seen := map[segDay]bool{}
+	counts := map[int32]int{}
+	for i := range s.ds.Matched {
+		mt := &s.ds.Matched[i]
+		for _, v := range mt.Visits {
+			enter := time.Duration(v.EnterMs) * time.Millisecond
+			if enter >= lo && enter < hi {
+				k := segDay{int32(v.Segment), int16(mt.Day)}
+				if !seen[k] {
+					seen[k] = true
+					counts[k.seg]++
+				}
+			}
+		}
+	}
+	bestSeg, bestN := int32(0), -1
+	for seg, n := range counts {
+		if n > bestN || (n == bestN && seg < bestSeg) {
+			bestSeg, bestN = seg, n
+		}
+	}
+	wantMid := s.net.Segment(roadnet.SegmentID(bestSeg)).Midpoint()
+	got := s.BusiestLocation(tod)
+	if got.Lat != wantMid.Lat || got.Lng != wantMid.Lng {
+		t.Fatalf("BusiestLocation = %+v, reference scan says %+v (seg %d, %d days)",
+			got, wantMid, bestSeg, bestN)
+	}
+}

@@ -1,0 +1,3 @@
+module streach
+
+go 1.22

@@ -80,21 +80,51 @@ type Index struct {
 	sumSpeed []float32
 	cntSpeed []uint32
 
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	nearCache map[int64][]roadnet.SegmentID
 	farCache  map[int64][]roadnet.SegmentID
 
-	// Dijkstra scratch space, reused across expansions (guarded by expMu).
-	expMu      sync.Mutex
-	enterCost  []float64
-	enterStamp []int32
-	stamp      int32
-	pq         entryPQ
+	// scratch pools Dijkstra working state so concurrent expansions never
+	// serialize on a shared mutex: each expansion checks out its own
+	// scratch and returns it when done.
+	scratch sync.Pool
 
 	// Reverse-table caches (see reverse.go), built on first use.
 	revOnce sync.Once
 	rev     *reverseCaches
 }
+
+// expScratch is the per-expansion Dijkstra working state. The stamp trick
+// avoids clearing the n-sized arrays between expansions.
+type expScratch struct {
+	enterCost  []float64
+	enterStamp []int32
+	stamp      int32
+	pq         entryPQ
+}
+
+// getScratch checks out scratch sized for the network.
+func (x *Index) getScratch() *expScratch {
+	sc, _ := x.scratch.Get().(*expScratch)
+	if sc == nil {
+		sc = &expScratch{}
+	}
+	n := x.net.NumSegments()
+	if len(sc.enterCost) != n {
+		sc.enterCost = make([]float64, n)
+		sc.enterStamp = make([]int32, n)
+		sc.stamp = 0
+	}
+	if sc.stamp == 1<<31-1 { // stamp wrap: clear instead of colliding
+		sc.enterStamp = make([]int32, n)
+		sc.stamp = 0
+	}
+	sc.stamp++
+	sc.pq = sc.pq[:0]
+	return sc
+}
+
+func (x *Index) putScratch(sc *expScratch) { x.scratch.Put(sc) }
 
 // Build scans the dataset once to derive per-(segment, slot) speed
 // extremes, then returns the index. List materialisation happens lazily.
@@ -206,15 +236,20 @@ func cacheKey(seg roadnet.SegmentID, slot int) int64 {
 // Far returns F(r, t): the segments enterable from seg within one Δt at
 // the slot's maximum speeds (seg itself included). The returned slice is
 // shared; callers must not modify it.
+//
+// Concurrent cold misses on the same key may each run the expansion and
+// race to store identical lists (last write wins) — duplicate CPU on a
+// cold start, never wrong results. Keeping misses lock-free is the
+// better trade: expansions are pure and queries mostly hit warm keys.
 func (x *Index) Far(seg roadnet.SegmentID, slot int) []roadnet.SegmentID {
 	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
 	key := cacheKey(seg, slot)
-	x.mu.Lock()
-	if got, ok := x.farCache[key]; ok {
-		x.mu.Unlock()
+	x.mu.RLock()
+	got, ok := x.farCache[key]
+	x.mu.RUnlock()
+	if ok {
 		return got
 	}
-	x.mu.Unlock()
 	list := x.expand(seg, slot, true)
 	x.mu.Lock()
 	x.farCache[key] = list
@@ -228,12 +263,12 @@ func (x *Index) Far(seg roadnet.SegmentID, slot int) []roadnet.SegmentID {
 func (x *Index) Near(seg roadnet.SegmentID, slot int) []roadnet.SegmentID {
 	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
 	key := cacheKey(seg, slot)
-	x.mu.Lock()
-	if got, ok := x.nearCache[key]; ok {
-		x.mu.Unlock()
+	x.mu.RLock()
+	got, ok := x.nearCache[key]
+	x.mu.RUnlock()
+	if ok {
 		return got
 	}
-	x.mu.Unlock()
 	list := x.expand(seg, slot, false)
 	x.mu.Lock()
 	x.nearCache[key] = list
@@ -263,27 +298,21 @@ func (x *Index) expand(seg roadnet.SegmentID, slot int, far bool) []roadnet.Segm
 		speeds = x.maxSpeed
 	}
 
-	x.expMu.Lock()
-	defer x.expMu.Unlock()
-	if len(x.enterCost) != n {
-		x.enterCost = make([]float64, n)
-		x.enterStamp = make([]int32, n)
-	}
-	x.stamp++
-	stamp := x.stamp
-	x.pq = x.pq[:0]
-	pq := &x.pq
+	sc := x.getScratch()
+	defer x.putScratch(sc)
+	stamp := sc.stamp
+	pq := &sc.pq
 
 	// enterCost[s]: earliest time s can be entered. Both modes enter the
 	// start segment at time 0; Near must additionally finish traversing
 	// segments (exit <= budget) while Far only needs to enter them.
-	x.enterCost[seg] = 0
-	x.enterStamp[seg] = stamp
+	sc.enterCost[seg] = 0
+	sc.enterStamp[seg] = stamp
 	heap.Push(pq, entryItem{seg, 0})
 	var out []roadnet.SegmentID
 	for pq.Len() > 0 {
 		it := heap.Pop(pq).(entryItem)
-		if x.enterStamp[it.seg] == stamp && it.cost > x.enterCost[it.seg] {
+		if sc.enterStamp[it.seg] == stamp && it.cost > sc.enterCost[it.seg] {
 			continue // stale entry
 		}
 		sp := float64(speeds[base+int(it.seg)])
@@ -311,9 +340,9 @@ func (x *Index) expand(seg roadnet.SegmentID, slot int, far bool) []roadnet.Segm
 			if next == rev && len(succ) > 1 {
 				continue
 			}
-			if x.enterStamp[next] != stamp || exit < x.enterCost[next] {
-				x.enterCost[next] = exit
-				x.enterStamp[next] = stamp
+			if sc.enterStamp[next] != stamp || exit < sc.enterCost[next] {
+				sc.enterCost[next] = exit
+				sc.enterStamp[next] = stamp
 				heap.Push(pq, entryItem{next, exit})
 			}
 		}

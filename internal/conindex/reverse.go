@@ -19,7 +19,7 @@ import (
 // itself to be fully traversed too.
 
 type reverseCaches struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	near map[int64][]roadnet.SegmentID
 	far  map[int64][]roadnet.SegmentID
 }
@@ -41,12 +41,12 @@ func (x *Index) FarReverse(seg roadnet.SegmentID, slot int) []roadnet.SegmentID 
 	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
 	rc := x.revCaches()
 	key := cacheKey(seg, slot)
-	rc.mu.Lock()
-	if got, ok := rc.far[key]; ok {
-		rc.mu.Unlock()
+	rc.mu.RLock()
+	got, ok := rc.far[key]
+	rc.mu.RUnlock()
+	if ok {
 		return got
 	}
-	rc.mu.Unlock()
 	list := x.expandReverse(seg, slot, true)
 	rc.mu.Lock()
 	rc.far[key] = list
@@ -60,12 +60,12 @@ func (x *Index) NearReverse(seg roadnet.SegmentID, slot int) []roadnet.SegmentID
 	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
 	rc := x.revCaches()
 	key := cacheKey(seg, slot)
-	rc.mu.Lock()
-	if got, ok := rc.near[key]; ok {
-		rc.mu.Unlock()
+	rc.mu.RLock()
+	got, ok := rc.near[key]
+	rc.mu.RUnlock()
+	if ok {
 		return got
 	}
-	rc.mu.Unlock()
 	list := x.expandReverse(seg, slot, false)
 	rc.mu.Lock()
 	rc.near[key] = list
@@ -110,24 +110,17 @@ func (x *Index) expandReverse(seg roadnet.SegmentID, slot int, far bool) []roadn
 		effBudget = budget - segTime
 	}
 
-	x.expMu.Lock()
-	defer x.expMu.Unlock()
-	if len(x.enterCost) != n {
-		x.enterCost = make([]float64, n)
-		x.enterStamp = make([]int32, n)
-	}
-	x.stamp++
-	stamp := x.stamp
-
-	x.pq = x.pq[:0]
-	pq := &x.pq
-	x.enterCost[seg] = 0
-	x.enterStamp[seg] = stamp
+	sc := x.getScratch()
+	defer x.putScratch(sc)
+	stamp := sc.stamp
+	pq := &sc.pq
+	sc.enterCost[seg] = 0
+	sc.enterStamp[seg] = stamp
 	heap.Push(pq, entryItem{seg, 0})
 	var out []roadnet.SegmentID
 	for pq.Len() > 0 {
 		it := heap.Pop(pq).(entryItem)
-		if x.enterStamp[it.seg] == stamp && it.cost > x.enterCost[it.seg] {
+		if sc.enterStamp[it.seg] == stamp && it.cost > sc.enterCost[it.seg] {
 			continue
 		}
 		if it.cost > effBudget {
@@ -144,9 +137,9 @@ func (x *Index) expandReverse(seg roadnet.SegmentID, slot int, far bool) []roadn
 			if c > effBudget {
 				continue
 			}
-			if x.enterStamp[prev] != stamp || c < x.enterCost[prev] {
-				x.enterCost[prev] = c
-				x.enterStamp[prev] = stamp
+			if sc.enterStamp[prev] != stamp || c < sc.enterCost[prev] {
+				sc.enterCost[prev] = c
+				sc.enterStamp[prev] = stamp
 				heap.Push(pq, entryItem{prev, c})
 			}
 		}

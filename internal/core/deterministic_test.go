@@ -96,9 +96,10 @@ func TestHandComputedProbabilities(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	w := pr.worker()
 	want := map[roadnet.SegmentID]float64{0: 0.75, 1: 0.5, 2: 0.25}
 	for seg, expected := range want {
-		got, err := pr.prob(seg)
+		got, err := w.prob(seg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -14,7 +14,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"streach/internal/conindex"
@@ -22,7 +25,6 @@ import (
 	"streach/internal/roadnet"
 	"streach/internal/stindex"
 	"streach/internal/storage"
-	"streach/internal/traj"
 )
 
 // Query is a single-location ST reachability query (s-query).
@@ -54,6 +56,11 @@ type Metrics struct {
 	Evaluated int
 	// IO is the buffer-pool activity attributed to the query.
 	IO storage.IOStats
+	// TLCacheHits and TLCacheMisses count decoded time-list cache
+	// activity attributed to the query: hits skipped the buffer pool and
+	// blob decoding entirely. Under concurrent queries the counters are
+	// shared, so per-query attribution is approximate (same as IO).
+	TLCacheHits, TLCacheMisses int64
 	// MaxRegion and MinRegion are the bounding-region sizes (SQMB/MQMB
 	// only; zero for ES).
 	MaxRegion, MinRegion int
@@ -105,6 +112,11 @@ type Options struct {
 	// NoOverlapFilter disables MQMB's overlap elimination (Algorithm 3
 	// lines 7–10). Ablation only.
 	NoOverlapFilter bool
+	// VerifyWorkers bounds the worker pool that verifies candidate
+	// segments in parallel during TBS (probes are read-only once the
+	// start sets are materialized). 0 uses GOMAXPROCS; 1 forces the
+	// serial path.
+	VerifyWorkers int
 }
 
 // Engine answers reachability queries over one indexed dataset.
@@ -163,7 +175,7 @@ func (e *Engine) slotWindow(start, dur time.Duration) (lo, hi int) {
 }
 
 // finish fills the derived metrics fields and sorts the result.
-func (e *Engine) finish(res *Result, began time.Time, io0 storage.IOStats) {
+func (e *Engine) finish(res *Result, began time.Time, io0 storage.IOStats, tl0 stindex.CacheStats) {
 	sort.Slice(res.Segments, func(i, j int) bool { return res.Segments[i] < res.Segments[j] })
 	var km float64
 	for _, s := range res.Segments {
@@ -172,78 +184,102 @@ func (e *Engine) finish(res *Result, began time.Time, io0 storage.IOStats) {
 	res.Metrics.RoadKm = km
 	res.Metrics.ResultSegments = len(res.Segments)
 	res.Metrics.IO = e.st.Pool().Stats().Sub(io0)
+	tl := e.st.CacheStats().Sub(tl0)
+	res.Metrics.TLCacheHits = tl.Hits
+	res.Metrics.TLCacheMisses = tl.Misses
 	res.Metrics.Elapsed = time.Since(began)
 }
 
 // probe verifies reachability probabilities against the ST-Index time
-// lists. It caches the per-day start sets of each query source.
+// lists. The per-day start sets of each query source are materialized
+// once as taxi bitsets; after that every prob call is read-only, so any
+// number of workers may verify candidate segments concurrently, each with
+// its own scratch (worker()).
 type probe struct {
 	e *Engine
-	// starts[i][d] is the sorted taxi list seen at source i's segment
-	// during the start slot on day d.
-	starts    []map[traj.Day][]traj.TaxiID
+	// starts[i][d] is the taxi bitset seen at source i's segment during
+	// the start slot on day d (nil when the day has no traffic).
+	starts    [][][]uint64
 	loSlot    int
 	hiSlot    int
 	days      int
-	evaluated int
-	// matched is per-call scratch: matched[source][day].
-	matched [][]bool
+	evaluated atomic.Int64
 }
 
 // newProbe reads each source's start-slot time list once.
 func (e *Engine) newProbe(sources []roadnet.SegmentID, startSlot, loSlot, hiSlot int) (*probe, error) {
 	p := &probe{
 		e:      e,
-		starts: make([]map[traj.Day][]traj.TaxiID, len(sources)),
+		starts: make([][][]uint64, len(sources)),
 		loSlot: loSlot,
 		hiSlot: hiSlot,
 		days:   e.st.Days(),
 	}
 	for i, src := range sources {
-		tl, err := e.st.TimeListAt(src, startSlot)
+		bits, err := e.st.TimeListBitsAt(src, startSlot)
 		if err != nil {
 			return nil, err
 		}
-		m := make(map[traj.Day][]traj.TaxiID, len(tl.Days))
-		for j, d := range tl.Days {
-			m[d] = tl.Taxis[j] // already sorted by the index encoder
+		byDay := make([][]uint64, p.days)
+		for j, d := range bits.Days {
+			if int(d) < p.days {
+				byDay[d] = bits.Bits[j]
+			}
 		}
-		p.starts[i] = m
-	}
-	p.matched = make([][]bool, len(sources))
-	for i := range p.matched {
-		p.matched[i] = make([]bool, p.days)
+		p.starts[i] = byDay
 	}
 	return p, nil
 }
 
+// probeWorker carries one verifier's scratch. Workers are cheap; create
+// one per goroutine that calls prob.
+type probeWorker struct {
+	p *probe
+	// matched[source][day] is per-call scratch.
+	matched [][]bool
+	// lists is the reusable time-list fetch buffer.
+	lists []*stindex.TimeListBits
+}
+
+// worker returns a fresh verifier over the probe's shared start sets.
+func (p *probe) worker() *probeWorker {
+	w := &probeWorker{p: p, matched: make([][]bool, len(p.starts))}
+	for i := range w.matched {
+		w.matched[i] = make([]bool, p.days)
+	}
+	return w
+}
+
 // prob returns max over sources of probability(seg, source): the fraction
 // of days on which some trajectory appears both in the source's start
-// window and at seg within the query window (Eq. 3.1).
-func (p *probe) prob(seg roadnet.SegmentID) (float64, error) {
-	p.evaluated++
+// window and at seg within the query window (Eq. 3.1). The per-day taxi
+// intersections are word-AND loops over bitsets, and the window's time
+// lists are fetched in one batch.
+func (w *probeWorker) prob(seg roadnet.SegmentID) (float64, error) {
+	p := w.p
+	p.evaluated.Add(1)
 	nsrc := len(p.starts)
-	matched := p.matched
-	for i := range matched {
-		for d := range matched[i] {
-			matched[i][d] = false
+	for i := range w.matched {
+		for d := range w.matched[i] {
+			w.matched[i][d] = false
 		}
 	}
-	for slot := p.loSlot; slot <= p.hiSlot; slot++ {
-		tl, err := p.e.st.TimeListAt(seg, slot)
-		if err != nil {
-			return 0, err
-		}
-		for j, d := range tl.Days {
+	lists, err := p.e.st.TimeListsRange(seg, p.loSlot, p.hiSlot, w.lists[:0])
+	if err != nil {
+		return 0, err
+	}
+	w.lists = lists[:0]
+	for _, bits := range lists {
+		for j, d := range bits.Days {
 			if int(d) >= p.days {
 				continue
 			}
 			for i := 0; i < nsrc; i++ {
-				if matched[i][d] {
+				if w.matched[i][d] {
 					continue
 				}
-				if intersectSorted(p.starts[i][d], tl.Taxis[j]) {
-					matched[i][d] = true
+				if stindex.BitsIntersect(p.starts[i][d], bits.Bits[j]) {
+					w.matched[i][d] = true
 				}
 			}
 		}
@@ -251,7 +287,7 @@ func (p *probe) prob(seg roadnet.SegmentID) (float64, error) {
 	best := 0.0
 	for i := 0; i < nsrc; i++ {
 		n := 0
-		for _, ok := range matched[i] {
+		for _, ok := range w.matched[i] {
 			if ok {
 				n++
 			}
@@ -263,19 +299,73 @@ func (p *probe) prob(seg roadnet.SegmentID) (float64, error) {
 	return best, nil
 }
 
-// intersectSorted reports whether two ascending TaxiID slices share an
-// element.
-func intersectSorted(a, b []traj.TaxiID) bool {
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			return true
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
-		}
+// verifyWorkers resolves the configured verification parallelism.
+func (e *Engine) verifyWorkers() int {
+	if e.opts.VerifyWorkers > 0 {
+		return e.opts.VerifyWorkers
 	}
-	return false
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelVerifyThreshold is the candidate count below which spawning
+// workers costs more than it saves.
+const parallelVerifyThreshold = 16
+
+// verifyMany evaluates prob for every segment with a bounded worker pool
+// and returns the probabilities aligned with segs. newWorker must return
+// an independent prob function per goroutine (workers share only
+// read-only state). Results are deterministic: out[i] depends only on
+// segs[i].
+func (e *Engine) verifyMany(segs []roadnet.SegmentID, newWorker func() func(roadnet.SegmentID) (float64, error)) ([]float64, error) {
+	out := make([]float64, len(segs))
+	if len(segs) == 0 {
+		return out, nil
+	}
+	workers := e.verifyWorkers()
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	if workers <= 1 || len(segs) < parallelVerifyThreshold {
+		prob := newWorker()
+		for i, s := range segs {
+			p, err := prob(s)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = p
+		}
+		return out, nil
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errOnce sync.Once
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prob := newWorker()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(segs) || failed.Load() {
+					return
+				}
+				p, err := prob(segs[i])
+				if err != nil {
+					errOnce.Do(func() { firstEr = err })
+					failed.Store(true)
+					return
+				}
+				out[i] = p
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() {
+		return nil, firstEr
+	}
+	return out, nil
 }

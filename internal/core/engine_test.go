@@ -76,23 +76,24 @@ func TestProbeReusedAcrossCalls(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a1, err := pr.prob(r0)
+	w := pr.worker()
+	a1, err := w.prob(r0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A far-away segment should have a (likely) different, valid prob.
 	far := roadnet.SegmentID(e.net.NumSegments() - 1)
-	if _, err := pr.prob(far); err != nil {
+	if _, err := w.prob(far); err != nil {
 		t.Fatal(err)
 	}
-	a2, err := pr.prob(r0)
+	a2, err := w.prob(r0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a1 != a2 {
 		t.Fatalf("prob(r0) changed between calls: %v vs %v", a1, a2)
 	}
-	if pr.evaluated != 3 {
-		t.Fatalf("evaluated = %d, want 3", pr.evaluated)
+	if pr.evaluated.Load() != 3 {
+		t.Fatalf("evaluated = %d, want 3", pr.evaluated.Load())
 	}
 }

@@ -23,6 +23,7 @@ func (e *Engine) ES(q Query) (*Result, error) {
 	}
 	began := now()
 	io0 := e.st.Pool().Stats()
+	tl0 := e.st.CacheStats()
 
 	r0, ok := e.st.SnapLocation(q.Location)
 	if !ok {
@@ -33,6 +34,7 @@ func (e *Engine) ES(q Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	w := pr.worker()
 
 	// Worst-case travel budget in metres.
 	budget := q.Duration.Seconds() * roadnet.Highway.FreeFlowSpeed()
@@ -43,7 +45,7 @@ func (e *Engine) ES(q Query) (*Result, error) {
 		if expandErr != nil {
 			return false
 		}
-		p, err := pr.prob(r)
+		p, err := w.prob(r)
 		if err != nil {
 			expandErr = err
 			return false
@@ -57,7 +59,7 @@ func (e *Engine) ES(q Query) (*Result, error) {
 	if expandErr != nil {
 		return nil, expandErr
 	}
-	res.Metrics.Evaluated = pr.evaluated
-	e.finish(res, began, io0)
+	res.Metrics.Evaluated = int(pr.evaluated.Load())
+	e.finish(res, began, io0, tl0)
 	return res, nil
 }

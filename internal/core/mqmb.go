@@ -21,6 +21,7 @@ func (e *Engine) MQMB(q MultiQuery) (*Result, error) {
 	}
 	began := now()
 	io0 := e.st.Pool().Stats()
+	tl0 := e.st.CacheStats()
 
 	starts := make([]roadnet.SegmentID, 0, len(q.Locations))
 	seen := map[roadnet.SegmentID]bool{}
@@ -44,7 +45,7 @@ func (e *Engine) MQMB(q MultiQuery) (*Result, error) {
 	}
 	res.Metrics.MaxRegion = maxReg.size()
 	res.Metrics.MinRegion = minReg.size()
-	e.finish(res, began, io0)
+	e.finish(res, began, io0, tl0)
 	return res, nil
 }
 
@@ -60,6 +61,7 @@ func (e *Engine) SQuerySequential(q MultiQuery) (*Result, error) {
 	}
 	began := now()
 	io0 := e.st.Pool().Stats()
+	tl0 := e.st.CacheStats()
 
 	union := map[roadnet.SegmentID]bool{}
 	res := &Result{}
@@ -79,7 +81,7 @@ func (e *Engine) SQuerySequential(q MultiQuery) (*Result, error) {
 	for s := range union {
 		res.Segments = append(res.Segments, s)
 	}
-	e.finish(res, began, io0)
+	e.finish(res, began, io0, tl0)
 	return res, nil
 }
 

@@ -2,10 +2,11 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"streach/internal/roadnet"
-	"streach/internal/traj"
+	"streach/internal/stindex"
 )
 
 // Reverse reachability queries answer the mirror question: from which
@@ -20,43 +21,53 @@ import (
 // with the roles of the endpoints swapped.
 
 // reverseProbe verifies reverse reachability probabilities. The
-// destination's day sets over the whole window are read once; each
-// candidate then costs a single start-slot time list read.
+// destination's per-day taxi bitsets over the whole window are OR-folded
+// once; each candidate then costs a single start-slot time list read and
+// a word-AND loop per shared day. After construction the probe is
+// read-only, so prob is safe to call from any number of goroutines.
 type reverseProbe struct {
-	e         *Engine
-	targets   map[traj.Day]map[traj.TaxiID]bool
+	e *Engine
+	// targets[d] is the bitset of taxis seen at the destination during
+	// the window on day d (nil when the day has none).
+	targets   [][]uint64
 	startSlot int
 	days      int
-	evaluated int
+	evaluated atomic.Int64
 }
 
 func (e *Engine) newReverseProbe(dst roadnet.SegmentID, startSlot, loSlot, hiSlot int) (*reverseProbe, error) {
-	targets, err := e.st.DaySets(dst, loSlot, hiSlot)
+	lists, err := e.st.TimeListsRange(dst, loSlot, hiSlot, nil)
 	if err != nil {
 		return nil, err
 	}
-	return &reverseProbe{e: e, targets: targets, startSlot: startSlot, days: e.st.Days()}, nil
+	p := &reverseProbe{e: e, startSlot: startSlot, days: e.st.Days()}
+	p.targets = make([][]uint64, p.days)
+	for _, bits := range lists {
+		for j, d := range bits.Days {
+			if int(d) >= p.days {
+				continue
+			}
+			p.targets[d] = stindex.OrBits(p.targets[d], bits.Bits[j])
+		}
+	}
+	return p, nil
 }
 
 // prob returns the fraction of days on which some trajectory appears at
 // seg in the start window and at the destination within the full window.
 func (p *reverseProbe) prob(seg roadnet.SegmentID) (float64, error) {
-	p.evaluated++
-	tl, err := p.e.st.TimeListAt(seg, p.startSlot)
+	p.evaluated.Add(1)
+	bits, err := p.e.st.TimeListBitsAt(seg, p.startSlot)
 	if err != nil {
 		return 0, err
 	}
 	matched := 0
-	for i, d := range tl.Days {
-		set := p.targets[d]
-		if set == nil {
+	for i, d := range bits.Days {
+		if int(d) >= p.days {
 			continue
 		}
-		for _, taxi := range tl.Taxis[i] {
-			if set[taxi] {
-				matched++
-				break
-			}
+		if stindex.BitsIntersect(p.targets[d], bits.Bits[i]) {
+			matched++
 		}
 	}
 	return float64(matched) / float64(p.days), nil
@@ -71,6 +82,7 @@ func (e *Engine) ReverseES(q Query) (*Result, error) {
 	}
 	began := now()
 	io0 := e.st.Pool().Stats()
+	tl0 := e.st.CacheStats()
 
 	dst, ok := e.st.SnapLocation(q.Location)
 	if !ok {
@@ -100,8 +112,8 @@ func (e *Engine) ReverseES(q Query) (*Result, error) {
 	if expandErr != nil {
 		return nil, expandErr
 	}
-	res.Metrics.Evaluated = pr.evaluated
-	e.finish(res, began, io0)
+	res.Metrics.Evaluated = int(pr.evaluated.Load())
+	e.finish(res, began, io0, tl0)
 	return res, nil
 }
 
@@ -188,6 +200,7 @@ func (e *Engine) ReverseSQMB(q Query) (*Result, error) {
 	}
 	began := now()
 	io0 := e.st.Pool().Stats()
+	tl0 := e.st.CacheStats()
 
 	dst, ok := e.st.SnapLocation(q.Location)
 	if !ok {
@@ -204,39 +217,37 @@ func (e *Engine) ReverseSQMB(q Query) (*Result, error) {
 	res := &Result{Starts: []roadnet.SegmentID{dst}, Probability: map[roadnet.SegmentID]float64{}}
 	include := make(map[roadnet.SegmentID]bool, maxReg.size())
 
-	if e.opts.VerifyAll {
-		for _, s := range maxReg.segs {
-			p, err := pr.prob(s)
-			if err != nil {
-				return nil, err
-			}
-			if p >= q.Prob {
-				include[s] = true
-				res.Probability[s] = p
-			}
-		}
-	} else {
+	// The reverse probe is read-only after construction, so candidates
+	// verify on the same bounded worker pool as the forward TBS.
+	order := maxReg.segs
+	if !e.opts.VerifyAll {
+		order = make([]roadnet.SegmentID, 0, maxReg.size())
 		for _, s := range maxReg.segs {
 			if minReg.has(s) {
 				include[s] = true
 				continue
 			}
-			p, err := pr.prob(s)
-			if err != nil {
-				return nil, err
-			}
-			if p >= q.Prob {
-				include[s] = true
-				res.Probability[s] = p
-			}
+			order = append(order, s)
+		}
+	}
+	probs, err := e.verifyMany(order, func() func(roadnet.SegmentID) (float64, error) {
+		return pr.prob
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range order {
+		if probs[i] >= q.Prob {
+			include[s] = true
+			res.Probability[s] = probs[i]
 		}
 	}
 	for s := range include {
 		res.Segments = append(res.Segments, s)
 	}
-	res.Metrics.Evaluated = pr.evaluated
+	res.Metrics.Evaluated = int(pr.evaluated.Load())
 	res.Metrics.MaxRegion = maxReg.size()
 	res.Metrics.MinRegion = minReg.size()
-	e.finish(res, began, io0)
+	e.finish(res, began, io0, tl0)
 	return res, nil
 }

@@ -94,6 +94,7 @@ func (e *Engine) SQMB(q Query) (*Result, error) {
 	}
 	began := now()
 	io0 := e.st.Pool().Stats()
+	tl0 := e.st.CacheStats()
 
 	r0, ok := e.st.SnapLocation(q.Location)
 	if !ok {
@@ -109,7 +110,7 @@ func (e *Engine) SQMB(q Query) (*Result, error) {
 	}
 	res.Metrics.MaxRegion = maxReg.size()
 	res.Metrics.MinRegion = minReg.size()
-	e.finish(res, began, io0)
+	e.finish(res, began, io0, tl0)
 	return res, nil
 }
 

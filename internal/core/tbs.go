@@ -39,17 +39,29 @@ func (e *Engine) traceBack(starts []roadnet.SegmentID, maxReg, minReg *region, s
 	}
 	include := make(map[roadnet.SegmentID]bool, maxReg.size())
 
+	// verify runs the bounded worker pool over an ordered candidate list
+	// and folds qualifiers into the result (order-independent: each
+	// segment's probability depends only on the segment).
+	verify := func(order []roadnet.SegmentID) error {
+		probs, err := e.verifyMany(order, func() func(roadnet.SegmentID) (float64, error) {
+			return pr.worker().prob
+		})
+		if err != nil {
+			return err
+		}
+		for i, s := range order {
+			if probs[i] >= prob {
+				include[s] = true
+				res.Probability[s] = probs[i]
+			}
+		}
+		return nil
+	}
+
 	switch {
 	case e.opts.VerifyAll:
-		for _, s := range maxReg.segs {
-			p, err := pr.prob(s)
-			if err != nil {
-				return nil, err
-			}
-			if p >= prob {
-				include[s] = true
-				res.Probability[s] = p
-			}
+		if err := verify(maxReg.segs); err != nil {
+			return nil, err
 		}
 
 	case e.opts.EarlyStop:
@@ -75,22 +87,15 @@ func (e *Engine) traceBack(starts []roadnet.SegmentID, maxReg, minReg *region, s
 			}
 			return order[i] < order[j]
 		})
-		for _, s := range order {
-			p, err := pr.prob(s)
-			if err != nil {
-				return nil, err
-			}
-			if p >= prob {
-				include[s] = true
-				res.Probability[s] = p
-			}
+		if err := verify(order); err != nil {
+			return nil, err
 		}
 	}
 
 	for s := range include {
 		res.Segments = append(res.Segments, s)
 	}
-	res.Metrics.Evaluated = pr.evaluated
+	res.Metrics.Evaluated = int(pr.evaluated.Load())
 	return res, nil
 }
 
@@ -98,7 +103,10 @@ func (e *Engine) traceBack(starts []roadnet.SegmentID, maxReg, minReg *region, s
 // seed with the outer boundary, stop branches at qualifying segments,
 // expand through failing ones, and admit everything the wave never
 // reached (the minimum region and the shielded interior) unverified.
+// The wave is inherently sequential — whether a segment is probed depends
+// on its neighbours' outcomes — so it runs on a single worker.
 func (e *Engine) earlyStopWave(maxReg, minReg *region, pr *probe, prob float64, include map[roadnet.SegmentID]bool, probs map[roadnet.SegmentID]float64) error {
+	w := pr.worker()
 	visited := make(map[roadnet.SegmentID]bool, maxReg.size())
 	var queue []roadnet.SegmentID
 	for _, s := range maxReg.segs {
@@ -138,7 +146,7 @@ func (e *Engine) earlyStopWave(maxReg, minReg *region, pr *probe, prob float64, 
 			}
 			budget--
 		}
-		p, err := pr.prob(r)
+		p, err := w.prob(r)
 		if err != nil {
 			return err
 		}

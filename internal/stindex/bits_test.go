@@ -1,0 +1,211 @@
+package stindex
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"streach/internal/roadnet"
+)
+
+// randomRun builds a sorted, deduplicated packed-tuple run for one
+// (slot, segment) pair.
+func randomRun(rng *rand.Rand, slot, seg, maxDay, maxTaxi, n int) []uint64 {
+	if n > maxDay*maxTaxi {
+		n = maxDay * maxTaxi // can't draw more distinct tuples than exist
+	}
+	seen := map[uint64]bool{}
+	var run []uint64
+	for len(run) < n {
+		t := packTuple(slot, seg, rng.Intn(maxDay), rng.Intn(maxTaxi))
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		run = append(run, t)
+	}
+	sortTuples(run)
+	return run
+}
+
+func sortTuples(run []uint64) {
+	for i := 1; i < len(run); i++ {
+		for j := i; j > 0 && run[j] < run[j-1]; j-- {
+			run[j], run[j-1] = run[j-1], run[j]
+		}
+	}
+}
+
+func TestBitsCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		run := randomRun(rng, 3, 9, 1+rng.Intn(120), 1+rng.Intn(400), 1+rng.Intn(80))
+		// Reference decode: the legacy encoder over the same run.
+		legacy, err := decodeTimeList(encodeTimeListRun(run))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits, err := decodeTimeListBits(encodeTimeListBitsRun(run))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := bits.TimeList()
+		if !reflect.DeepEqual(got.Days, legacy.Days) {
+			t.Fatalf("trial %d: days %v != %v", trial, got.Days, legacy.Days)
+		}
+		if !reflect.DeepEqual(got.Taxis, legacy.Taxis) {
+			t.Fatalf("trial %d: taxis %v != %v", trial, got.Taxis, legacy.Taxis)
+		}
+		// The day mask must agree with the day list.
+		for _, d := range bits.Days {
+			if bits.DayMask[int(d)>>6]&(1<<(uint(d)&63)) == 0 {
+				t.Fatalf("trial %d: day %d missing from mask", trial, d)
+			}
+		}
+	}
+}
+
+func TestAdaptiveEncodingPicksSmaller(t *testing.T) {
+	// Sparse: one high-ID taxi on one day — the u32 list wins.
+	sparse := []uint64{packTuple(0, 0, 3, 500)}
+	if blob := encodeTimeListRunAdaptive(sparse); isBitsBlob(blob) {
+		t.Fatalf("sparse run should stay in list form, got %d-byte bitset blob", len(blob))
+	}
+	// Dense: 60 low-ID taxis on one day — the bitset wins.
+	var dense []uint64
+	for taxi := 0; taxi < 60; taxi++ {
+		dense = append(dense, packTuple(0, 0, 3, taxi))
+	}
+	if blob := encodeTimeListRunAdaptive(dense); !isBitsBlob(blob) {
+		t.Fatalf("dense run should be bitset-encoded, got %d-byte list blob", len(blob))
+	}
+	// Both decode to the same lists through the bitset path.
+	for _, run := range [][]uint64{sparse, dense} {
+		a, err := decodeTimeListBits(encodeTimeListRunAdaptive(run))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := decodeTimeListBits(encodeTimeListBitsRun(run))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.TimeList(), b.TimeList()) {
+			t.Fatal("adaptive and bitset decodes differ")
+		}
+	}
+}
+
+func TestBitsDecodeLegacyBlob(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	run := randomRun(rng, 1, 2, 30, 250, 40)
+	legacyBlob := encodeTimeListRun(run)
+	bits, err := decodeTimeListBits(legacyBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := decodeTimeList(legacyBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := bits.TimeList()
+	if !reflect.DeepEqual(got.Days, legacy.Days) || !reflect.DeepEqual(got.Taxis, legacy.Taxis) {
+		t.Fatal("legacy blob decoded through the bitset path differs")
+	}
+}
+
+func TestBitsEmptyBlob(t *testing.T) {
+	b, err := decodeTimeListBits(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Days) != 0 || len(b.Bits) != 0 {
+		t.Fatal("empty blob should decode to an empty list")
+	}
+}
+
+func TestMultiWordDayMask(t *testing.T) {
+	run := []uint64{
+		packTuple(0, 0, 2, 5),
+		packTuple(0, 0, 2, 70),
+		packTuple(0, 0, 65, 1),
+	}
+	b, err := decodeTimeListBits(encodeTimeListBitsRun(run))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Days) != 2 || b.Days[0] != 2 || b.Days[1] != 65 {
+		t.Fatalf("days = %v, want [2 65]", b.Days)
+	}
+	if got := b.Bits[0]; got[0]&(1<<5) == 0 || got[1]&(1<<6) == 0 {
+		t.Fatalf("day 2 bitset wrong: %v", got)
+	}
+	if got := b.Bits[1]; got[0]&(1<<1) == 0 {
+		t.Fatalf("day 65 bitset wrong: %v", got)
+	}
+	if len(b.DayMask) != 2 || b.DayMask[0] != 1<<2 || b.DayMask[1] != 1<<1 {
+		t.Fatalf("day mask = %v", b.DayMask)
+	}
+}
+
+func TestBitsIntersect(t *testing.T) {
+	cases := []struct {
+		a, b []uint64
+		want bool
+	}{
+		{nil, nil, false},
+		{[]uint64{1}, nil, false},
+		{[]uint64{0b101}, []uint64{0b010}, false},
+		{[]uint64{0b101}, []uint64{0b100}, true},
+		{[]uint64{0, 1 << 9}, []uint64{0, 1 << 9}, true},
+		{[]uint64{0, 1 << 9}, []uint64{1 << 9}, false}, // different words
+	}
+	for i, c := range cases {
+		if got := BitsIntersect(c.a, c.b); got != c.want {
+			t.Fatalf("case %d: BitsIntersect = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestOrBits(t *testing.T) {
+	dst := OrBits(nil, []uint64{0b01, 0, 1 << 63})
+	dst = OrBits(dst, []uint64{0b10})
+	if dst[0] != 0b11 || dst[2] != 1<<63 {
+		t.Fatalf("OrBits = %v", dst)
+	}
+}
+
+func TestTimeListsRangeMatchesTimeListAt(t *testing.T) {
+	n := testNetwork(t)
+	ds := testDataset(t, n)
+	idx := buildIndex(t, n, ds)
+	defer idx.Close()
+
+	lo, hi := 9*12, 9*12+11 // the simulated active window, 09:00–10:00
+	for seg := 0; seg < n.NumSegments(); seg++ {
+		lists, err := idx.TimeListsRange(roadnet.SegmentID(seg), lo, hi, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lists) != hi-lo+1 {
+			t.Fatalf("range returned %d lists, want %d", len(lists), hi-lo+1)
+		}
+		for s := lo; s <= hi; s++ {
+			single, err := idx.TimeListAt(roadnet.SegmentID(seg), s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			batch := lists[s-lo].TimeList()
+			if !reflect.DeepEqual(batch.Days, single.Days) || !reflect.DeepEqual(batch.Taxis, single.Taxis) {
+				t.Fatalf("seg %d slot %d: range decode differs from single decode", seg, s)
+			}
+		}
+	}
+	// Out-of-range slots decode as empty, matching TimeListAt.
+	lists, err := idx.TimeListsRange(0, idx.NumSlots()-1, idx.NumSlots()+1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lists) != 3 || len(lists[1].Days) != 0 || len(lists[2].Days) != 0 {
+		t.Fatalf("out-of-range slots should be empty, got %d lists", len(lists))
+	}
+}

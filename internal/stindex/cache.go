@@ -1,0 +1,103 @@
+package stindex
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheStats counts decoded time-list cache activity. Hits skip both the
+// buffer pool and blob decoding entirely.
+type CacheStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// Sub returns the delta s - o, used to attribute cache activity to one
+// query.
+func (s CacheStats) Sub(o CacheStats) CacheStats {
+	return CacheStats{Hits: s.Hits - o.Hits, Misses: s.Misses - o.Misses}
+}
+
+// tlCache is a small LRU of decoded TimeListBits keyed by
+// slot*numSegments+segment. It sits above the buffer pool: a hit costs a
+// map lookup, a miss costs a (buffered) blob read plus a decode. The
+// cached values are shared and immutable — the index never mutates a list
+// after Build.
+type tlCache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // of *tlEntry, front = most recent
+	entries  map[int]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type tlEntry struct {
+	key  int
+	bits *TimeListBits
+}
+
+func newTLCache(capacity int) *tlCache {
+	if capacity <= 0 {
+		return nil // disabled
+	}
+	return &tlCache{
+		capacity: capacity,
+		lru:      list.New(),
+		entries:  make(map[int]*list.Element, capacity),
+	}
+}
+
+// get returns the cached decode, counting a hit or miss.
+func (c *tlCache) get(key int) (*TimeListBits, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if ok {
+		c.lru.MoveToFront(el)
+		b := el.Value.(*tlEntry).bits
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return b, true
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return nil, false
+}
+
+// put inserts a decode, evicting the LRU entry when over capacity.
+func (c *tlCache) put(key int, b *TimeListBits) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*tlEntry).bits = b
+		c.mu.Unlock()
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&tlEntry{key: key, bits: b})
+	for c.lru.Len() > c.capacity {
+		tail := c.lru.Back()
+		delete(c.entries, tail.Value.(*tlEntry).key)
+		c.lru.Remove(tail)
+	}
+	c.mu.Unlock()
+}
+
+// stats snapshots the counters.
+func (c *tlCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
+}
+
+// len reports the resident entry count.
+func (c *tlCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

@@ -24,9 +24,13 @@ import (
 //	baseDate unix s i64 | numSegments u32 | blob tail i64 |
 //	numHandles u32 | numHandles x (offset i64, length i32)
 
+// Version history: v1 indexes hold sorted-ID time-list blobs, v2 indexes
+// hold bitset blobs (bits.go). Blobs are self-tagged, so v1 indexes load
+// and decode transparently; new indexes are always saved as v2.
 const (
-	metaMagic   = "STIX"
-	metaVersion = 1
+	metaMagic      = "STIX"
+	metaVersion    = 2
+	metaVersionMin = 1
 )
 
 // SaveMeta writes the index metadata. The page store must be flushed (or
@@ -119,7 +123,7 @@ func LoadIndex(net *roadnet.Network, cfg Config, meta io.Reader) (*Index, error)
 	if err != nil {
 		return nil, fmt.Errorf("stindex: read meta version: %w", err)
 	}
-	if ver != metaVersion {
+	if ver < metaVersionMin || ver > metaVersion {
 		return nil, fmt.Errorf("stindex: unsupported meta version %d", ver)
 	}
 	slotSec, err := u32()
@@ -171,6 +175,7 @@ func LoadIndex(net *roadnet.Network, cfg Config, meta io.Reader) (*Index, error)
 		pool:     pool,
 		blob:     storage.ReopenBlobFile(pool, int64(tail)),
 		handles:  make([]storage.BlobHandle, numHandles),
+		cache:    newTLCache(cfg.TimeListCache),
 	}
 	for s := 0; s < numSlots; s++ {
 		idx.temporal.Put(int64(s*int(slotSec)), int64(s))

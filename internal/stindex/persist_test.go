@@ -164,7 +164,7 @@ func TestSaveLoadPreservesProbeSemantics(t *testing.T) {
 		mt := &ds.Matched[i]
 		v := mt.Visits[len(mt.Visits)/3]
 		slot := idx.SlotOf(v.Enter(ds.DayStart(mt.Day)))
-		sets, err := idx.DaySets(v.Segment, slot, slot+2)
+		sets, err := daySets(idx, v.Segment, slot, slot+2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -188,7 +188,7 @@ func TestSaveLoadPreservesProbeSemantics(t *testing.T) {
 	}
 	defer idx2.Close()
 	for i, s := range samples {
-		sets, err := idx2.DaySets(s.seg, s.slot, s.slot+2)
+		sets, err := daySets(idx2, s.seg, s.slot, s.slot+2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -201,4 +201,26 @@ func TestSaveLoadPreservesProbeSemantics(t *testing.T) {
 			}
 		}
 	}
+}
+
+// daySets merges a slot window's per-day taxi sets via TimeListsRange —
+// the digest the round-trip test compares before and after reload.
+func daySets(idx *Index, seg roadnet.SegmentID, lo, hi int) (map[traj.Day]map[traj.TaxiID]bool, error) {
+	lists, err := idx.TimeListsRange(seg, lo, hi, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := map[traj.Day]map[traj.TaxiID]bool{}
+	for _, b := range lists {
+		tl := b.TimeList()
+		for i, d := range tl.Days {
+			if out[d] == nil {
+				out[d] = map[traj.TaxiID]bool{}
+			}
+			for _, taxi := range tl.Taxis[i] {
+				out[d][taxi] = true
+			}
+		}
+	}
+	return out, nil
 }

@@ -9,8 +9,12 @@
 //  3. per-(segment, slot) *time lists*: for each date in the dataset, the
 //     IDs of the trajectories that traversed the segment during the slot.
 //
-// Time lists live on disk as blobs behind a buffer pool; reading one is
-// the unit of I/O the evaluation charges queries for.
+// Time lists live on disk as bitset-encoded blobs (bits.go) behind a
+// buffer pool; reading one is the unit of I/O the evaluation charges
+// queries for. A decoded-list LRU (cache.go) sits above the pool so hot
+// (segment, slot) pairs skip page access and decoding entirely, and
+// TimeListsRange batches a probe window's reads so shared pages are
+// fetched once per probe. See DESIGN.md §2–3.
 package stindex
 
 import (
@@ -32,6 +36,11 @@ type Config struct {
 	SlotSeconds int
 	// PoolPages is the buffer pool capacity in pages (default 256).
 	PoolPages int
+	// TimeListCache is the decoded time-list LRU capacity in entries
+	// (default 8192, negative disables). The cache sits above the buffer
+	// pool: repeated probes of hot (segment, slot) pairs skip page access
+	// and blob decoding entirely.
+	TimeListCache int
 	// Store is the page backend; nil means a fresh in-memory store.
 	Store storage.Store
 }
@@ -42,6 +51,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PoolPages <= 0 {
 		c.PoolPages = 256
+	}
+	if c.TimeListCache == 0 {
+		c.TimeListCache = 8192
 	}
 	if c.Store == nil {
 		c.Store = storage.NewMemStore()
@@ -79,6 +91,8 @@ type Index struct {
 	blob     *storage.BlobFile
 	// handles[slot*numSegments + segment] locates the time list blob.
 	handles []storage.BlobHandle
+	// cache holds decoded time lists (nil when disabled).
+	cache *tlCache
 }
 
 // Build constructs the ST-Index over the dataset. Every visit contributes
@@ -109,6 +123,7 @@ func Build(net *roadnet.Network, ds *traj.Dataset, cfg Config) (*Index, error) {
 		pool:     pool,
 		blob:     storage.NewBlobFile(pool),
 		handles:  make([]storage.BlobHandle, numSlots*net.NumSegments()),
+		cache:    newTLCache(cfg.TimeListCache),
 	}
 	for s := 0; s < numSlots; s++ {
 		idx.temporal.Put(int64(s*cfg.SlotSeconds), int64(s))
@@ -164,7 +179,7 @@ func Build(net *roadnet.Network, ds *traj.Dataset, cfg Config) (*Index, error) {
 			}
 			j++
 		}
-		blob := encodeTimeListRun(tuples[i:j])
+		blob := encodeTimeListRunAdaptive(tuples[i:j])
 		h, err := idx.blob.Append(blob)
 		if err != nil {
 			return nil, fmt.Errorf("stindex: write time list: %w", err)
@@ -315,46 +330,109 @@ func (x *Index) SnapLocation(p geo.Point) (roadnet.SegmentID, bool) {
 	return id, ok
 }
 
+// emptyBits is the shared decode of an absent time list.
+var emptyBits = &TimeListBits{}
+
 // TimeListAt reads the time list for (segment, slot) from disk through
-// the buffer pool. A nil TimeList with no days means no traffic.
+// the buffer pool (and the decoded-list cache) in the legacy sorted-ID
+// representation. A TimeList with no days means no traffic.
 func (x *Index) TimeListAt(seg roadnet.SegmentID, slot int) (*TimeList, error) {
-	if slot < 0 || slot >= x.numSlots || seg < 0 || int(seg) >= x.net.NumSegments() {
-		return &TimeList{}, nil
-	}
-	h := x.handles[slot*x.net.NumSegments()+int(seg)]
-	if h.IsZero() {
-		return &TimeList{}, nil
-	}
-	blob, err := x.blob.Read(h)
+	b, err := x.TimeListBitsAt(seg, slot)
 	if err != nil {
-		return nil, fmt.Errorf("stindex: read time list seg=%d slot=%d: %w", seg, slot, err)
+		return nil, err
 	}
-	return decodeTimeList(blob)
+	return b.TimeList(), nil
 }
 
-// DaySets returns, for (segment, slots lo..hi inclusive), the per-day taxi
-// sets merged across the slots: result[day] = set of taxis seen at seg in
-// the window. Missing days have no entry.
-func (x *Index) DaySets(seg roadnet.SegmentID, loSlot, hiSlot int) (map[traj.Day]map[traj.TaxiID]bool, error) {
-	out := map[traj.Day]map[traj.TaxiID]bool{}
+// TimeListBitsAt reads the time list for (segment, slot) in bitset form,
+// through the decoded-list cache. The returned value is shared; callers
+// must not modify it.
+func (x *Index) TimeListBitsAt(seg roadnet.SegmentID, slot int) (*TimeListBits, error) {
+	if slot < 0 || slot >= x.numSlots || seg < 0 || int(seg) >= x.net.NumSegments() {
+		return emptyBits, nil
+	}
+	key := slot*x.net.NumSegments() + int(seg)
+	h := x.handles[key]
+	if h.IsZero() {
+		return emptyBits, nil // nothing to read; keep the cache for real lists
+	}
+	if x.cache != nil {
+		if b, ok := x.cache.get(key); ok {
+			return b, nil
+		}
+	}
+	b, err := x.decodeHandle(h, x.blob.Read, seg, slot)
+	if err != nil {
+		return nil, err
+	}
+	if x.cache != nil {
+		x.cache.put(key, b)
+	}
+	return b, nil
+}
+
+// TimeListsRange reads the time lists of (segment, lo..hi inclusive) in
+// one batch, appending to dst and returning it: dst[i] covers slot lo+i
+// and is never nil. Cache misses share a single batch blob reader, so
+// every buffer-pool page the window touches is pinned once per call
+// instead of once per slot — the fetch pattern probe verification uses.
+func (x *Index) TimeListsRange(seg roadnet.SegmentID, loSlot, hiSlot int, dst []*TimeListBits) ([]*TimeListBits, error) {
+	if seg < 0 || int(seg) >= x.net.NumSegments() {
+		for s := loSlot; s <= hiSlot; s++ {
+			dst = append(dst, emptyBits)
+		}
+		return dst, nil
+	}
+	var reader *storage.BlobReader
 	for s := loSlot; s <= hiSlot; s++ {
-		tl, err := x.TimeListAt(seg, s)
+		if s < 0 || s >= x.numSlots {
+			dst = append(dst, emptyBits)
+			continue
+		}
+		key := s*x.net.NumSegments() + int(seg)
+		h := x.handles[key]
+		if h.IsZero() {
+			dst = append(dst, emptyBits)
+			continue
+		}
+		if x.cache != nil {
+			if b, ok := x.cache.get(key); ok {
+				dst = append(dst, b)
+				continue
+			}
+		}
+		if reader == nil {
+			reader = x.blob.NewReader()
+		}
+		b, err := x.decodeHandle(h, reader.Read, seg, s)
 		if err != nil {
 			return nil, err
 		}
-		for i, d := range tl.Days {
-			set := out[d]
-			if set == nil {
-				set = map[traj.TaxiID]bool{}
-				out[d] = set
-			}
-			for _, t := range tl.Taxis[i] {
-				set[t] = true
-			}
+		if x.cache != nil {
+			x.cache.put(key, b)
 		}
+		dst = append(dst, b)
 	}
-	return out, nil
+	return dst, nil
 }
+
+// decodeHandle reads and decodes one blob via the given read function.
+func (x *Index) decodeHandle(h storage.BlobHandle, read func(storage.BlobHandle) ([]byte, error), seg roadnet.SegmentID, slot int) (*TimeListBits, error) {
+	if h.IsZero() {
+		return emptyBits, nil
+	}
+	blob, err := read(h)
+	if err != nil {
+		return nil, fmt.Errorf("stindex: read time list seg=%d slot=%d: %w", seg, slot, err)
+	}
+	return decodeTimeListBits(blob)
+}
+
+// CacheStats snapshots the decoded time-list cache counters.
+func (x *Index) CacheStats() CacheStats { return x.cache.stats() }
+
+// CacheLen reports how many decoded time lists are resident.
+func (x *Index) CacheLen() int { return x.cache.len() }
 
 // Close flushes and closes the underlying storage.
 func (x *Index) Close() error { return x.pool.Close() }

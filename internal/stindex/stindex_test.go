@@ -197,42 +197,14 @@ func TestSnapLocation(t *testing.T) {
 	}
 }
 
-func TestDaySetsMergesSlots(t *testing.T) {
-	n := testNetwork(t)
-	ds := testDataset(t, n)
-	idx := buildIndex(t, n, ds)
-	defer idx.Close()
-	// Pick a segment with known traffic.
-	mt := &ds.Matched[0]
-	v := mt.Visits[len(mt.Visits)/2]
-	slot := idx.SlotOf(v.Enter(ds.DayStart(mt.Day)))
-	sets, err := idx.DaySets(v.Segment, slot, slot+3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !sets[mt.Day][mt.Taxi] {
-		t.Fatalf("DaySets should include taxi %d on day %d", mt.Taxi, mt.Day)
-	}
-	// Merged window must be a superset of each individual slot.
-	for s := slot; s <= slot+3; s++ {
-		tl, err := idx.TimeListAt(v.Segment, s)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i, d := range tl.Days {
-			for _, taxi := range tl.Taxis[i] {
-				if !sets[d][taxi] {
-					t.Fatalf("DaySets missing taxi %d day %d from slot %d", taxi, d, s)
-				}
-			}
-		}
-	}
-}
-
 func TestIOAccountingThroughPool(t *testing.T) {
 	n := testNetwork(t)
 	ds := testDataset(t, n)
-	idx := buildIndex(t, n, ds)
+	// Disable the decoded-list cache so every read exercises the pool.
+	idx, err := Build(n, ds, Config{SlotSeconds: 300, TimeListCache: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer idx.Close()
 	if st := idx.Pool().Stats(); st.Reads != 0 || st.Hits != 0 {
 		t.Fatalf("build should reset stats, got %v", st)
@@ -254,6 +226,37 @@ func TestIOAccountingThroughPool(t *testing.T) {
 	st2 := idx.Pool().Stats()
 	if st2.Hits <= st1.Hits {
 		t.Fatalf("second read should hit, got %v -> %v", st1, st2)
+	}
+}
+
+func TestDecodedCacheShieldsPool(t *testing.T) {
+	n := testNetwork(t)
+	ds := testDataset(t, n)
+	idx := buildIndex(t, n, ds) // decoded cache on by default
+	defer idx.Close()
+	mt := &ds.Matched[0]
+	v := mt.Visits[0]
+	slot := idx.SlotOf(v.Enter(ds.DayStart(mt.Day)))
+	if _, err := idx.TimeListBitsAt(v.Segment, slot); err != nil {
+		t.Fatal(err)
+	}
+	c1 := idx.CacheStats()
+	if c1.Misses == 0 {
+		t.Fatalf("first read should miss the decoded cache, got %+v", c1)
+	}
+	io1 := idx.Pool().Stats()
+	if _, err := idx.TimeListBitsAt(v.Segment, slot); err != nil {
+		t.Fatal(err)
+	}
+	c2 := idx.CacheStats()
+	if c2.Hits <= c1.Hits {
+		t.Fatalf("second read should hit the decoded cache, got %+v -> %+v", c1, c2)
+	}
+	if io2 := idx.Pool().Stats(); io2 != io1 {
+		t.Fatalf("decoded cache hit should not touch the pool: %v -> %v", io1, io2)
+	}
+	if idx.CacheLen() == 0 {
+		t.Fatal("cache should hold the decoded list")
 	}
 }
 

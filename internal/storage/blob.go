@@ -62,6 +62,12 @@ func (f *BlobFile) Append(data []byte) (BlobHandle, error) {
 
 // Read returns the blob's contents.
 func (f *BlobFile) Read(h BlobHandle) ([]byte, error) {
+	return readBlob(h, f.pool.GetPage)
+}
+
+// readBlob gathers a blob's bytes through any page source: the buffer
+// pool directly, or a BlobReader's per-batch page memo.
+func readBlob(h BlobHandle, getPage func(PageID) ([]byte, error)) ([]byte, error) {
 	if h.Length < 0 {
 		return nil, fmt.Errorf("storage: negative blob length %d", h.Length)
 	}
@@ -69,8 +75,22 @@ func (f *BlobFile) Read(h BlobHandle) ([]byte, error) {
 		return nil, nil
 	}
 	out := make([]byte, h.Length)
-	if err := f.readAt(h.Offset, out); err != nil {
-		return nil, err
+	off := h.Offset
+	buf := out
+	for len(buf) > 0 {
+		pid := PageID(off / PageSize)
+		inPage := int(off % PageSize)
+		n := PageSize - inPage
+		if n > len(buf) {
+			n = len(buf)
+		}
+		page, err := getPage(pid)
+		if err != nil {
+			return nil, err
+		}
+		copy(buf[:n], page[inPage:inPage+n])
+		off += int64(n)
+		buf = buf[n:]
 	}
 	return out, nil
 }
@@ -102,21 +122,36 @@ func (f *BlobFile) writeAt(off int64, data []byte) error {
 	return nil
 }
 
-func (f *BlobFile) readAt(off int64, out []byte) error {
-	for len(out) > 0 {
-		pid := PageID(off / PageSize)
-		inPage := int(off % PageSize)
-		n := PageSize - inPage
-		if n > len(out) {
-			n = len(out)
-		}
-		page, err := f.pool.GetPage(pid)
-		if err != nil {
-			return err
-		}
-		copy(out[:n], page[inPage:inPage+n])
-		off += int64(n)
-		out = out[n:]
+// BlobReader reads blobs through a per-batch page memo: each page touched
+// by the batch is fetched from the buffer pool exactly once, no matter how
+// many blobs share it. Small neighbouring blobs (the common case for
+// per-(segment, slot) time lists, which pack many lists per page) then
+// cost one pool access per page instead of one per list. A BlobReader is
+// cheap to create, not safe for concurrent use, and must not outlive
+// writes to the underlying file.
+type BlobReader struct {
+	f     *BlobFile
+	pages map[PageID][]byte
+}
+
+// NewReader returns a batch reader over the file.
+func (f *BlobFile) NewReader() *BlobReader {
+	return &BlobReader{f: f, pages: make(map[PageID][]byte, 8)}
+}
+
+// Read returns the blob's contents, memoizing every page it touches.
+func (r *BlobReader) Read(h BlobHandle) ([]byte, error) {
+	return readBlob(h, r.getPage)
+}
+
+func (r *BlobReader) getPage(pid PageID) ([]byte, error) {
+	if page, ok := r.pages[pid]; ok {
+		return page, nil
 	}
-	return nil
+	page, err := r.f.pool.GetPage(pid)
+	if err != nil {
+		return nil, err
+	}
+	r.pages[pid] = page
+	return page, nil
 }

@@ -126,7 +126,11 @@ func OpenSystem(dir string, idx IndexConfig) (*System, error) {
 		store.Close()
 		return nil, fmt.Errorf("streach: open st-index meta: %w", err)
 	}
-	st, err := stindex.LoadIndex(net, stindex.Config{Store: store, PoolPages: idx.PoolPages}, metaFile)
+	st, err := stindex.LoadIndex(net, stindex.Config{
+		Store:         store,
+		PoolPages:     idx.PoolPages,
+		TimeListCache: idx.TimeListCache,
+	}, metaFile)
 	metaFile.Close()
 	if err != nil {
 		store.Close()
@@ -137,6 +141,7 @@ func OpenSystem(dir string, idx IndexConfig) (*System, error) {
 		EarlyStop:       idx.EarlyStop,
 		NoVisitedSet:    idx.NoVisitedSet,
 		NoOverlapFilter: idx.NoOverlapFilter,
+		VerifyWorkers:   idx.VerifyWorkers,
 	})
 	if err != nil {
 		st.Close()

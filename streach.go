@@ -29,6 +29,7 @@ package streach
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"streach/internal/conindex"
@@ -95,6 +96,13 @@ type IndexConfig struct {
 	SlotSeconds int
 	// PoolPages is the buffer pool capacity (default 1024 pages).
 	PoolPages int
+	// TimeListCache is the decoded time-list LRU capacity in entries
+	// (default 8192, negative disables). Hits skip the buffer pool and
+	// blob decoding entirely; see Metrics.TLCacheHits.
+	TimeListCache int
+	// VerifyWorkers bounds the per-query verification worker pool
+	// (0 = GOMAXPROCS, 1 = serial).
+	VerifyWorkers int
 	// PageFile, when set, backs the time lists with a real file instead
 	// of memory.
 	PageFile string
@@ -132,14 +140,16 @@ type Location struct{ Lat, Lng float64 }
 
 // Metrics describes what a query cost.
 type Metrics struct {
-	Elapsed      time.Duration
-	Evaluated    int   // segments verified against on-disk time lists
-	PageReads    int64 // physical page reads
-	PageHits     int64 // buffer pool hits
-	MaxRegion    int
-	MinRegion    int
-	RoadSegments int
-	RoadKm       float64
+	Elapsed       time.Duration
+	Evaluated     int   // segments verified against on-disk time lists
+	PageReads     int64 // physical page reads
+	PageHits      int64 // buffer pool hits
+	TLCacheHits   int64 // decoded time-list cache hits (skip pool + decode)
+	TLCacheMisses int64 // decoded time-list cache misses
+	MaxRegion     int
+	MinRegion     int
+	RoadSegments  int
+	RoadKm        float64
 }
 
 // Region is a query answer: the Prob-reachable road segments.
@@ -236,9 +246,10 @@ func NewSystemFromData(net *roadnet.Network, ds *traj.Dataset, idx IndexConfig) 
 		store = fs
 	}
 	st, err := stindex.Build(net, ds, stindex.Config{
-		SlotSeconds: idx.SlotSeconds,
-		PoolPages:   idx.PoolPages,
-		Store:       store,
+		SlotSeconds:   idx.SlotSeconds,
+		PoolPages:     idx.PoolPages,
+		TimeListCache: idx.TimeListCache,
+		Store:         store,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("streach: build ST-Index: %w", err)
@@ -252,6 +263,7 @@ func NewSystemFromData(net *roadnet.Network, ds *traj.Dataset, idx IndexConfig) 
 		EarlyStop:       idx.EarlyStop,
 		NoVisitedSet:    idx.NoVisitedSet,
 		NoOverlapFilter: idx.NoOverlapFilter,
+		VerifyWorkers:   idx.VerifyWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -267,6 +279,15 @@ func (s *System) Warm(start, dur time.Duration) {
 	slotSec := s.con.SlotSeconds()
 	lo := int(start.Seconds()) / slotSec
 	hi := int((start + dur).Seconds()) / slotSec
+	// Cap at the end of the day exactly as Engine.slotWindow does:
+	// queries never touch slots past midnight, so warming a window that
+	// crosses it must not precompute (wrapped) out-of-range slots.
+	if maxSlot := s.con.NumSlots() - 1; hi > maxSlot {
+		hi = maxSlot
+	}
+	if lo > hi {
+		return
+	}
 	s.con.PrecomputeSlots(lo, hi)
 }
 
@@ -384,14 +405,16 @@ func (s *System) region(res *core.Result) *Region {
 		Probabilities: probs,
 		RoadKm:        res.Metrics.RoadKm,
 		Metrics: Metrics{
-			Elapsed:      res.Metrics.Elapsed,
-			Evaluated:    res.Metrics.Evaluated,
-			PageReads:    res.Metrics.IO.Reads,
-			PageHits:     res.Metrics.IO.Hits,
-			MaxRegion:    res.Metrics.MaxRegion,
-			MinRegion:    res.Metrics.MinRegion,
-			RoadSegments: res.Metrics.ResultSegments,
-			RoadKm:       res.Metrics.RoadKm,
+			Elapsed:       res.Metrics.Elapsed,
+			Evaluated:     res.Metrics.Evaluated,
+			PageReads:     res.Metrics.IO.Reads,
+			PageHits:      res.Metrics.IO.Hits,
+			TLCacheHits:   res.Metrics.TLCacheHits,
+			TLCacheMisses: res.Metrics.TLCacheMisses,
+			MaxRegion:     res.Metrics.MaxRegion,
+			MinRegion:     res.Metrics.MinRegion,
+			RoadSegments:  res.Metrics.ResultSegments,
+			RoadKm:        res.Metrics.RoadKm,
 		},
 		sys: s,
 	}
@@ -490,24 +513,32 @@ func (s *System) Stats() Stats {
 // query location.
 func (s *System) BusiestLocation(tod time.Duration) Location {
 	lo, hi := tod, tod+5*time.Minute
-	days := map[roadnet.SegmentID]map[traj.Day]bool{}
+	// One flat pass: a [segment]-indexed slice of day bitmasks instead of
+	// nested maps — no per-segment allocations on what is a full scan of
+	// every visit in the dataset.
+	words := (s.ds.Days + 63) / 64
+	masks := make([]uint64, s.net.NumSegments()*words)
 	for i := range s.ds.Matched {
 		mt := &s.ds.Matched[i]
+		if int(mt.Day) >= s.ds.Days {
+			continue
+		}
 		for _, v := range mt.Visits {
 			enter := time.Duration(v.EnterMs) * time.Millisecond
 			if enter >= lo && enter < hi {
-				if days[v.Segment] == nil {
-					days[v.Segment] = map[traj.Day]bool{}
-				}
-				days[v.Segment][mt.Day] = true
+				masks[int(v.Segment)*words+int(mt.Day)>>6] |= 1 << (uint(mt.Day) & 63)
 			}
 		}
 	}
 	best := roadnet.SegmentID(0)
 	bestN := -1
-	for seg, d := range days {
-		if len(d) > bestN || (len(d) == bestN && seg < best) {
-			best, bestN = seg, len(d)
+	for seg := 0; seg < s.net.NumSegments(); seg++ {
+		n := 0
+		for w := 0; w < words; w++ {
+			n += bits.OnesCount64(masks[seg*words+w])
+		}
+		if n > bestN {
+			best, bestN = roadnet.SegmentID(seg), n
 		}
 	}
 	p := s.net.Segment(best).Midpoint()
