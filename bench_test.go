@@ -14,12 +14,15 @@ package streach_test
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
 
 	"streach"
+	"streach/internal/core"
 	"streach/internal/experiments"
+	"streach/internal/geo"
 )
 
 var (
@@ -291,6 +294,102 @@ func BenchmarkReachParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Bounding fast path ---
+
+// BenchmarkBounding measures the bounding phase alone on a warm
+// Con-Index: a high-L sweep whose cost is the per-round union of
+// Near/Far adjacency rows (word-ORs on the bitset rows, element
+// inserts on the sparse ones). This is the number the vectorized
+// region representation is accountable for.
+func BenchmarkBounding(b *testing.B) {
+	w := world(b)
+	sys, err := w.System(300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const dur = 30 * time.Minute
+	sys.Warm(11*time.Hour, dur)
+	loc, err := w.QueryLocation()
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := core.Query{
+		Location: geo.Point{Lat: loc.Lat, Lng: loc.Lng},
+		Start:    11 * time.Hour,
+		Duration: dur,
+		Prob:     0.2,
+	}
+	eng := sys.Engine()
+	var maxRegion int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		segs, err := eng.MaxBoundingRegion(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.MinBoundingRegion(q); err != nil {
+			b.Fatal(err)
+		}
+		maxRegion += int64(len(segs))
+	}
+	b.ReportMetric(float64(maxRegion)/float64(b.N), "maxregion/op")
+}
+
+// BenchmarkColdStart measures the first query on a freshly reopened
+// system. With the persisted adjacency blob (conindex.adj) the bounding
+// phase runs entirely from restored rows; stripping the blob forces the
+// pre-PR behaviour where every cold Far/Near lookup runs a travel-time
+// Dijkstra at query time. warm-reference is the steady-state number the
+// acceptance criterion compares against.
+func BenchmarkColdStart(b *testing.B) {
+	w := world(b)
+	sys, q := benchQuery(b, w)
+	if _, err := sys.Reach(q); err != nil {
+		b.Fatal(err)
+	}
+	dir := filepath.Join(b.TempDir(), "saved")
+	if err := sys.Save(dir); err != nil {
+		b.Fatal(err)
+	}
+	stripped := filepath.Join(b.TempDir(), "stripped")
+	if err := sys.Save(stripped); err != nil {
+		b.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(stripped, "conindex.adj")); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("warm-reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Reach(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	coldReach := func(b *testing.B, dir string) {
+		var materialised int64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cold, err := streach.OpenSystem(dir, streach.DefaultIndexConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			r, err := cold.Reach(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			materialised += r.Metrics.ConMaterialised
+			cold.Close()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(materialised)/float64(b.N), "dijkstras/op")
+	}
+	b.Run("reopen-with-adjacency", func(b *testing.B) { coldReach(b, dir) })
+	b.Run("reopen-cold-tables", func(b *testing.B) { coldReach(b, stripped) })
 }
 
 // --- Ablations (DESIGN.md §5) ---

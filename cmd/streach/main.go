@@ -6,6 +6,7 @@
 //
 //	streach stats  [world flags]
 //	streach query  [world flags] -start 11h -dur 10m -prob 0.2 [-lat .. -lng ..] [-alg sqmb|es] [-geojson out.json]
+//	               [-precompute] [-dir saved/]   materialise + persist the Con-Index adjacency, or reopen a saved system
 //	streach mquery [world flags] -start 11h -dur 10m -prob 0.2 -n 3 [-alg mqmb|seq]
 //	streach experiment [world flags] -fig all|4.1|4.2|4.3|4.4|4.5|4.6|4.7|4.8a|4.8b|4.9|t4.1|t4.2
 //
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -162,14 +164,12 @@ func runQuery(args []string) error {
 	alg := fs.String("alg", "sqmb", "algorithm: sqmb (SQMB+TBS) or es (exhaustive)")
 	geojson := fs.String("geojson", "", "write the region as GeoJSON to this file")
 	htmlOut := fs.String("html", "", "write the region as a Leaflet HTML map to this file")
+	dir := fs.String("dir", "", "system save directory: reopened when it holds a saved system, written after -precompute")
+	precompute := fs.Bool("precompute", false, "materialise the Con-Index adjacency for the query window (parallel) and persist it with -dir")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	world, err := wf.build()
-	if err != nil {
-		return err
-	}
-	sys, err := world.System(wf.slotSecs)
+	sys, err := loadOrBuildSystem(wf, *dir, *precompute, *start, *dur)
 	if err != nil {
 		return err
 	}
@@ -294,11 +294,64 @@ func runMQuery(args []string) error {
 	return nil
 }
 
+// loadOrBuildSystem resolves the query system: reopen a saved directory
+// when one is present, otherwise build the world from flags; with
+// precompute, warm the Con-Index adjacency for the query window on all
+// cores and (when dir is set) persist the system including the warmed
+// adjacency blob.
+func loadOrBuildSystem(wf *worldFlags, dir string, precompute bool, start, dur time.Duration) (*streach.System, error) {
+	if dir != "" && !precompute {
+		if _, err := os.Stat(filepath.Join(dir, "network.bin")); err == nil {
+			fmt.Fprintf(os.Stderr, "reopening saved system in %s...\n", dir)
+			t0 := time.Now()
+			sys, err := streach.OpenSystem(dir, streach.DefaultIndexConfig())
+			if err != nil {
+				return nil, err
+			}
+			stats := sys.Engine().ConIndex().Stats()
+			fmt.Fprintf(os.Stderr, "system open in %.2fs (%d adjacency rows restored)\n",
+				time.Since(t0).Seconds(), stats.Loaded)
+			return sys, nil
+		}
+	}
+	world, err := wf.build()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := world.System(wf.slotSecs)
+	if err != nil {
+		return nil, err
+	}
+	if precompute {
+		t0 := time.Now()
+		sys.Warm(start, dur)
+		stats := sys.Engine().ConIndex().Stats()
+		fmt.Fprintf(os.Stderr, "precomputed %d adjacency rows in %.2fs\n",
+			stats.Materialised, time.Since(t0).Seconds())
+		if dir != "" {
+			t0 = time.Now()
+			if err := sys.Save(dir); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "saved system (with adjacency) to %s in %.2fs\n",
+				dir, time.Since(t0).Seconds())
+		}
+	}
+	return sys, nil
+}
+
 func printRegion(r *streach.Region) {
 	fmt.Printf("Prob-reachable region: %d segments, %.1f km of road\n",
 		len(r.SegmentIDs), r.RoadKm)
 	fmt.Printf("processing: %v, %d segments verified, %d page reads, %d pool hits\n",
 		r.Metrics.Elapsed, r.Metrics.Evaluated, r.Metrics.PageReads, r.Metrics.PageHits)
+	if r.Metrics.Bound+r.Metrics.Verify > 0 {
+		fmt.Printf("phase split: bound %v, verify %v\n", r.Metrics.Bound, r.Metrics.Verify)
+	}
+	if r.Metrics.ConHits+r.Metrics.ConMaterialised > 0 {
+		fmt.Printf("con-index adjacency: %d hits, %d materialised\n",
+			r.Metrics.ConHits, r.Metrics.ConMaterialised)
+	}
 	if r.Metrics.TLCacheHits+r.Metrics.TLCacheMisses > 0 {
 		fmt.Printf("time-list cache: %d hits, %d misses\n",
 			r.Metrics.TLCacheHits, r.Metrics.TLCacheMisses)

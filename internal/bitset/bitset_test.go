@@ -1,0 +1,119 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestAddHasCount(t *testing.T) {
+	s := New(200)
+	for _, i := range []int{0, 63, 64, 127, 128, 199} {
+		if s.Has(i) {
+			t.Fatalf("fresh set has bit %d", i)
+		}
+		s.Add(i)
+		if !s.Has(i) {
+			t.Fatalf("Add(%d) not visible", i)
+		}
+	}
+	if got := s.Count(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+	s.Clear()
+	if got := s.Count(); got != 0 {
+		t.Fatalf("Count after Clear = %d, want 0", got)
+	}
+}
+
+func TestOrAndIntersects(t *testing.T) {
+	a, b := New(130), New(130)
+	a.Add(1)
+	a.Add(129)
+	b.Add(64)
+	if Intersects(a, b) {
+		t.Fatal("disjoint sets should not intersect")
+	}
+	Or(a, b)
+	if !a.Has(64) || !a.Has(1) || !a.Has(129) {
+		t.Fatal("Or lost bits")
+	}
+	if !Intersects(a, b) {
+		t.Fatal("subset should intersect")
+	}
+	// Shorter operand: missing words are implicitly zero.
+	short := []uint64{0}
+	if Intersects(a, short) {
+		t.Fatal("zero word should not intersect")
+	}
+	short[0] = 2 // bit 1
+	if !Intersects(a, short) {
+		t.Fatal("shared low bit should intersect")
+	}
+}
+
+func TestOrGrow(t *testing.T) {
+	var dst []uint64
+	src := []uint64{1, 0, 1 << 5}
+	dst = OrGrow(dst, src)
+	if len(dst) != 3 || dst[0] != 1 || dst[2] != 1<<5 {
+		t.Fatalf("OrGrow = %v", dst)
+	}
+	dst = OrGrow(dst, []uint64{2})
+	if dst[0] != 3 {
+		t.Fatalf("OrGrow merge = %v", dst)
+	}
+}
+
+func TestForEachAscending(t *testing.T) {
+	s := New(300)
+	want := []int{3, 64, 65, 190, 299}
+	for _, i := range want {
+		s.Add(i)
+	}
+	var got []int
+	ForEach(s, func(i int) { got = append(got, i) })
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ForEach = %v, want %v", got, want)
+	}
+}
+
+func TestDiffMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(500)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(3) == 0 {
+				b.Add(i)
+			}
+		}
+		var want []int
+		for i := 0; i < n; i++ {
+			if a.Has(i) && !b.Has(i) {
+				want = append(want, i)
+			}
+		}
+		var got []int
+		ForEachDiff(a, b, func(i int) { got = append(got, i) })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: ForEachDiff = %v, want %v", trial, got, want)
+		}
+		// Shorter b operand.
+		got = got[:0]
+		ForEachDiff(a, b[:len(b)/2], func(i int) { got = append(got, i) })
+		var want2 []int
+		for i := 0; i < n; i++ {
+			inB := i < len(b[:len(b)/2])*64 && b.Has(i)
+			if a.Has(i) && !inB {
+				want2 = append(want2, i)
+			}
+		}
+		if !reflect.DeepEqual(got, want2) {
+			t.Fatalf("trial %d short-b: got %v, want %v", trial, got, want2)
+		}
+	}
+}

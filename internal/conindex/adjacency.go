@@ -1,0 +1,226 @@
+package conindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"streach/internal/roadnet"
+)
+
+// Adjacency persistence: the materialised Near/Far rows of all four
+// tables, so a reopened system answers cold queries from warmed
+// adjacency instead of re-running travel-time Dijkstras. The blob is a
+// derived cache — loading is optional and an absent or stale blob only
+// costs lazy re-materialisation.
+//
+// Format (little endian), rows sorted by (table, slot, segment):
+//
+//	magic "CADJ" | version u16 | slotSec u32 | numSegments u32 |
+//	numRows u32, then per row:
+//	    table u8      0=far 1=near 2=farRev 3=nearRev
+//	    slot u32 | seg u32
+//	    enc u8        0=sparse sorted-ID list, 1=bitset
+//	    sparse: count u32, count x u32 segment IDs
+//	    bitset: nwords u32, nwords x u64 (trailing zero words trimmed)
+//
+// The sparse/bitset choice mirrors the in-memory adaptive rows (and the
+// v2 time-list format): dense rows ship as word arrays, sparse rows as
+// ID lists, so blob size stays proportional to what was materialised.
+const (
+	adjMagic   = "CADJ"
+	adjVersion = 1
+)
+
+const (
+	adjEncSparse = 0
+	adjEncBitset = 1
+)
+
+// adjTables returns the four tables in their fixed on-disk order.
+func (x *Index) adjTables() []*table {
+	return []*table{&x.far, &x.near, &x.farRev, &x.nearRev}
+}
+
+// SaveAdjacency writes every materialised row of all four adjacency
+// tables. Safe to call concurrently with queries (tables are snapshotted
+// under their read locks; rows are immutable).
+func (x *Index) SaveAdjacency(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(adjMagic); err != nil {
+		return fmt.Errorf("conindex: write adjacency magic: %w", err)
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint16(buf[:2], adjVersion)
+	bw.Write(buf[:2])
+	binary.LittleEndian.PutUint32(buf[:4], uint32(x.slotSec))
+	bw.Write(buf[:4])
+	binary.LittleEndian.PutUint32(buf[:4], uint32(x.net.NumSegments()))
+	bw.Write(buf[:4])
+
+	type snap struct {
+		keys []int64
+		rows map[int64]Row
+	}
+	snaps := make([]snap, 0, 4)
+	numRows := 0
+	for _, t := range x.adjTables() {
+		t.mu.RLock()
+		s := snap{keys: make([]int64, 0, len(t.rows)), rows: make(map[int64]Row, len(t.rows))}
+		for k, r := range t.rows {
+			s.keys = append(s.keys, k)
+			s.rows[k] = r
+		}
+		t.mu.RUnlock()
+		sort.Slice(s.keys, func(i, j int) bool { return s.keys[i] < s.keys[j] })
+		numRows += len(s.keys)
+		snaps = append(snaps, s)
+	}
+	binary.LittleEndian.PutUint32(buf[:4], uint32(numRows))
+	if _, err := bw.Write(buf[:4]); err != nil {
+		return err
+	}
+	for ti, s := range snaps {
+		for _, k := range s.keys {
+			if err := writeAdjRow(bw, uint8(ti), k, s.rows[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeAdjRow(bw *bufio.Writer, tableID uint8, key int64, r Row) error {
+	var buf [8]byte
+	bw.WriteByte(tableID)
+	binary.LittleEndian.PutUint32(buf[:4], uint32(key>>32))   // slot
+	bw.Write(buf[:4])
+	binary.LittleEndian.PutUint32(buf[:4], uint32(key&0xffffffff)) // segment
+	bw.Write(buf[:4])
+	if r.bits != nil {
+		words := r.bits
+		for len(words) > 0 && words[len(words)-1] == 0 {
+			words = words[:len(words)-1]
+		}
+		bw.WriteByte(adjEncBitset)
+		binary.LittleEndian.PutUint32(buf[:4], uint32(len(words)))
+		bw.Write(buf[:4])
+		for _, w := range words {
+			binary.LittleEndian.PutUint64(buf[:8], w)
+			if _, err := bw.Write(buf[:8]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	bw.WriteByte(adjEncSparse)
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(r.ids)))
+	bw.Write(buf[:4])
+	for _, s := range r.ids {
+		binary.LittleEndian.PutUint32(buf[:4], uint32(s))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadAdjacency restores rows persisted with SaveAdjacency into the
+// index's tables, replacing any rows already materialised for the same
+// keys. The blob must match the index's Δt and segment count.
+func (x *Index) LoadAdjacency(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("conindex: read adjacency magic: %w", err)
+	}
+	if string(magic) != adjMagic {
+		return fmt.Errorf("conindex: bad adjacency magic %q", magic)
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:2]); err != nil {
+		return fmt.Errorf("conindex: read adjacency version: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(buf[:2]); v != adjVersion {
+		return fmt.Errorf("conindex: unsupported adjacency version %d", v)
+	}
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		return err
+	}
+	if got := int(binary.LittleEndian.Uint32(buf[:4])); got != x.slotSec {
+		return fmt.Errorf("conindex: adjacency slot seconds %d, index has %d", got, x.slotSec)
+	}
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		return err
+	}
+	numSeg := x.net.NumSegments()
+	if got := int(binary.LittleEndian.Uint32(buf[:4])); got != numSeg {
+		return fmt.Errorf("conindex: adjacency over %d segments, network has %d", got, numSeg)
+	}
+	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		return err
+	}
+	numRows := int(binary.LittleEndian.Uint32(buf[:4]))
+	tables := x.adjTables()
+	maxWords := (numSeg + 63) / 64
+	for i := 0; i < numRows; i++ {
+		hdr := make([]byte, 1+4+4+1+4)
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			return fmt.Errorf("conindex: read adjacency row %d: %w", i, err)
+		}
+		tableID := hdr[0]
+		if int(tableID) >= len(tables) {
+			return fmt.Errorf("conindex: adjacency row %d has bad table %d", i, tableID)
+		}
+		slot := int(binary.LittleEndian.Uint32(hdr[1:5]))
+		seg := int(binary.LittleEndian.Uint32(hdr[5:9]))
+		if slot >= x.numSlots || seg >= numSeg {
+			return fmt.Errorf("conindex: adjacency row %d out of range (slot %d, seg %d)", i, slot, seg)
+		}
+		enc := hdr[9]
+		count := int(binary.LittleEndian.Uint32(hdr[10:14]))
+		var row Row
+		switch enc {
+		case adjEncSparse:
+			if count > numSeg {
+				return fmt.Errorf("conindex: adjacency row %d sparse count %d too large", i, count)
+			}
+			ids := make([]roadnet.SegmentID, count)
+			for j := 0; j < count; j++ {
+				if _, err := io.ReadFull(br, buf[:4]); err != nil {
+					return fmt.Errorf("conindex: read adjacency row %d: %w", i, err)
+				}
+				id := binary.LittleEndian.Uint32(buf[:4])
+				if int(id) >= numSeg {
+					return fmt.Errorf("conindex: adjacency row %d member %d out of range", i, id)
+				}
+				// Row.Has binary-searches, so the list must be strictly
+				// ascending; reject corrupt out-of-order rows.
+				if j > 0 && roadnet.SegmentID(id) <= ids[j-1] {
+					return fmt.Errorf("conindex: adjacency row %d members not strictly ascending", i)
+				}
+				ids[j] = roadnet.SegmentID(id)
+			}
+			row = rowFromIDs(ids, numSeg)
+		case adjEncBitset:
+			if count > maxWords {
+				return fmt.Errorf("conindex: adjacency row %d bitset words %d too large", i, count)
+			}
+			words := make([]uint64, count)
+			for j := 0; j < count; j++ {
+				if _, err := io.ReadFull(br, buf[:8]); err != nil {
+					return fmt.Errorf("conindex: read adjacency row %d: %w", i, err)
+				}
+				words[j] = binary.LittleEndian.Uint64(buf[:8])
+			}
+			row = rowFromBits(words, numSeg)
+		default:
+			return fmt.Errorf("conindex: adjacency row %d has bad encoding %d", i, enc)
+		}
+		tables[tableID].put(cacheKey(roadnet.SegmentID(seg), slot), row)
+		x.stats.loaded.Add(1)
+	}
+	return nil
+}

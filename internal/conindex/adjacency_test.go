@@ -1,0 +1,209 @@
+package conindex
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"streach/internal/roadnet"
+)
+
+// materialise a representative mix of rows across all four tables.
+func warmSome(idx *Index) {
+	slots := []int{0, 90, 132}
+	for _, slot := range slots {
+		for seg := 0; seg < idx.net.NumSegments(); seg += 3 {
+			id := roadnet.SegmentID(seg)
+			idx.Far(id, slot)
+			idx.Near(id, slot)
+			if seg%6 == 0 {
+				idx.FarReverse(id, slot)
+				idx.NearReverse(id, slot)
+			}
+		}
+	}
+}
+
+func TestAdjacencySaveLoadRoundTrip(t *testing.T) {
+	n := testNetwork(t)
+	ds := testDataset(t, n)
+	orig := build(t, n, ds)
+	warmSome(orig)
+
+	var buf bytes.Buffer
+	if err := orig.SaveAdjacency(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh index over the same stats, adjacency restored from the blob.
+	var stats bytes.Buffer
+	if err := orig.Save(&stats); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(n, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.LoadAdjacency(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats().Loaded == 0 {
+		t.Fatal("LoadAdjacency should count loaded rows")
+	}
+	if got.CachedLists() != orig.CachedLists() {
+		t.Fatalf("restored %d forward rows, want %d", got.CachedLists(), orig.CachedLists())
+	}
+
+	// Every restored list must be identical to the original — and serving
+	// them must not run any new expansion.
+	m0 := got.Stats().Materialised
+	for _, slot := range []int{0, 90, 132} {
+		for seg := 0; seg < n.NumSegments(); seg += 3 {
+			id := roadnet.SegmentID(seg)
+			if !reflect.DeepEqual(orig.Far(id, slot), got.Far(id, slot)) {
+				t.Fatalf("Far mismatch at seg=%d slot=%d", seg, slot)
+			}
+			if !reflect.DeepEqual(orig.Near(id, slot), got.Near(id, slot)) {
+				t.Fatalf("Near mismatch at seg=%d slot=%d", seg, slot)
+			}
+			if seg%6 == 0 {
+				if !reflect.DeepEqual(orig.FarReverse(id, slot), got.FarReverse(id, slot)) {
+					t.Fatalf("FarReverse mismatch at seg=%d slot=%d", seg, slot)
+				}
+				if !reflect.DeepEqual(orig.NearReverse(id, slot), got.NearReverse(id, slot)) {
+					t.Fatalf("NearReverse mismatch at seg=%d slot=%d", seg, slot)
+				}
+			}
+		}
+	}
+	if m := got.Stats().Materialised - m0; m != 0 {
+		t.Fatalf("restored rows should serve without expansions, ran %d", m)
+	}
+}
+
+func TestAdjacencyRejectsMismatch(t *testing.T) {
+	n := testNetwork(t)
+	idx := build(t, n, testDataset(t, n))
+	warmSome(idx)
+	var buf bytes.Buffer
+	if err := idx.SaveAdjacency(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := idx.LoadAdjacency(bytes.NewReader([]byte("XXXX0000"))); err == nil {
+		t.Fatal("bad magic should error")
+	}
+	if err := idx.LoadAdjacency(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("truncated blob should error")
+	}
+	// Wrong Δt.
+	other, err := Build(n, testDataset(t, n), Config{SlotSeconds: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.LoadAdjacency(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("slot-seconds mismatch should error")
+	}
+}
+
+// TestRowMatchesExpansion asserts the adaptive row form expands to
+// exactly the Dijkstra list, per (segment, slot), for all four tables —
+// the bitset path and the sparse path must be lossless.
+func TestRowMatchesExpansion(t *testing.T) {
+	n := testNetwork(t)
+	idx := build(t, n, testDataset(t, n))
+	sawSparse, sawDense := false, false
+	for _, slot := range []int{0, 50, 132, 270} {
+		for seg := 0; seg < n.NumSegments(); seg += 2 {
+			id := roadnet.SegmentID(seg)
+			for _, tc := range []struct {
+				name string
+				row  Row
+				want []roadnet.SegmentID
+			}{
+				{"far", idx.FarRow(id, slot), idx.expand(id, slot, true)},
+				{"near", idx.NearRow(id, slot), idx.expand(id, slot, false)},
+				{"farRev", idx.FarReverseRow(id, slot), idx.expandReverse(id, slot, true)},
+				{"nearRev", idx.NearReverseRow(id, slot), idx.expandReverse(id, slot, false)},
+			} {
+				if tc.row.bits != nil {
+					sawDense = true
+				} else if len(tc.row.ids) > 0 {
+					sawSparse = true
+				}
+				if tc.row.Len() != len(tc.want) {
+					t.Fatalf("%s seg=%d slot=%d: row has %d members, expansion %d",
+						tc.name, seg, slot, tc.row.Len(), len(tc.want))
+				}
+				for _, s := range tc.want {
+					if !tc.row.Has(s) {
+						t.Fatalf("%s seg=%d slot=%d: row missing %d", tc.name, seg, slot, s)
+					}
+				}
+				// AppendTo must yield the sorted expansion set.
+				got := tc.row.AppendTo(nil)
+				for i := 1; i < len(got); i++ {
+					if got[i-1] >= got[i] {
+						t.Fatalf("%s seg=%d slot=%d: AppendTo not strictly ascending", tc.name, seg, slot)
+					}
+				}
+			}
+		}
+	}
+	if !sawSparse || !sawDense {
+		t.Fatalf("test should exercise both encodings (sparse=%v dense=%v)", sawSparse, sawDense)
+	}
+}
+
+// TestSingleflightColdMiss asserts concurrent cold misses on one key run
+// exactly one expansion.
+func TestSingleflightColdMiss(t *testing.T) {
+	n := testNetwork(t)
+	idx := build(t, n, testDataset(t, n))
+	const goroutines = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	lists := make([][]roadnet.SegmentID, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			lists[g] = idx.Far(7, 130)
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	if m := idx.Stats().Materialised; m != 1 {
+		t.Fatalf("16 concurrent cold misses materialised %d rows, want 1", m)
+	}
+	for g := 1; g < goroutines; g++ {
+		if !reflect.DeepEqual(lists[0], lists[g]) {
+			t.Fatalf("goroutine %d saw a different list", g)
+		}
+	}
+}
+
+func TestParallelPrecomputeMatchesSerial(t *testing.T) {
+	n := testNetwork(t)
+	ds := testDataset(t, n)
+	serial := build(t, n, ds)
+	serial.PrecomputeSlotsWorkers(130, 135, 1)
+	parallel := build(t, n, ds)
+	parallel.PrecomputeSlotsWorkers(130, 135, 8)
+	if serial.CachedLists() != parallel.CachedLists() {
+		t.Fatalf("serial warmed %d rows, parallel %d", serial.CachedLists(), parallel.CachedLists())
+	}
+	for slot := 130; slot <= 135; slot++ {
+		for seg := 0; seg < n.NumSegments(); seg += 5 {
+			id := roadnet.SegmentID(seg)
+			if !reflect.DeepEqual(serial.Far(id, slot), parallel.Far(id, slot)) {
+				t.Fatalf("Far mismatch at seg=%d slot=%d", seg, slot)
+			}
+			if !reflect.DeepEqual(serial.Near(id, slot), parallel.Near(id, slot)) {
+				t.Fatalf("Near mismatch at seg=%d slot=%d", seg, slot)
+			}
+		}
+	}
+}

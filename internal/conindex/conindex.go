@@ -20,7 +20,9 @@ package conindex
 import (
 	"container/heap"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"streach/internal/roadnet"
 	"streach/internal/traj"
@@ -80,18 +82,56 @@ type Index struct {
 	sumSpeed []float32
 	cntSpeed []uint32
 
-	mu        sync.RWMutex
-	nearCache map[int64][]roadnet.SegmentID
-	farCache  map[int64][]roadnet.SegmentID
+	// The four adjacency tables: materialised Near/Far rows in adaptive
+	// sparse-list/bitset encoding (see row.go), with singleflight cold
+	// misses (see table.go).
+	near, far       table
+	nearRev, farRev table
+
+	// stats counts adjacency-row activity across all four tables.
+	stats statCounters
 
 	// scratch pools Dijkstra working state so concurrent expansions never
 	// serialize on a shared mutex: each expansion checks out its own
 	// scratch and returns it when done.
 	scratch sync.Pool
+}
 
-	// Reverse-table caches (see reverse.go), built on first use.
-	revOnce sync.Once
-	rev     *reverseCaches
+// statCounters are the live adjacency counters; snapshot with Stats().
+type statCounters struct {
+	hits         atomic.Int64
+	materialised atomic.Int64
+	loaded       atomic.Int64
+}
+
+// Stats is a snapshot of adjacency-row activity.
+type Stats struct {
+	// Hits counts row lookups served from the materialised cache
+	// (including singleflight waiters that shared another caller's
+	// expansion).
+	Hits int64
+	// Materialised counts rows built by running a Dijkstra expansion.
+	Materialised int64
+	// Loaded counts rows restored from a persisted adjacency blob.
+	Loaded int64
+}
+
+// Stats snapshots the adjacency counters.
+func (x *Index) Stats() Stats {
+	return Stats{
+		Hits:         x.stats.hits.Load(),
+		Materialised: x.stats.materialised.Load(),
+		Loaded:       x.stats.loaded.Load(),
+	}
+}
+
+// Sub returns s - o, for per-query attribution of shared counters.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Hits:         s.Hits - o.Hits,
+		Materialised: s.Materialised - o.Materialised,
+		Loaded:       s.Loaded - o.Loaded,
+	}
 }
 
 // expScratch is the per-expansion Dijkstra working state. The stamp trick
@@ -139,15 +179,17 @@ func Build(net *roadnet.Network, ds *traj.Dataset, cfg Config) (*Index, error) {
 	numSlots := 86400 / cfg.SlotSeconds
 	n := net.NumSegments()
 	idx := &Index{
-		net:       net,
-		slotSec:   cfg.SlotSeconds,
-		numSlots:  numSlots,
-		minSpeed:  make([]float32, numSlots*n),
-		maxSpeed:  make([]float32, numSlots*n),
-		sumSpeed:  make([]float32, numSlots*n),
-		cntSpeed:  make([]uint32, numSlots*n),
-		nearCache: map[int64][]roadnet.SegmentID{},
-		farCache:  map[int64][]roadnet.SegmentID{},
+		net:      net,
+		slotSec:  cfg.SlotSeconds,
+		numSlots: numSlots,
+		minSpeed: make([]float32, numSlots*n),
+		maxSpeed: make([]float32, numSlots*n),
+		sumSpeed: make([]float32, numSlots*n),
+		cntSpeed: make([]uint32, numSlots*n),
+		near:     newTable(),
+		far:      newTable(),
+		nearRev:  newTable(),
+		farRev:   newTable(),
 	}
 	for i := range ds.Matched {
 		mt := &ds.Matched[i]
@@ -233,47 +275,43 @@ func cacheKey(seg roadnet.SegmentID, slot int) int64 {
 	return int64(slot)<<32 | int64(uint32(seg))
 }
 
-// Far returns F(r, t): the segments enterable from seg within one Δt at
-// the slot's maximum speeds (seg itself included). The returned slice is
-// shared; callers must not modify it.
-//
-// Concurrent cold misses on the same key may each run the expansion and
-// race to store identical lists (last write wins) — duplicate CPU on a
-// cold start, never wrong results. Keeping misses lock-free is the
-// better trade: expansions are pure and queries mostly hit warm keys.
-func (x *Index) Far(seg roadnet.SegmentID, slot int) []roadnet.SegmentID {
+// FarRow returns F(r, t) as an adaptive bitset/list row (the bounding
+// phase's native form): every segment enterable from seg within one Δt
+// at the slot's maximum speeds (seg itself included). Rows are shared
+// and immutable. Cold misses materialise the row once even under
+// concurrency (singleflight).
+func (x *Index) FarRow(seg roadnet.SegmentID, slot int) Row {
 	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
-	key := cacheKey(seg, slot)
-	x.mu.RLock()
-	got, ok := x.farCache[key]
-	x.mu.RUnlock()
-	if ok {
-		return got
-	}
-	list := x.expand(seg, slot, true)
-	x.mu.Lock()
-	x.farCache[key] = list
-	x.mu.Unlock()
-	return list
+	return x.far.row(x, cacheKey(seg, slot), func() []roadnet.SegmentID {
+		return x.expand(seg, slot, true)
+	})
 }
 
-// Near returns N(r, t): the segments fully traversable from seg within
-// one Δt at the slot's minimum speeds (seg itself included). The returned
-// slice is shared; callers must not modify it.
+// NearRow returns N(r, t) as an adaptive row: every segment fully
+// traversable from seg within one Δt at the slot's minimum speeds.
+func (x *Index) NearRow(seg roadnet.SegmentID, slot int) Row {
+	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
+	return x.near.row(x, cacheKey(seg, slot), func() []roadnet.SegmentID {
+		return x.expand(seg, slot, false)
+	})
+}
+
+// Far returns F(r, t) as a sorted ID slice (seg itself included). The
+// returned slice is shared; callers must not modify it.
+func (x *Index) Far(seg roadnet.SegmentID, slot int) []roadnet.SegmentID {
+	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
+	return x.far.list(x, cacheKey(seg, slot), func() []roadnet.SegmentID {
+		return x.expand(seg, slot, true)
+	})
+}
+
+// Near returns N(r, t) as a sorted ID slice (seg itself included). The
+// returned slice is shared; callers must not modify it.
 func (x *Index) Near(seg roadnet.SegmentID, slot int) []roadnet.SegmentID {
 	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
-	key := cacheKey(seg, slot)
-	x.mu.RLock()
-	got, ok := x.nearCache[key]
-	x.mu.RUnlock()
-	if ok {
-		return got
-	}
-	list := x.expand(seg, slot, false)
-	x.mu.Lock()
-	x.nearCache[key] = list
-	x.mu.Unlock()
-	return list
+	return x.near.list(x, cacheKey(seg, slot), func() []roadnet.SegmentID {
+		return x.expand(seg, slot, false)
+	})
 }
 
 // expand runs a travel-time Dijkstra from seg bounded by Δt.
@@ -350,22 +388,64 @@ func (x *Index) expand(seg roadnet.SegmentID, slot int, far bool) []roadnet.Segm
 	return out
 }
 
-// PrecomputeSlot materialises the Near and Far lists of every segment for
+// PrecomputeSlot materialises the Near and Far rows of every segment for
 // one slot. This is the offline index-construction step of the thesis;
 // queries against warmed slots are pure lookups.
 func (x *Index) PrecomputeSlot(slot int) {
-	for seg := 0; seg < x.net.NumSegments(); seg++ {
-		x.Far(roadnet.SegmentID(seg), slot)
-		x.Near(roadnet.SegmentID(seg), slot)
-	}
+	x.PrecomputeSlots(slot, slot)
 }
 
 // PrecomputeSlots warms a slot range [lo, hi] inclusive (wrapping modulo
-// the day).
+// the day) with a GOMAXPROCS-wide worker pool.
 func (x *Index) PrecomputeSlots(lo, hi int) {
-	for s := lo; s <= hi; s++ {
-		x.PrecomputeSlot(((s % x.numSlots) + x.numSlots) % x.numSlots)
+	x.PrecomputeSlotsWorkers(lo, hi, 0)
+}
+
+// PrecomputeSlotsWorkers warms [lo, hi] with an explicit worker count
+// (0 = GOMAXPROCS, 1 = serial). Work items are (segment, slot) pairs, so
+// even a single-slot warm parallelises across segments; the singleflight
+// tables make concurrent warms and queries against the same keys safe
+// and duplicate-free.
+func (x *Index) PrecomputeSlotsWorkers(lo, hi, workers int) {
+	if hi < lo {
+		return
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nSeg := x.net.NumSegments()
+	total := (hi - lo + 1) * nSeg
+	if workers > total {
+		workers = total
+	}
+	warm := func(i int) {
+		slot := lo + i/nSeg
+		seg := roadnet.SegmentID(i % nSeg)
+		x.FarRow(seg, slot)
+		x.NearRow(seg, slot)
+	}
+	if workers <= 1 {
+		for i := 0; i < total; i++ {
+			warm(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				warm(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 type entryItem struct {
@@ -387,24 +467,15 @@ func (q *entryPQ) Pop() interface{} {
 	return it
 }
 
-// PrecomputeAll materialises every (segment, slot) Near and Far list.
+// PrecomputeAll materialises every (segment, slot) Near and Far row.
 // Only sensible for small networks or coarse Δt; returns the number of
 // lists built.
 func (x *Index) PrecomputeAll() int {
-	count := 0
-	for slot := 0; slot < x.numSlots; slot++ {
-		for seg := 0; seg < x.net.NumSegments(); seg++ {
-			x.Far(roadnet.SegmentID(seg), slot)
-			x.Near(roadnet.SegmentID(seg), slot)
-			count += 2
-		}
-	}
-	return count
+	x.PrecomputeSlots(0, x.numSlots-1)
+	return 2 * x.numSlots * x.net.NumSegments()
 }
 
-// CachedLists reports how many lists are materialised.
+// CachedLists reports how many forward Near/Far rows are materialised.
 func (x *Index) CachedLists() int {
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	return len(x.nearCache) + len(x.farCache)
+	return x.near.size() + x.far.size()
 }

@@ -18,6 +18,9 @@ import (
 //
 //	magic "CIDX" | version u16 | slotSec u32 | numSegments u32 |
 //	then numSlots*numSegments x (min f32, max f32, sum f32, cnt u32)
+//
+// The materialised adjacency rows are persisted separately (the blob is
+// a warm cache, not part of the index's identity): see SaveAdjacency.
 const (
 	conMagic   = "CIDX"
 	conVersion = 1
@@ -88,15 +91,17 @@ func Load(net *roadnet.Network, r io.Reader) (*Index, error) {
 	numSlots := 86400 / slotSec
 	total := numSlots * numSeg
 	idx := &Index{
-		net:       net,
-		slotSec:   slotSec,
-		numSlots:  numSlots,
-		minSpeed:  make([]float32, total),
-		maxSpeed:  make([]float32, total),
-		sumSpeed:  make([]float32, total),
-		cntSpeed:  make([]uint32, total),
-		nearCache: map[int64][]roadnet.SegmentID{},
-		farCache:  map[int64][]roadnet.SegmentID{},
+		net:      net,
+		slotSec:  slotSec,
+		numSlots: numSlots,
+		minSpeed: make([]float32, total),
+		maxSpeed: make([]float32, total),
+		sumSpeed: make([]float32, total),
+		cntSpeed: make([]uint32, total),
+		near:     newTable(),
+		far:      newTable(),
+		nearRev:  newTable(),
+		farRev:   newTable(),
 	}
 	for i := 0; i < total; i++ {
 		if _, err := io.ReadFull(br, buf[:16]); err != nil {

@@ -2,7 +2,6 @@ package conindex
 
 import (
 	"container/heap"
-	"sync"
 
 	"streach/internal/roadnet"
 )
@@ -18,59 +17,40 @@ import (
 // NearReverse(r, t) is the lower bound at minimum speeds, requiring r
 // itself to be fully traversed too.
 
-type reverseCaches struct {
-	mu   sync.RWMutex
-	near map[int64][]roadnet.SegmentID
-	far  map[int64][]roadnet.SegmentID
+// FarReverseRow returns the FarReverse list as an adaptive row (see
+// FarRow).
+func (x *Index) FarReverseRow(seg roadnet.SegmentID, slot int) Row {
+	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
+	return x.farRev.row(x, cacheKey(seg, slot), func() []roadnet.SegmentID {
+		return x.expandReverse(seg, slot, true)
+	})
 }
 
-func (x *Index) revCaches() *reverseCaches {
-	x.revOnce.Do(func() {
-		x.rev = &reverseCaches{
-			near: map[int64][]roadnet.SegmentID{},
-			far:  map[int64][]roadnet.SegmentID{},
-		}
+// NearReverseRow returns the NearReverse list as an adaptive row.
+func (x *Index) NearReverseRow(seg roadnet.SegmentID, slot int) Row {
+	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
+	return x.nearRev.row(x, cacheKey(seg, slot), func() []roadnet.SegmentID {
+		return x.expandReverse(seg, slot, false)
 	})
-	return x.rev
 }
 
 // FarReverse returns the segments from which seg is reachable within one
-// Δt at the slot's maximum speeds (seg itself included). The returned
-// slice is shared; callers must not modify it.
+// Δt at the slot's maximum speeds (seg itself included), sorted by ID.
+// The returned slice is shared; callers must not modify it.
 func (x *Index) FarReverse(seg roadnet.SegmentID, slot int) []roadnet.SegmentID {
 	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
-	rc := x.revCaches()
-	key := cacheKey(seg, slot)
-	rc.mu.RLock()
-	got, ok := rc.far[key]
-	rc.mu.RUnlock()
-	if ok {
-		return got
-	}
-	list := x.expandReverse(seg, slot, true)
-	rc.mu.Lock()
-	rc.far[key] = list
-	rc.mu.Unlock()
-	return list
+	return x.farRev.list(x, cacheKey(seg, slot), func() []roadnet.SegmentID {
+		return x.expandReverse(seg, slot, true)
+	})
 }
 
 // NearReverse returns the segments from which seg is surely reachable
-// within one Δt even at the slot's minimum speeds.
+// within one Δt even at the slot's minimum speeds, sorted by ID.
 func (x *Index) NearReverse(seg roadnet.SegmentID, slot int) []roadnet.SegmentID {
 	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
-	rc := x.revCaches()
-	key := cacheKey(seg, slot)
-	rc.mu.RLock()
-	got, ok := rc.near[key]
-	rc.mu.RUnlock()
-	if ok {
-		return got
-	}
-	list := x.expandReverse(seg, slot, false)
-	rc.mu.Lock()
-	rc.near[key] = list
-	rc.mu.Unlock()
-	return list
+	return x.nearRev.list(x, cacheKey(seg, slot), func() []roadnet.SegmentID {
+		return x.expandReverse(seg, slot, false)
+	})
 }
 
 // expandReverse runs the mirrored travel-time Dijkstra: cost[q] is the

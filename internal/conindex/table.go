@@ -1,0 +1,120 @@
+package conindex
+
+import (
+	"sync"
+
+	"streach/internal/roadnet"
+)
+
+// table is one of the four adjacency tables (forward/reverse × Near/Far):
+// materialised rows keyed by (slot, segment), plus a decoded-slice memo
+// for the legacy list API and a singleflight registry so concurrent cold
+// misses on the same key run one Dijkstra instead of racing to compute
+// identical lists.
+type table struct {
+	mu     sync.RWMutex
+	rows   map[int64]Row
+	lists  map[int64][]roadnet.SegmentID
+	flight map[int64]*flightCall
+}
+
+// flightCall is one in-progress row materialisation. row is written
+// before done is closed; waiters read it only after <-done.
+type flightCall struct {
+	done chan struct{}
+	row  Row
+}
+
+func newTable() table {
+	return table{rows: map[int64]Row{}, lists: map[int64][]roadnet.SegmentID{}}
+}
+
+// row returns the cached row for key, materialising it with compute on a
+// cold miss. Concurrent cold misses on the same key block on a single
+// computation (singleflight): exactly one caller runs the expansion, the
+// rest wait for its result.
+func (t *table) row(x *Index, key int64, compute func() []roadnet.SegmentID) Row {
+	t.mu.RLock()
+	r, ok := t.rows[key]
+	t.mu.RUnlock()
+	if ok {
+		x.stats.hits.Add(1)
+		return r
+	}
+	t.mu.Lock()
+	if r, ok := t.rows[key]; ok {
+		t.mu.Unlock()
+		x.stats.hits.Add(1)
+		return r
+	}
+	if fc, ok := t.flight[key]; ok {
+		t.mu.Unlock()
+		<-fc.done
+		x.stats.hits.Add(1)
+		return fc.row
+	}
+	fc := &flightCall{done: make(chan struct{})}
+	if t.flight == nil {
+		t.flight = map[int64]*flightCall{}
+	}
+	t.flight[key] = fc
+	t.mu.Unlock()
+
+	// Deregister and release waiters even if compute panics — a poisoned
+	// flight entry would block every later lookup of this key forever.
+	// On panic the row stays unmaterialised (zero Row for waiters, which
+	// is a valid empty row) and the next cold miss recomputes it.
+	stored := false
+	defer func() {
+		t.mu.Lock()
+		if stored {
+			t.rows[key] = fc.row
+		}
+		delete(t.flight, key)
+		t.mu.Unlock()
+		close(fc.done)
+	}()
+	fc.row = makeRow(compute(), x.net.NumSegments())
+	x.stats.materialised.Add(1)
+	stored = true
+	return fc.row
+}
+
+// list returns the row expanded to the shared sorted-slice form, memoised
+// per key (only the legacy list API pays for this; the bounding phase
+// works on rows directly).
+func (t *table) list(x *Index, key int64, compute func() []roadnet.SegmentID) []roadnet.SegmentID {
+	t.mu.RLock()
+	l, ok := t.lists[key]
+	t.mu.RUnlock()
+	if ok {
+		return l
+	}
+	r := t.row(x, key, compute)
+	l = r.AppendTo(make([]roadnet.SegmentID, 0, r.Len()))
+	t.mu.Lock()
+	if prev, ok := t.lists[key]; ok {
+		l = prev // another goroutine decoded first; share its slice
+	} else {
+		t.lists[key] = l
+	}
+	t.mu.Unlock()
+	return l
+}
+
+// size returns how many rows are materialised.
+func (t *table) size() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// put installs a row directly (the adjacency-blob load path), dropping
+// any decoded-slice memo so the list API cannot serve a stale decode of
+// a replaced row.
+func (t *table) put(key int64, r Row) {
+	t.mu.Lock()
+	t.rows[key] = r
+	delete(t.lists, key)
+	t.mu.Unlock()
+}

@@ -61,6 +61,17 @@ type Metrics struct {
 	// blob decoding entirely. Under concurrent queries the counters are
 	// shared, so per-query attribution is approximate (same as IO).
 	TLCacheHits, TLCacheMisses int64
+	// BoundNS and VerifyNS split Elapsed into the two query phases:
+	// bounding-region search (Con-Index row unions) and verification
+	// (TBS probing of the time lists). Zero for ES, which has no
+	// bounding phase.
+	BoundNS, VerifyNS int64
+	// ConHits and ConMaterialised count Con-Index adjacency-row activity
+	// attributed to the query: hits were served from materialised rows,
+	// materialised rows ran a travel-time Dijkstra at query time (the
+	// cold-start cost the persisted adjacency blob eliminates). Shared
+	// counters; per-query attribution is approximate under concurrency.
+	ConHits, ConMaterialised int64
 	// MaxRegion and MinRegion are the bounding-region sizes (SQMB/MQMB
 	// only; zero for ES).
 	MaxRegion, MinRegion int
@@ -175,7 +186,7 @@ func (e *Engine) slotWindow(start, dur time.Duration) (lo, hi int) {
 }
 
 // finish fills the derived metrics fields and sorts the result.
-func (e *Engine) finish(res *Result, began time.Time, io0 storage.IOStats, tl0 stindex.CacheStats) {
+func (e *Engine) finish(res *Result, began time.Time, io0 storage.IOStats, tl0 stindex.CacheStats, con0 conindex.Stats) {
 	sort.Slice(res.Segments, func(i, j int) bool { return res.Segments[i] < res.Segments[j] })
 	var km float64
 	for _, s := range res.Segments {
@@ -187,6 +198,9 @@ func (e *Engine) finish(res *Result, began time.Time, io0 storage.IOStats, tl0 s
 	tl := e.st.CacheStats().Sub(tl0)
 	res.Metrics.TLCacheHits = tl.Hits
 	res.Metrics.TLCacheMisses = tl.Misses
+	con := e.con.Stats().Sub(con0)
+	res.Metrics.ConHits = con.Hits
+	res.Metrics.ConMaterialised = con.Materialised
 	res.Metrics.Elapsed = time.Since(began)
 }
 

@@ -24,6 +24,7 @@ func (e *Engine) ES(q Query) (*Result, error) {
 	began := now()
 	io0 := e.st.Pool().Stats()
 	tl0 := e.st.CacheStats()
+	con0 := e.con.Stats()
 
 	r0, ok := e.st.SnapLocation(q.Location)
 	if !ok {
@@ -60,6 +61,6 @@ func (e *Engine) ES(q Query) (*Result, error) {
 		return nil, expandErr
 	}
 	res.Metrics.Evaluated = int(pr.evaluated.Load())
-	e.finish(res, began, io0, tl0)
+	e.finish(res, began, io0, tl0, con0)
 	return res, nil
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"streach/internal/bitset"
+	"streach/internal/conindex"
 	"streach/internal/roadnet"
 )
 
@@ -22,6 +24,7 @@ func (e *Engine) MQMB(q MultiQuery) (*Result, error) {
 	began := now()
 	io0 := e.st.Pool().Stats()
 	tl0 := e.st.CacheStats()
+	con0 := e.con.Stats()
 
 	starts := make([]roadnet.SegmentID, 0, len(q.Locations))
 	seen := map[roadnet.SegmentID]bool{}
@@ -36,16 +39,21 @@ func (e *Engine) MQMB(q MultiQuery) (*Result, error) {
 		}
 	}
 
+	tBound := now()
 	maxReg := e.unifiedRegion(starts, q.Start, q.Duration, true)
 	minReg := e.unifiedRegion(starts, q.Start, q.Duration, false)
+	boundNS := now().Sub(tBound).Nanoseconds()
 
+	tVerify := now()
 	res, err := e.traceBack(starts, maxReg, minReg, q.Start, q.Duration, q.Prob)
 	if err != nil {
 		return nil, err
 	}
+	res.Metrics.VerifyNS = now().Sub(tVerify).Nanoseconds()
+	res.Metrics.BoundNS = boundNS
 	res.Metrics.MaxRegion = maxReg.size()
 	res.Metrics.MinRegion = minReg.size()
-	e.finish(res, began, io0, tl0)
+	e.finish(res, began, io0, tl0, con0)
 	return res, nil
 }
 
@@ -62,6 +70,7 @@ func (e *Engine) SQuerySequential(q MultiQuery) (*Result, error) {
 	began := now()
 	io0 := e.st.Pool().Stats()
 	tl0 := e.st.CacheStats()
+	con0 := e.con.Stats()
 
 	union := map[roadnet.SegmentID]bool{}
 	res := &Result{}
@@ -74,6 +83,8 @@ func (e *Engine) SQuerySequential(q MultiQuery) (*Result, error) {
 		res.Metrics.Evaluated += one.Metrics.Evaluated
 		res.Metrics.MaxRegion += one.Metrics.MaxRegion
 		res.Metrics.MinRegion += one.Metrics.MinRegion
+		res.Metrics.BoundNS += one.Metrics.BoundNS
+		res.Metrics.VerifyNS += one.Metrics.VerifyNS
 		for _, s := range one.Segments {
 			union[s] = true
 		}
@@ -81,68 +92,64 @@ func (e *Engine) SQuerySequential(q MultiQuery) (*Result, error) {
 	for s := range union {
 		res.Segments = append(res.Segments, s)
 	}
-	e.finish(res, began, io0, tl0)
+	e.finish(res, began, io0, tl0, con0)
 	return res, nil
 }
 
 // unifiedRegion grows the m-query bounding region (Algorithm 3). Each
-// round unions the Con-Index lists of every region segment, then filters
-// candidates through the overlap rule: a candidate b survives only when
-// it appears in the list of its nearest region segment rs (line 8's
-// rs = argmin dis(r', b)), so duplicated influence inside overlapping
-// regions is eliminated.
+// round ORs the Con-Index rows of every region segment into a scratch
+// bitset, diffs out the existing region to get the candidate set B, then
+// filters candidates through the overlap rule: a candidate b survives
+// only when it appears in the row of its nearest region segment rs
+// (line 8's rs = argmin dis(r', b)), so duplicated influence inside
+// overlapping regions is eliminated.
 func (e *Engine) unifiedRegion(starts []roadnet.SegmentID, startOfDay, dur time.Duration, far bool) *region {
-	reg := newRegion(e.net.NumSegments())
+	n := e.net.NumSegments()
+	reg := newRegion(n)
 	for _, r := range starts {
 		reg.add(r, 0)
 	}
 	k := e.rounds(dur)
 	slotSec := e.st.SlotSeconds()
-	listOf := func(r roadnet.SegmentID, slot int) []roadnet.SegmentID {
+	rowOf := func(r roadnet.SegmentID, slot int) conindex.Row {
 		if far {
-			return e.con.Far(r, slot)
+			return e.con.FarRow(r, slot)
 		}
-		return e.con.Near(r, slot)
+		return e.con.NearRow(r, slot)
 	}
+	next := bitset.New(n)
 	for i := 0; i < k; i++ {
-		if reg.size() == e.net.NumSegments() {
+		if reg.size() == n {
 			break
 		}
 		slot := (int(startOfDay.Seconds()) + i*slotSec) / slotSec
 		snapshot := append([]roadnet.SegmentID(nil), reg.segs...)
-		// Candidate set B: union of the lists of every region segment,
-		// remembering which region segments produced each candidate.
-		producers := map[roadnet.SegmentID][]roadnet.SegmentID{}
+		copy(next, reg.bits)
 		for _, r := range snapshot {
-			for _, b := range listOf(r, slot) {
-				if reg.has(b) {
-					continue
-				}
-				producers[b] = append(producers[b], r)
-			}
-		}
-		if len(producers) == 0 {
-			continue
+			rowOf(r, slot).OrInto(next)
 		}
 		if e.opts.NoOverlapFilter {
-			for b := range producers {
-				reg.add(b, i+1)
-			}
+			reg.adopt(next, i+1)
+			continue
+		}
+		// Candidate set B = next \ region (word diff).
+		var cands []roadnet.SegmentID
+		bitset.ForEachDiff(next, reg.bits, func(b int) {
+			cands = append(cands, roadnet.SegmentID(b))
+		})
+		if len(cands) == 0 {
 			continue
 		}
 		// Overlap elimination: nearest region segment per candidate via
 		// one multi-source expansion, then the membership test b ∈ F(rs).
-		nearest := e.nearestAttribution(snapshot, producers)
-		for b, prods := range producers {
+		nearest := e.nearestAttribution(snapshot, cands)
+		for _, b := range cands {
 			rs, ok := nearest[b]
 			if !ok {
 				continue // not reached by the bounded expansion: drop
 			}
-			for _, p := range prods {
-				if p == rs {
-					reg.add(b, i+1)
-					break
-				}
+			if rowOf(rs, slot).Has(b) {
+				reg.add(b, i+1)
 			}
 		}
 	}
@@ -152,14 +159,18 @@ func (e *Engine) unifiedRegion(starts []roadnet.SegmentID, startOfDay, dur time.
 // nearestAttribution finds, for every candidate, the nearest source
 // segment by network distance (thesis: "employing shortest path
 // techniques"). One multi-source Dijkstra covers all candidates.
-func (e *Engine) nearestAttribution(sources []roadnet.SegmentID, candidates map[roadnet.SegmentID][]roadnet.SegmentID) map[roadnet.SegmentID]roadnet.SegmentID {
+func (e *Engine) nearestAttribution(sources, candidates []roadnet.SegmentID) map[roadnet.SegmentID]roadnet.SegmentID {
+	isCand := bitset.New(e.net.NumSegments())
+	for _, b := range candidates {
+		isCand.Add(int(b))
+	}
 	// Bound the expansion by the furthest plausible candidate distance:
 	// one Δt at a generous speed, plus slack.
 	budget := float64(e.st.SlotSeconds())*35 + 3000
 	out := make(map[roadnet.SegmentID]roadnet.SegmentID, len(candidates))
 	remaining := len(candidates)
 	e.net.ExpandMulti(sources, budget, e.net.DistanceWeight(), func(id roadnet.SegmentID, cost float64, srcIdx int) bool {
-		if _, isCand := candidates[id]; isCand {
+		if isCand.Has(int(id)) {
 			if _, done := out[id]; !done {
 				out[id] = sources[srcIdx]
 				remaining--

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"streach/internal/conindex"
 	"streach/internal/roadnet"
 	"streach/internal/stindex"
 )
@@ -83,6 +84,7 @@ func (e *Engine) ReverseES(q Query) (*Result, error) {
 	began := now()
 	io0 := e.st.Pool().Stats()
 	tl0 := e.st.CacheStats()
+	con0 := e.con.Stats()
 
 	dst, ok := e.st.SnapLocation(q.Location)
 	if !ok {
@@ -113,7 +115,7 @@ func (e *Engine) ReverseES(q Query) (*Result, error) {
 		return nil, expandErr
 	}
 	res.Metrics.Evaluated = int(pr.evaluated.Load())
-	e.finish(res, began, io0, tl0)
+	e.finish(res, began, io0, tl0, con0)
 	return res, nil
 }
 
@@ -162,31 +164,17 @@ func (e *Engine) expandReverseDistance(dst roadnet.SegmentID, budget float64, vi
 	}
 }
 
-// reverseBoundingRegion mirrors SQMB over the reverse connection tables.
+// reverseBoundingRegion mirrors SQMB over the reverse connection tables,
+// with the same word-level row unions as the forward bounding phase.
 func (e *Engine) reverseBoundingRegion(dst roadnet.SegmentID, startOfDay, dur time.Duration, far bool) *region {
 	reg := newRegion(e.net.NumSegments())
 	reg.add(dst, 0)
-	k := e.rounds(dur)
-	slotSec := e.st.SlotSeconds()
-	for i := 0; i < k; i++ {
-		if reg.size() == e.net.NumSegments() {
-			break
+	e.growRegion(reg, startOfDay, dur, func(r roadnet.SegmentID, slot int) conindex.Row {
+		if far {
+			return e.con.FarReverseRow(r, slot)
 		}
-		slot := (int(startOfDay.Seconds()) + i*slotSec) / slotSec
-		snapshot := len(reg.segs)
-		for j := 0; j < snapshot; j++ {
-			r := reg.segs[j]
-			var list []roadnet.SegmentID
-			if far {
-				list = e.con.FarReverse(r, slot)
-			} else {
-				list = e.con.NearReverse(r, slot)
-			}
-			for _, s := range list {
-				reg.add(s, i+1)
-			}
-		}
-	}
+		return e.con.NearReverseRow(r, slot)
+	})
 	return reg
 }
 
@@ -201,14 +189,18 @@ func (e *Engine) ReverseSQMB(q Query) (*Result, error) {
 	began := now()
 	io0 := e.st.Pool().Stats()
 	tl0 := e.st.CacheStats()
+	con0 := e.con.Stats()
 
 	dst, ok := e.st.SnapLocation(q.Location)
 	if !ok {
 		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
 	}
+	tBound := now()
 	maxReg := e.reverseBoundingRegion(dst, q.Start, q.Duration, true)
 	minReg := e.reverseBoundingRegion(dst, q.Start, q.Duration, false)
+	boundNS := now().Sub(tBound).Nanoseconds()
 
+	tVerify := now()
 	lo, hi := e.slotWindow(q.Start, q.Duration)
 	pr, err := e.newReverseProbe(dst, lo, lo, hi)
 	if err != nil {
@@ -221,14 +213,12 @@ func (e *Engine) ReverseSQMB(q Query) (*Result, error) {
 	// verify on the same bounded worker pool as the forward TBS.
 	order := maxReg.segs
 	if !e.opts.VerifyAll {
+		// Candidates = Bmax AND NOT Bmin; Bmax ∩ Bmin is admitted
+		// unverified (same word-level split as the forward TBS).
 		order = make([]roadnet.SegmentID, 0, maxReg.size())
-		for _, s := range maxReg.segs {
-			if minReg.has(s) {
-				include[s] = true
-				continue
-			}
-			order = append(order, s)
-		}
+		maxReg.splitAgainst(minReg,
+			func(s roadnet.SegmentID) { include[s] = true },
+			func(s roadnet.SegmentID) { order = append(order, s) })
 	}
 	probs, err := e.verifyMany(order, func() func(roadnet.SegmentID) (float64, error) {
 		return pr.prob
@@ -246,8 +236,10 @@ func (e *Engine) ReverseSQMB(q Query) (*Result, error) {
 		res.Segments = append(res.Segments, s)
 	}
 	res.Metrics.Evaluated = int(pr.evaluated.Load())
+	res.Metrics.VerifyNS = now().Sub(tVerify).Nanoseconds()
+	res.Metrics.BoundNS = boundNS
 	res.Metrics.MaxRegion = maxReg.size()
 	res.Metrics.MinRegion = minReg.size()
-	e.finish(res, began, io0, tl0)
+	e.finish(res, began, io0, tl0, con0)
 	return res, nil
 }

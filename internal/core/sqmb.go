@@ -2,23 +2,31 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
+	"streach/internal/bitset"
+	"streach/internal/conindex"
 	"streach/internal/roadnet"
 )
 
-// region is a bounding region over a fixed-size network: for each member
-// segment it records the expansion round (0 = start) in which it first
+// region is a bounding region over a fixed-size network, held in two
+// parallel forms: a dense membership bitset (the form the bounding
+// rounds union whole Con-Index rows into, word by word) and, for each
+// member segment, the expansion round (0 = start) in which it first
 // appeared. Rounds order segments outer-to-inner for the trace back
-// search. Slice-backed: membership tests and inserts are O(1) without
-// map overhead on the query hot path.
+// search.
 type region struct {
 	round []int16 // -1 = not a member
 	segs  []roadnet.SegmentID
+	bits  bitset.Set
 }
 
 func newRegion(numSegments int) *region {
-	r := &region{round: make([]int16, numSegments)}
+	r := &region{
+		round: make([]int16, numSegments),
+		bits:  bitset.New(numSegments),
+	}
 	for i := range r.round {
 		r.round[i] = -1
 	}
@@ -31,11 +39,45 @@ func (r *region) add(s roadnet.SegmentID, round int) {
 	}
 	r.round[s] = int16(round)
 	r.segs = append(r.segs, s)
+	r.bits.Add(int(s))
+}
+
+// adopt folds every member of next that the region lacks into the
+// region, tagged with round. next must cover the same segment space.
+// New members join in ascending ID order (round tags, not insertion
+// order, drive the trace-back ordering).
+func (r *region) adopt(next bitset.Set, round int) {
+	for w, nw := range next {
+		diff := nw &^ r.bits[w]
+		for diff != 0 {
+			s := roadnet.SegmentID(w<<6 + bits.TrailingZeros64(diff))
+			diff &= diff - 1
+			r.round[s] = int16(round)
+			r.segs = append(r.segs, s)
+		}
+		r.bits[w] |= nw
+	}
 }
 
 func (r *region) has(s roadnet.SegmentID) bool { return r.round[s] >= 0 }
 
 func (r *region) size() int { return len(r.segs) }
+
+// splitAgainst partitions the region against an inner region with
+// word-level bit ops: members shared with inner go to keep (the set TBS
+// admits unverified), members exclusive to the region go to cand (the
+// verification candidates, r AND NOT inner). Both callbacks see
+// ascending IDs.
+func (r *region) splitAgainst(inner *region, keep, cand func(roadnet.SegmentID)) {
+	for w, rw := range r.bits {
+		for both := rw & inner.bits[w]; both != 0; both &= both - 1 {
+			keep(roadnet.SegmentID(w<<6 + bits.TrailingZeros64(both)))
+		}
+		for diff := rw &^ inner.bits[w]; diff != 0; diff &= diff - 1 {
+			cand(roadnet.SegmentID(w<<6 + bits.TrailingZeros64(diff)))
+		}
+	}
+}
 
 // rounds returns how many Δt expansion steps cover the duration: k such
 // that k*Δt >= L (Algorithm 1 keeps searching until the duration is met).
@@ -48,41 +90,50 @@ func (e *Engine) rounds(dur time.Duration) int {
 	return k
 }
 
-// maxBoundingRegion implements the s-query maximum bounding region search
+// boundingRegion implements the s-query maximum bounding region search
 // (SQMB, Algorithm 1): starting from r0, repeatedly union the Con-Index
-// Far lists of every region segment, stepping the time slot by Δt each
+// Far rows of every region segment, stepping the time slot by Δt each
 // round, until the duration is covered. With far=false it computes the
-// minimum bounding region from the Near lists instead (the thesis notes
-// SQMB applies "naturally" to the minimum region).
+// minimum bounding region from the Near rows instead (the thesis notes
+// SQMB applies "naturally" to the minimum region). Each round ORs whole
+// adjacency rows into a scratch bitset word-by-word, then adopts the
+// newly covered segments with the round tag (see region.adopt).
 func (e *Engine) boundingRegion(starts []roadnet.SegmentID, startOfDay, dur time.Duration, far bool) *region {
 	reg := newRegion(e.net.NumSegments())
 	for _, r := range starts {
 		reg.add(r, 0)
 	}
+	e.growRegion(reg, startOfDay, dur, func(r roadnet.SegmentID, slot int) conindex.Row {
+		if far {
+			return e.con.FarRow(r, slot)
+		}
+		return e.con.NearRow(r, slot)
+	})
+	return reg
+}
+
+// growRegion runs Algorithm 1's expansion rounds with word-level row
+// unions. rowOf supplies the per-(segment, slot) adjacency row (forward
+// or reverse, Near or Far).
+func (e *Engine) growRegion(reg *region, startOfDay, dur time.Duration, rowOf func(roadnet.SegmentID, int) conindex.Row) {
 	k := e.rounds(dur)
 	slotSec := e.st.SlotSeconds()
+	n := e.net.NumSegments()
+	next := bitset.New(n)
 	for i := 0; i < k; i++ {
-		if reg.size() == e.net.NumSegments() {
+		if reg.size() == n {
 			break // the region saturated the network; no round can add more
 		}
 		slot := (int(startOfDay.Seconds()) + i*slotSec) / slotSec
 		// Expand a snapshot of the whole accumulated region (Algorithm 1
 		// line 8 sets R = B each round).
+		copy(next, reg.bits)
 		snapshot := len(reg.segs)
 		for j := 0; j < snapshot; j++ {
-			r := reg.segs[j]
-			var list []roadnet.SegmentID
-			if far {
-				list = e.con.Far(r, slot)
-			} else {
-				list = e.con.Near(r, slot)
-			}
-			for _, s := range list {
-				reg.add(s, i+1)
-			}
+			rowOf(reg.segs[j], slot).OrInto(next)
 		}
+		reg.adopt(next, i+1)
 	}
-	return reg
 }
 
 // SQMB answers an s-query with the paper's two-step pipeline: maximum/
@@ -95,22 +146,28 @@ func (e *Engine) SQMB(q Query) (*Result, error) {
 	began := now()
 	io0 := e.st.Pool().Stats()
 	tl0 := e.st.CacheStats()
+	con0 := e.con.Stats()
 
 	r0, ok := e.st.SnapLocation(q.Location)
 	if !ok {
 		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
 	}
 	starts := []roadnet.SegmentID{r0}
+	tBound := now()
 	maxReg := e.boundingRegion(starts, q.Start, q.Duration, true)
 	minReg := e.boundingRegion(starts, q.Start, q.Duration, false)
+	boundNS := now().Sub(tBound).Nanoseconds()
 
+	tVerify := now()
 	res, err := e.traceBack(starts, maxReg, minReg, q.Start, q.Duration, q.Prob)
 	if err != nil {
 		return nil, err
 	}
+	res.Metrics.VerifyNS = now().Sub(tVerify).Nanoseconds()
+	res.Metrics.BoundNS = boundNS
 	res.Metrics.MaxRegion = maxReg.size()
 	res.Metrics.MinRegion = minReg.size()
-	e.finish(res, began, io0, tl0)
+	e.finish(res, began, io0, tl0, con0)
 	return res, nil
 }
 

@@ -71,15 +71,12 @@ func (e *Engine) traceBack(starts []roadnet.SegmentID, maxReg, minReg *region, s
 
 	default:
 		// Verify Bmax \ Bmin outer-to-inner (descending expansion round,
-		// the trace back order), admit Bmin unverified.
+		// the trace back order), admit Bmax ∩ Bmin unverified. Both sets
+		// come from word-level bitset ops on the regions.
 		order := make([]roadnet.SegmentID, 0, maxReg.size())
-		for _, s := range maxReg.segs {
-			if minReg.has(s) {
-				include[s] = true
-				continue
-			}
-			order = append(order, s)
-		}
+		maxReg.splitAgainst(minReg,
+			func(s roadnet.SegmentID) { include[s] = true },
+			func(s roadnet.SegmentID) { order = append(order, s) })
 		sort.Slice(order, func(i, j int) bool {
 			ri, rj := maxReg.round[order[i]], maxReg.round[order[j]]
 			if ri != rj {

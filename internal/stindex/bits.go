@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"streach/internal/bitset"
 	"streach/internal/traj"
 )
 
@@ -71,40 +72,24 @@ func (b *TimeListBits) TimeList() *TimeList {
 
 // BitsIntersect reports whether two taxi bitsets share a set bit. Words
 // beyond the shorter slice are implicitly zero.
-func BitsIntersect(a, b []uint64) bool {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	for i := 0; i < n; i++ {
-		if a[i]&b[i] != 0 {
-			return true
-		}
-	}
-	return false
-}
+func BitsIntersect(a, b []uint64) bool { return bitset.Intersects(a, b) }
 
 // OrBits folds src into dst, growing dst as needed, and returns dst.
-func OrBits(dst, src []uint64) []uint64 {
-	for len(dst) < len(src) {
-		dst = append(dst, 0)
-	}
-	for i, w := range src {
-		dst[i] |= w
-	}
-	return dst
-}
+func OrBits(dst, src []uint64) []uint64 { return bitset.OrGrow(dst, src) }
 
-// encodeTimeListRunAdaptive picks the smaller of the two encodings for
-// the run. Dense lists (the ones probe verification spends its time on)
-// win as bitsets; sparse lists — a handful of taxis with high IDs — stay
-// as sorted u32 lists, which keeps blob sizes and therefore cold-read
-// page I/O at parity with the v1 index. The decoder dispatches per blob,
-// so the two formats coexist freely.
+// encodeTimeListRunAdaptive picks between the two encodings for the
+// run. Dense lists (the ones probe verification spends its time on) win
+// as bitsets; sparse lists — a handful of taxis with high IDs — stay as
+// sorted u32 lists, which keeps blob sizes and therefore cold-read page
+// I/O near parity with the v1 index. The sparse form must earn its keep:
+// decoding it costs a bitset conversion on every cache miss, so it is
+// chosen only when clearly smaller (below 2/3 of the bitset bytes), not
+// merely a few bytes ahead. The decoder dispatches per blob, so the two
+// formats coexist freely.
 func encodeTimeListRunAdaptive(run []uint64) []byte {
 	bits := encodeTimeListBitsRun(run)
 	legacy := encodeTimeListRun(run)
-	if len(legacy) < len(bits) {
+	if 3*len(legacy) < 2*len(bits) {
 		return legacy
 	}
 	return bits
@@ -194,18 +179,17 @@ func isBitsBlob(blob []byte) bool {
 }
 
 // decodeTimeListBits decodes either blob format into the bitset form.
-// Legacy (v1) blobs are converted on the fly, so indexes persisted before
-// the bitset encoding keep working.
+// Legacy/sparse (v1) blobs are converted on the fly, so indexes
+// persisted before the bitset encoding keep working. Both paths carve
+// the per-day word slices out of one backing allocation: a decode is a
+// handful of allocations regardless of day count, which is what keeps
+// cold-cache probes (and the first query after OpenSystem) cheap.
 func decodeTimeListBits(blob []byte) (*TimeListBits, error) {
 	if len(blob) < 2 {
 		return &TimeListBits{}, nil
 	}
 	if !isBitsBlob(blob) {
-		tl, err := decodeTimeList(blob)
-		if err != nil {
-			return nil, err
-		}
-		return bitsFromTimeList(tl), nil
+		return bitsFromV1Blob(blob)
 	}
 	if len(blob) < 6 {
 		return nil, fmt.Errorf("stindex: truncated bitset time list header")
@@ -219,7 +203,7 @@ func decodeTimeListBits(blob []byte) (*TimeListBits, error) {
 	b := &TimeListBits{
 		DayMask: make([]uint64, maskWords),
 		Days:    make([]traj.Day, 0, numDays),
-		Bits:    make([][]uint64, 0, numDays),
+		Bits:    make([][]uint64, numDays),
 	}
 	for i := 0; i < maskWords; i++ {
 		b.DayMask[i] = binary.LittleEndian.Uint64(blob[off : off+8])
@@ -236,52 +220,98 @@ func decodeTimeListBits(blob []byte) (*TimeListBits, error) {
 	if got != numDays {
 		return nil, fmt.Errorf("stindex: bitset day count %d does not match mask popcount %d", numDays, got)
 	}
+	// Pass 1 over the entry headers: total words, for one backing array.
+	total := 0
+	scan := off
 	for i := 0; i < numDays; i++ {
-		if off+2 > len(blob) {
+		if scan+2 > len(blob) {
 			return nil, fmt.Errorf("stindex: truncated bitset entry header at day %d", i)
 		}
-		nw := int(binary.LittleEndian.Uint16(blob[off : off+2]))
-		off += 2
-		if off+8*nw > len(blob) {
+		nw := int(binary.LittleEndian.Uint16(blob[scan : scan+2]))
+		if scan+2+8*nw > len(blob) {
 			return nil, fmt.Errorf("stindex: truncated bitset entry at day %d", i)
 		}
-		words := make([]uint64, nw)
+		scan += 2 + 8*nw
+		total += nw
+	}
+	backing := make([]uint64, total)
+	used := 0
+	for i := 0; i < numDays; i++ {
+		nw := int(binary.LittleEndian.Uint16(blob[off : off+2]))
+		off += 2
+		words := backing[used : used+nw : used+nw]
+		used += nw
 		for j := 0; j < nw; j++ {
 			words[j] = binary.LittleEndian.Uint64(blob[off : off+8])
 			off += 8
 		}
-		b.Bits = append(b.Bits, words)
+		b.Bits[i] = words
 	}
 	return b, nil
 }
 
-// bitsFromTimeList converts the legacy representation.
-func bitsFromTimeList(tl *TimeList) *TimeListBits {
+// bitsFromV1Blob converts a legacy/sparse (v1) blob — per day, a sorted
+// u32 taxi list — straight to bitset form without materialising the
+// intermediate TimeList.
+func bitsFromV1Blob(blob []byte) (*TimeListBits, error) {
+	numDays := int(binary.LittleEndian.Uint16(blob[:2]))
 	b := &TimeListBits{
-		Days: append([]traj.Day(nil), tl.Days...),
-		Bits: make([][]uint64, len(tl.Taxis)),
+		Days: make([]traj.Day, 0, numDays),
+		Bits: make([][]uint64, numDays),
 	}
+	// Pass 1: validate framing; per-day word need (taxis are sorted, so
+	// each day's last entry is its maximum); day mask extent.
+	total := 0
 	maxWord := 0
-	for _, d := range tl.Days {
-		if w := int(d) >> 6; w > maxWord {
+	off := 2
+	for i := 0; i < numDays; i++ {
+		if off+4 > len(blob) {
+			return nil, fmt.Errorf("stindex: truncated time list header at day %d", i)
+		}
+		day := int(binary.LittleEndian.Uint16(blob[off : off+2]))
+		cnt := int(binary.LittleEndian.Uint16(blob[off+2 : off+4]))
+		off += 4
+		if off+4*cnt > len(blob) {
+			return nil, fmt.Errorf("stindex: truncated time list entries at day %d", i)
+		}
+		if cnt > 0 {
+			last := int(binary.LittleEndian.Uint32(blob[off+4*(cnt-1) : off+4*cnt]))
+			total += last>>6 + 1
+		}
+		if w := day >> 6; w > maxWord {
 			maxWord = w
 		}
+		off += 4 * cnt
 	}
-	b.DayMask = make([]uint64, maxWord+1)
-	if len(tl.Days) == 0 {
-		b.DayMask = nil
+	if numDays > 0 {
+		b.DayMask = make([]uint64, maxWord+1)
 	}
-	for i, d := range tl.Days {
-		b.DayMask[int(d)>>6] |= 1 << (uint(d) & 63)
+	backing := make([]uint64, total)
+	used := 0
+	off = 2
+	for i := 0; i < numDays; i++ {
+		day := int(binary.LittleEndian.Uint16(blob[off : off+2]))
+		cnt := int(binary.LittleEndian.Uint16(blob[off+2 : off+4]))
+		off += 4
+		b.DayMask[day>>6] |= 1 << (uint(day) & 63)
+		b.Days = append(b.Days, traj.Day(day))
 		var words []uint64
-		for _, t := range tl.Taxis[i] {
-			w := int(t) >> 6
-			for len(words) <= w {
-				words = append(words, 0)
+		if cnt > 0 {
+			last := int(binary.LittleEndian.Uint32(blob[off+4*(cnt-1) : off+4*cnt]))
+			nw := last>>6 + 1
+			words = backing[used : used+nw : used+nw]
+			used += nw
+			for j := 0; j < cnt; j++ {
+				t := binary.LittleEndian.Uint32(blob[off : off+4])
+				if int(t>>6) >= nw {
+					return nil, fmt.Errorf("stindex: unsorted time list entries at day %d", i)
+				}
+				words[t>>6] |= 1 << (t & 63)
+				off += 4
 			}
-			words[w] |= 1 << (uint(t) & 63)
 		}
 		b.Bits[i] = words
 	}
-	return b
+	return b, nil
 }
+

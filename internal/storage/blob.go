@@ -140,7 +140,26 @@ func (f *BlobFile) NewReader() *BlobReader {
 }
 
 // Read returns the blob's contents, memoizing every page it touches.
+// The returned slice may alias pooled page memory: treat it as read-only
+// and decode it before the underlying file is written again (the blob
+// file is append-only, so existing blobs never change — the only hazard
+// is page eviction racing a concurrent writer, which the time-list read
+// path never has).
 func (r *BlobReader) Read(h BlobHandle) ([]byte, error) {
+	if h.Length <= 0 || h.Offset < 0 {
+		return readBlob(h, r.getPage)
+	}
+	pid := PageID(h.Offset / PageSize)
+	inPage := int(h.Offset % PageSize)
+	if inPage+int(h.Length) <= PageSize {
+		// Single-page blob (the common case: many small time lists per
+		// page): zero-copy view into the memoized page.
+		page, err := r.getPage(pid)
+		if err != nil {
+			return nil, err
+		}
+		return page[inPage : inPage+int(h.Length) : inPage+int(h.Length)], nil
+	}
 	return readBlob(h, r.getPage)
 }
 
@@ -148,7 +167,7 @@ func (r *BlobReader) getPage(pid PageID) ([]byte, error) {
 	if page, ok := r.pages[pid]; ok {
 		return page, nil
 	}
-	page, err := r.f.pool.GetPage(pid)
+	page, err := r.f.pool.ViewPage(pid)
 	if err != nil {
 		return nil, err
 	}

@@ -89,13 +89,35 @@ func (bp *BufferPool) ResetStats() {
 func (bp *BufferPool) GetPage(id PageID) ([]byte, error) {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
+	data, err := bp.frameData(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, PageSize)
+	copy(out, data)
+	return out, nil
+}
+
+// ViewPage returns the pooled frame's bytes without copying, reading
+// through the cache on a miss. The view is read-only and aliases pool
+// memory: callers must not modify it, and must not use it after a
+// subsequent WritePage to the same page (the frame mutates in place).
+// Intended for read-mostly stores — e.g. the append-only time-list blob
+// file, whose pages never change once written — where GetPage's
+// page-sized allocation and copy per access would dominate cold reads.
+func (bp *BufferPool) ViewPage(id PageID) ([]byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.frameData(id)
+}
+
+// frameData returns the resident frame's bytes, reading through the
+// cache on a miss. Caller holds bp.mu; the slice aliases the frame.
+func (bp *BufferPool) frameData(id PageID) ([]byte, error) {
 	if el, ok := bp.frames[id]; ok {
 		bp.stats.Hits++
 		bp.lru.MoveToFront(el)
-		fr := el.Value.(*frame)
-		out := make([]byte, PageSize)
-		copy(out, fr.data)
-		return out, nil
+		return el.Value.(*frame).data, nil
 	}
 	bp.stats.Misses++
 	bp.stats.Reads++
@@ -106,9 +128,7 @@ func (bp *BufferPool) GetPage(id PageID) ([]byte, error) {
 	if err := bp.admit(&frame{id: id, data: data}); err != nil {
 		return nil, err
 	}
-	out := make([]byte, PageSize)
-	copy(out, data)
-	return out, nil
+	return data, nil
 }
 
 // WritePage stores new contents for the page through the cache

@@ -20,12 +20,19 @@ import (
 //	dir/pages.db       ST-Index time-list pages
 //	dir/stindex.meta   ST-Index handle table and metadata
 //	dir/conindex.bin   Con-Index speed statistics
+//	dir/conindex.adj   Con-Index materialised Near/Far adjacency rows
+//	                   (optional warm cache, "CADJ" blob: adaptive
+//	                   sparse-list/bitset rows for all four tables; see
+//	                   conindex.SaveAdjacency). Save dirs written before
+//	                   the adjacency blob existed simply lack the file
+//	                   and reopen with cold, lazily-materialised tables.
 const (
 	fileNetwork  = "network.bin"
 	fileDataset  = "dataset.bin"
 	filePages    = "pages.db"
 	fileSTMeta   = "stindex.meta"
 	fileConIndex = "conindex.bin"
+	fileConAdj   = "conindex.adj"
 )
 
 // Save persists the whole system into dir (created if absent): network,
@@ -56,6 +63,11 @@ func (s *System) Save(dir string) error {
 		return err
 	}
 	if err := writeTo(fileConIndex, func(f *os.File) error { return s.con.Save(f) }); err != nil {
+		return err
+	}
+	// Materialised adjacency rides along so a reopened system starts with
+	// warmed Near/Far tables (cold queries skip the travel-time Dijkstras).
+	if err := writeTo(fileConAdj, func(f *os.File) error { return s.con.SaveAdjacency(f) }); err != nil {
 		return err
 	}
 	if err := writeTo(fileSTMeta, func(f *os.File) error { return s.st.SaveMeta(f) }); err != nil {
@@ -116,6 +128,15 @@ func OpenSystem(dir string, idx IndexConfig) (*System, error) {
 	conFile.Close()
 	if err != nil {
 		return nil, err
+	}
+	// Restore the persisted adjacency rows when present. The blob is a
+	// derived warm cache, so a missing file (pre-adjacency save dir) or a
+	// corrupt/mismatched one must not fail the open: every row is fully
+	// validated before it is installed, so whatever prefix loaded is
+	// exact, and anything not restored just re-materialises lazily.
+	if adjFile, err := os.Open(filepath.Join(dir, fileConAdj)); err == nil {
+		_ = con.LoadAdjacency(adjFile)
+		adjFile.Close()
 	}
 	store, err := storage.OpenFileStore(filepath.Join(dir, filePages))
 	if err != nil {

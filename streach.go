@@ -140,16 +140,25 @@ type Location struct{ Lat, Lng float64 }
 
 // Metrics describes what a query cost.
 type Metrics struct {
-	Elapsed       time.Duration
+	Elapsed time.Duration
+	// Bound and Verify split Elapsed into the bounding-region search
+	// (Con-Index row unions) and the verification phase (TBS probing).
+	// Zero for the exhaustive baseline, which has no bounding phase.
+	Bound, Verify time.Duration
 	Evaluated     int   // segments verified against on-disk time lists
 	PageReads     int64 // physical page reads
 	PageHits      int64 // buffer pool hits
 	TLCacheHits   int64 // decoded time-list cache hits (skip pool + decode)
 	TLCacheMisses int64 // decoded time-list cache misses
-	MaxRegion     int
-	MinRegion     int
-	RoadSegments  int
-	RoadKm        float64
+	// ConHits and ConMaterialised count Con-Index adjacency rows served
+	// from cache vs. materialised by a query-time Dijkstra (the cost a
+	// persisted conindex.adj eliminates on cold starts).
+	ConHits         int64
+	ConMaterialised int64
+	MaxRegion       int
+	MinRegion       int
+	RoadSegments    int
+	RoadKm          float64
 }
 
 // Region is a query answer: the Prob-reachable road segments.
@@ -272,9 +281,12 @@ func NewSystemFromData(net *roadnet.Network, ds *traj.Dataset, idx IndexConfig) 
 }
 
 // Warm precomputes the Con-Index Near/Far tables for every time slot
-// touched by queries starting in [start, start+dur]. The thesis builds
-// these tables offline during index construction; calling Warm moves that
-// cost out of the first query's measured time. Idempotent.
+// touched by queries starting in [start, start+dur], fanning the
+// travel-time Dijkstras out over a GOMAXPROCS-wide worker pool. The
+// thesis builds these tables offline during index construction; calling
+// Warm moves that cost out of the first query's measured time, and Save
+// persists the materialised rows so reopened systems skip it entirely.
+// Idempotent.
 func (s *System) Warm(start, dur time.Duration) {
 	slotSec := s.con.SlotSeconds()
 	lo := int(start.Seconds()) / slotSec
@@ -405,16 +417,20 @@ func (s *System) region(res *core.Result) *Region {
 		Probabilities: probs,
 		RoadKm:        res.Metrics.RoadKm,
 		Metrics: Metrics{
-			Elapsed:       res.Metrics.Elapsed,
-			Evaluated:     res.Metrics.Evaluated,
-			PageReads:     res.Metrics.IO.Reads,
-			PageHits:      res.Metrics.IO.Hits,
-			TLCacheHits:   res.Metrics.TLCacheHits,
-			TLCacheMisses: res.Metrics.TLCacheMisses,
-			MaxRegion:     res.Metrics.MaxRegion,
-			MinRegion:     res.Metrics.MinRegion,
-			RoadSegments:  res.Metrics.ResultSegments,
-			RoadKm:        res.Metrics.RoadKm,
+			Elapsed:         res.Metrics.Elapsed,
+			Bound:           time.Duration(res.Metrics.BoundNS),
+			Verify:          time.Duration(res.Metrics.VerifyNS),
+			Evaluated:       res.Metrics.Evaluated,
+			PageReads:       res.Metrics.IO.Reads,
+			PageHits:        res.Metrics.IO.Hits,
+			TLCacheHits:     res.Metrics.TLCacheHits,
+			TLCacheMisses:   res.Metrics.TLCacheMisses,
+			ConHits:         res.Metrics.ConHits,
+			ConMaterialised: res.Metrics.ConMaterialised,
+			MaxRegion:       res.Metrics.MaxRegion,
+			MinRegion:       res.Metrics.MinRegion,
+			RoadSegments:    res.Metrics.ResultSegments,
+			RoadKm:          res.Metrics.RoadKm,
 		},
 		sys: s,
 	}
