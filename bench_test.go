@@ -12,6 +12,7 @@
 package streach_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -325,11 +326,11 @@ func BenchmarkBounding(b *testing.B) {
 	var maxRegion int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		segs, err := eng.MaxBoundingRegion(q)
+		segs, err := eng.MaxBoundingRegion(context.Background(), q)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := eng.MinBoundingRegion(q); err != nil {
+		if _, err := eng.MinBoundingRegion(context.Background(), q); err != nil {
 			b.Fatal(err)
 		}
 		maxRegion += int64(len(segs))

@@ -8,6 +8,7 @@
 //	streach query  [world flags] -start 11h -dur 10m -prob 0.2 [-lat .. -lng ..] [-alg sqmb|es] [-geojson out.json]
 //	               [-precompute] [-dir saved/]   materialise + persist the Con-Index adjacency, or reopen a saved system
 //	streach mquery [world flags] -start 11h -dur 10m -prob 0.2 -n 3 [-alg mqmb|seq]
+//	streach serve  [world flags] -addr :8780 [-timeout 10s] [-warm-start 11h -warm-dur 1h] [-dir saved/]
 //	streach experiment [world flags] -fig all|4.1|4.2|4.3|4.4|4.5|4.6|4.7|4.8a|4.8b|4.9|t4.1|t4.2
 //
 // World flags (shared): -rows, -cols, -spacing, -reseg, -taxis, -days,
@@ -47,6 +48,8 @@ func main() {
 		err = runGenGPS(args)
 	case "match":
 		err = runMatch(args)
+	case "serve":
+		err = runServe(args)
 	case "experiment":
 		err = runExperiment(args)
 	case "help", "-h", "--help":
@@ -72,6 +75,9 @@ commands:
   route        plan a time-dependent route between two busy locations
   gen-gps      simulate a fleet and emit its raw GPS records as CSV
   match        map-match a GPS CSV onto the network, writing a dataset
+  serve        serve reachability and route queries over HTTP
+               (JSON/GeoJSON /v1/reach, /v1/route, /healthz, /metrics;
+               request deadlines propagate into the query engine)
   experiment   regenerate the paper's evaluation tables and figures
 
 run "streach <command> -h" for command flags`)

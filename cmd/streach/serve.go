@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streach/internal/serve"
+)
+
+// runServe builds (or reopens) a query system and serves it over HTTP:
+// JSON/GeoJSON reachability queries on /v1/reach, route planning on
+// /v1/route, liveness on /healthz, and cumulative query metrics on
+// /metrics. Request deadlines (-timeout, client ?timeout=, capped by
+// -max-timeout) map straight onto the query contexts, so a slow query is
+// abandoned at the deadline instead of holding the worker pool.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	wf := addWorldFlags(fs)
+	addr := fs.String("addr", ":8780", "listen address")
+	timeout := fs.Duration("timeout", 10*time.Second, "default per-request query deadline")
+	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "cap on client-requested ?timeout=")
+	warmStart := fs.Duration("warm-start", 0, "precompute the Con-Index adjacency from this time of day (with -warm-dur)")
+	warmDur := fs.Duration("warm-dur", 0, "warm window length (0 = skip warming)")
+	dir := fs.String("dir", "", "system save directory: reopened when it holds a saved system")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sys, err := loadOrBuildSystem(wf, *dir, false, 0, 0)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	if *warmDur > 0 {
+		t0 := time.Now()
+		if err := sys.WarmCtx(context.Background(), *warmStart, *warmDur); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "warmed con-index for [%v, %v] in %.1fs\n",
+			*warmStart, *warmStart+*warmDur, time.Since(t0).Seconds())
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: serve.New(sys, serve.Config{DefaultTimeout: *timeout, MaxTimeout: *maxTimeout}).Handler(),
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, let in-flight
+	// requests drain (their own deadlines bound the wait).
+	idle := make(chan error, 1)
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), *maxTimeout)
+		defer cancel()
+		idle <- srv.Shutdown(ctx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "serving on %s (deadline %v, max %v)\n", *addr, *timeout, *maxTimeout)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return <-idle
+}

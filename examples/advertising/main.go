@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -41,13 +42,15 @@ func main() {
 		{"13:00 (midday)", 13 * time.Hour},
 		{"18:00 (evening rush)", 18 * time.Hour},
 	} {
-		sys.Warm(tc.start, 10*time.Minute) // offline Con-Index construction
-		region, err := sys.Reach(streach.Query{
-			Lat: mall.Lat, Lng: mall.Lng,
-			Start:    tc.start,
-			Duration: 10 * time.Minute,
-			Prob:     0.2,
-		})
+		// Each query runs under a 15 s deadline budget: if the index were
+		// cold and slow, the query would abort rather than hang the batch.
+		ctx := context.Background()
+		if err := sys.WarmCtx(ctx, tc.start, 10*time.Minute); err != nil { // offline Con-Index construction
+			log.Fatal(err)
+		}
+		region, err := sys.Do(ctx,
+			streach.ReachRequest(mall, tc.start, 10*time.Minute, 0.2),
+			streach.WithDeadlineBudget(15*time.Second))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -47,21 +48,24 @@ func main() {
 	sys.Warm(start, dur) // offline Con-Index construction
 
 	// Coverage per branch (s-queries).
+	ctx := context.Background()
 	fmt.Println("\nper-branch 15-minute coverage:")
 	for i, b := range branches {
-		r, err := sys.Reach(streach.Query{Lat: b.Lat, Lng: b.Lng, Start: start, Duration: dur, Prob: prob})
+		r, err := sys.Do(ctx, streach.ReachRequest(b, start, dur, prob))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  branch %d: %4d segments, %6.1f km\n", i+1, len(r.SegmentIDs), r.RoadKm)
 	}
 
-	// Overall coverage two ways: the m-query and the naive union.
-	m, err := sys.ReachMulti(branches, start, dur, prob)
+	// Overall coverage two ways: the m-query and the naive union — the
+	// same request, dispatched through two algorithms.
+	mreq := streach.MultiRequest(branches, start, dur, prob)
+	m, err := sys.Do(ctx, mreq)
 	if err != nil {
 		log.Fatal(err)
 	}
-	seq, err := sys.ReachMultiSequential(branches, start, dur, prob)
+	seq, err := sys.Do(ctx, mreq, streach.WithAlgorithm(streach.AlgoSequential))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,12 +2,15 @@
 // dispatcher compares candidate depot sites by how much of the city each
 // can actually reach within a response window, at different times of day.
 // Because the index is data-driven, the same site scores differently at
-// 03:00 and at 18:00.
+// 03:00 and at 18:00. The site x window grid is one DoBatch call: the
+// system fans the queries out over a bounded worker pool and returns the
+// answers positionally.
 //
 // Run with: go run ./examples/dispatch
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -55,23 +58,32 @@ func main() {
 		name  string
 		total float64
 	}
+	ctx := context.Background()
 	for _, w := range windows {
-		sys.Warm(w, response) // offline Con-Index construction
+		if err := sys.WarmCtx(ctx, w, response); err != nil { // offline Con-Index construction
+			log.Fatal(err)
+		}
 	}
-	var best score
+	// The whole site x window grid as one batch, answered in parallel.
+	var reqs []streach.Request
 	for _, site := range sites {
+		for _, w := range windows {
+			reqs = append(reqs, streach.ReachRequest(site.loc, w, response, prob))
+		}
+	}
+	results := sys.DoBatch(ctx, reqs, streach.WithBatchWorkers(4))
+
+	var best score
+	for i, site := range sites {
 		fmt.Printf("%-10s", site.name)
 		var total float64
-		for _, w := range windows {
-			region, err := sys.Reach(streach.Query{
-				Lat: site.loc.Lat, Lng: site.loc.Lng,
-				Start: w, Duration: response, Prob: prob,
-			})
-			if err != nil {
-				log.Fatal(err)
+		for j := range windows {
+			r := results[i*len(windows)+j]
+			if r.Err != nil {
+				log.Fatal(r.Err)
 			}
-			fmt.Printf("  %9.1f", region.RoadKm)
-			total += region.RoadKm
+			fmt.Printf("  %9.1f", r.Region.RoadKm)
+			total += r.Region.RoadKm
 		}
 		fmt.Println()
 		if total > best.total {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -56,12 +57,13 @@ func main() {
 		len(staticSet), staticKm)
 
 	fmt.Printf("%-8s %10s %10s %22s\n", "time", "segments", "km", "static overestimates by")
+	ctx := context.Background()
 	for _, h := range []int{3, 8, 13, 18} {
 		tod := time.Duration(h) * time.Hour
-		sys.Warm(tod, horizon)
-		region, err := sys.Reach(streach.Query{
-			Lat: loc.Lat, Lng: loc.Lng, Start: tod, Duration: horizon, Prob: 0.2,
-		})
+		if err := sys.WarmCtx(ctx, tod, horizon); err != nil {
+			log.Fatal(err)
+		}
+		region, err := sys.Do(ctx, streach.ReachRequest(loc, tod, horizon, 0.2))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,11 +1,12 @@
 // Quickstart: generate a small synthetic city and taxi fleet, build the
 // ST-Index and Con-Index, and answer one spatio-temporal reachability
-// query.
+// query through the context-first Do API.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -37,27 +38,29 @@ func main() {
 
 	// Ask: starting from the busiest downtown segment at 11:00, which
 	// road segments are reachable within 10 minutes on at least 20% of
-	// historical days?
-	sys.Warm(11*time.Hour, 10*time.Minute) // offline Con-Index construction
-	loc := sys.BusiestLocation(11 * time.Hour)
-	q := streach.Query{
-		Lat: loc.Lat, Lng: loc.Lng,
-		Start:    11 * time.Hour,
-		Duration: 10 * time.Minute,
-		Prob:     0.2,
+	// historical days? The context carries a deadline into every layer of
+	// the query — an expired or cancelled context aborts it mid-flight.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if err := sys.WarmCtx(ctx, 11*time.Hour, 10*time.Minute); err != nil { // offline Con-Index construction
+		log.Fatal(err)
 	}
-	region, err := sys.Reach(q)
+	loc := sys.BusiestLocation(11 * time.Hour)
+	req := streach.ReachRequest(loc, 11*time.Hour, 10*time.Minute, 0.2)
+	region, err := sys.Do(ctx, req)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("query: from (%.5f, %.5f) at 11:00 for 10 min, Prob >= 20%%\n", q.Lat, q.Lng)
+	fmt.Printf("query: from (%.5f, %.5f) at 11:00 for 10 min, Prob >= 20%%\n", loc.Lat, loc.Lng)
 	fmt.Printf("Prob-reachable region: %d segments, %.1f km of road\n",
 		len(region.SegmentIDs), region.RoadKm)
 	fmt.Printf("answered in %v (%d segments verified against disk, %d page reads)\n",
 		region.Metrics.Elapsed, region.Metrics.Evaluated, region.Metrics.PageReads)
 
-	// Compare with the exhaustive-search baseline.
-	es, err := sys.ReachES(q)
+	// Compare with the exhaustive-search baseline: same request, one
+	// per-query option.
+	es, err := sys.Do(ctx, req, streach.WithAlgorithm(streach.AlgoExhaustive))
 	if err != nil {
 		log.Fatal(err)
 	}

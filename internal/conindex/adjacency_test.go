@@ -2,12 +2,22 @@ package conindex
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"sync"
 	"testing"
 
 	"streach/internal/roadnet"
 )
+
+// mustList unwraps a (list, error) expansion result in table literals;
+// background-context expansions never fail.
+func mustList(ids []roadnet.SegmentID, err error) []roadnet.SegmentID {
+	if err != nil {
+		panic(err)
+	}
+	return ids
+}
 
 // materialise a representative mix of rows across all four tables.
 func warmSome(idx *Index) {
@@ -122,10 +132,10 @@ func TestRowMatchesExpansion(t *testing.T) {
 				row  Row
 				want []roadnet.SegmentID
 			}{
-				{"far", idx.FarRow(id, slot), idx.expand(id, slot, true)},
-				{"near", idx.NearRow(id, slot), idx.expand(id, slot, false)},
-				{"farRev", idx.FarReverseRow(id, slot), idx.expandReverse(id, slot, true)},
-				{"nearRev", idx.NearReverseRow(id, slot), idx.expandReverse(id, slot, false)},
+				{"far", idx.FarRow(id, slot), mustList(idx.expand(context.Background(), id, slot, true))},
+				{"near", idx.NearRow(id, slot), mustList(idx.expand(context.Background(), id, slot, false))},
+				{"farRev", idx.FarReverseRow(id, slot), mustList(idx.expandReverse(context.Background(), id, slot, true))},
+				{"nearRev", idx.NearReverseRow(id, slot), mustList(idx.expandReverse(context.Background(), id, slot, false))},
 			} {
 				if tc.row.bits != nil {
 					sawDense = true

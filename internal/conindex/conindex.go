@@ -19,6 +19,7 @@ package conindex
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -27,6 +28,16 @@ import (
 	"streach/internal/roadnet"
 	"streach/internal/traj"
 )
+
+// errAborted marks a singleflight computation that ended without a row or
+// a specific error (compute panicked); waiters retry on it.
+var errAborted = fmt.Errorf("conindex: row materialisation aborted")
+
+// ctxCheckInterval is how many Dijkstra pops a materialisation runs
+// between context checks: small enough that a cancelled query abandons an
+// in-flight expansion within microseconds, large enough that the check is
+// free on the happy path.
+const ctxCheckInterval = 32
 
 // Config controls Con-Index construction.
 type Config struct {
@@ -281,18 +292,34 @@ func cacheKey(seg roadnet.SegmentID, slot int) int64 {
 // and immutable. Cold misses materialise the row once even under
 // concurrency (singleflight).
 func (x *Index) FarRow(seg roadnet.SegmentID, slot int) Row {
+	r, _ := x.FarRowCtx(context.Background(), seg, slot)
+	return r
+}
+
+// FarRowCtx is FarRow with a cancellable materialisation: a cold miss
+// runs the travel-time Dijkstra under ctx and aborts (returning ctx's
+// error) within one checkpoint interval of cancellation. Cached rows are
+// returned regardless of ctx state — only new work is cancellable.
+func (x *Index) FarRowCtx(ctx context.Context, seg roadnet.SegmentID, slot int) (Row, error) {
 	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
-	return x.far.row(x, cacheKey(seg, slot), func() []roadnet.SegmentID {
-		return x.expand(seg, slot, true)
+	return x.far.row(x, cacheKey(seg, slot), func() ([]roadnet.SegmentID, error) {
+		return x.expand(ctx, seg, slot, true)
 	})
 }
 
 // NearRow returns N(r, t) as an adaptive row: every segment fully
 // traversable from seg within one Δt at the slot's minimum speeds.
 func (x *Index) NearRow(seg roadnet.SegmentID, slot int) Row {
+	r, _ := x.NearRowCtx(context.Background(), seg, slot)
+	return r
+}
+
+// NearRowCtx is NearRow with a cancellable materialisation (see
+// FarRowCtx).
+func (x *Index) NearRowCtx(ctx context.Context, seg roadnet.SegmentID, slot int) (Row, error) {
 	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
-	return x.near.row(x, cacheKey(seg, slot), func() []roadnet.SegmentID {
-		return x.expand(seg, slot, false)
+	return x.near.row(x, cacheKey(seg, slot), func() ([]roadnet.SegmentID, error) {
+		return x.expand(ctx, seg, slot, false)
 	})
 }
 
@@ -300,8 +327,8 @@ func (x *Index) NearRow(seg roadnet.SegmentID, slot int) Row {
 // returned slice is shared; callers must not modify it.
 func (x *Index) Far(seg roadnet.SegmentID, slot int) []roadnet.SegmentID {
 	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
-	return x.far.list(x, cacheKey(seg, slot), func() []roadnet.SegmentID {
-		return x.expand(seg, slot, true)
+	return x.far.list(x, cacheKey(seg, slot), func() ([]roadnet.SegmentID, error) {
+		return x.expand(context.Background(), seg, slot, true)
 	})
 }
 
@@ -309,12 +336,14 @@ func (x *Index) Far(seg roadnet.SegmentID, slot int) []roadnet.SegmentID {
 // returned slice is shared; callers must not modify it.
 func (x *Index) Near(seg roadnet.SegmentID, slot int) []roadnet.SegmentID {
 	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
-	return x.near.list(x, cacheKey(seg, slot), func() []roadnet.SegmentID {
-		return x.expand(seg, slot, false)
+	return x.near.list(x, cacheKey(seg, slot), func() ([]roadnet.SegmentID, error) {
+		return x.expand(context.Background(), seg, slot, false)
 	})
 }
 
-// expand runs a travel-time Dijkstra from seg bounded by Δt.
+// expand runs a travel-time Dijkstra from seg bounded by Δt, checking ctx
+// every ctxCheckInterval pops so a cancelled query abandons the expansion
+// promptly.
 //
 // Far mode (upper bound): a segment is reached when it can be *entered*
 // within the budget, travelling at per-slot maximum speeds, starting from
@@ -324,10 +353,13 @@ func (x *Index) Near(seg roadnet.SegmentID, slot int) []roadnet.SegmentID {
 // Near mode (lower bound): a segment is reached when it can be *fully
 // traversed* within the budget at per-slot minimum speeds, including
 // traversing seg itself first.
-func (x *Index) expand(seg roadnet.SegmentID, slot int, far bool) []roadnet.SegmentID {
+func (x *Index) expand(ctx context.Context, seg roadnet.SegmentID, slot int, far bool) ([]roadnet.SegmentID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := x.net.NumSegments()
 	if seg < 0 || int(seg) >= n {
-		return nil
+		return nil, nil
 	}
 	budget := float64(x.slotSec)
 	base := slot * n
@@ -348,7 +380,12 @@ func (x *Index) expand(seg roadnet.SegmentID, slot int, far bool) []roadnet.Segm
 	sc.enterStamp[seg] = stamp
 	heap.Push(pq, entryItem{seg, 0})
 	var out []roadnet.SegmentID
-	for pq.Len() > 0 {
+	for pops := 0; pq.Len() > 0; pops++ {
+		if pops%ctxCheckInterval == 0 && pops > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		it := heap.Pop(pq).(entryItem)
 		if sc.enterStamp[it.seg] == stamp && it.cost > sc.enterCost[it.seg] {
 			continue // stale entry
@@ -385,7 +422,7 @@ func (x *Index) expand(seg roadnet.SegmentID, slot int, far bool) []roadnet.Segm
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // PrecomputeSlot materialises the Near and Far rows of every segment for
@@ -402,13 +439,21 @@ func (x *Index) PrecomputeSlots(lo, hi int) {
 }
 
 // PrecomputeSlotsWorkers warms [lo, hi] with an explicit worker count
-// (0 = GOMAXPROCS, 1 = serial). Work items are (segment, slot) pairs, so
-// even a single-slot warm parallelises across segments; the singleflight
-// tables make concurrent warms and queries against the same keys safe
-// and duplicate-free.
+// (0 = GOMAXPROCS, 1 = serial).
 func (x *Index) PrecomputeSlotsWorkers(lo, hi, workers int) {
+	_ = x.PrecomputeSlotsCtx(context.Background(), lo, hi, workers)
+}
+
+// PrecomputeSlotsCtx warms [lo, hi] with a bounded worker pool
+// (workers 0 = GOMAXPROCS, 1 = serial), stopping early when ctx is
+// cancelled and returning its error. Work items are (segment, slot)
+// pairs, so even a single-slot warm parallelises across segments; the
+// singleflight tables make concurrent warms and queries against the same
+// keys safe and duplicate-free. Rows already warmed before cancellation
+// stay warm.
+func (x *Index) PrecomputeSlotsCtx(ctx context.Context, lo, hi, workers int) error {
 	if hi < lo {
-		return
+		return nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -418,34 +463,59 @@ func (x *Index) PrecomputeSlotsWorkers(lo, hi, workers int) {
 	if workers > total {
 		workers = total
 	}
-	warm := func(i int) {
+	warm := func(i int) error {
 		slot := lo + i/nSeg
 		seg := roadnet.SegmentID(i % nSeg)
-		x.FarRow(seg, slot)
-		x.NearRow(seg, slot)
+		if _, err := x.FarRowCtx(ctx, seg, slot); err != nil {
+			return err
+		}
+		_, err := x.NearRowCtx(ctx, seg, slot)
+		return err
 	}
 	if workers <= 1 {
 		for i := 0; i < total; i++ {
-			warm(i)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := warm(i); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+		failed  atomic.Bool
+	)
 	for g := 0; g < workers; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= total {
+				if i >= total || failed.Load() {
 					return
 				}
-				warm(i)
+				err := ctx.Err()
+				if err == nil {
+					err = warm(i)
+				}
+				if err != nil {
+					errOnce.Do(func() { firstEr = err })
+					failed.Store(true)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if failed.Load() {
+		return firstEr
+	}
+	return nil
 }
 
 type entryItem struct {

@@ -2,6 +2,7 @@ package conindex
 
 import (
 	"container/heap"
+	"context"
 
 	"streach/internal/roadnet"
 )
@@ -20,17 +21,31 @@ import (
 // FarReverseRow returns the FarReverse list as an adaptive row (see
 // FarRow).
 func (x *Index) FarReverseRow(seg roadnet.SegmentID, slot int) Row {
+	r, _ := x.FarReverseRowCtx(context.Background(), seg, slot)
+	return r
+}
+
+// FarReverseRowCtx is FarReverseRow with a cancellable materialisation
+// (see FarRowCtx).
+func (x *Index) FarReverseRowCtx(ctx context.Context, seg roadnet.SegmentID, slot int) (Row, error) {
 	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
-	return x.farRev.row(x, cacheKey(seg, slot), func() []roadnet.SegmentID {
-		return x.expandReverse(seg, slot, true)
+	return x.farRev.row(x, cacheKey(seg, slot), func() ([]roadnet.SegmentID, error) {
+		return x.expandReverse(ctx, seg, slot, true)
 	})
 }
 
 // NearReverseRow returns the NearReverse list as an adaptive row.
 func (x *Index) NearReverseRow(seg roadnet.SegmentID, slot int) Row {
+	r, _ := x.NearReverseRowCtx(context.Background(), seg, slot)
+	return r
+}
+
+// NearReverseRowCtx is NearReverseRow with a cancellable materialisation
+// (see FarRowCtx).
+func (x *Index) NearReverseRowCtx(ctx context.Context, seg roadnet.SegmentID, slot int) (Row, error) {
 	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
-	return x.nearRev.row(x, cacheKey(seg, slot), func() []roadnet.SegmentID {
-		return x.expandReverse(seg, slot, false)
+	return x.nearRev.row(x, cacheKey(seg, slot), func() ([]roadnet.SegmentID, error) {
+		return x.expandReverse(ctx, seg, slot, false)
 	})
 }
 
@@ -39,8 +54,8 @@ func (x *Index) NearReverseRow(seg roadnet.SegmentID, slot int) Row {
 // The returned slice is shared; callers must not modify it.
 func (x *Index) FarReverse(seg roadnet.SegmentID, slot int) []roadnet.SegmentID {
 	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
-	return x.farRev.list(x, cacheKey(seg, slot), func() []roadnet.SegmentID {
-		return x.expandReverse(seg, slot, true)
+	return x.farRev.list(x, cacheKey(seg, slot), func() ([]roadnet.SegmentID, error) {
+		return x.expandReverse(context.Background(), seg, slot, true)
 	})
 }
 
@@ -48,22 +63,26 @@ func (x *Index) FarReverse(seg roadnet.SegmentID, slot int) []roadnet.SegmentID 
 // within one Δt even at the slot's minimum speeds, sorted by ID.
 func (x *Index) NearReverse(seg roadnet.SegmentID, slot int) []roadnet.SegmentID {
 	slot = ((slot % x.numSlots) + x.numSlots) % x.numSlots
-	return x.nearRev.list(x, cacheKey(seg, slot), func() []roadnet.SegmentID {
-		return x.expandReverse(seg, slot, false)
+	return x.nearRev.list(x, cacheKey(seg, slot), func() ([]roadnet.SegmentID, error) {
+		return x.expandReverse(context.Background(), seg, slot, false)
 	})
 }
 
 // expandReverse runs the mirrored travel-time Dijkstra: cost[q] is the
 // travel time from the *entry* of q to the *entry* of seg, i.e. the sum
 // of traversal times of q and every intermediate segment, excluding seg.
+// ctx is checked every ctxCheckInterval pops, same as the forward expand.
 //
 // Far mode: include q when cost[q] <= budget (the mover enters seg in
 // time). Near mode: include q when cost[q] + time(seg) <= budget (the
 // whole journey, including finishing seg, fits).
-func (x *Index) expandReverse(seg roadnet.SegmentID, slot int, far bool) []roadnet.SegmentID {
+func (x *Index) expandReverse(ctx context.Context, seg roadnet.SegmentID, slot int, far bool) ([]roadnet.SegmentID, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := x.net.NumSegments()
 	if seg < 0 || int(seg) >= n {
-		return nil
+		return nil, nil
 	}
 	budget := float64(x.slotSec)
 	base := slot * n
@@ -83,7 +102,7 @@ func (x *Index) expandReverse(seg roadnet.SegmentID, slot int, far bool) []roadn
 	// In Near mode, if seg itself cannot be traversed in time, nothing —
 	// not even seg — is surely reachable.
 	if !far && segTime > budget {
-		return nil
+		return nil, nil
 	}
 	effBudget := budget
 	if !far {
@@ -98,7 +117,12 @@ func (x *Index) expandReverse(seg roadnet.SegmentID, slot int, far bool) []roadn
 	sc.enterStamp[seg] = stamp
 	heap.Push(pq, entryItem{seg, 0})
 	var out []roadnet.SegmentID
-	for pq.Len() > 0 {
+	for pops := 0; pq.Len() > 0; pops++ {
+		if pops%ctxCheckInterval == 0 && pops > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		it := heap.Pop(pq).(entryItem)
 		if sc.enterStamp[it.seg] == stamp && it.cost > sc.enterCost[it.seg] {
 			continue
@@ -124,5 +148,5 @@ func (x *Index) expandReverse(seg roadnet.SegmentID, slot int, far bool) []roadn
 			}
 		}
 	}
-	return out
+	return out, nil
 }

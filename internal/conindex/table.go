@@ -18,11 +18,12 @@ type table struct {
 	flight map[int64]*flightCall
 }
 
-// flightCall is one in-progress row materialisation. row is written
-// before done is closed; waiters read it only after <-done.
+// flightCall is one in-progress row materialisation. row and err are
+// written before done is closed; waiters read them only after <-done.
 type flightCall struct {
 	done chan struct{}
 	row  Row
+	err  error
 }
 
 func newTable() table {
@@ -32,65 +33,84 @@ func newTable() table {
 // row returns the cached row for key, materialising it with compute on a
 // cold miss. Concurrent cold misses on the same key block on a single
 // computation (singleflight): exactly one caller runs the expansion, the
-// rest wait for its result.
-func (t *table) row(x *Index, key int64, compute func() []roadnet.SegmentID) Row {
-	t.mu.RLock()
-	r, ok := t.rows[key]
-	t.mu.RUnlock()
-	if ok {
-		x.stats.hits.Add(1)
-		return r
-	}
-	t.mu.Lock()
-	if r, ok := t.rows[key]; ok {
-		t.mu.Unlock()
-		x.stats.hits.Add(1)
-		return r
-	}
-	if fc, ok := t.flight[key]; ok {
-		t.mu.Unlock()
-		<-fc.done
-		x.stats.hits.Add(1)
-		return fc.row
-	}
-	fc := &flightCall{done: make(chan struct{})}
-	if t.flight == nil {
-		t.flight = map[int64]*flightCall{}
-	}
-	t.flight[key] = fc
-	t.mu.Unlock()
-
-	// Deregister and release waiters even if compute panics — a poisoned
-	// flight entry would block every later lookup of this key forever.
-	// On panic the row stays unmaterialised (zero Row for waiters, which
-	// is a valid empty row) and the next cold miss recomputes it.
-	stored := false
-	defer func() {
-		t.mu.Lock()
-		if stored {
-			t.rows[key] = fc.row
+// rest wait for its result. When the computing caller aborts (its context
+// was cancelled mid-Dijkstra), nothing is stored and each waiter retries
+// with its own compute — one caller's cancellation never poisons another
+// caller's lookup.
+func (t *table) row(x *Index, key int64, compute func() ([]roadnet.SegmentID, error)) (Row, error) {
+	for {
+		t.mu.RLock()
+		r, ok := t.rows[key]
+		t.mu.RUnlock()
+		if ok {
+			x.stats.hits.Add(1)
+			return r, nil
 		}
-		delete(t.flight, key)
+		t.mu.Lock()
+		if r, ok := t.rows[key]; ok {
+			t.mu.Unlock()
+			x.stats.hits.Add(1)
+			return r, nil
+		}
+		if fc, ok := t.flight[key]; ok {
+			t.mu.Unlock()
+			<-fc.done
+			if fc.err != nil {
+				continue // the computing caller aborted: retry ourselves
+			}
+			x.stats.hits.Add(1)
+			return fc.row, nil
+		}
+		fc := &flightCall{done: make(chan struct{})}
+		if t.flight == nil {
+			t.flight = map[int64]*flightCall{}
+		}
+		t.flight[key] = fc
 		t.mu.Unlock()
-		close(fc.done)
-	}()
-	fc.row = makeRow(compute(), x.net.NumSegments())
-	x.stats.materialised.Add(1)
-	stored = true
-	return fc.row
+
+		// Deregister and release waiters even if compute panics — a
+		// poisoned flight entry would block every later lookup of this key
+		// forever. On panic or error the row stays unmaterialised and
+		// waiters recompute it themselves.
+		stored := false
+		func() {
+			defer func() {
+				t.mu.Lock()
+				if stored {
+					t.rows[key] = fc.row
+				} else if fc.err == nil {
+					fc.err = errAborted
+				}
+				delete(t.flight, key)
+				t.mu.Unlock()
+				close(fc.done)
+			}()
+			var ids []roadnet.SegmentID
+			ids, fc.err = compute()
+			if fc.err == nil {
+				fc.row = makeRow(ids, x.net.NumSegments())
+				x.stats.materialised.Add(1)
+				stored = true
+			}
+		}()
+		return fc.row, fc.err
+	}
 }
 
 // list returns the row expanded to the shared sorted-slice form, memoised
 // per key (only the legacy list API pays for this; the bounding phase
 // works on rows directly).
-func (t *table) list(x *Index, key int64, compute func() []roadnet.SegmentID) []roadnet.SegmentID {
+func (t *table) list(x *Index, key int64, compute func() ([]roadnet.SegmentID, error)) []roadnet.SegmentID {
 	t.mu.RLock()
 	l, ok := t.lists[key]
 	t.mu.RUnlock()
 	if ok {
 		return l
 	}
-	r := t.row(x, key, compute)
+	r, err := t.row(x, key, compute)
+	if err != nil {
+		return nil
+	}
 	l = r.AppendTo(make([]roadnet.SegmentID, 0, r.Len()))
 	t.mu.Lock()
 	if prev, ok := t.lists[key]; ok {

@@ -82,13 +82,19 @@ func TestBoundingRegionMatchesSliceReference(t *testing.T) {
 	for _, dur := range []time.Duration{4 * time.Minute, 10 * time.Minute, 25 * time.Minute} {
 		for _, far := range []bool{true, false} {
 			starts := []roadnet.SegmentID{r0}
-			reg := e.boundingRegion(starts, 11*time.Hour, dur, far)
+			reg, err := e.boundingRegion(bg, starts, 11*time.Hour, dur, far)
+			if err != nil {
+				t.Fatal(err)
+			}
 			want, _ := referenceRegion(e, starts, 11*time.Hour, dur, far)
 			checkRegionAgainstReference(t, "forward", reg, want)
 		}
 	}
 	// Reverse tables: the same growth loop over mirrored rows.
-	rev := e.reverseBoundingRegion(r0, 11*time.Hour, 10*time.Minute, true)
+	rev, err := e.reverseBoundingRegion(bg, r0, 11*time.Hour, 10*time.Minute, true)
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantRev := map[roadnet.SegmentID]int16{}
 	orderRev := []roadnet.SegmentID{r0}
 	wantRev[r0] = 0
@@ -117,7 +123,10 @@ func TestUnifiedRegionMatchesSliceReference(t *testing.T) {
 	starts := multiStarts(t, e, f, 3)
 
 	for _, far := range []bool{true, false} {
-		reg := e.unifiedRegion(starts, 11*time.Hour, 10*time.Minute, far)
+		reg, err := e.unifiedRegion(bg, starts, 11*time.Hour, 10*time.Minute, far)
+		if err != nil {
+			t.Fatal(err)
+		}
 		want := referenceUnified(e, starts, 11*time.Hour, 10*time.Minute, far)
 		checkRegionAgainstReference(t, "unified", reg, want)
 	}
@@ -212,7 +221,7 @@ func multiStarts(t *testing.T, e *Engine, f *fixture, n int) []roadnet.SegmentID
 func TestPhaseMetrics(t *testing.T) {
 	e := newEngine(t, Options{})
 	f := getFixture(t)
-	res, err := e.SQMB(baseQuery(f))
+	res, err := e.SQMB(bg, baseQuery(f))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +236,7 @@ func TestPhaseMetrics(t *testing.T) {
 		t.Fatal("bounding phase should touch the Con-Index adjacency")
 	}
 	// A repeat query hits only materialised rows.
-	res2, err := e.SQMB(baseQuery(f))
+	res2, err := e.SQMB(bg, baseQuery(f))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -11,6 +12,10 @@ import (
 	"streach/internal/stindex"
 	"streach/internal/traj"
 )
+
+// bg is the background context used by tests that don't exercise
+// cancellation.
+var bg = context.Background()
 
 // fixture is the shared test world: a mid-sized city with a dense-enough
 // fleet that central segments see traffic in most 5-minute slots.
@@ -176,16 +181,16 @@ func TestQueryValidation(t *testing.T) {
 		{Location: f.center, Start: 25 * time.Hour, Duration: 10 * time.Minute, Prob: 0.2},
 	}
 	for i, q := range bad {
-		if _, err := e.SQMB(q); err == nil {
+		if _, err := e.SQMB(bg, q); err == nil {
 			t.Fatalf("query %d should fail validation", i)
 		}
-		if _, err := e.ES(q); err == nil {
+		if _, err := e.ES(bg, q); err == nil {
 			t.Fatalf("ES query %d should fail validation", i)
 		}
 	}
 	// Location far from any road.
 	far := Query{Location: geo.Point{Lat: 0, Lng: 0}, Start: 11 * time.Hour, Duration: 10 * time.Minute, Prob: 0.2}
-	if _, err := e.SQMB(far); err != nil {
+	if _, err := e.SQMB(bg, far); err != nil {
 		// Snap still finds the nearest segment even from far away; both
 		// behaviours (snap or error) are acceptable, but must not panic.
 		t.Logf("far snap errored: %v", err)
@@ -195,7 +200,7 @@ func TestQueryValidation(t *testing.T) {
 func TestSQMBReturnsNonEmptyRegion(t *testing.T) {
 	e := newEngine(t, Options{})
 	f := getFixture(t)
-	res, err := e.SQMB(baseQuery(f))
+	res, err := e.SQMB(bg, baseQuery(f))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,11 +225,11 @@ func TestResultWithinMaxBoundingRegion(t *testing.T) {
 	e := newEngine(t, Options{})
 	f := getFixture(t)
 	q := baseQuery(f)
-	res, err := e.SQMB(q)
+	res, err := e.SQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	maxReg, err := e.MaxBoundingRegion(q)
+	maxReg, err := e.MaxBoundingRegion(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,11 +245,11 @@ func TestMinRegionSubsetOfMaxRegion(t *testing.T) {
 	e := newEngine(t, Options{})
 	f := getFixture(t)
 	q := baseQuery(f)
-	maxReg, err := e.MaxBoundingRegion(q)
+	maxReg, err := e.MaxBoundingRegion(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	minReg, err := e.MinBoundingRegion(q)
+	minReg, err := e.MinBoundingRegion(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,11 +268,11 @@ func TestESAgreesWithVerifyAllTBS(t *testing.T) {
 	f := getFixture(t)
 	exact := newEngine(t, Options{VerifyAll: true})
 	q := baseQuery(f)
-	esRes, err := exact.ES(q)
+	esRes, err := exact.ES(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tbsRes, err := exact.SQMB(q)
+	tbsRes, err := exact.SQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,11 +302,11 @@ func TestPaperModeSupersetOfVerifyAll(t *testing.T) {
 	q := baseQuery(f)
 	paper := newEngine(t, Options{})
 	exact := newEngine(t, Options{VerifyAll: true})
-	pres, err := paper.SQMB(q)
+	pres, err := paper.SQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	eres, err := exact.SQMB(q)
+	eres, err := exact.SQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +320,7 @@ func TestPaperModeSupersetOfVerifyAll(t *testing.T) {
 			t.Fatalf("exact qualifier %d missing from paper-mode result", s)
 		}
 	}
-	maxReg, err := paper.MaxBoundingRegion(q)
+	maxReg, err := paper.MaxBoundingRegion(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,11 +336,11 @@ func TestSQMBCheaperThanES(t *testing.T) {
 	f := getFixture(t)
 	q := baseQuery(f)
 	e := newEngine(t, Options{})
-	esRes, err := e.ES(q)
+	esRes, err := e.ES(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sqRes, err := e.SQMB(q)
+	sqRes, err := e.SQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,12 +355,12 @@ func TestRegionMonotoneInDuration(t *testing.T) {
 	exact := newEngine(t, Options{VerifyAll: true})
 	q := baseQuery(f)
 	q.Duration = 5 * time.Minute
-	small, err := exact.SQMB(q)
+	small, err := exact.SQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	q.Duration = 15 * time.Minute
-	large, err := exact.SQMB(q)
+	large, err := exact.SQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,12 +384,12 @@ func TestRegionMonotoneInProb(t *testing.T) {
 	exact := newEngine(t, Options{VerifyAll: true})
 	q := baseQuery(f)
 	q.Prob = 0.2
-	loose, err := exact.SQMB(q)
+	loose, err := exact.SQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	q.Prob = 0.8
-	strict, err := exact.SQMB(q)
+	strict, err := exact.SQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -403,7 +408,7 @@ func TestIOAccountedPerQuery(t *testing.T) {
 	f := getFixture(t)
 	e := newEngine(t, Options{})
 	q := baseQuery(f)
-	res, err := e.SQMB(q)
+	res, err := e.SQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -428,11 +433,11 @@ func TestMQMBMatchesSequentialUnion(t *testing.T) {
 		geo.Offset(f.center, 0, 1800),
 	}
 	mq := MultiQuery{Locations: locs, Start: 11 * time.Hour, Duration: 10 * time.Minute, Prob: 0.2}
-	mres, err := e.MQMB(mq)
+	mres, err := e.MQMB(bg, mq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sres, err := e.SQuerySequential(mq)
+	sres, err := e.SQuerySequential(bg, mq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -454,11 +459,11 @@ func TestMQMBCheaperThanSequential(t *testing.T) {
 		geo.Offset(f.center, -900, 900),
 	}
 	mq := MultiQuery{Locations: locs, Start: 11 * time.Hour, Duration: 10 * time.Minute, Prob: 0.2}
-	mres, err := e.MQMB(mq)
+	mres, err := e.MQMB(bg, mq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sres, err := e.SQuerySequential(mq)
+	sres, err := e.SQuerySequential(bg, mq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -472,11 +477,11 @@ func TestMQMBSingleLocationMatchesSQMB(t *testing.T) {
 	f := getFixture(t)
 	e := newEngine(t, Options{})
 	q := baseQuery(f)
-	sres, err := e.SQMB(q)
+	sres, err := e.SQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mres, err := e.MQMB(MultiQuery{Locations: []geo.Point{q.Location}, Start: q.Start, Duration: q.Duration, Prob: q.Prob})
+	mres, err := e.MQMB(bg, MultiQuery{Locations: []geo.Point{q.Location}, Start: q.Start, Duration: q.Duration, Prob: q.Prob})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -490,10 +495,10 @@ func TestMQMBSingleLocationMatchesSQMB(t *testing.T) {
 
 func TestMQMBValidation(t *testing.T) {
 	e := newEngine(t, Options{})
-	if _, err := e.MQMB(MultiQuery{Start: 11 * time.Hour, Duration: 10 * time.Minute, Prob: 0.2}); err == nil {
+	if _, err := e.MQMB(bg, MultiQuery{Start: 11 * time.Hour, Duration: 10 * time.Minute, Prob: 0.2}); err == nil {
 		t.Fatal("m-query with no locations should error")
 	}
-	if _, err := e.SQuerySequential(MultiQuery{Start: 11 * time.Hour, Duration: 10 * time.Minute, Prob: 0.2}); err == nil {
+	if _, err := e.SQuerySequential(bg, MultiQuery{Start: 11 * time.Hour, Duration: 10 * time.Minute, Prob: 0.2}); err == nil {
 		t.Fatal("sequential with no locations should error")
 	}
 }
@@ -505,7 +510,7 @@ func TestMQMBDeduplicatesStarts(t *testing.T) {
 		Locations: []geo.Point{f.center, f.center, f.center},
 		Start:     11 * time.Hour, Duration: 10 * time.Minute, Prob: 0.2,
 	}
-	res, err := e.MQMB(mq)
+	res, err := e.MQMB(bg, mq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -520,11 +525,11 @@ func TestNoOverlapFilterAblation(t *testing.T) {
 	off := newEngine(t, Options{NoOverlapFilter: true})
 	locs := []geo.Point{f.center, geo.Offset(f.center, 1000, 0)}
 	mq := MultiQuery{Locations: locs, Start: 11 * time.Hour, Duration: 10 * time.Minute, Prob: 0.2}
-	a, err := on.MQMB(mq)
+	a, err := on.MQMB(bg, mq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := off.MQMB(mq)
+	b, err := off.MQMB(bg, mq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -540,7 +545,7 @@ func TestNoVisitedSetTerminates(t *testing.T) {
 	q := baseQuery(f)
 	done := make(chan error, 1)
 	go func() {
-		_, err := e.SQMB(q)
+		_, err := e.SQMB(bg, q)
 		done <- err
 	}()
 	select {
@@ -577,11 +582,11 @@ func TestRushHourShrinksMaxRegion(t *testing.T) {
 	qNight.Start = 3 * time.Hour
 	qRush := baseQuery(f)
 	qRush.Start = 18 * time.Hour
-	night, err := e.MaxBoundingRegion(qNight)
+	night, err := e.MaxBoundingRegion(bg, qNight)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rush, err := e.MaxBoundingRegion(qRush)
+	rush, err := e.MaxBoundingRegion(bg, qRush)
 	if err != nil {
 		t.Fatal(err)
 	}

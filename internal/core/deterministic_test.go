@@ -92,7 +92,7 @@ func chainQuery(prob float64) Query {
 func TestHandComputedProbabilities(t *testing.T) {
 	e := chainEngine(t, Options{VerifyAll: true})
 	lo, hi := e.slotWindow(10*time.Hour, 10*time.Minute)
-	pr, err := e.newProbe([]roadnet.SegmentID{0}, lo, lo, hi)
+	pr, err := e.newProbe(bg, []roadnet.SegmentID{0}, lo, lo, hi)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestHandComputedRegions(t *testing.T) {
 		{0.80, nil},
 	}
 	for _, c := range cases {
-		res, err := e.SQMB(chainQuery(c.prob))
+		res, err := e.SQMB(bg, chainQuery(c.prob))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -142,11 +142,11 @@ func TestHandComputedRegions(t *testing.T) {
 func TestHandComputedESAgrees(t *testing.T) {
 	e := chainEngine(t, Options{VerifyAll: true})
 	for _, prob := range []float64{0.2, 0.5, 0.75} {
-		es, err := e.ES(chainQuery(prob))
+		es, err := e.ES(bg, chainQuery(prob))
 		if err != nil {
 			t.Fatal(err)
 		}
-		sq, err := e.SQMB(chainQuery(prob))
+		sq, err := e.SQMB(bg, chainQuery(prob))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -176,7 +176,7 @@ func TestHandComputedReverse(t *testing.T) {
 		Duration: 10 * time.Minute,
 		Prob:     0.25,
 	}
-	res, err := e.ReverseSQMB(q)
+	res, err := e.ReverseSQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestHandComputedReverse(t *testing.T) {
 		t.Fatalf("reverse region = %v, want %v", res.Segments, want)
 	}
 	q.Prob = 0.3
-	res, err = e.ReverseSQMB(q)
+	res, err = e.ReverseSQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestHandComputedReverse(t *testing.T) {
 
 func TestHandComputedRoadLength(t *testing.T) {
 	e := chainEngine(t, Options{VerifyAll: true})
-	res, err := e.SQMB(chainQuery(0.5))
+	res, err := e.SQMB(bg, chainQuery(0.5))
 	if err != nil {
 		t.Fatal(err)
 	}

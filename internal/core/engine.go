@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -26,6 +27,13 @@ import (
 	"streach/internal/stindex"
 	"streach/internal/storage"
 )
+
+// Every query method takes a context.Context as its first argument and
+// checks it at tight checkpoints — between bounding rounds, on every
+// Con-Index row materialisation, per verified candidate inside the
+// verifyMany worker pool, and per pop of the ES/TBS expansion loops — so
+// a cancelled or deadline-expired context aborts an in-flight query
+// within one checkpoint interval and returns ctx.Err().
 
 // Query is a single-location ST reachability query (s-query).
 type Query struct {
@@ -154,6 +162,19 @@ func NewEngine(st *stindex.Index, con *conindex.Index, opts Options) (*Engine, e
 // Network returns the engine's road network.
 func (e *Engine) Network() *roadnet.Network { return e.net }
 
+// Options returns the engine's build-time options.
+func (e *Engine) Options() Options { return e.opts }
+
+// WithOptions returns an engine view over the same indexes with opts in
+// place of the build-time options. The copy is cheap (the indexes and
+// their caches are shared), which is how the facade applies per-query
+// option overrides without rebuilding anything.
+func (e *Engine) WithOptions(opts Options) *Engine {
+	ne := *e
+	ne.opts = opts
+	return &ne
+}
+
 // STIndex returns the engine's spatio-temporal index.
 func (e *Engine) STIndex() *stindex.Index { return e.st }
 
@@ -221,7 +242,7 @@ type probe struct {
 }
 
 // newProbe reads each source's start-slot time list once.
-func (e *Engine) newProbe(sources []roadnet.SegmentID, startSlot, loSlot, hiSlot int) (*probe, error) {
+func (e *Engine) newProbe(ctx context.Context, sources []roadnet.SegmentID, startSlot, loSlot, hiSlot int) (*probe, error) {
 	p := &probe{
 		e:      e,
 		starts: make([][][]uint64, len(sources)),
@@ -230,6 +251,9 @@ func (e *Engine) newProbe(sources []roadnet.SegmentID, startSlot, loSlot, hiSlot
 		days:   e.st.Days(),
 	}
 	for i, src := range sources {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bits, err := e.st.TimeListBitsAt(src, startSlot)
 		if err != nil {
 			return nil, err
@@ -329,8 +353,10 @@ const parallelVerifyThreshold = 16
 // and returns the probabilities aligned with segs. newWorker must return
 // an independent prob function per goroutine (workers share only
 // read-only state). Results are deterministic: out[i] depends only on
-// segs[i].
-func (e *Engine) verifyMany(segs []roadnet.SegmentID, newWorker func() func(roadnet.SegmentID) (float64, error)) ([]float64, error) {
+// segs[i]. Both the serial path and every pool worker check ctx before
+// each candidate, so cancellation aborts the verification phase within
+// one probe.
+func (e *Engine) verifyMany(ctx context.Context, segs []roadnet.SegmentID, newWorker func() func(roadnet.SegmentID) (float64, error)) ([]float64, error) {
 	out := make([]float64, len(segs))
 	if len(segs) == 0 {
 		return out, nil
@@ -342,6 +368,9 @@ func (e *Engine) verifyMany(segs []roadnet.SegmentID, newWorker func() func(road
 	if workers <= 1 || len(segs) < parallelVerifyThreshold {
 		prob := newWorker()
 		for i, s := range segs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			p, err := prob(s)
 			if err != nil {
 				return nil, err
@@ -367,7 +396,11 @@ func (e *Engine) verifyMany(segs []roadnet.SegmentID, newWorker func() func(road
 				if i >= len(segs) || failed.Load() {
 					return
 				}
-				p, err := prob(segs[i])
+				err := ctx.Err()
+				var p float64
+				if err == nil {
+					p, err = prob(segs[i])
+				}
 				if err != nil {
 					errOnce.Do(func() { firstEr = err })
 					failed.Store(true)

@@ -72,7 +72,7 @@ func TestProbeReusedAcrossCalls(t *testing.T) {
 	q := baseQuery(f)
 	lo, hi := e.slotWindow(q.Start, q.Duration)
 	r0, _ := e.st.SnapLocation(q.Location)
-	pr, err := e.newProbe([]roadnet.SegmentID{r0}, lo, lo, hi)
+	pr, err := e.newProbe(bg, []roadnet.SegmentID{r0}, lo, lo, hi)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"streach/internal/roadnet"
@@ -17,7 +18,7 @@ import (
 // Prob-reachable road segments at all possible branches" — i.e. it is
 // exhaustive within the worst-case reach, which is what makes it pay
 // 2–10x the disk reads of SQMB+TBS.
-func (e *Engine) ES(q Query) (*Result, error) {
+func (e *Engine) ES(ctx context.Context, q Query) (*Result, error) {
 	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
 		return nil, err
 	}
@@ -31,7 +32,7 @@ func (e *Engine) ES(q Query) (*Result, error) {
 		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
 	}
 	lo, hi := e.slotWindow(q.Start, q.Duration)
-	pr, err := e.newProbe([]roadnet.SegmentID{r0}, lo, lo, hi)
+	pr, err := e.newProbe(ctx, []roadnet.SegmentID{r0}, lo, lo, hi)
 	if err != nil {
 		return nil, err
 	}
@@ -42,8 +43,14 @@ func (e *Engine) ES(q Query) (*Result, error) {
 
 	res := &Result{Starts: []roadnet.SegmentID{r0}, Probability: map[roadnet.SegmentID]float64{}}
 	var expandErr error
+	// The expansion verifies one segment per pop, so the ctx check aborts
+	// the exhaustive scan within one time-list probe of cancellation.
 	e.net.Expand(r0, budget, e.net.DistanceWeight(), func(r roadnet.SegmentID, _ float64) bool {
 		if expandErr != nil {
+			return false
+		}
+		if err := ctx.Err(); err != nil {
+			expandErr = err
 			return false
 		}
 		p, err := w.prob(r)

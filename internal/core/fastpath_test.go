@@ -17,11 +17,11 @@ func TestResultsStableUnderCache(t *testing.T) {
 	e := newEngine(t, Options{VerifyAll: true})
 	q := baseQuery(f)
 
-	sqCold, err := e.SQMB(q)
+	sqCold, err := e.SQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sqWarm, err := e.SQMB(q)
+	sqWarm, err := e.SQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,11 +36,11 @@ func TestResultsStableUnderCache(t *testing.T) {
 		t.Fatal("warm SQMB run should hit the decoded cache")
 	}
 
-	esCold, err := e.ES(q)
+	esCold, err := e.ES(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	esWarm, err := e.ES(q)
+	esWarm, err := e.ES(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,11 +73,11 @@ func TestParallelVerifyMatchesSerial(t *testing.T) {
 		serial := newEngine(t, serialOpts)
 		par := newEngine(t, parOpts)
 
-		sres, err := serial.SQMB(q)
+		sres, err := serial.SQMB(bg, q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		pres, err := par.SQMB(q)
+		pres, err := par.SQMB(bg, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,11 +93,11 @@ func TestParallelVerifyMatchesSerial(t *testing.T) {
 				opts.VerifyAll, pres.Metrics.Evaluated, sres.Metrics.Evaluated)
 		}
 
-		srev, err := serial.ReverseSQMB(q)
+		srev, err := serial.ReverseSQMB(bg, q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		prev, err := par.ReverseSQMB(q)
+		prev, err := par.ReverseSQMB(bg, q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,11 +116,11 @@ func TestProbeWorkersIndependent(t *testing.T) {
 	q := baseQuery(f)
 	lo, hi := e.slotWindow(q.Start, q.Duration)
 	r0, _ := e.st.SnapLocation(q.Location)
-	pr, err := e.newProbe([]roadnet.SegmentID{r0}, lo, lo, hi)
+	pr, err := e.newProbe(bg, []roadnet.SegmentID{r0}, lo, lo, hi)
 	if err != nil {
 		t.Fatal(err)
 	}
-	reg, err := e.MaxBoundingRegion(q)
+	reg, err := e.MaxBoundingRegion(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}

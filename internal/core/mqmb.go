@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,7 +15,7 @@ import (
 // trace back search over the unified region. Compared with running SQMB
 // once per location, segments in overlapping bounding regions are
 // attributed to their nearest start location and expanded only once.
-func (e *Engine) MQMB(q MultiQuery) (*Result, error) {
+func (e *Engine) MQMB(ctx context.Context, q MultiQuery) (*Result, error) {
 	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
 		return nil, err
 	}
@@ -40,12 +41,18 @@ func (e *Engine) MQMB(q MultiQuery) (*Result, error) {
 	}
 
 	tBound := now()
-	maxReg := e.unifiedRegion(starts, q.Start, q.Duration, true)
-	minReg := e.unifiedRegion(starts, q.Start, q.Duration, false)
+	maxReg, err := e.unifiedRegion(ctx, starts, q.Start, q.Duration, true)
+	if err != nil {
+		return nil, err
+	}
+	minReg, err := e.unifiedRegion(ctx, starts, q.Start, q.Duration, false)
+	if err != nil {
+		return nil, err
+	}
 	boundNS := now().Sub(tBound).Nanoseconds()
 
 	tVerify := now()
-	res, err := e.traceBack(starts, maxReg, minReg, q.Start, q.Duration, q.Prob)
+	res, err := e.traceBack(ctx, starts, maxReg, minReg, q.Start, q.Duration, q.Prob)
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +67,7 @@ func (e *Engine) MQMB(q MultiQuery) (*Result, error) {
 // SQuerySequential answers an m-query the naive way (§3.3.2): one SQMB+TBS
 // run per location, results unioned. It is the baseline MQMB is compared
 // against in Fig 4.8.
-func (e *Engine) SQuerySequential(q MultiQuery) (*Result, error) {
+func (e *Engine) SQuerySequential(ctx context.Context, q MultiQuery) (*Result, error) {
 	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
 		return nil, err
 	}
@@ -75,7 +82,7 @@ func (e *Engine) SQuerySequential(q MultiQuery) (*Result, error) {
 	union := map[roadnet.SegmentID]bool{}
 	res := &Result{}
 	for _, loc := range q.Locations {
-		one, err := e.SQMB(Query{Location: loc, Start: q.Start, Duration: q.Duration, Prob: q.Prob})
+		one, err := e.SQMB(ctx, Query{Location: loc, Start: q.Start, Duration: q.Duration, Prob: q.Prob})
 		if err != nil {
 			return nil, err
 		}
@@ -103,7 +110,7 @@ func (e *Engine) SQuerySequential(q MultiQuery) (*Result, error) {
 // only when it appears in the row of its nearest region segment rs
 // (line 8's rs = argmin dis(r', b)), so duplicated influence inside
 // overlapping regions is eliminated.
-func (e *Engine) unifiedRegion(starts []roadnet.SegmentID, startOfDay, dur time.Duration, far bool) *region {
+func (e *Engine) unifiedRegion(ctx context.Context, starts []roadnet.SegmentID, startOfDay, dur time.Duration, far bool) (*region, error) {
 	n := e.net.NumSegments()
 	reg := newRegion(n)
 	for _, r := range starts {
@@ -111,14 +118,17 @@ func (e *Engine) unifiedRegion(starts []roadnet.SegmentID, startOfDay, dur time.
 	}
 	k := e.rounds(dur)
 	slotSec := e.st.SlotSeconds()
-	rowOf := func(r roadnet.SegmentID, slot int) conindex.Row {
+	rowOf := func(r roadnet.SegmentID, slot int) (conindex.Row, error) {
 		if far {
-			return e.con.FarRow(r, slot)
+			return e.con.FarRowCtx(ctx, r, slot)
 		}
-		return e.con.NearRow(r, slot)
+		return e.con.NearRowCtx(ctx, r, slot)
 	}
 	next := bitset.New(n)
 	for i := 0; i < k; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if reg.size() == n {
 			break
 		}
@@ -126,7 +136,11 @@ func (e *Engine) unifiedRegion(starts []roadnet.SegmentID, startOfDay, dur time.
 		snapshot := append([]roadnet.SegmentID(nil), reg.segs...)
 		copy(next, reg.bits)
 		for _, r := range snapshot {
-			rowOf(r, slot).OrInto(next)
+			row, err := rowOf(r, slot)
+			if err != nil {
+				return nil, err
+			}
+			row.OrInto(next)
 		}
 		if e.opts.NoOverlapFilter {
 			reg.adopt(next, i+1)
@@ -148,12 +162,16 @@ func (e *Engine) unifiedRegion(starts []roadnet.SegmentID, startOfDay, dur time.
 			if !ok {
 				continue // not reached by the bounded expansion: drop
 			}
-			if rowOf(rs, slot).Has(b) {
+			row, err := rowOf(rs, slot)
+			if err != nil {
+				return nil, err
+			}
+			if row.Has(b) {
 				reg.add(b, i+1)
 			}
 		}
 	}
-	return reg
+	return reg, nil
 }
 
 // nearestAttribution finds, for every candidate, the nearest source

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -36,7 +37,10 @@ type reverseProbe struct {
 	evaluated atomic.Int64
 }
 
-func (e *Engine) newReverseProbe(dst roadnet.SegmentID, startSlot, loSlot, hiSlot int) (*reverseProbe, error) {
+func (e *Engine) newReverseProbe(ctx context.Context, dst roadnet.SegmentID, startSlot, loSlot, hiSlot int) (*reverseProbe, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	lists, err := e.st.TimeListsRange(dst, loSlot, hiSlot, nil)
 	if err != nil {
 		return nil, err
@@ -77,7 +81,7 @@ func (p *reverseProbe) prob(seg roadnet.SegmentID) (float64, error) {
 // ReverseES answers a reverse reachability query by exhaustive reverse
 // network expansion out to the worst-case radius, verifying every
 // candidate.
-func (e *Engine) ReverseES(q Query) (*Result, error) {
+func (e *Engine) ReverseES(ctx context.Context, q Query) (*Result, error) {
 	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
 		return nil, err
 	}
@@ -91,7 +95,7 @@ func (e *Engine) ReverseES(q Query) (*Result, error) {
 		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
 	}
 	lo, hi := e.slotWindow(q.Start, q.Duration)
-	pr, err := e.newReverseProbe(dst, lo, lo, hi)
+	pr, err := e.newReverseProbe(ctx, dst, lo, lo, hi)
 	if err != nil {
 		return nil, err
 	}
@@ -100,6 +104,10 @@ func (e *Engine) ReverseES(q Query) (*Result, error) {
 	res := &Result{Starts: []roadnet.SegmentID{dst}, Probability: map[roadnet.SegmentID]float64{}}
 	var expandErr error
 	e.expandReverseDistance(dst, budget, func(r roadnet.SegmentID) bool {
+		if err := ctx.Err(); err != nil {
+			expandErr = err
+			return false
+		}
 		p, err := pr.prob(r)
 		if err != nil {
 			expandErr = err
@@ -166,23 +174,26 @@ func (e *Engine) expandReverseDistance(dst roadnet.SegmentID, budget float64, vi
 
 // reverseBoundingRegion mirrors SQMB over the reverse connection tables,
 // with the same word-level row unions as the forward bounding phase.
-func (e *Engine) reverseBoundingRegion(dst roadnet.SegmentID, startOfDay, dur time.Duration, far bool) *region {
+func (e *Engine) reverseBoundingRegion(ctx context.Context, dst roadnet.SegmentID, startOfDay, dur time.Duration, far bool) (*region, error) {
 	reg := newRegion(e.net.NumSegments())
 	reg.add(dst, 0)
-	e.growRegion(reg, startOfDay, dur, func(r roadnet.SegmentID, slot int) conindex.Row {
+	err := e.growRegion(ctx, reg, startOfDay, dur, func(r roadnet.SegmentID, slot int) (conindex.Row, error) {
 		if far {
-			return e.con.FarReverseRow(r, slot)
+			return e.con.FarReverseRowCtx(ctx, r, slot)
 		}
-		return e.con.NearReverseRow(r, slot)
+		return e.con.NearReverseRowCtx(ctx, r, slot)
 	})
-	return reg
+	if err != nil {
+		return nil, err
+	}
+	return reg, nil
 }
 
 // ReverseSQMB answers a reverse reachability query with the bounded
 // pipeline: reverse maximum/minimum bounding regions from the reverse
 // connection tables, then a trace back verification between them (same
 // policies as the forward TBS).
-func (e *Engine) ReverseSQMB(q Query) (*Result, error) {
+func (e *Engine) ReverseSQMB(ctx context.Context, q Query) (*Result, error) {
 	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
 		return nil, err
 	}
@@ -196,13 +207,19 @@ func (e *Engine) ReverseSQMB(q Query) (*Result, error) {
 		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
 	}
 	tBound := now()
-	maxReg := e.reverseBoundingRegion(dst, q.Start, q.Duration, true)
-	minReg := e.reverseBoundingRegion(dst, q.Start, q.Duration, false)
+	maxReg, err := e.reverseBoundingRegion(ctx, dst, q.Start, q.Duration, true)
+	if err != nil {
+		return nil, err
+	}
+	minReg, err := e.reverseBoundingRegion(ctx, dst, q.Start, q.Duration, false)
+	if err != nil {
+		return nil, err
+	}
 	boundNS := now().Sub(tBound).Nanoseconds()
 
 	tVerify := now()
 	lo, hi := e.slotWindow(q.Start, q.Duration)
-	pr, err := e.newReverseProbe(dst, lo, lo, hi)
+	pr, err := e.newReverseProbe(ctx, dst, lo, lo, hi)
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +237,7 @@ func (e *Engine) ReverseSQMB(q Query) (*Result, error) {
 			func(s roadnet.SegmentID) { include[s] = true },
 			func(s roadnet.SegmentID) { order = append(order, s) })
 	}
-	probs, err := e.verifyMany(order, func() func(roadnet.SegmentID) (float64, error) {
+	probs, err := e.verifyMany(ctx, order, func() func(roadnet.SegmentID) (float64, error) {
 		return pr.prob
 	})
 	if err != nil {

@@ -9,7 +9,7 @@ func TestReverseSQMBBasics(t *testing.T) {
 	f := getFixture(t)
 	e := newEngine(t, Options{})
 	q := baseQuery(f)
-	res, err := e.ReverseSQMB(q)
+	res, err := e.ReverseSQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,11 +28,11 @@ func TestReverseESMatchesReverseVerifyAll(t *testing.T) {
 	f := getFixture(t)
 	exact := newEngine(t, Options{VerifyAll: true})
 	q := baseQuery(f)
-	es, err := exact.ReverseES(q)
+	es, err := exact.ReverseES(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sq, err := exact.ReverseSQMB(q)
+	sq, err := exact.ReverseSQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +59,11 @@ func TestReverseCheaperPerCandidate(t *testing.T) {
 	f := getFixture(t)
 	e := newEngine(t, Options{})
 	q := baseQuery(f)
-	fwd, err := e.SQMB(q)
+	fwd, err := e.SQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rev, err := e.ReverseSQMB(q)
+	rev, err := e.ReverseSQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,11 +82,11 @@ func TestReverseRegionDirectionality(t *testing.T) {
 	f := getFixture(t)
 	e := newEngine(t, Options{})
 	q := baseQuery(f)
-	fwd, err := e.SQMB(q)
+	fwd, err := e.SQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rev, err := e.ReverseSQMB(q)
+	rev, err := e.ReverseSQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,10 +100,10 @@ func TestReverseValidation(t *testing.T) {
 	f := getFixture(t)
 	q := baseQuery(f)
 	q.Prob = -1
-	if _, err := e.ReverseSQMB(q); err == nil {
+	if _, err := e.ReverseSQMB(bg, q); err == nil {
 		t.Fatal("invalid Prob should error")
 	}
-	if _, err := e.ReverseES(q); err == nil {
+	if _, err := e.ReverseES(bg, q); err == nil {
 		t.Fatal("invalid Prob should error for ES too")
 	}
 }
@@ -113,12 +113,12 @@ func TestReverseMonotoneInProb(t *testing.T) {
 	exact := newEngine(t, Options{VerifyAll: true})
 	q := baseQuery(f)
 	q.Prob = 0.2
-	loose, err := exact.ReverseSQMB(q)
+	loose, err := exact.ReverseSQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	q.Prob = 0.8
-	strict, err := exact.ReverseSQMB(q)
+	strict, err := exact.ReverseSQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,12 +135,12 @@ func TestReverseDurationGrowsRegion(t *testing.T) {
 	e := newEngine(t, Options{})
 	q := baseQuery(f)
 	q.Duration = 5 * time.Minute
-	small, err := e.ReverseSQMB(q)
+	small, err := e.ReverseSQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}
 	q.Duration = 20 * time.Minute
-	large, err := e.ReverseSQMB(q)
+	large, err := e.ReverseSQMB(bg, q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"time"
@@ -98,29 +99,37 @@ func (e *Engine) rounds(dur time.Duration) int {
 // SQMB applies "naturally" to the minimum region). Each round ORs whole
 // adjacency rows into a scratch bitset word-by-word, then adopts the
 // newly covered segments with the round tag (see region.adopt).
-func (e *Engine) boundingRegion(starts []roadnet.SegmentID, startOfDay, dur time.Duration, far bool) *region {
+func (e *Engine) boundingRegion(ctx context.Context, starts []roadnet.SegmentID, startOfDay, dur time.Duration, far bool) (*region, error) {
 	reg := newRegion(e.net.NumSegments())
 	for _, r := range starts {
 		reg.add(r, 0)
 	}
-	e.growRegion(reg, startOfDay, dur, func(r roadnet.SegmentID, slot int) conindex.Row {
+	err := e.growRegion(ctx, reg, startOfDay, dur, func(r roadnet.SegmentID, slot int) (conindex.Row, error) {
 		if far {
-			return e.con.FarRow(r, slot)
+			return e.con.FarRowCtx(ctx, r, slot)
 		}
-		return e.con.NearRow(r, slot)
+		return e.con.NearRowCtx(ctx, r, slot)
 	})
-	return reg
+	if err != nil {
+		return nil, err
+	}
+	return reg, nil
 }
 
 // growRegion runs Algorithm 1's expansion rounds with word-level row
 // unions. rowOf supplies the per-(segment, slot) adjacency row (forward
-// or reverse, Near or Far).
-func (e *Engine) growRegion(reg *region, startOfDay, dur time.Duration, rowOf func(roadnet.SegmentID, int) conindex.Row) {
+// or reverse, Near or Far); cancellation surfaces through rowOf (cold
+// rows abort their Dijkstra) and through the per-round ctx check, so even
+// an all-warm bounding phase stops between rounds.
+func (e *Engine) growRegion(ctx context.Context, reg *region, startOfDay, dur time.Duration, rowOf func(roadnet.SegmentID, int) (conindex.Row, error)) error {
 	k := e.rounds(dur)
 	slotSec := e.st.SlotSeconds()
 	n := e.net.NumSegments()
 	next := bitset.New(n)
 	for i := 0; i < k; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if reg.size() == n {
 			break // the region saturated the network; no round can add more
 		}
@@ -130,16 +139,21 @@ func (e *Engine) growRegion(reg *region, startOfDay, dur time.Duration, rowOf fu
 		copy(next, reg.bits)
 		snapshot := len(reg.segs)
 		for j := 0; j < snapshot; j++ {
-			rowOf(reg.segs[j], slot).OrInto(next)
+			row, err := rowOf(reg.segs[j], slot)
+			if err != nil {
+				return err
+			}
+			row.OrInto(next)
 		}
 		reg.adopt(next, i+1)
 	}
+	return nil
 }
 
 // SQMB answers an s-query with the paper's two-step pipeline: maximum/
 // minimum bounding region search via the Con-Index, then trace back
 // search (TBS) to refine the Prob-reachable region.
-func (e *Engine) SQMB(q Query) (*Result, error) {
+func (e *Engine) SQMB(ctx context.Context, q Query) (*Result, error) {
 	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
 		return nil, err
 	}
@@ -154,12 +168,18 @@ func (e *Engine) SQMB(q Query) (*Result, error) {
 	}
 	starts := []roadnet.SegmentID{r0}
 	tBound := now()
-	maxReg := e.boundingRegion(starts, q.Start, q.Duration, true)
-	minReg := e.boundingRegion(starts, q.Start, q.Duration, false)
+	maxReg, err := e.boundingRegion(ctx, starts, q.Start, q.Duration, true)
+	if err != nil {
+		return nil, err
+	}
+	minReg, err := e.boundingRegion(ctx, starts, q.Start, q.Duration, false)
+	if err != nil {
+		return nil, err
+	}
 	boundNS := now().Sub(tBound).Nanoseconds()
 
 	tVerify := now()
-	res, err := e.traceBack(starts, maxReg, minReg, q.Start, q.Duration, q.Prob)
+	res, err := e.traceBack(ctx, starts, maxReg, minReg, q.Start, q.Duration, q.Prob)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +193,7 @@ func (e *Engine) SQMB(q Query) (*Result, error) {
 
 // MaxBoundingRegion exposes the SQMB maximum bounding region for tests,
 // tools, and visualisation.
-func (e *Engine) MaxBoundingRegion(q Query) ([]roadnet.SegmentID, error) {
+func (e *Engine) MaxBoundingRegion(ctx context.Context, q Query) ([]roadnet.SegmentID, error) {
 	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
 		return nil, err
 	}
@@ -181,12 +201,15 @@ func (e *Engine) MaxBoundingRegion(q Query) ([]roadnet.SegmentID, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
 	}
-	reg := e.boundingRegion([]roadnet.SegmentID{r0}, q.Start, q.Duration, true)
+	reg, err := e.boundingRegion(ctx, []roadnet.SegmentID{r0}, q.Start, q.Duration, true)
+	if err != nil {
+		return nil, err
+	}
 	return append([]roadnet.SegmentID(nil), reg.segs...), nil
 }
 
 // MinBoundingRegion exposes the SQMB minimum bounding region.
-func (e *Engine) MinBoundingRegion(q Query) ([]roadnet.SegmentID, error) {
+func (e *Engine) MinBoundingRegion(ctx context.Context, q Query) ([]roadnet.SegmentID, error) {
 	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
 		return nil, err
 	}
@@ -194,7 +217,10 @@ func (e *Engine) MinBoundingRegion(q Query) ([]roadnet.SegmentID, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
 	}
-	reg := e.boundingRegion([]roadnet.SegmentID{r0}, q.Start, q.Duration, false)
+	reg, err := e.boundingRegion(ctx, []roadnet.SegmentID{r0}, q.Start, q.Duration, false)
+	if err != nil {
+		return nil, err
+	}
 	return append([]roadnet.SegmentID(nil), reg.segs...), nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -26,9 +27,9 @@ import (
 //   - VerifyAll: everything in the maximum region is verified, including
 //     the minimum region. The result is exactly
 //     {r in Bmax : probability(r, r0) >= Prob}.
-func (e *Engine) traceBack(starts []roadnet.SegmentID, maxReg, minReg *region, startOfDay, dur time.Duration, prob float64) (*Result, error) {
+func (e *Engine) traceBack(ctx context.Context, starts []roadnet.SegmentID, maxReg, minReg *region, startOfDay, dur time.Duration, prob float64) (*Result, error) {
 	lo, hi := e.slotWindow(startOfDay, dur)
-	pr, err := e.newProbe(starts, lo, lo, hi)
+	pr, err := e.newProbe(ctx, starts, lo, lo, hi)
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +44,7 @@ func (e *Engine) traceBack(starts []roadnet.SegmentID, maxReg, minReg *region, s
 	// and folds qualifiers into the result (order-independent: each
 	// segment's probability depends only on the segment).
 	verify := func(order []roadnet.SegmentID) error {
-		probs, err := e.verifyMany(order, func() func(roadnet.SegmentID) (float64, error) {
+		probs, err := e.verifyMany(ctx, order, func() func(roadnet.SegmentID) (float64, error) {
 			return pr.worker().prob
 		})
 		if err != nil {
@@ -65,7 +66,7 @@ func (e *Engine) traceBack(starts []roadnet.SegmentID, maxReg, minReg *region, s
 		}
 
 	case e.opts.EarlyStop:
-		if err := e.earlyStopWave(maxReg, minReg, pr, prob, include, res.Probability); err != nil {
+		if err := e.earlyStopWave(ctx, maxReg, minReg, pr, prob, include, res.Probability); err != nil {
 			return nil, err
 		}
 
@@ -101,8 +102,9 @@ func (e *Engine) traceBack(starts []roadnet.SegmentID, maxReg, minReg *region, s
 // expand through failing ones, and admit everything the wave never
 // reached (the minimum region and the shielded interior) unverified.
 // The wave is inherently sequential — whether a segment is probed depends
-// on its neighbours' outcomes — so it runs on a single worker.
-func (e *Engine) earlyStopWave(maxReg, minReg *region, pr *probe, prob float64, include map[roadnet.SegmentID]bool, probs map[roadnet.SegmentID]float64) error {
+// on its neighbours' outcomes — so it runs on a single worker, checking
+// ctx before every probe.
+func (e *Engine) earlyStopWave(ctx context.Context, maxReg, minReg *region, pr *probe, prob float64, include map[roadnet.SegmentID]bool, probs map[roadnet.SegmentID]float64) error {
 	w := pr.worker()
 	visited := make(map[roadnet.SegmentID]bool, maxReg.size())
 	var queue []roadnet.SegmentID
@@ -135,6 +137,9 @@ func (e *Engine) earlyStopWave(maxReg, minReg *region, pr *probe, prob float64, 
 	// loop forever.
 	budget := 10 * maxReg.size()
 	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		r := queue[0]
 		queue = queue[1:]
 		if e.opts.NoVisitedSet {

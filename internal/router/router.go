@@ -8,12 +8,17 @@ package router
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 
 	"streach/internal/conindex"
 	"streach/internal/roadnet"
 )
+
+// ctxCheckInterval is how many Dijkstra pops the route search runs
+// between context checks.
+const ctxCheckInterval = 256
 
 // Router plans routes over a network with per-slot speed statistics.
 type Router struct {
@@ -39,9 +44,10 @@ type Route struct {
 // TimeDependent plans the fastest route from src to dst departing at
 // departSec seconds after midnight, using mean observed speeds per slot.
 // The traversal speed of each segment is taken from the slot in which it
-// is entered (the usual FIFO approximation).
-func (r *Router) TimeDependent(src, dst roadnet.SegmentID, departSec float64) (*Route, error) {
-	return r.route(src, dst, departSec, func(seg roadnet.SegmentID, atSec float64) float64 {
+// is entered (the usual FIFO approximation). The search checks ctx every
+// ctxCheckInterval pops and returns its error on cancellation.
+func (r *Router) TimeDependent(ctx context.Context, src, dst roadnet.SegmentID, departSec float64) (*Route, error) {
+	return r.route(ctx, src, dst, departSec, func(seg roadnet.SegmentID, atSec float64) float64 {
 		slot := int(atSec) / r.con.SlotSeconds()
 		return r.con.MeanSpeed(seg, slot)
 	})
@@ -49,8 +55,8 @@ func (r *Router) TimeDependent(src, dst roadnet.SegmentID, departSec float64) (*
 
 // FreeFlow plans the static route at per-class free-flow speeds: the
 // traditional time-invariant answer.
-func (r *Router) FreeFlow(src, dst roadnet.SegmentID) (*Route, error) {
-	return r.route(src, dst, 0, func(seg roadnet.SegmentID, _ float64) float64 {
+func (r *Router) FreeFlow(ctx context.Context, src, dst roadnet.SegmentID) (*Route, error) {
+	return r.route(ctx, src, dst, 0, func(seg roadnet.SegmentID, _ float64) float64 {
 		return r.net.Segment(seg).Class.FreeFlowSpeed()
 	})
 }
@@ -74,7 +80,10 @@ func (q *routePQ) Pop() interface{} {
 	return it
 }
 
-func (r *Router) route(src, dst roadnet.SegmentID, departSec float64, speedAt func(roadnet.SegmentID, float64) float64) (*Route, error) {
+func (r *Router) route(ctx context.Context, src, dst roadnet.SegmentID, departSec float64, speedAt func(roadnet.SegmentID, float64) float64) (*Route, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := r.net.NumSegments()
 	if src < 0 || int(src) >= n || dst < 0 || int(dst) >= n {
 		return nil, fmt.Errorf("router: segment out of range (src=%d dst=%d, %d segments)", src, dst, n)
@@ -85,7 +94,12 @@ func (r *Router) route(src, dst roadnet.SegmentID, departSec float64, speedAt fu
 	arrive := map[roadnet.SegmentID]float64{src: departSec}
 	prev := map[roadnet.SegmentID]roadnet.SegmentID{}
 	pq := &routePQ{{src, departSec}}
-	for pq.Len() > 0 {
+	for pops := 0; pq.Len() > 0; pops++ {
+		if pops%ctxCheckInterval == 0 && pops > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		it := heap.Pop(pq).(routeItem)
 		if a, ok := arrive[it.seg]; !ok || it.at > a {
 			continue
@@ -139,10 +153,10 @@ func reconstruct(prev map[roadnet.SegmentID]roadnet.SegmentID, dst roadnet.Segme
 // ETAProfile returns the time-dependent travel time for the same
 // origin-destination pair at each hour of the day — the "ETA by time of
 // day" curve applications plot.
-func (r *Router) ETAProfile(src, dst roadnet.SegmentID) ([24]float64, error) {
+func (r *Router) ETAProfile(ctx context.Context, src, dst roadnet.SegmentID) ([24]float64, error) {
 	var out [24]float64
 	for h := 0; h < 24; h++ {
-		route, err := r.TimeDependent(src, dst, float64(h)*3600)
+		route, err := r.TimeDependent(ctx, src, dst, float64(h)*3600)
 		if err != nil {
 			return out, err
 		}

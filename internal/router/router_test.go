@@ -1,6 +1,7 @@
 package router
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -9,6 +10,8 @@ import (
 	"streach/internal/roadnet"
 	"streach/internal/traj"
 )
+
+var bg = context.Background()
 
 type world struct {
 	net *roadnet.Network
@@ -68,7 +71,7 @@ func TestTimeDependentRouteIsValid(t *testing.T) {
 	w := getWorld(t)
 	r := New(w.net, w.con)
 	src, dst := corners(w)
-	route, err := r.TimeDependent(src, dst, 11*3600)
+	route, err := r.TimeDependent(bg, src, dst, 11*3600)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,11 +90,11 @@ func TestRushHourSlowerThanNight(t *testing.T) {
 	w := getWorld(t)
 	r := New(w.net, w.con)
 	src, dst := corners(w)
-	night, err := r.TimeDependent(src, dst, 3*3600)
+	night, err := r.TimeDependent(bg, src, dst, 3*3600)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rush, err := r.TimeDependent(src, dst, 7.5*3600)
+	rush, err := r.TimeDependent(bg, src, dst, 7.5*3600)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,12 +108,12 @@ func TestFreeFlowIsLowerBound(t *testing.T) {
 	w := getWorld(t)
 	r := New(w.net, w.con)
 	src, dst := corners(w)
-	ff, err := r.FreeFlow(src, dst)
+	ff, err := r.FreeFlow(bg, src, dst)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, h := range []float64{3, 8, 12, 18} {
-		td, err := r.TimeDependent(src, dst, h*3600)
+		td, err := r.TimeDependent(bg, src, dst, h*3600)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,7 +129,7 @@ func TestFreeFlowIsLowerBound(t *testing.T) {
 func TestSelfRoute(t *testing.T) {
 	w := getWorld(t)
 	r := New(w.net, w.con)
-	route, err := r.TimeDependent(5, 5, 10*3600)
+	route, err := r.TimeDependent(bg, 5, 5, 10*3600)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,13 +144,13 @@ func TestSelfRoute(t *testing.T) {
 func TestRouteValidation(t *testing.T) {
 	w := getWorld(t)
 	r := New(w.net, w.con)
-	if _, err := r.TimeDependent(-1, 5, 0); err == nil {
+	if _, err := r.TimeDependent(bg, -1, 5, 0); err == nil {
 		t.Fatal("negative src should error")
 	}
-	if _, err := r.TimeDependent(0, roadnet.SegmentID(w.net.NumSegments()), 0); err == nil {
+	if _, err := r.TimeDependent(bg, 0, roadnet.SegmentID(w.net.NumSegments()), 0); err == nil {
 		t.Fatal("out-of-range dst should error")
 	}
-	if _, err := r.TimeDependent(0, 5, 90000); err == nil {
+	if _, err := r.TimeDependent(bg, 0, 5, 90000); err == nil {
 		t.Fatal("departure past midnight should error")
 	}
 	if err := r.Validate(&Route{}); err == nil {
@@ -159,7 +162,7 @@ func TestETAProfileShape(t *testing.T) {
 	w := getWorld(t)
 	r := New(w.net, w.con)
 	src, dst := corners(w)
-	profile, err := r.ETAProfile(src, dst)
+	profile, err := r.ETAProfile(bg, src, dst)
 	if err != nil {
 		t.Fatal(err)
 	}

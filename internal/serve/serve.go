@@ -1,0 +1,444 @@
+// Package serve exposes a built streach.System over HTTP: JSON (or
+// GeoJSON) reachability and route queries on /v1/reach and /v1/route, a
+// /healthz probe, and a /metrics endpoint surfacing cumulative query
+// Metrics counters in expvar's JSON shape.
+//
+// Every request runs under a deadline: the server derives a per-request
+// context from Config.DefaultTimeout (clients may lower — never raise
+// past Config.MaxTimeout — it with a ?timeout= parameter), and that
+// context rides System.Do all the way into the engine's cancellation
+// checkpoints. A client that disconnects or a deadline that expires
+// stops the query mid-flight instead of burning the worker pool on an
+// answer nobody will read.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"streach"
+)
+
+// Config tunes the server. The zero value serves with 10 s request
+// deadlines capped at 30 s.
+type Config struct {
+	// DefaultTimeout is the per-request query deadline when the client
+	// does not send ?timeout= (default 10 s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts (default 30 s).
+	MaxTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server answers HTTP queries over one built system.
+type Server struct {
+	sys *streach.System
+	cfg Config
+	// vars accumulates the existing query Metrics counters across
+	// requests in an expvar.Map (not globally published, so multiple
+	// servers in one process — tests — don't collide); /metrics renders
+	// its canonical expvar JSON.
+	vars expvar.Map
+}
+
+// New wraps a built system in a server.
+func New(sys *streach.System, cfg Config) *Server {
+	s := &Server{sys: sys, cfg: cfg.withDefaults()}
+	s.vars.Init()
+	return s
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/v1/reach", s.handleReach)
+	mux.HandleFunc("/v1/route", s.handleRoute)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.sys.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"segments":     st.Segments,
+		"road_km":      st.RoadKm,
+		"taxis":        st.Taxis,
+		"days":         st.Days,
+		"slot_seconds": st.SlotSeconds,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, s.vars.String())
+}
+
+// record folds one answered query's Metrics into the cumulative counters.
+func (s *Server) record(kind string, m streach.Metrics) {
+	s.vars.Add("requests_total", 1)
+	s.vars.Add("requests_"+kind, 1)
+	s.vars.Add("segments_evaluated", int64(m.Evaluated))
+	s.vars.Add("page_reads", m.PageReads)
+	s.vars.Add("page_hits", m.PageHits)
+	s.vars.Add("tlcache_hits", m.TLCacheHits)
+	s.vars.Add("tlcache_misses", m.TLCacheMisses)
+	s.vars.Add("con_rows_materialised", m.ConMaterialised)
+	s.vars.Add("con_row_hits", m.ConHits)
+	s.vars.Add("elapsed_ns", int64(m.Elapsed))
+	s.vars.Add("bound_ns", int64(m.Bound))
+	s.vars.Add("verify_ns", int64(m.Verify))
+}
+
+func (s *Server) recordError(status int) {
+	s.vars.Add("errors_total", 1)
+	s.vars.Add("errors_"+strconv.Itoa(status), 1)
+}
+
+// httpError maps a query failure to an HTTP status.
+func (s *Server) httpError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for the log line only.
+		status = 499
+	case strings.Contains(err.Error(), "no road"):
+		status = http.StatusNotFound
+	case strings.Contains(err.Error(), "must be"),
+		strings.Contains(err.Error(), "needs"),
+		strings.Contains(err.Error(), "does not answer"),
+		strings.Contains(err.Error(), "has no multi-location"):
+		status = http.StatusBadRequest
+	}
+	s.recordError(status)
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, format string, args ...any) {
+	s.recordError(http.StatusBadRequest)
+	writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf(format, args...)})
+}
+
+// queryCtx derives the per-request deadline context: the default server
+// timeout, or the client's ?timeout= capped at MaxTimeout. The cap
+// applies only to client-requested timeouts — the operator's configured
+// default is honoured as-is.
+func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+	timeout := s.cfg.DefaultTimeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad timeout %q: %v", v, err)
+		}
+		if d <= 0 {
+			return nil, nil, fmt.Errorf("timeout must be positive, got %v", d)
+		}
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+		timeout = d
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return ctx, cancel, nil
+}
+
+// reachPayload is the POST body of /v1/reach; GET requests carry the
+// same fields as URL parameters. Lat/Lng are pointers so an explicit
+// lat=0&lng=0 (a real coordinate) is distinguishable from an absent
+// location.
+type reachPayload struct {
+	Locations []streach.Location `json:"locations"`
+	Lat       *float64           `json:"lat"`
+	Lng       *float64           `json:"lng"`
+	Start     string             `json:"start"`
+	Duration  string             `json:"dur"`
+	Prob      float64            `json:"prob"`
+	Algorithm string             `json:"algorithm"`
+	Reverse   bool               `json:"reverse"`
+}
+
+// handleReach answers reachability queries. GET parameters (or the POST
+// JSON body): lat, lng (or locations for multi), start (Go duration
+// since midnight, e.g. 11h or 11h30m), dur, prob, alg — "algorithm" in
+// the JSON body — (auto|bounded|exhaustive|sequential), reverse,
+// timeout, format (geojson). Omitting lat/lng asks the busiest segment
+// at the start time, which makes smoke tests self-contained.
+func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
+	var p reachPayload
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query()
+		if q.Get("lat") != "" || q.Get("lng") != "" {
+			lat, lng, err := parseFloatPair(q.Get("lat"), q.Get("lng"))
+			if err != nil {
+				s.badRequest(w, "%v", err)
+				return
+			}
+			p.Lat, p.Lng = &lat, &lng
+		}
+		p.Start = q.Get("start")
+		p.Duration = q.Get("dur")
+		if v := q.Get("prob"); v != "" {
+			var err error
+			if p.Prob, err = strconv.ParseFloat(v, 64); err != nil {
+				s.badRequest(w, "bad prob %q", v)
+				return
+			}
+		}
+		if p.Algorithm = q.Get("alg"); p.Algorithm == "" {
+			p.Algorithm = q.Get("algorithm")
+		}
+		p.Reverse = q.Get("reverse") == "true" || q.Get("reverse") == "1"
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+			s.badRequest(w, "bad JSON body: %v", err)
+			return
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		s.recordError(http.StatusMethodNotAllowed)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+
+	start, err := parseDurationDefault(p.Start, 11*time.Hour)
+	if err != nil {
+		s.badRequest(w, "bad start: %v", err)
+		return
+	}
+	dur, err := parseDurationDefault(p.Duration, 10*time.Minute)
+	if err != nil {
+		s.badRequest(w, "bad dur: %v", err)
+		return
+	}
+	if p.Prob == 0 {
+		p.Prob = 0.2
+	}
+
+	req := streach.Request{Start: start, Duration: dur, Prob: p.Prob}
+	kind := "reach"
+	switch {
+	case len(p.Locations) > 1:
+		req.Kind = streach.KindMulti
+		req.Locations = p.Locations
+		kind = "multi"
+	case len(p.Locations) == 1:
+		req.Kind = streach.KindReach
+		req.Locations = p.Locations
+	case p.Lat != nil && p.Lng != nil:
+		req.Kind = streach.KindReach
+		req.Locations = []streach.Location{{Lat: *p.Lat, Lng: *p.Lng}}
+	case p.Lat != nil || p.Lng != nil:
+		s.badRequest(w, "lat/lng must be given together")
+		return
+	default:
+		// No location given: query the busiest segment at the start time.
+		req.Kind = streach.KindReach
+		req.Locations = []streach.Location{s.sys.BusiestLocation(start)}
+	}
+	if p.Reverse {
+		if req.Kind == streach.KindMulti {
+			s.badRequest(w, "reverse multi-location queries are not supported")
+			return
+		}
+		req.Kind = streach.KindReverse
+		kind = "reverse"
+	}
+
+	var opts []streach.Option
+	if p.Algorithm != "" {
+		alg, err := parseAlgorithm(p.Algorithm)
+		if err != nil {
+			s.badRequest(w, "%v", err)
+			return
+		}
+		opts = append(opts, streach.WithAlgorithm(alg))
+	}
+
+	ctx, cancel, err := s.queryCtx(r)
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	defer cancel()
+
+	region, err := s.sys.Do(ctx, req, opts...)
+	if err != nil {
+		s.httpError(w, err)
+		return
+	}
+	s.record(kind, region.Metrics)
+
+	if wantsGeoJSON(r) {
+		gj, err := region.GeoJSON()
+		if err != nil {
+			s.httpError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/geo+json")
+		fmt.Fprint(w, gj)
+		return
+	}
+	writeJSON(w, http.StatusOK, regionResponse(region))
+}
+
+// handleRoute answers route queries. GET parameters: from_lat, from_lng,
+// to_lat, to_lng, depart (Go duration since midnight), alg
+// (auto|freeflow), timeout.
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		s.recordError(http.StatusMethodNotAllowed)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	if q.Get("from_lat") == "" || q.Get("to_lat") == "" {
+		s.badRequest(w, "route needs from_lat/from_lng and to_lat/to_lng")
+		return
+	}
+	fromLat, fromLng, err := parseFloatPair(q.Get("from_lat"), q.Get("from_lng"))
+	if err != nil {
+		s.badRequest(w, "from: %v", err)
+		return
+	}
+	toLat, toLng, err := parseFloatPair(q.Get("to_lat"), q.Get("to_lng"))
+	if err != nil {
+		s.badRequest(w, "to: %v", err)
+		return
+	}
+	depart, err := parseDurationDefault(q.Get("depart"), 8*time.Hour)
+	if err != nil {
+		s.badRequest(w, "bad depart: %v", err)
+		return
+	}
+	var opts []streach.Option
+	if alg := q.Get("alg"); alg != "" {
+		a, err := parseAlgorithm(alg)
+		if err != nil {
+			s.badRequest(w, "%v", err)
+			return
+		}
+		opts = append(opts, streach.WithAlgorithm(a))
+	}
+
+	ctx, cancel, err := s.queryCtx(r)
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	defer cancel()
+
+	region, err := s.sys.Do(ctx, streach.RouteRequest(
+		streach.Location{Lat: fromLat, Lng: fromLng},
+		streach.Location{Lat: toLat, Lng: toLng},
+		depart,
+	), opts...)
+	if err != nil {
+		s.httpError(w, err)
+		return
+	}
+	s.record("route", region.Metrics)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"segments":       region.Route.SegmentIDs,
+		"travel_time_ms": region.Route.TravelTime.Milliseconds(),
+		"distance_km":    region.Route.DistanceKm,
+	})
+}
+
+// regionResponse is the default JSON shape of a reachability answer.
+func regionResponse(region *streach.Region) map[string]any {
+	m := region.Metrics
+	return map[string]any{
+		"segments":      region.SegmentIDs,
+		"probabilities": region.Probabilities,
+		"road_km":       region.RoadKm,
+		"metrics": map[string]any{
+			"elapsed_ms":    float64(m.Elapsed) / float64(time.Millisecond),
+			"bound_ms":      float64(m.Bound) / float64(time.Millisecond),
+			"verify_ms":     float64(m.Verify) / float64(time.Millisecond),
+			"evaluated":     m.Evaluated,
+			"page_reads":    m.PageReads,
+			"page_hits":     m.PageHits,
+			"max_region":    m.MaxRegion,
+			"min_region":    m.MinRegion,
+			"road_segments": m.RoadSegments,
+		},
+	}
+}
+
+func wantsGeoJSON(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "geojson" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "geo+json")
+}
+
+func parseAlgorithm(s string) (streach.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return streach.AlgoAuto, nil
+	case "bounded", "sqmb", "mqmb":
+		return streach.AlgoBounded, nil
+	case "exhaustive", "es":
+		return streach.AlgoExhaustive, nil
+	case "sequential", "seq":
+		return streach.AlgoSequential, nil
+	case "freeflow":
+		return streach.AlgoFreeFlow, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}
+
+func parseDurationDefault(s string, def time.Duration) (time.Duration, error) {
+	if s == "" {
+		return def, nil
+	}
+	return time.ParseDuration(s)
+}
+
+// parseFloatPair parses a lat/lng pair where both or neither must be
+// present; absent yields (0, 0).
+func parseFloatPair(a, b string) (float64, float64, error) {
+	if a == "" && b == "" {
+		return 0, 0, nil
+	}
+	if a == "" || b == "" {
+		return 0, 0, fmt.Errorf("lat/lng must be given together")
+	}
+	x, err := strconv.ParseFloat(a, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad coordinate %q", a)
+	}
+	y, err := strconv.ParseFloat(b, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad coordinate %q", b)
+	}
+	return x, y, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streach"
+)
+
+var (
+	sysOnce sync.Once
+	testSys *streach.System
+	sysErr  error
+)
+
+// system builds one small world shared by all server tests.
+func system(t *testing.T) *streach.System {
+	t.Helper()
+	sysOnce.Do(func() {
+		testSys, sysErr = streach.NewSystem(streach.CityConfig{
+			OriginLat: 22.50, OriginLng: 114.00,
+			Rows: 8, Cols: 8,
+			SpacingMeters:   900,
+			LocalFraction:   0.4,
+			ResegmentMeters: 450,
+			Seed:            61,
+		}, streach.FleetConfig{Taxis: 80, Days: 6, Seed: 62}, streach.DefaultIndexConfig())
+	})
+	if sysErr != nil {
+		t.Fatal(sysErr)
+	}
+	return testSys
+}
+
+func server(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(system(t), cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return out
+}
+
+func TestHealthz(t *testing.T) {
+	ts := server(t, Config{})
+	out := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if out["status"] != "ok" {
+		t.Fatalf("healthz = %v", out)
+	}
+	if out["segments"].(float64) <= 0 {
+		t.Fatalf("healthz should report the network size: %v", out)
+	}
+}
+
+func TestReachEndToEnd(t *testing.T) {
+	ts := server(t, Config{})
+	// No lat/lng: the server picks the busiest segment, so the smoke
+	// query needs no world knowledge.
+	out := getJSON(t, ts.URL+"/v1/reach?start=11h&dur=10m&prob=0.2", http.StatusOK)
+	segs, ok := out["segments"].([]any)
+	if !ok || len(segs) == 0 {
+		t.Fatalf("reach returned no segments: %v", out)
+	}
+	metrics, ok := out["metrics"].(map[string]any)
+	if !ok || metrics["evaluated"].(float64) <= 0 {
+		t.Fatalf("reach metrics missing: %v", out)
+	}
+
+	// The same query through the exhaustive baseline must answer too.
+	es := getJSON(t, ts.URL+"/v1/reach?start=11h&dur=10m&prob=0.2&alg=es", http.StatusOK)
+	if len(es["segments"].([]any)) == 0 {
+		t.Fatal("exhaustive reach returned no segments")
+	}
+}
+
+func TestReachPostMulti(t *testing.T) {
+	ts := server(t, Config{})
+	sys := system(t)
+	loc := sys.BusiestLocation(11 * time.Hour)
+	body := fmt.Sprintf(`{
+		"locations": [
+			{"Lat": %f, "Lng": %f},
+			{"Lat": %f, "Lng": %f}
+		],
+		"start": "11h", "dur": "10m", "prob": 0.2
+	}`, loc.Lat, loc.Lng, loc.Lat+0.01, loc.Lng+0.01)
+	resp, err := http.Post(ts.URL+"/v1/reach", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST multi = %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out["segments"].([]any)) == 0 {
+		t.Fatal("multi reach returned no segments")
+	}
+}
+
+func TestGeoJSONNegotiation(t *testing.T) {
+	ts := server(t, Config{})
+	for _, tc := range []struct {
+		name, url, accept string
+	}{
+		{"format-param", ts.URL + "/v1/reach?format=geojson", ""},
+		{"accept-header", ts.URL + "/v1/reach", "application/geo+json"},
+	} {
+		req, _ := http.NewRequest(http.MethodGet, tc.url, nil)
+		if tc.accept != "" {
+			req.Header.Set("Accept", tc.accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fc struct {
+			Type     string `json:"type"`
+			Features []any  `json:"features"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&fc)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/geo+json" {
+			t.Fatalf("%s: Content-Type = %q", tc.name, ct)
+		}
+		if fc.Type != "FeatureCollection" || len(fc.Features) == 0 {
+			t.Fatalf("%s: not a FeatureCollection with features", tc.name)
+		}
+	}
+}
+
+func TestRouteEndToEnd(t *testing.T) {
+	ts := server(t, Config{})
+	sys := system(t)
+	from := sys.BusiestLocation(8 * time.Hour)
+	to := streach.Location{Lat: from.Lat + 0.02, Lng: from.Lng + 0.02}
+	url := fmt.Sprintf("%s/v1/route?from_lat=%f&from_lng=%f&to_lat=%f&to_lng=%f&depart=8h",
+		ts.URL, from.Lat, from.Lng, to.Lat, to.Lng)
+	out := getJSON(t, url, http.StatusOK)
+	if len(out["segments"].([]any)) == 0 {
+		t.Fatalf("route returned no path: %v", out)
+	}
+	if out["travel_time_ms"].(float64) <= 0 {
+		t.Fatalf("route has no travel time: %v", out)
+	}
+	// Free-flow must answer the same pair.
+	ff := getJSON(t, url+"&alg=freeflow", http.StatusOK)
+	if len(ff["segments"].([]any)) == 0 {
+		t.Fatal("free-flow route returned no path")
+	}
+}
+
+// TestDeadlinePropagation drives a query whose 1 ns deadline expires
+// before the first checkpoint: the server must answer 504, proving the
+// HTTP deadline reaches the engine's context rather than being decorative.
+func TestDeadlinePropagation(t *testing.T) {
+	ts := server(t, Config{})
+	out := getJSON(t, ts.URL+"/v1/reach?start=11h&dur=10m&prob=0.2&timeout=1ns", http.StatusGatewayTimeout)
+	if !strings.Contains(out["error"].(string), "deadline") {
+		t.Fatalf("want a deadline error, got %v", out)
+	}
+}
+
+func TestMetricsAccumulate(t *testing.T) {
+	ts := server(t, Config{})
+	getJSON(t, ts.URL+"/v1/reach?start=11h&dur=5m&prob=0.2", http.StatusOK)
+	out := getJSON(t, ts.URL+"/metrics", http.StatusOK)
+	if out["requests_total"].(float64) < 1 {
+		t.Fatalf("metrics should count requests: %v", out)
+	}
+	if out["segments_evaluated"].(float64) <= 0 {
+		t.Fatalf("metrics should accumulate evaluated segments: %v", out)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts := server(t, Config{})
+	for _, url := range []string{
+		"/v1/reach?lat=22.5",                // lng missing
+		"/v1/reach?start=noon",              // unparsable duration
+		"/v1/reach?timeout=-1s",             // non-positive timeout
+		"/v1/reach?alg=quantum",             // unknown algorithm
+		"/v1/reach?alg=freeflow",            // algorithm/kind mismatch
+		"/v1/reach?alg=seq&reverse=1",       // sequential has no reverse
+		"/v1/route?from_lat=1&from_lng=1",   // destination missing
+		"/v1/reach?prob=2&lat=22.5&lng=114", // prob out of range
+	} {
+		resp, err := http.Get(ts.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s = %d, want 400/404", url, resp.StatusCode)
+		}
+	}
+}
+
+// TestExplicitOriginIsNotBusiestFallback: lat=0&lng=0 is a real
+// coordinate (snapped to the nearest — south-west corner — segment),
+// not the "no location" busiest-segment default, so the two answers
+// must differ.
+func TestExplicitOriginIsNotBusiestFallback(t *testing.T) {
+	ts := server(t, Config{})
+	zero := getJSON(t, ts.URL+"/v1/reach?lat=0&lng=0", http.StatusOK)
+	busy := getJSON(t, ts.URL+"/v1/reach", http.StatusOK)
+	if fmt.Sprint(zero["segments"]) == fmt.Sprint(busy["segments"]) {
+		t.Fatal("explicit (0,0) answered the busiest-segment fallback query")
+	}
+}
+
+// TestAlgorithmParamAliases: GET accepts both ?alg= and ?algorithm=
+// (the JSON body's field name).
+func TestAlgorithmParamAliases(t *testing.T) {
+	ts := server(t, Config{})
+	a := getJSON(t, ts.URL+"/v1/reach?algorithm=exhaustive", http.StatusOK)
+	b := getJSON(t, ts.URL+"/v1/reach?alg=exhaustive", http.StatusOK)
+	if len(a["segments"].([]any)) != len(b["segments"].([]any)) {
+		t.Fatal("alg= and algorithm= dispatched differently")
+	}
+}

@@ -1,0 +1,427 @@
+package streach
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streach/internal/core"
+	"streach/internal/geo"
+	"streach/internal/router"
+)
+
+// Kind selects what a Request asks for.
+type Kind int
+
+const (
+	// KindReach is the single-location forward reachability query: which
+	// road segments did historical traffic reach from Locations[0] within
+	// [Start, Start+Duration] on at least a Prob fraction of days?
+	KindReach Kind = iota
+	// KindReverse is the mirror catchment query: from which segments can
+	// Locations[0] be reached?
+	KindReverse
+	// KindMulti is the multi-location query over all Locations (the
+	// m-query); the answer is the unified Prob-reachable region.
+	KindMulti
+	// KindRoute plans a route from Locations[0] to Locations[1] departing
+	// at Start (time-dependent by default; see AlgoFreeFlow). Duration and
+	// Prob are ignored.
+	KindRoute
+)
+
+// String names the kind for logs and errors.
+func (k Kind) String() string {
+	switch k {
+	case KindReach:
+		return "reach"
+	case KindReverse:
+		return "reverse"
+	case KindMulti:
+		return "multi"
+	case KindRoute:
+		return "route"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Algorithm selects the query-processing variant for a Request.
+type Algorithm int
+
+const (
+	// AlgoAuto picks the paper's algorithm for the request kind: SQMB+TBS
+	// for reach/reverse, MQMB+TBS for multi, time-dependent Dijkstra for
+	// route.
+	AlgoAuto Algorithm = iota
+	// AlgoBounded forces the bounded two-phase pipeline (SQMB / MQMB +
+	// TBS). Same as AlgoAuto today; named so callers can be explicit.
+	AlgoBounded
+	// AlgoExhaustive runs the exhaustive-search baseline (reach/reverse
+	// only): no bounding phase, every segment within the worst-case radius
+	// is verified.
+	AlgoExhaustive
+	// AlgoSequential answers a multi query by running the single-location
+	// pipeline per location and unioning (the m-query baseline of §4.3).
+	AlgoSequential
+	// AlgoFreeFlow plans a route at static per-class free-flow speeds (the
+	// time-invariant baseline; route only).
+	AlgoFreeFlow
+)
+
+// String names the algorithm for logs and errors.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoAuto:
+		return "auto"
+	case AlgoBounded:
+		return "bounded"
+	case AlgoExhaustive:
+		return "exhaustive"
+	case AlgoSequential:
+		return "sequential"
+	case AlgoFreeFlow:
+		return "freeflow"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Request is the single query type behind System.Do: every query the
+// system answers — forward/reverse reachability, multi-location coverage,
+// route planning — is a Request with a Kind.
+type Request struct {
+	// Kind selects the query type.
+	Kind Kind
+	// Locations are the query points. KindReach/KindReverse use
+	// Locations[0]; KindMulti uses all of them; KindRoute reads
+	// Locations[0] as the origin and Locations[1] as the destination.
+	Locations []Location
+	// Start is the time of day T (for KindRoute: the departure time).
+	Start time.Duration
+	// Duration is the horizon L. Ignored by KindRoute.
+	Duration time.Duration
+	// Prob is the required reachability probability in (0, 1]. Ignored by
+	// KindRoute. Overridable per call with WithProb.
+	Prob float64
+}
+
+// ReachRequest builds a single-location forward reachability Request.
+func ReachRequest(loc Location, start, dur time.Duration, prob float64) Request {
+	return Request{Kind: KindReach, Locations: []Location{loc}, Start: start, Duration: dur, Prob: prob}
+}
+
+// ReverseRequest builds a catchment (reverse reachability) Request.
+func ReverseRequest(loc Location, start, dur time.Duration, prob float64) Request {
+	return Request{Kind: KindReverse, Locations: []Location{loc}, Start: start, Duration: dur, Prob: prob}
+}
+
+// MultiRequest builds a multi-location Request.
+func MultiRequest(locs []Location, start, dur time.Duration, prob float64) Request {
+	return Request{Kind: KindMulti, Locations: locs, Start: start, Duration: dur, Prob: prob}
+}
+
+// RouteRequest builds a route-planning Request departing at depart.
+func RouteRequest(from, to Location, depart time.Duration) Request {
+	return Request{Kind: KindRoute, Locations: []Location{from, to}, Start: depart}
+}
+
+// queryOptions is the resolved per-call option set: the engine options
+// start from the system's build-time defaults and each With... override
+// replaces one knob for this call only.
+type queryOptions struct {
+	algorithm    Algorithm
+	prob         float64
+	probSet      bool
+	budget       time.Duration
+	engine       core.Options
+	engineDirty  bool
+	batchWorkers int
+}
+
+// Option overrides one engine or dispatch knob for a single Do/DoBatch
+// call, without touching the System's build-time configuration.
+type Option func(*queryOptions)
+
+// WithAlgorithm selects the processing variant (see Algorithm).
+func WithAlgorithm(a Algorithm) Option {
+	return func(o *queryOptions) { o.algorithm = a }
+}
+
+// WithProb overrides the request's probability threshold.
+func WithProb(p float64) Option {
+	return func(o *queryOptions) { o.prob, o.probSet = p, true }
+}
+
+// WithDeadlineBudget caps the query's processing time: Do derives a
+// child context with this timeout, so the query is abandoned (returning
+// context.DeadlineExceeded) when the budget runs out. A zero or negative
+// budget means no extra deadline beyond the caller's context.
+func WithDeadlineBudget(d time.Duration) Option {
+	return func(o *queryOptions) { o.budget = d }
+}
+
+// WithVerifyWorkers bounds the verification worker pool for this query
+// (0 = GOMAXPROCS, 1 = serial), overriding IndexConfig.VerifyWorkers.
+func WithVerifyWorkers(n int) Option {
+	return func(o *queryOptions) { o.engine.VerifyWorkers, o.engineDirty = n, true }
+}
+
+// WithVerifyAll toggles full verification of the maximum bounding region
+// (see IndexConfig.VerifyAll) for this query.
+func WithVerifyAll(on bool) Option {
+	return func(o *queryOptions) { o.engine.VerifyAll, o.engineDirty = on, true }
+}
+
+// WithEarlyStop toggles the thesis's literal Algorithm 2 queue variant
+// (see IndexConfig.EarlyStop) for this query.
+func WithEarlyStop(on bool) Option {
+	return func(o *queryOptions) { o.engine.EarlyStop, o.engineDirty = on, true }
+}
+
+// WithNoVisitedSet toggles the TBS visited-set ablation for this query.
+func WithNoVisitedSet(on bool) Option {
+	return func(o *queryOptions) { o.engine.NoVisitedSet, o.engineDirty = on, true }
+}
+
+// WithNoOverlapFilter toggles the MQMB overlap-elimination ablation for
+// this query.
+func WithNoOverlapFilter(on bool) Option {
+	return func(o *queryOptions) { o.engine.NoOverlapFilter, o.engineDirty = on, true }
+}
+
+// WithBatchWorkers bounds DoBatch's parallelism (0 = min(GOMAXPROCS,
+// len(requests))). Ignored by Do.
+func WithBatchWorkers(n int) Option {
+	return func(o *queryOptions) { o.batchWorkers = n }
+}
+
+// resolveOptions folds the call's options over the system defaults.
+func (s *System) resolveOptions(opts []Option) queryOptions {
+	qo := queryOptions{engine: s.engine.Options()}
+	for _, o := range opts {
+		o(&qo)
+	}
+	return qo
+}
+
+// Do answers one Request. It is the single context-first entry point the
+// legacy facade methods (Reach, ReachES, ReverseReach, ReachMulti, Route,
+// …) now wrap: the context carries cancellation and deadlines into every
+// layer below — bounding rounds, Con-Index Dijkstras, the verification
+// worker pool, route searches — so an abandoned HTTP request or an
+// expired deadline stops the query within one checkpoint interval and
+// Do returns ctx.Err().
+//
+// Options override the system's build-time engine configuration for this
+// call only (per-query ablations, verification parallelism, probability,
+// algorithm, deadline budget).
+//
+// For KindRoute the returned Region holds the path in SegmentIDs and the
+// journey in Region.Route; all other kinds fill the usual reachability
+// region fields.
+func (s *System) Do(ctx context.Context, req Request, opts ...Option) (*Region, error) {
+	qo := s.resolveOptions(opts)
+	return s.do(ctx, req, qo)
+}
+
+func (s *System) do(ctx context.Context, req Request, qo queryOptions) (*Region, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if qo.budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, qo.budget)
+		defer cancel()
+	}
+	eng := s.engine
+	if qo.engineDirty {
+		eng = s.engine.WithOptions(qo.engine)
+	}
+	prob := req.Prob
+	if qo.probSet {
+		prob = qo.prob
+	}
+
+	switch req.Kind {
+	case KindReach, KindReverse:
+		if len(req.Locations) < 1 {
+			return nil, fmt.Errorf("streach: %v request needs a location", req.Kind)
+		}
+		q := core.Query{
+			Location: geo.Point{Lat: req.Locations[0].Lat, Lng: req.Locations[0].Lng},
+			Start:    req.Start,
+			Duration: req.Duration,
+			Prob:     prob,
+		}
+		var (
+			res *core.Result
+			err error
+		)
+		switch qo.algorithm {
+		case AlgoAuto, AlgoBounded:
+			if req.Kind == KindReverse {
+				res, err = eng.ReverseSQMB(ctx, q)
+			} else {
+				res, err = eng.SQMB(ctx, q)
+			}
+		case AlgoExhaustive:
+			if req.Kind == KindReverse {
+				res, err = eng.ReverseES(ctx, q)
+			} else {
+				res, err = eng.ES(ctx, q)
+			}
+		default:
+			return nil, fmt.Errorf("streach: algorithm %v does not answer %v requests", qo.algorithm, req.Kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return s.region(res), nil
+
+	case KindMulti:
+		if len(req.Locations) == 0 {
+			return nil, fmt.Errorf("streach: multi request needs at least one location")
+		}
+		mq := core.MultiQuery{
+			Locations: toPoints(req.Locations),
+			Start:     req.Start,
+			Duration:  req.Duration,
+			Prob:      prob,
+		}
+		var (
+			res *core.Result
+			err error
+		)
+		switch qo.algorithm {
+		case AlgoAuto, AlgoBounded:
+			res, err = eng.MQMB(ctx, mq)
+		case AlgoSequential:
+			res, err = eng.SQuerySequential(ctx, mq)
+		case AlgoExhaustive:
+			return nil, fmt.Errorf("streach: exhaustive search has no multi-location variant; use sequential")
+		default:
+			return nil, fmt.Errorf("streach: algorithm %v does not answer multi requests", qo.algorithm)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return s.region(res), nil
+
+	case KindRoute:
+		if len(req.Locations) < 2 {
+			return nil, fmt.Errorf("streach: route request needs origin and destination locations")
+		}
+		switch qo.algorithm {
+		case AlgoAuto, AlgoBounded, AlgoFreeFlow:
+		default:
+			return nil, fmt.Errorf("streach: algorithm %v does not answer route requests", qo.algorithm)
+		}
+		return s.doRoute(ctx, req.Locations[0], req.Locations[1], req.Start, qo.algorithm == AlgoFreeFlow)
+
+	default:
+		return nil, fmt.Errorf("streach: unknown request kind %v", req.Kind)
+	}
+}
+
+// doRoute answers KindRoute: the region's SegmentIDs hold the path and
+// Region.Route the journey summary.
+func (s *System) doRoute(ctx context.Context, from, to Location, departAt time.Duration, freeFlow bool) (*Region, error) {
+	began := time.Now()
+	src, _, _, ok := s.net.SnapPoint(geo.Point{Lat: from.Lat, Lng: from.Lng})
+	if !ok {
+		return nil, fmt.Errorf("streach: no road near %+v", from)
+	}
+	dst, _, _, ok := s.net.SnapPoint(geo.Point{Lat: to.Lat, Lng: to.Lng})
+	if !ok {
+		return nil, fmt.Errorf("streach: no road near %+v", to)
+	}
+	rt := router.New(s.net, s.con)
+	var (
+		r   *router.Route
+		err error
+	)
+	if freeFlow {
+		r, err = rt.FreeFlow(ctx, src, dst)
+	} else {
+		r, err = rt.TimeDependent(ctx, src, dst, departAt.Seconds())
+	}
+	if err != nil {
+		return nil, err
+	}
+	route := routeResult(r)
+	return &Region{
+		SegmentIDs: append([]int32(nil), route.SegmentIDs...),
+		RoadKm:     route.DistanceKm,
+		Route:      route,
+		Metrics:    Metrics{Elapsed: time.Since(began), RoadKm: route.DistanceKm, RoadSegments: len(route.SegmentIDs)},
+		sys:        s,
+	}, nil
+}
+
+func routeResult(r *router.Route) *RouteResult {
+	ids := make([]int32, len(r.Path))
+	for i, s := range r.Path {
+		ids[i] = int32(s)
+	}
+	return &RouteResult{
+		SegmentIDs: ids,
+		TravelTime: time.Duration(r.TravelTimeSec * float64(time.Second)),
+		DistanceKm: r.DistanceMeters / 1000,
+	}
+}
+
+// BatchResult pairs one DoBatch request with its answer (or error).
+type BatchResult struct {
+	// Region is the answer; nil when Err is set.
+	Region *Region
+	// Err is the per-request failure, context.Canceled /
+	// context.DeadlineExceeded when the batch context ended before the
+	// request completed.
+	Err error
+}
+
+// DoBatch answers every request with a bounded worker pool and returns
+// one BatchResult per request, positionally. A cancelled or expired ctx
+// stops in-flight queries at their next checkpoint and marks every
+// unfinished request with ctx.Err(); options apply to every request in
+// the batch (use WithBatchWorkers to bound the parallelism).
+func (s *System) DoBatch(ctx context.Context, reqs []Request, opts ...Option) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	qo := s.resolveOptions(opts)
+	workers := qo.batchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					out[i] = BatchResult{Err: err}
+					continue // mark the rest, don't start new work
+				}
+				region, err := s.do(ctx, reqs[i], qo)
+				out[i] = BatchResult{Region: region, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

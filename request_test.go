@@ -1,0 +1,351 @@
+package streach
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// cancelAfter reports Canceled once Err has been polled n times: a
+// deterministic "cancel mid-query" with no sleeps or races.
+type cancelAfter struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func cancelAfterN(n int) *cancelAfter {
+	c := &cancelAfter{Context: context.Background()}
+	c.remaining.Store(int64(n))
+	return c
+}
+
+func (c *cancelAfter) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func testRequest(s *System) Request {
+	q := testQuery(s)
+	return q.request(KindReach)
+}
+
+// TestDoMatchesDeprecatedWrappers: the old facade methods are now thin
+// wrappers over Do; both spellings must agree exactly, kind by kind.
+func TestDoMatchesDeprecatedWrappers(t *testing.T) {
+	s := smallSystem(t)
+	ctx := context.Background()
+	q := testQuery(s)
+	loc := Location{Lat: q.Lat, Lng: q.Lng}
+	locs := []Location{loc, {Lat: loc.Lat + 0.01, Lng: loc.Lng + 0.01}}
+
+	type pair struct {
+		name   string
+		viaDo  func() (*Region, error)
+		viaOld func() (*Region, error)
+	}
+	pairs := []pair{
+		{
+			"reach",
+			func() (*Region, error) { return s.Do(ctx, q.request(KindReach)) },
+			func() (*Region, error) { return s.Reach(q) },
+		},
+		{
+			"reach-exhaustive",
+			func() (*Region, error) { return s.Do(ctx, q.request(KindReach), WithAlgorithm(AlgoExhaustive)) },
+			func() (*Region, error) { return s.ReachES(q) },
+		},
+		{
+			"reverse",
+			func() (*Region, error) { return s.Do(ctx, q.request(KindReverse)) },
+			func() (*Region, error) { return s.ReverseReach(q) },
+		},
+		{
+			"multi",
+			func() (*Region, error) { return s.Do(ctx, MultiRequest(locs, q.Start, q.Duration, q.Prob)) },
+			func() (*Region, error) { return s.ReachMulti(locs, q.Start, q.Duration, q.Prob) },
+		},
+		{
+			"multi-sequential",
+			func() (*Region, error) {
+				return s.Do(ctx, MultiRequest(locs, q.Start, q.Duration, q.Prob), WithAlgorithm(AlgoSequential))
+			},
+			func() (*Region, error) { return s.ReachMultiSequential(locs, q.Start, q.Duration, q.Prob) },
+		},
+	}
+	for _, p := range pairs {
+		a, err := p.viaDo()
+		if err != nil {
+			t.Fatalf("%s via Do: %v", p.name, err)
+		}
+		b, err := p.viaOld()
+		if err != nil {
+			t.Fatalf("%s via wrapper: %v", p.name, err)
+		}
+		if !reflect.DeepEqual(a.SegmentIDs, b.SegmentIDs) {
+			t.Fatalf("%s: Do and wrapper disagree (%d vs %d segments)",
+				p.name, len(a.SegmentIDs), len(b.SegmentIDs))
+		}
+	}
+}
+
+func TestDoRoute(t *testing.T) {
+	s := smallSystem(t)
+	q := testQuery(s)
+	from := Location{Lat: q.Lat, Lng: q.Lng}
+	to := Location{Lat: q.Lat + 0.02, Lng: q.Lng + 0.02}
+
+	region, err := s.Do(context.Background(), RouteRequest(from, to, 8*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.Route == nil || len(region.Route.SegmentIDs) == 0 {
+		t.Fatal("route answer has no journey")
+	}
+	if len(region.SegmentIDs) != len(region.Route.SegmentIDs) {
+		t.Fatal("region SegmentIDs should mirror the route path")
+	}
+	if region.Route.TravelTime <= 0 {
+		t.Fatalf("travel time = %v", region.Route.TravelTime)
+	}
+	ff, err := s.Do(context.Background(), RouteRequest(from, to, 0), WithAlgorithm(AlgoFreeFlow))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.Route == nil || len(ff.Route.SegmentIDs) == 0 {
+		t.Fatal("free-flow route answer has no journey")
+	}
+}
+
+func TestDoRejectsBadRequests(t *testing.T) {
+	s := smallSystem(t)
+	ctx := context.Background()
+	q := testQuery(s)
+	for name, req := range map[string]struct {
+		r    Request
+		opts []Option
+	}{
+		"no-location":        {r: Request{Kind: KindReach, Start: q.Start, Duration: q.Duration, Prob: q.Prob}},
+		"route-one-location": {r: Request{Kind: KindRoute, Locations: []Location{{q.Lat, q.Lng}}}},
+		"multi-none":         {r: Request{Kind: KindMulti, Start: q.Start, Duration: q.Duration, Prob: q.Prob}},
+		"bad-kind":           {r: Request{Kind: Kind(42), Locations: []Location{{q.Lat, q.Lng}}}},
+		"route-exhaustive":   {r: RouteRequest(Location{q.Lat, q.Lng}, Location{q.Lat, q.Lng}, 0), opts: []Option{WithAlgorithm(AlgoExhaustive)}},
+		"reach-sequential":   {r: q.request(KindReach), opts: []Option{WithAlgorithm(AlgoSequential)}},
+		"multi-exhaustive":   {r: MultiRequest([]Location{{q.Lat, q.Lng}}, q.Start, q.Duration, q.Prob), opts: []Option{WithAlgorithm(AlgoExhaustive)}},
+	} {
+		if _, err := s.Do(ctx, req.r, req.opts...); err == nil {
+			t.Errorf("%s: Do accepted an invalid request", name)
+		}
+	}
+}
+
+// TestPerQueryOptionsOverrideDefaults: options must override the
+// build-time engine configuration for one call only.
+func TestPerQueryOptionsOverrideDefaults(t *testing.T) {
+	s := smallSystem(t)
+	ctx := context.Background()
+	req := testRequest(s)
+
+	def, err := s.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// WithVerifyWorkers(1) forces the serial verification path; the
+	// answer must be identical to the default parallel pool's.
+	serial, err := s.Do(ctx, req, WithVerifyWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(def.SegmentIDs, serial.SegmentIDs) {
+		t.Fatal("WithVerifyWorkers(1) changed the answer")
+	}
+
+	// WithVerifyAll probes the otherwise-unverified minimum region, so it
+	// must evaluate strictly more segments — observable proof the
+	// build-time default was overridden for this call.
+	all, err := s.Do(ctx, req, WithVerifyAll(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Metrics.MinRegion > 0 && all.Metrics.Evaluated <= def.Metrics.Evaluated {
+		t.Fatalf("WithVerifyAll evaluated %d segments, default %d",
+			all.Metrics.Evaluated, def.Metrics.Evaluated)
+	}
+
+	// WithProb replaces the request's threshold: a near-impossible
+	// probability must shrink the region.
+	strict, err := s.Do(ctx, req, WithProb(0.99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict.SegmentIDs) >= len(def.SegmentIDs) {
+		t.Fatalf("WithProb(0.99) kept %d of %d segments",
+			len(strict.SegmentIDs), len(def.SegmentIDs))
+	}
+
+	// The overrides must not stick to the system.
+	again, err := s.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(def.SegmentIDs, again.SegmentIDs) {
+		t.Fatal("per-query options leaked into later calls")
+	}
+}
+
+// TestDoCancellation: a cancelled context aborts reach queries promptly,
+// both pre-cancelled and mid-query (at a deterministic checkpoint).
+func TestDoCancellation(t *testing.T) {
+	s := smallSystem(t)
+	req := testRequest(s)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Do(ctx, req); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled Do = %v, want context.Canceled", err)
+	}
+
+	// The budgets must stay below the total checkpoint polls of a fully
+	// warm query (bounding rounds + one poll per verified candidate, well
+	// over a hundred on this world) so the cancel always lands mid-query.
+	for _, n := range []int{1, 10, 50} {
+		if _, err := s.Do(cancelAfterN(n), req); !errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-query cancel (n=%d) = %v, want context.Canceled", n, err)
+		}
+	}
+}
+
+// TestDoDeadlineBudget: WithDeadlineBudget must impose a per-call
+// deadline even under a background parent context.
+func TestDoDeadlineBudget(t *testing.T) {
+	s := smallSystem(t)
+	req := testRequest(s)
+	if _, err := s.Do(context.Background(), req, WithDeadlineBudget(time.Nanosecond)); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("1ns budget = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestDoBatchParallelMatchesSerial runs a mixed batch under -race: the
+// bounded pool must return, positionally, exactly what one-at-a-time Do
+// returns.
+func TestDoBatchParallelMatchesSerial(t *testing.T) {
+	s := smallSystem(t)
+	ctx := context.Background()
+	q := testQuery(s)
+	loc := Location{Lat: q.Lat, Lng: q.Lng}
+	reqs := []Request{
+		q.request(KindReach),
+		q.request(KindReverse),
+		MultiRequest([]Location{loc, {Lat: loc.Lat + 0.01, Lng: loc.Lng}}, q.Start, q.Duration, q.Prob),
+		RouteRequest(loc, Location{Lat: loc.Lat + 0.02, Lng: loc.Lng + 0.02}, q.Start),
+		{Kind: KindReach}, // invalid: no location — errors positionally
+		q.request(KindReach),
+	}
+
+	batch := s.DoBatch(ctx, reqs, WithBatchWorkers(4))
+	if len(batch) != len(reqs) {
+		t.Fatalf("batch returned %d results for %d requests", len(batch), len(reqs))
+	}
+	for i, req := range reqs {
+		want, wantErr := s.Do(ctx, req)
+		got := batch[i]
+		if (wantErr == nil) != (got.Err == nil) {
+			t.Fatalf("request %d: batch err %v, serial err %v", i, got.Err, wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(want.SegmentIDs, got.Region.SegmentIDs) {
+			t.Fatalf("request %d: batch and serial answers differ", i)
+		}
+	}
+}
+
+// TestDoBatchCancellation: a cancelled batch context marks every
+// unfinished request with context.Canceled.
+func TestDoBatchCancellation(t *testing.T) {
+	s := smallSystem(t)
+	req := testRequest(s)
+	reqs := []Request{req, req, req, req}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, r := range s.DoBatch(ctx, reqs, WithBatchWorkers(2)) {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("result %d after pre-cancel = %v, want context.Canceled", i, r.Err)
+		}
+	}
+
+	// Mid-batch: the shared Err budget lets a prefix of checkpoints pass,
+	// then every later request must fail with Canceled — none may hang or
+	// return a different error.
+	for i, r := range s.DoBatch(cancelAfterN(10), reqs, WithBatchWorkers(2)) {
+		if r.Err != nil && !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("result %d after mid-batch cancel = %v", i, r.Err)
+		}
+	}
+}
+
+// TestWarmEndOfDaySlotCap: warming a window that crosses midnight must
+// stop at the last slot of the day — exactly the slots queries can touch
+// — rather than precomputing wrapped out-of-range slots.
+func TestWarmEndOfDaySlotCap(t *testing.T) {
+	// A private small world: the shared test system's Con-Index cache
+	// would pollute the row counts.
+	sys, err := NewSystem(CityConfig{
+		OriginLat: 22.50, OriginLng: 114.00,
+		Rows: 5, Cols: 5,
+		SpacingMeters: 1000,
+		LocalFraction: 0.2,
+		Seed:          71,
+	}, FleetConfig{Taxis: 20, Days: 3, Seed: 72}, DefaultIndexConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	con := sys.Engine().ConIndex()
+	slotSec := con.SlotSeconds()
+	nSeg := sys.Network().NumSegments()
+
+	// 23:40 + 2h crosses midnight: only the slots up to NumSlots-1 may
+	// be warmed (here 23:40..23:55 → 4 slots).
+	start := 23*time.Hour + 40*time.Minute
+	if err := sys.WarmCtx(context.Background(), start, 2*time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	lo := int(start.Seconds()) / slotSec
+	wantSlots := con.NumSlots() - lo
+	if got, want := con.CachedLists(), 2*wantSlots*nSeg; got != want {
+		t.Fatalf("end-of-day warm cached %d rows, want %d (%d slots x %d segments x near+far)",
+			got, want, wantSlots, nSeg)
+	}
+
+	// A start past the last slot start must warm nothing new; so must a
+	// start at exactly midnight-adjacent hi < lo edge.
+	before := con.CachedLists()
+	sys.Warm(24*time.Hour-time.Nanosecond, time.Hour)
+	if got := con.CachedLists(); got != before {
+		// The last slot was already warm from the first call; nothing new
+		// may appear.
+		t.Fatalf("out-of-range warm added rows: %d -> %d", before, got)
+	}
+}
+
+// TestWarmCancellation: WarmCtx must stop early under a cancelled
+// context (reach-side of the satellite requirement; the conindex side is
+// tested in internal/conindex).
+func TestWarmCancellation(t *testing.T) {
+	s := smallSystem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// An unwarmed early-morning window: no other test touches 2h.
+	if err := s.WarmCtx(ctx, 2*time.Hour, 10*time.Minute); !errors.Is(err, context.Canceled) {
+		t.Fatalf("WarmCtx with cancelled ctx = %v, want context.Canceled", err)
+	}
+}

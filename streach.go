@@ -15,19 +15,31 @@
 //   - the query algorithms: SQMB+TBS for single-location queries, MQMB
 //     for multi-location queries, and the exhaustive-search baseline.
 //
+// Every query flows through the context-first entry point System.Do: a
+// Request names the query kind (reach / reverse / multi / route) and
+// functional options override engine defaults per call. The context's
+// cancellation and deadline propagate into every layer — bounding
+// rounds, Con-Index Dijkstras, the verification worker pool — so an
+// abandoned caller stops paying for its query almost immediately.
+// DoBatch answers many requests on a bounded worker pool, and the
+// `streach serve` command exposes the same API over HTTP.
+//
 // Quick start:
 //
 //	sys, err := streach.NewSystem(streach.DefaultCityConfig(), streach.DefaultFleetConfig(), streach.DefaultIndexConfig())
 //	...
-//	region, err := sys.Reach(streach.Query{
-//		Lat: 22.53, Lng: 114.05,
-//		Start:    11 * time.Hour,
-//		Duration: 10 * time.Minute,
-//		Prob:     0.2,
-//	})
+//	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+//	defer cancel()
+//	region, err := sys.Do(ctx, streach.ReachRequest(
+//		streach.Location{Lat: 22.53, Lng: 114.05},
+//		11*time.Hour,   // start time of day T
+//		10*time.Minute, // duration L
+//		0.2,            // probability threshold
+//	), streach.WithVerifyWorkers(4))
 package streach
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"time"
@@ -36,7 +48,6 @@ import (
 	"streach/internal/core"
 	"streach/internal/geo"
 	"streach/internal/roadnet"
-	"streach/internal/router"
 	"streach/internal/stindex"
 	"streach/internal/storage"
 	"streach/internal/traj"
@@ -78,7 +89,10 @@ type FleetConfig struct {
 	Days  int
 	// Seed drives the simulation.
 	Seed int64
-	// DaySpeedJitter sets day-to-day traffic variation (default 0.15).
+	// DaySpeedJitter sets day-to-day traffic variation. The zero value
+	// keeps the default of 0.15; a negative value requests no jitter at
+	// all (the explicit "off" switch, consistent with how FlatTraffic
+	// disables the congestion profile).
 	DaySpeedJitter float64
 	// FlatTraffic disables the rush-hour congestion profile.
 	FlatTraffic bool
@@ -173,6 +187,9 @@ type Region struct {
 	RoadKm float64
 	// Metrics reports processing cost.
 	Metrics Metrics
+	// Route is set only for KindRoute answers: the planned journey, whose
+	// path SegmentIDs mirrors.
+	Route *RouteResult
 
 	sys *System
 }
@@ -198,8 +215,11 @@ func NewSystem(city CityConfig, fleet FleetConfig, idx IndexConfig) (*System, er
 		profile = traj.FlatSpeedProfile()
 	}
 	jitter := fleet.DaySpeedJitter
-	if jitter == 0 {
-		jitter = 0.15
+	switch {
+	case jitter == 0:
+		jitter = 0.15 // zero value: the documented default
+	case jitter < 0:
+		jitter = 0 // negative: explicitly no day-to-day jitter
 	}
 	ds, err := traj.Simulate(net, traj.SimConfig{
 		Taxis:          fleet.Taxis,
@@ -288,6 +308,13 @@ func NewSystemFromData(net *roadnet.Network, ds *traj.Dataset, idx IndexConfig) 
 // persists the materialised rows so reopened systems skip it entirely.
 // Idempotent.
 func (s *System) Warm(start, dur time.Duration) {
+	_ = s.WarmCtx(context.Background(), start, dur)
+}
+
+// WarmCtx is Warm under a context: a cancelled or expired ctx stops the
+// precompute workers early and returns ctx's error. Rows warmed before
+// the cancellation stay warm, so an interrupted warm resumes cheaply.
+func (s *System) WarmCtx(ctx context.Context, start, dur time.Duration) error {
 	slotSec := s.con.SlotSeconds()
 	lo := int(start.Seconds()) / slotSec
 	hi := int((start + dur).Seconds()) / slotSec
@@ -298,9 +325,9 @@ func (s *System) Warm(start, dur time.Duration) {
 		hi = maxSlot
 	}
 	if lo > hi {
-		return
+		return nil
 	}
-	s.con.PrecomputeSlots(lo, hi)
+	return s.con.PrecomputeSlotsCtx(ctx, lo, hi, 0)
 }
 
 // Close releases index storage.
@@ -315,82 +342,65 @@ func (s *System) Dataset() *traj.Dataset { return s.ds }
 // Engine exposes the query engine (in-module callers, benchmarks).
 func (s *System) Engine() *core.Engine { return s.engine }
 
+// request converts a legacy Query to the unified Request form.
+func (q Query) request(kind Kind) Request {
+	return Request{
+		Kind:      kind,
+		Locations: []Location{{Lat: q.Lat, Lng: q.Lng}},
+		Start:     q.Start,
+		Duration:  q.Duration,
+		Prob:      q.Prob,
+	}
+}
+
 // Reach answers a single-location query with SQMB+TBS (the paper's
 // algorithm).
+//
+// Deprecated: use Do with a KindReach Request; it adds context
+// cancellation, deadlines, and per-query options.
 func (s *System) Reach(q Query) (*Region, error) {
-	res, err := s.engine.SQMB(coreQuery(q))
-	if err != nil {
-		return nil, err
-	}
-	return s.region(res), nil
+	return s.Do(context.Background(), q.request(KindReach))
 }
 
 // ReachES answers the same query with the exhaustive-search baseline.
+//
+// Deprecated: use Do with WithAlgorithm(AlgoExhaustive).
 func (s *System) ReachES(q Query) (*Region, error) {
-	res, err := s.engine.ES(coreQuery(q))
-	if err != nil {
-		return nil, err
-	}
-	return s.region(res), nil
+	return s.Do(context.Background(), q.request(KindReach), WithAlgorithm(AlgoExhaustive))
 }
 
 // ReverseReach answers the mirror query: from which road segments can
 // the location be reached within [T, T+L] on at least Prob of the days?
 // This is the catchment-area direction used by the advertising scenario.
+//
+// Deprecated: use Do with a KindReverse Request.
 func (s *System) ReverseReach(q Query) (*Region, error) {
-	res, err := s.engine.ReverseSQMB(coreQuery(q))
-	if err != nil {
-		return nil, err
-	}
-	return s.region(res), nil
+	return s.Do(context.Background(), q.request(KindReverse))
 }
 
 // ReverseReachES answers the reverse query with the exhaustive baseline.
+//
+// Deprecated: use Do with a KindReverse Request and
+// WithAlgorithm(AlgoExhaustive).
 func (s *System) ReverseReachES(q Query) (*Region, error) {
-	res, err := s.engine.ReverseES(coreQuery(q))
-	if err != nil {
-		return nil, err
-	}
-	return s.region(res), nil
+	return s.Do(context.Background(), q.request(KindReverse), WithAlgorithm(AlgoExhaustive))
 }
 
 // ReachMulti answers a multi-location query with MQMB+TBS.
+//
+// Deprecated: use Do with a KindMulti Request.
 func (s *System) ReachMulti(locs []Location, start, duration time.Duration, prob float64) (*Region, error) {
-	res, err := s.engine.MQMB(core.MultiQuery{
-		Locations: toPoints(locs),
-		Start:     start,
-		Duration:  duration,
-		Prob:      prob,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return s.region(res), nil
+	return s.Do(context.Background(), MultiRequest(locs, start, duration, prob))
 }
 
 // ReachMultiSequential answers a multi-location query by running the
 // single-location pipeline per location and unioning (the m-query
 // baseline of §4.3).
+//
+// Deprecated: use Do with a KindMulti Request and
+// WithAlgorithm(AlgoSequential).
 func (s *System) ReachMultiSequential(locs []Location, start, duration time.Duration, prob float64) (*Region, error) {
-	res, err := s.engine.SQuerySequential(core.MultiQuery{
-		Locations: toPoints(locs),
-		Start:     start,
-		Duration:  duration,
-		Prob:      prob,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return s.region(res), nil
-}
-
-func coreQuery(q Query) core.Query {
-	return core.Query{
-		Location: geo.Point{Lat: q.Lat, Lng: q.Lng},
-		Start:    q.Start,
-		Duration: q.Duration,
-		Prob:     q.Prob,
-	}
+	return s.Do(context.Background(), MultiRequest(locs, start, duration, prob), WithAlgorithm(AlgoSequential))
 }
 
 func toPoints(locs []Location) []geo.Point {
@@ -450,49 +460,27 @@ type RouteResult struct {
 // given time of day, using per-slot mean speeds learned from the
 // trajectories (the time-dependent route query of thesis §5.2). Use
 // RouteFreeFlow for the static baseline.
+//
+// Deprecated: use Do with a KindRoute Request; the answer's Route field
+// carries the journey.
 func (s *System) Route(from, to Location, departAt time.Duration) (*RouteResult, error) {
-	src, _, _, ok := s.net.SnapPoint(geo.Point{Lat: from.Lat, Lng: from.Lng})
-	if !ok {
-		return nil, fmt.Errorf("streach: no road near %+v", from)
-	}
-	dst, _, _, ok := s.net.SnapPoint(geo.Point{Lat: to.Lat, Lng: to.Lng})
-	if !ok {
-		return nil, fmt.Errorf("streach: no road near %+v", to)
-	}
-	r, err := router.New(s.net, s.con).TimeDependent(src, dst, departAt.Seconds())
+	region, err := s.Do(context.Background(), RouteRequest(from, to, departAt))
 	if err != nil {
 		return nil, err
 	}
-	return routeResult(r), nil
+	return region.Route, nil
 }
 
 // RouteFreeFlow plans the static free-flow route (time-invariant).
+//
+// Deprecated: use Do with a KindRoute Request and
+// WithAlgorithm(AlgoFreeFlow).
 func (s *System) RouteFreeFlow(from, to Location) (*RouteResult, error) {
-	src, _, _, ok := s.net.SnapPoint(geo.Point{Lat: from.Lat, Lng: from.Lng})
-	if !ok {
-		return nil, fmt.Errorf("streach: no road near %+v", from)
-	}
-	dst, _, _, ok := s.net.SnapPoint(geo.Point{Lat: to.Lat, Lng: to.Lng})
-	if !ok {
-		return nil, fmt.Errorf("streach: no road near %+v", to)
-	}
-	r, err := router.New(s.net, s.con).FreeFlow(src, dst)
+	region, err := s.Do(context.Background(), RouteRequest(from, to, 0), WithAlgorithm(AlgoFreeFlow))
 	if err != nil {
 		return nil, err
 	}
-	return routeResult(r), nil
-}
-
-func routeResult(r *router.Route) *RouteResult {
-	ids := make([]int32, len(r.Path))
-	for i, s := range r.Path {
-		ids[i] = int32(s)
-	}
-	return &RouteResult{
-		SegmentIDs: ids,
-		TravelTime: time.Duration(r.TravelTimeSec * float64(time.Second)),
-		DistanceKm: r.DistanceMeters / 1000,
-	}
+	return region.Route, nil
 }
 
 // Stats describes the built system, Table 4.1-style.
