@@ -26,6 +26,7 @@ func runServe(args []string) error {
 	addr := fs.String("addr", ":8780", "listen address")
 	timeout := fs.Duration("timeout", 10*time.Second, "default per-request query deadline")
 	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "cap on client-requested ?timeout=")
+	maxInFlight := fs.Int("max-inflight", 0, "bounded admission: max concurrent query requests, 429 beyond (0 = default 64, negative = unlimited)")
 	warmStart := fs.Duration("warm-start", 0, "precompute the Con-Index adjacency from this time of day (with -warm-dur)")
 	warmDur := fs.Duration("warm-dur", 0, "warm window length (0 = skip warming)")
 	dir := fs.String("dir", "", "system save directory: reopened when it holds a saved system")
@@ -49,7 +50,7 @@ func runServe(args []string) error {
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: serve.New(sys, serve.Config{DefaultTimeout: *timeout, MaxTimeout: *maxTimeout}).Handler(),
+		Handler: serve.New(sys, serve.Config{DefaultTimeout: *timeout, MaxTimeout: *maxTimeout, MaxInFlight: *maxInFlight}).Handler(),
 	}
 
 	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, let in-flight

@@ -1,0 +1,92 @@
+package conindex
+
+import (
+	"context"
+
+	"streach/internal/roadnet"
+)
+
+// Pin is a batch-scoped view over the four adjacency tables: every row the
+// pin fetches is memoised locally, so repeated lookups of the same
+// (segment, slot) key — MQMB's overlap rule re-reading the row of a
+// candidate's nearest region segment, or a shared batch plan touching the
+// same working set for several queries — are served from a plain map owned
+// by one goroutine instead of taking the table's RWMutex again.
+//
+// A Pin holds plain references to the immutable shared rows; it pins
+// nothing against eviction (the tables never evict) and is NOT safe for
+// concurrent use. Create one per query plan and drop it when the plan is
+// done.
+type Pin struct {
+	x                   *Index
+	near, far           map[int64]Row
+	nearRev, farRev     map[int64]Row
+	rowHits, rowFetched int64
+}
+
+// NewPin returns an empty pin over the index.
+func (x *Index) NewPin() *Pin {
+	return &Pin{x: x}
+}
+
+// PinStats reports the pin's activity: hits were served from the local
+// memo without touching the shared tables, fetched went through the index
+// (its own hit/materialise accounting applies there).
+type PinStats struct {
+	Hits, Fetched int64
+}
+
+// Stats snapshots the pin counters.
+func (p *Pin) Stats() PinStats {
+	return PinStats{Hits: p.rowHits, Fetched: p.rowFetched}
+}
+
+// row resolves one key through the local memo, falling back to fetch.
+func (p *Pin) row(memo *map[int64]Row, key int64, fetch func() (Row, error)) (Row, error) {
+	if r, ok := (*memo)[key]; ok {
+		p.rowHits++
+		return r, nil
+	}
+	r, err := fetch()
+	if err != nil {
+		return Row{}, err
+	}
+	if *memo == nil {
+		*memo = map[int64]Row{}
+	}
+	(*memo)[key] = r
+	p.rowFetched++
+	return r, nil
+}
+
+// FarRow is FarRowCtx through the pin's memo.
+func (p *Pin) FarRow(ctx context.Context, seg roadnet.SegmentID, slot int) (Row, error) {
+	slot = ((slot % p.x.numSlots) + p.x.numSlots) % p.x.numSlots
+	return p.row(&p.far, cacheKey(seg, slot), func() (Row, error) {
+		return p.x.FarRowCtx(ctx, seg, slot)
+	})
+}
+
+// NearRow is NearRowCtx through the pin's memo.
+func (p *Pin) NearRow(ctx context.Context, seg roadnet.SegmentID, slot int) (Row, error) {
+	slot = ((slot % p.x.numSlots) + p.x.numSlots) % p.x.numSlots
+	return p.row(&p.near, cacheKey(seg, slot), func() (Row, error) {
+		return p.x.NearRowCtx(ctx, seg, slot)
+	})
+}
+
+// FarReverseRow is FarReverseRowCtx through the pin's memo.
+func (p *Pin) FarReverseRow(ctx context.Context, seg roadnet.SegmentID, slot int) (Row, error) {
+	slot = ((slot % p.x.numSlots) + p.x.numSlots) % p.x.numSlots
+	return p.row(&p.farRev, cacheKey(seg, slot), func() (Row, error) {
+		return p.x.FarReverseRowCtx(ctx, seg, slot)
+	})
+}
+
+// NearReverseRow is NearReverseRowCtx through the pin's memo.
+func (p *Pin) NearReverseRow(ctx context.Context, seg roadnet.SegmentID, slot int) (Row, error) {
+	slot = ((slot % p.x.numSlots) + p.x.numSlots) % p.x.numSlots
+	return p.row(&p.nearRev, cacheKey(seg, slot), func() (Row, error) {
+		return p.x.NearReverseRowCtx(ctx, seg, slot)
+	})
+}

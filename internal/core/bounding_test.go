@@ -91,7 +91,7 @@ func TestBoundingRegionMatchesSliceReference(t *testing.T) {
 		}
 	}
 	// Reverse tables: the same growth loop over mirrored rows.
-	rev, err := e.reverseBoundingRegion(bg, r0, 11*time.Hour, 10*time.Minute, true)
+	rev, err := e.reverseBoundingRegionPin(bg, e.con.NewPin(), r0, 11*time.Hour, 10*time.Minute, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestUnifiedRegionMatchesSliceReference(t *testing.T) {
 	starts := multiStarts(t, e, f, 3)
 
 	for _, far := range []bool{true, false} {
-		reg, err := e.unifiedRegion(bg, starts, 11*time.Hour, 10*time.Minute, far)
+		reg, err := e.unifiedRegionPin(bg, e.con.NewPin(), starts, 11*time.Hour, 10*time.Minute, far)
 		if err != nil {
 			t.Fatal(err)
 		}

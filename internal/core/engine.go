@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"streach/internal/bitset"
 	"streach/internal/conindex"
 	"streach/internal/geo"
 	"streach/internal/roadnet"
@@ -144,6 +145,23 @@ type Engine struct {
 	st   *stindex.Index
 	con  *conindex.Index
 	opts Options
+	// scratch pools bounding-region and bitset working state so batch
+	// execution stops allocating two network-sized regions per query. A
+	// pointer, so the cheap WithOptions views share one pool.
+	scratch *engineScratch
+}
+
+// engineScratch holds the pooled per-query working state. All pooled
+// values are sized for the engine's network.
+type engineScratch struct {
+	regions sync.Pool // *region
+	bitsets sync.Pool // *bitsetBox
+}
+
+// bitsetBox wraps a pooled bitset behind a pointer so Put does not box a
+// slice header into an interface allocation on every release.
+type bitsetBox struct {
+	bits bitset.Set
 }
 
 // NewEngine wires the indexes together. The ST-Index and Con-Index must
@@ -156,8 +174,42 @@ func NewEngine(st *stindex.Index, con *conindex.Index, opts Options) (*Engine, e
 		return nil, fmt.Errorf("core: index granularity mismatch: ST-Index %ds, Con-Index %ds",
 			st.SlotSeconds(), con.SlotSeconds())
 	}
-	return &Engine{net: st.Network(), st: st, con: con, opts: opts}, nil
+	return &Engine{net: st.Network(), st: st, con: con, opts: opts, scratch: &engineScratch{}}, nil
 }
+
+// getRegion checks a reset region out of the pool.
+func (e *Engine) getRegion() *region {
+	if v := e.scratch.regions.Get(); v != nil {
+		r := v.(*region)
+		if len(r.round) == e.net.NumSegments() {
+			r.reset()
+			return r
+		}
+	}
+	return newRegion(e.net.NumSegments())
+}
+
+// putRegion returns a region to the pool. The caller must not retain the
+// region or any view of its segs slice.
+func (e *Engine) putRegion(r *region) {
+	if r != nil {
+		e.scratch.regions.Put(r)
+	}
+}
+
+// getBitset checks a zeroed full-network bitset out of the pool.
+func (e *Engine) getBitset() *bitsetBox {
+	if v := e.scratch.bitsets.Get(); v != nil {
+		b := v.(*bitsetBox)
+		if len(b.bits)*64 >= e.net.NumSegments() {
+			clear(b.bits)
+			return b
+		}
+	}
+	return &bitsetBox{bits: bitset.New(e.net.NumSegments())}
+}
+
+func (e *Engine) putBitset(b *bitsetBox) { e.scratch.bitsets.Put(b) }
 
 // Network returns the engine's road network.
 func (e *Engine) Network() *roadnet.Network { return e.net }
@@ -182,9 +234,20 @@ func (e *Engine) STIndex() *stindex.Index { return e.st }
 func (e *Engine) ConIndex() *conindex.Index { return e.con }
 
 func (e *Engine) validate(start, dur time.Duration, prob float64) error {
+	if err := validateProb(prob); err != nil {
+		return err
+	}
+	return validateWindow(start, dur)
+}
+
+func validateProb(prob float64) error {
 	if prob <= 0 || prob > 1 {
 		return fmt.Errorf("core: Prob must be in (0, 1], got %v", prob)
 	}
+	return nil
+}
+
+func validateWindow(start, dur time.Duration) error {
 	if dur <= 0 {
 		return fmt.Errorf("core: duration must be positive, got %v", dur)
 	}

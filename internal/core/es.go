@@ -2,9 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
-
-	"streach/internal/roadnet"
 )
 
 // ES answers an s-query with the exhaustive search baseline (§4.1).
@@ -22,52 +19,10 @@ func (e *Engine) ES(ctx context.Context, q Query) (*Result, error) {
 	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
 		return nil, err
 	}
-	began := now()
-	io0 := e.st.Pool().Stats()
-	tl0 := e.st.CacheStats()
-	con0 := e.con.Stats()
-
-	r0, ok := e.st.SnapLocation(q.Location)
-	if !ok {
-		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
-	}
-	lo, hi := e.slotWindow(q.Start, q.Duration)
-	pr, err := e.newProbe(ctx, []roadnet.SegmentID{r0}, lo, lo, hi)
+	p, err := e.PlanReachES(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-	w := pr.worker()
-
-	// Worst-case travel budget in metres.
-	budget := q.Duration.Seconds() * roadnet.Highway.FreeFlowSpeed()
-
-	res := &Result{Starts: []roadnet.SegmentID{r0}, Probability: map[roadnet.SegmentID]float64{}}
-	var expandErr error
-	// The expansion verifies one segment per pop, so the ctx check aborts
-	// the exhaustive scan within one time-list probe of cancellation.
-	e.net.Expand(r0, budget, e.net.DistanceWeight(), func(r roadnet.SegmentID, _ float64) bool {
-		if expandErr != nil {
-			return false
-		}
-		if err := ctx.Err(); err != nil {
-			expandErr = err
-			return false
-		}
-		p, err := w.prob(r)
-		if err != nil {
-			expandErr = err
-			return false
-		}
-		if p >= q.Prob {
-			res.Segments = append(res.Segments, r)
-			res.Probability[r] = p
-		}
-		return true
-	})
-	if expandErr != nil {
-		return nil, expandErr
-	}
-	res.Metrics.Evaluated = int(pr.evaluated.Load())
-	e.finish(res, began, io0, tl0, con0)
-	return res, nil
+	defer p.Close()
+	return p.ResultAt(ctx, q.Prob)
 }

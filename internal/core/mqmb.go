@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"time"
 
 	"streach/internal/bitset"
@@ -15,53 +14,17 @@ import (
 // trace back search over the unified region. Compared with running SQMB
 // once per location, segments in overlapping bounding regions are
 // attributed to their nearest start location and expanded only once.
+// Like SQMB it is a single-use shared plan (see SharedPlan).
 func (e *Engine) MQMB(ctx context.Context, q MultiQuery) (*Result, error) {
 	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
 		return nil, err
 	}
-	if len(q.Locations) == 0 {
-		return nil, fmt.Errorf("core: m-query needs at least one location")
-	}
-	began := now()
-	io0 := e.st.Pool().Stats()
-	tl0 := e.st.CacheStats()
-	con0 := e.con.Stats()
-
-	starts := make([]roadnet.SegmentID, 0, len(q.Locations))
-	seen := map[roadnet.SegmentID]bool{}
-	for _, loc := range q.Locations {
-		r0, ok := e.st.SnapLocation(loc)
-		if !ok {
-			return nil, fmt.Errorf("core: no road segment near %v", loc)
-		}
-		if !seen[r0] {
-			seen[r0] = true
-			starts = append(starts, r0)
-		}
-	}
-
-	tBound := now()
-	maxReg, err := e.unifiedRegion(ctx, starts, q.Start, q.Duration, true)
+	p, err := e.PlanMulti(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-	minReg, err := e.unifiedRegion(ctx, starts, q.Start, q.Duration, false)
-	if err != nil {
-		return nil, err
-	}
-	boundNS := now().Sub(tBound).Nanoseconds()
-
-	tVerify := now()
-	res, err := e.traceBack(ctx, starts, maxReg, minReg, q.Start, q.Duration, q.Prob)
-	if err != nil {
-		return nil, err
-	}
-	res.Metrics.VerifyNS = now().Sub(tVerify).Nanoseconds()
-	res.Metrics.BoundNS = boundNS
-	res.Metrics.MaxRegion = maxReg.size()
-	res.Metrics.MinRegion = minReg.size()
-	e.finish(res, began, io0, tl0, con0)
-	return res, nil
+	defer p.Close()
+	return p.ResultAt(ctx, q.Prob)
 }
 
 // SQuerySequential answers an m-query the naive way (§3.3.2): one SQMB+TBS
@@ -71,48 +34,33 @@ func (e *Engine) SQuerySequential(ctx context.Context, q MultiQuery) (*Result, e
 	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
 		return nil, err
 	}
-	if len(q.Locations) == 0 {
-		return nil, fmt.Errorf("core: m-query needs at least one location")
+	p, err := e.PlanMultiSequential(ctx, q)
+	if err != nil {
+		return nil, err
 	}
-	began := now()
-	io0 := e.st.Pool().Stats()
-	tl0 := e.st.CacheStats()
-	con0 := e.con.Stats()
-
-	union := map[roadnet.SegmentID]bool{}
-	res := &Result{}
-	for _, loc := range q.Locations {
-		one, err := e.SQMB(ctx, Query{Location: loc, Start: q.Start, Duration: q.Duration, Prob: q.Prob})
-		if err != nil {
-			return nil, err
-		}
-		res.Starts = append(res.Starts, one.Starts...)
-		res.Metrics.Evaluated += one.Metrics.Evaluated
-		res.Metrics.MaxRegion += one.Metrics.MaxRegion
-		res.Metrics.MinRegion += one.Metrics.MinRegion
-		res.Metrics.BoundNS += one.Metrics.BoundNS
-		res.Metrics.VerifyNS += one.Metrics.VerifyNS
-		for _, s := range one.Segments {
-			union[s] = true
-		}
-	}
-	for s := range union {
-		res.Segments = append(res.Segments, s)
-	}
-	e.finish(res, began, io0, tl0, con0)
-	return res, nil
+	defer p.Close()
+	return p.ResultAt(ctx, q.Prob)
 }
 
-// unifiedRegion grows the m-query bounding region (Algorithm 3). Each
+// unifiedRegionPin grows the m-query bounding region (Algorithm 3). Each
 // round ORs the Con-Index rows of every region segment into a scratch
 // bitset, diffs out the existing region to get the candidate set B, then
 // filters candidates through the overlap rule: a candidate b survives
 // only when it appears in the row of its nearest region segment rs
 // (line 8's rs = argmin dis(r', b)), so duplicated influence inside
-// overlapping regions is eliminated.
-func (e *Engine) unifiedRegion(ctx context.Context, starts []roadnet.SegmentID, startOfDay, dur time.Duration, far bool) (*region, error) {
+// overlapping regions is eliminated. Adjacency rows resolve through a
+// batch-scoped pin: the overlap rule re-reads the row of a candidate's
+// nearest region segment, so the pin's local memo saves one shared-table
+// round-trip per candidate even for a single query.
+func (e *Engine) unifiedRegionPin(ctx context.Context, pin *conindex.Pin, starts []roadnet.SegmentID, startOfDay, dur time.Duration, far bool) (*region, error) {
 	n := e.net.NumSegments()
-	reg := newRegion(n)
+	reg := e.getRegion()
+	grown := false
+	defer func() {
+		if !grown {
+			e.putRegion(reg)
+		}
+	}()
 	for _, r := range starts {
 		reg.add(r, 0)
 	}
@@ -120,11 +68,13 @@ func (e *Engine) unifiedRegion(ctx context.Context, starts []roadnet.SegmentID, 
 	slotSec := e.st.SlotSeconds()
 	rowOf := func(r roadnet.SegmentID, slot int) (conindex.Row, error) {
 		if far {
-			return e.con.FarRowCtx(ctx, r, slot)
+			return pin.FarRow(ctx, r, slot)
 		}
-		return e.con.NearRowCtx(ctx, r, slot)
+		return pin.NearRow(ctx, r, slot)
 	}
-	next := bitset.New(n)
+	nb := e.getBitset()
+	defer e.putBitset(nb)
+	next := nb.bits
 	for i := 0; i < k; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -171,6 +121,7 @@ func (e *Engine) unifiedRegion(ctx context.Context, starts []roadnet.SegmentID, 
 			}
 		}
 	}
+	grown = true
 	return reg, nil
 }
 
@@ -178,7 +129,9 @@ func (e *Engine) unifiedRegion(ctx context.Context, starts []roadnet.SegmentID, 
 // segment by network distance (thesis: "employing shortest path
 // techniques"). One multi-source Dijkstra covers all candidates.
 func (e *Engine) nearestAttribution(sources, candidates []roadnet.SegmentID) map[roadnet.SegmentID]roadnet.SegmentID {
-	isCand := bitset.New(e.net.NumSegments())
+	cb := e.getBitset()
+	defer e.putBitset(cb)
+	isCand := cb.bits
 	for _, b := range candidates {
 		isCand.Add(int(b))
 	}

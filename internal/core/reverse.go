@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -80,51 +79,17 @@ func (p *reverseProbe) prob(seg roadnet.SegmentID) (float64, error) {
 
 // ReverseES answers a reverse reachability query by exhaustive reverse
 // network expansion out to the worst-case radius, verifying every
-// candidate.
+// candidate (see PlanReverseES).
 func (e *Engine) ReverseES(ctx context.Context, q Query) (*Result, error) {
 	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
 		return nil, err
 	}
-	began := now()
-	io0 := e.st.Pool().Stats()
-	tl0 := e.st.CacheStats()
-	con0 := e.con.Stats()
-
-	dst, ok := e.st.SnapLocation(q.Location)
-	if !ok {
-		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
-	}
-	lo, hi := e.slotWindow(q.Start, q.Duration)
-	pr, err := e.newReverseProbe(ctx, dst, lo, lo, hi)
+	p, err := e.PlanReverseES(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-
-	budget := q.Duration.Seconds() * roadnet.Highway.FreeFlowSpeed()
-	res := &Result{Starts: []roadnet.SegmentID{dst}, Probability: map[roadnet.SegmentID]float64{}}
-	var expandErr error
-	e.expandReverseDistance(dst, budget, func(r roadnet.SegmentID) bool {
-		if err := ctx.Err(); err != nil {
-			expandErr = err
-			return false
-		}
-		p, err := pr.prob(r)
-		if err != nil {
-			expandErr = err
-			return false
-		}
-		if p >= q.Prob {
-			res.Segments = append(res.Segments, r)
-			res.Probability[r] = p
-		}
-		return true
-	})
-	if expandErr != nil {
-		return nil, expandErr
-	}
-	res.Metrics.Evaluated = int(pr.evaluated.Load())
-	e.finish(res, began, io0, tl0, con0)
-	return res, nil
+	defer p.Close()
+	return p.ResultAt(ctx, q.Prob)
 }
 
 // expandReverseDistance walks the reverse graph from dst in increasing
@@ -172,18 +137,22 @@ func (e *Engine) expandReverseDistance(dst roadnet.SegmentID, budget float64, vi
 	}
 }
 
-// reverseBoundingRegion mirrors SQMB over the reverse connection tables,
-// with the same word-level row unions as the forward bounding phase.
-func (e *Engine) reverseBoundingRegion(ctx context.Context, dst roadnet.SegmentID, startOfDay, dur time.Duration, far bool) (*region, error) {
-	reg := newRegion(e.net.NumSegments())
+// reverseBoundingRegionPin mirrors SQMB over the reverse connection
+// tables, with the same word-level row unions as the forward bounding
+// phase; adjacency rows resolve through a batch-scoped pin (see
+// conindex.Pin). The returned region is pooled; callers release it with
+// putRegion.
+func (e *Engine) reverseBoundingRegionPin(ctx context.Context, pin *conindex.Pin, dst roadnet.SegmentID, startOfDay, dur time.Duration, far bool) (*region, error) {
+	reg := e.getRegion()
 	reg.add(dst, 0)
 	err := e.growRegion(ctx, reg, startOfDay, dur, func(r roadnet.SegmentID, slot int) (conindex.Row, error) {
 		if far {
-			return e.con.FarReverseRowCtx(ctx, r, slot)
+			return pin.FarReverseRow(ctx, r, slot)
 		}
-		return e.con.NearReverseRowCtx(ctx, r, slot)
+		return pin.NearReverseRow(ctx, r, slot)
 	})
 	if err != nil {
+		e.putRegion(reg)
 		return nil, err
 	}
 	return reg, nil
@@ -191,72 +160,16 @@ func (e *Engine) reverseBoundingRegion(ctx context.Context, dst roadnet.SegmentI
 
 // ReverseSQMB answers a reverse reachability query with the bounded
 // pipeline: reverse maximum/minimum bounding regions from the reverse
-// connection tables, then a trace back verification between them (same
-// policies as the forward TBS).
+// connection tables, then a trace back verification between them. Like
+// SQMB it is a single-use shared plan (see SharedPlan).
 func (e *Engine) ReverseSQMB(ctx context.Context, q Query) (*Result, error) {
 	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
 		return nil, err
 	}
-	began := now()
-	io0 := e.st.Pool().Stats()
-	tl0 := e.st.CacheStats()
-	con0 := e.con.Stats()
-
-	dst, ok := e.st.SnapLocation(q.Location)
-	if !ok {
-		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
-	}
-	tBound := now()
-	maxReg, err := e.reverseBoundingRegion(ctx, dst, q.Start, q.Duration, true)
+	p, err := e.PlanReverse(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-	minReg, err := e.reverseBoundingRegion(ctx, dst, q.Start, q.Duration, false)
-	if err != nil {
-		return nil, err
-	}
-	boundNS := now().Sub(tBound).Nanoseconds()
-
-	tVerify := now()
-	lo, hi := e.slotWindow(q.Start, q.Duration)
-	pr, err := e.newReverseProbe(ctx, dst, lo, lo, hi)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Starts: []roadnet.SegmentID{dst}, Probability: map[roadnet.SegmentID]float64{}}
-	include := make(map[roadnet.SegmentID]bool, maxReg.size())
-
-	// The reverse probe is read-only after construction, so candidates
-	// verify on the same bounded worker pool as the forward TBS.
-	order := maxReg.segs
-	if !e.opts.VerifyAll {
-		// Candidates = Bmax AND NOT Bmin; Bmax ∩ Bmin is admitted
-		// unverified (same word-level split as the forward TBS).
-		order = make([]roadnet.SegmentID, 0, maxReg.size())
-		maxReg.splitAgainst(minReg,
-			func(s roadnet.SegmentID) { include[s] = true },
-			func(s roadnet.SegmentID) { order = append(order, s) })
-	}
-	probs, err := e.verifyMany(ctx, order, func() func(roadnet.SegmentID) (float64, error) {
-		return pr.prob
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, s := range order {
-		if probs[i] >= q.Prob {
-			include[s] = true
-			res.Probability[s] = probs[i]
-		}
-	}
-	for s := range include {
-		res.Segments = append(res.Segments, s)
-	}
-	res.Metrics.Evaluated = int(pr.evaluated.Load())
-	res.Metrics.VerifyNS = now().Sub(tVerify).Nanoseconds()
-	res.Metrics.BoundNS = boundNS
-	res.Metrics.MaxRegion = maxReg.size()
-	res.Metrics.MinRegion = minReg.size()
-	e.finish(res, began, io0, tl0, con0)
-	return res, nil
+	defer p.Close()
+	return p.ResultAt(ctx, q.Prob)
 }

@@ -1,0 +1,532 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"streach/internal/conindex"
+	"streach/internal/roadnet"
+	"streach/internal/stindex"
+	"streach/internal/storage"
+)
+
+// SharedPlan is the probability-threshold-independent part of one query
+// execution: the snapped start set, the bounding regions, the materialised
+// probe start-sets, and the empirical reachability probability of every
+// verification candidate. Everything a query computes except the final
+// threshold comparison depends only on (start segments, start slot,
+// window, algorithm) — the probability of a segment is a property of the
+// historical data, not of the query's Prob — so a batch of queries that
+// differ only in Prob can share one plan and resolve their thresholds
+// from the shared per-candidate probability map.
+//
+// ResultAt(prob) assembles the same Result the corresponding single-query
+// method would return: the single-query methods (SQMB, ReverseSQMB, MQMB,
+// SQuerySequential, ES, ReverseES) are themselves implemented as
+// plan-then-ResultAt, so shared and independent execution are bit-identical
+// by construction rather than by parallel maintenance of two pipelines.
+//
+// A SharedPlan is owned by one goroutine: Close releases its pooled
+// bounding regions, and neither ResultAt nor Close is safe to call
+// concurrently. (The expensive phases inside plan construction still
+// parallelise internally via the verification worker pool.)
+type SharedPlan struct {
+	e    *Engine
+	kind planKind
+
+	// Cost-attribution snapshots from plan-construction time. Every
+	// ResultAt diffs against these, so under sharing each member query
+	// reports the group's cumulative IO/cache activity — the same
+	// "approximate under concurrency" semantics the counters already have.
+	began time.Time
+	io0   storage.IOStats
+	tl0   stindex.CacheStats
+	con0  conindex.Stats
+
+	pin    *conindex.Pin
+	starts []roadnet.SegmentID
+
+	maxReg, minReg *region
+	// keep is Bmax ∩ Bmin: admitted without verification under the
+	// default trace-back policy.
+	keep []roadnet.SegmentID
+	// order holds the verification candidates in trace-back order, and
+	// probs their empirical probabilities (eager modes: default,
+	// VerifyAll, exhaustive).
+	order []roadnet.SegmentID
+	probs []float64
+
+	// EarlyStop support: which segments the wave probes depends on the
+	// threshold, so verification is lazy — memoised per segment, which is
+	// exact because probabilities are threshold-independent.
+	lazy bool
+	memo map[roadnet.SegmentID]float64
+	wave *probeWorker
+
+	pr  *probe
+	rpr *reverseProbe
+
+	boundNS, verifyNS int64
+	maxSize, minSize  int
+	evalFixed         int
+
+	// children are the per-location plans of the sequential m-query
+	// baseline.
+	children []*SharedPlan
+
+	closed bool
+}
+
+// planKind selects the execution shape of a SharedPlan.
+type planKind int
+
+const (
+	// planBounded is the two-phase pipeline: bounding regions + trace
+	// back verification (SQMB, reverse SQMB, MQMB).
+	planBounded planKind = iota
+	// planExhaustive is the worst-case-radius expansion baseline (ES,
+	// reverse ES); every expanded segment is pre-verified.
+	planExhaustive
+	// planSequential unions one child plan per location (the m-query
+	// baseline of §4.3).
+	planSequential
+)
+
+func (e *Engine) newSharedPlan(kind planKind) *SharedPlan {
+	return &SharedPlan{
+		e:     e,
+		kind:  kind,
+		began: now(),
+		io0:   e.st.Pool().Stats(),
+		tl0:   e.st.CacheStats(),
+		con0:  e.con.Stats(),
+		pin:   e.con.NewPin(),
+	}
+}
+
+// PlanReach runs the threshold-independent part of an s-query (SQMB
+// bounding + candidate verification). q.Prob is ignored; pass it to
+// ResultAt.
+func (e *Engine) PlanReach(ctx context.Context, q Query) (*SharedPlan, error) {
+	if err := validateWindow(q.Start, q.Duration); err != nil {
+		return nil, err
+	}
+	r0, ok := e.st.SnapLocation(q.Location)
+	if !ok {
+		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
+	}
+	p := e.newSharedPlan(planBounded)
+	p.starts = []roadnet.SegmentID{r0}
+	if err := p.boundForward(ctx, q.Start, q.Duration, false); err != nil {
+		p.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// PlanMulti runs the threshold-independent part of an m-query (MQMB
+// unified bounding + candidate verification).
+func (e *Engine) PlanMulti(ctx context.Context, q MultiQuery) (*SharedPlan, error) {
+	if err := validateWindow(q.Start, q.Duration); err != nil {
+		return nil, err
+	}
+	if len(q.Locations) == 0 {
+		return nil, fmt.Errorf("core: m-query needs at least one location")
+	}
+	starts := make([]roadnet.SegmentID, 0, len(q.Locations))
+	seen := map[roadnet.SegmentID]bool{}
+	for _, loc := range q.Locations {
+		r0, ok := e.st.SnapLocation(loc)
+		if !ok {
+			return nil, fmt.Errorf("core: no road segment near %v", loc)
+		}
+		if !seen[r0] {
+			seen[r0] = true
+			starts = append(starts, r0)
+		}
+	}
+	p := e.newSharedPlan(planBounded)
+	p.starts = starts
+	if err := p.boundForward(ctx, q.Start, q.Duration, true); err != nil {
+		p.Close()
+		return nil, err
+	}
+	return p, nil
+}
+
+// PlanMultiSequential builds one PlanReach per location (duplicates
+// included, matching the sequential baseline exactly).
+func (e *Engine) PlanMultiSequential(ctx context.Context, q MultiQuery) (*SharedPlan, error) {
+	if err := validateWindow(q.Start, q.Duration); err != nil {
+		return nil, err
+	}
+	if len(q.Locations) == 0 {
+		return nil, fmt.Errorf("core: m-query needs at least one location")
+	}
+	p := e.newSharedPlan(planSequential)
+	for _, loc := range q.Locations {
+		child, err := e.PlanReach(ctx, Query{Location: loc, Start: q.Start, Duration: q.Duration})
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.children = append(p.children, child)
+	}
+	return p, nil
+}
+
+// PlanReverse runs the threshold-independent part of a reverse s-query
+// (reverse bounding regions + candidate verification).
+func (e *Engine) PlanReverse(ctx context.Context, q Query) (*SharedPlan, error) {
+	if err := validateWindow(q.Start, q.Duration); err != nil {
+		return nil, err
+	}
+	dst, ok := e.st.SnapLocation(q.Location)
+	if !ok {
+		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
+	}
+	p := e.newSharedPlan(planBounded)
+	p.starts = []roadnet.SegmentID{dst}
+
+	tBound := now()
+	maxReg, err := e.reverseBoundingRegionPin(ctx, p.pin, dst, q.Start, q.Duration, true)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	p.maxReg = maxReg
+	minReg, err := e.reverseBoundingRegionPin(ctx, p.pin, dst, q.Start, q.Duration, false)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	p.minReg = minReg
+	p.boundNS = now().Sub(tBound).Nanoseconds()
+	p.maxSize, p.minSize = maxReg.size(), minReg.size()
+
+	tVerify := now()
+	lo, hi := e.slotWindow(q.Start, q.Duration)
+	p.rpr, err = e.newReverseProbe(ctx, dst, lo, lo, hi)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	// The reverse pipeline has no EarlyStop wave: candidates are either
+	// Bmax \ Bmin (default) or all of Bmax (VerifyAll), verified on the
+	// shared read-only probe.
+	if e.opts.VerifyAll {
+		p.order = append([]roadnet.SegmentID(nil), maxReg.segs...)
+	} else {
+		p.order = make([]roadnet.SegmentID, 0, maxReg.size())
+		p.keep = make([]roadnet.SegmentID, 0, minReg.size())
+		maxReg.splitAgainst(minReg,
+			func(s roadnet.SegmentID) { p.keep = append(p.keep, s) },
+			func(s roadnet.SegmentID) { p.order = append(p.order, s) })
+	}
+	p.probs, err = e.verifyMany(ctx, p.order, func() func(roadnet.SegmentID) (float64, error) {
+		return p.rpr.prob
+	})
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	p.evalFixed = len(p.order)
+	p.verifyNS = now().Sub(tVerify).Nanoseconds()
+	return p, nil
+}
+
+// PlanReachES runs the exhaustive-search baseline's threshold-independent
+// part: the worst-case-radius expansion verifies every expanded segment.
+func (e *Engine) PlanReachES(ctx context.Context, q Query) (*SharedPlan, error) {
+	if err := validateWindow(q.Start, q.Duration); err != nil {
+		return nil, err
+	}
+	r0, ok := e.st.SnapLocation(q.Location)
+	if !ok {
+		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
+	}
+	p := e.newSharedPlan(planExhaustive)
+	p.starts = []roadnet.SegmentID{r0}
+	lo, hi := e.slotWindow(q.Start, q.Duration)
+	pr, err := e.newProbe(ctx, p.starts, lo, lo, hi)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	p.pr = pr
+	w := pr.worker()
+	budget := q.Duration.Seconds() * roadnet.Highway.FreeFlowSpeed()
+	var expandErr error
+	e.net.Expand(r0, budget, e.net.DistanceWeight(), func(r roadnet.SegmentID, _ float64) bool {
+		if expandErr != nil {
+			return false
+		}
+		if err := ctx.Err(); err != nil {
+			expandErr = err
+			return false
+		}
+		pv, err := w.prob(r)
+		if err != nil {
+			expandErr = err
+			return false
+		}
+		p.order = append(p.order, r)
+		p.probs = append(p.probs, pv)
+		return true
+	})
+	if expandErr != nil {
+		p.Close()
+		return nil, expandErr
+	}
+	p.evalFixed = len(p.order)
+	return p, nil
+}
+
+// PlanReverseES is PlanReachES over the reverse expansion and probe.
+func (e *Engine) PlanReverseES(ctx context.Context, q Query) (*SharedPlan, error) {
+	if err := validateWindow(q.Start, q.Duration); err != nil {
+		return nil, err
+	}
+	dst, ok := e.st.SnapLocation(q.Location)
+	if !ok {
+		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
+	}
+	p := e.newSharedPlan(planExhaustive)
+	p.starts = []roadnet.SegmentID{dst}
+	lo, hi := e.slotWindow(q.Start, q.Duration)
+	rpr, err := e.newReverseProbe(ctx, dst, lo, lo, hi)
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	p.rpr = rpr
+	budget := q.Duration.Seconds() * roadnet.Highway.FreeFlowSpeed()
+	var expandErr error
+	e.expandReverseDistance(dst, budget, func(r roadnet.SegmentID) bool {
+		if err := ctx.Err(); err != nil {
+			expandErr = err
+			return false
+		}
+		pv, err := rpr.prob(r)
+		if err != nil {
+			expandErr = err
+			return false
+		}
+		p.order = append(p.order, r)
+		p.probs = append(p.probs, pv)
+		return true
+	})
+	if expandErr != nil {
+		p.Close()
+		return nil, expandErr
+	}
+	p.evalFixed = len(p.order)
+	return p, nil
+}
+
+// boundForward grows the forward bounding regions (SQMB or, with
+// unified=true, MQMB's Algorithm 3), builds the probe start-sets, and —
+// except under EarlyStop — verifies every trace-back candidate once.
+func (p *SharedPlan) boundForward(ctx context.Context, start, dur time.Duration, unified bool) error {
+	e := p.e
+	grow := func(far bool) (*region, error) {
+		if unified {
+			return e.unifiedRegionPin(ctx, p.pin, p.starts, start, dur, far)
+		}
+		return e.boundingRegionPin(ctx, p.pin, p.starts, start, dur, far)
+	}
+	tBound := now()
+	maxReg, err := grow(true)
+	if err != nil {
+		return err
+	}
+	p.maxReg = maxReg
+	minReg, err := grow(false)
+	if err != nil {
+		return err
+	}
+	p.minReg = minReg
+	p.boundNS = now().Sub(tBound).Nanoseconds()
+	p.maxSize, p.minSize = maxReg.size(), minReg.size()
+
+	tVerify := now()
+	lo, hi := e.slotWindow(start, dur)
+	p.pr, err = e.newProbe(ctx, p.starts, lo, lo, hi)
+	if err != nil {
+		return err
+	}
+	if e.opts.EarlyStop {
+		// Lazy: the wave runs per ResultAt with memoised probabilities.
+		p.lazy = true
+		p.memo = map[roadnet.SegmentID]float64{}
+		p.wave = p.pr.worker()
+		p.verifyNS = now().Sub(tVerify).Nanoseconds()
+		return nil
+	}
+	if e.opts.VerifyAll {
+		p.order = append([]roadnet.SegmentID(nil), maxReg.segs...)
+	} else {
+		// Verify Bmax \ Bmin outer-to-inner (descending expansion round,
+		// the trace back order), admit Bmax ∩ Bmin unverified. Both sets
+		// come from word-level bitset ops on the regions.
+		p.order = make([]roadnet.SegmentID, 0, maxReg.size())
+		p.keep = make([]roadnet.SegmentID, 0, minReg.size())
+		maxReg.splitAgainst(minReg,
+			func(s roadnet.SegmentID) { p.keep = append(p.keep, s) },
+			func(s roadnet.SegmentID) { p.order = append(p.order, s) })
+		sort.Slice(p.order, func(i, j int) bool {
+			ri, rj := maxReg.round[p.order[i]], maxReg.round[p.order[j]]
+			if ri != rj {
+				return ri > rj // outer rounds first
+			}
+			return p.order[i] < p.order[j]
+		})
+	}
+	p.probs, err = e.verifyMany(ctx, p.order, func() func(roadnet.SegmentID) (float64, error) {
+		return p.pr.worker().prob
+	})
+	if err != nil {
+		return err
+	}
+	p.evalFixed = len(p.order)
+	p.verifyNS = now().Sub(tVerify).Nanoseconds()
+	return nil
+}
+
+// ResultAt assembles the Result for one probability threshold. For eager
+// plans this is a threshold scan over the shared per-candidate
+// probability map; for EarlyStop plans it runs the wave with memoised
+// probabilities. The Result is independent of how many other thresholds
+// the plan has answered.
+func (p *SharedPlan) ResultAt(ctx context.Context, prob float64) (*Result, error) {
+	if err := validateProb(prob); err != nil {
+		return nil, err
+	}
+	if p.closed {
+		return nil, fmt.Errorf("core: ResultAt on a closed plan")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e := p.e
+	switch p.kind {
+	case planSequential:
+		union := map[roadnet.SegmentID]bool{}
+		res := &Result{}
+		for _, child := range p.children {
+			one, err := child.ResultAt(ctx, prob)
+			if err != nil {
+				return nil, err
+			}
+			res.Starts = append(res.Starts, one.Starts...)
+			res.Metrics.Evaluated += one.Metrics.Evaluated
+			res.Metrics.MaxRegion += one.Metrics.MaxRegion
+			res.Metrics.MinRegion += one.Metrics.MinRegion
+			res.Metrics.BoundNS += one.Metrics.BoundNS
+			res.Metrics.VerifyNS += one.Metrics.VerifyNS
+			for _, s := range one.Segments {
+				union[s] = true
+			}
+		}
+		for s := range union {
+			res.Segments = append(res.Segments, s)
+		}
+		e.finish(res, p.began, p.io0, p.tl0, p.con0)
+		return res, nil
+
+	case planExhaustive:
+		res := &Result{
+			Starts:      append([]roadnet.SegmentID(nil), p.starts...),
+			Probability: map[roadnet.SegmentID]float64{},
+		}
+		for i, s := range p.order {
+			if p.probs[i] >= prob {
+				res.Segments = append(res.Segments, s)
+				res.Probability[s] = p.probs[i]
+			}
+		}
+		res.Metrics.Evaluated = p.evalFixed
+		e.finish(res, p.began, p.io0, p.tl0, p.con0)
+		return res, nil
+
+	default: // planBounded
+		res := &Result{
+			Starts:      append([]roadnet.SegmentID(nil), p.starts...),
+			Probability: map[roadnet.SegmentID]float64{},
+		}
+		include := make(map[roadnet.SegmentID]bool, p.maxReg.size())
+		evaluated := p.evalFixed
+		verifyNS := p.verifyNS
+		if p.lazy {
+			tWave := now()
+			calls := 0
+			probFn := func(s roadnet.SegmentID) (float64, error) {
+				calls++
+				if v, ok := p.memo[s]; ok {
+					return v, nil
+				}
+				v, err := p.wave.prob(s)
+				if err != nil {
+					return 0, err
+				}
+				p.memo[s] = v
+				return v, nil
+			}
+			if err := e.earlyStopWave(ctx, p.maxReg, p.minReg, probFn, prob, include, res.Probability); err != nil {
+				return nil, err
+			}
+			evaluated = calls
+			verifyNS += now().Sub(tWave).Nanoseconds()
+		} else {
+			for _, s := range p.keep {
+				include[s] = true
+			}
+			for i, s := range p.order {
+				if p.probs[i] >= prob {
+					include[s] = true
+					res.Probability[s] = p.probs[i]
+				}
+			}
+		}
+		for s := range include {
+			res.Segments = append(res.Segments, s)
+		}
+		res.Metrics.Evaluated = evaluated
+		res.Metrics.BoundNS = p.boundNS
+		res.Metrics.VerifyNS = verifyNS
+		res.Metrics.MaxRegion = p.maxSize
+		res.Metrics.MinRegion = p.minSize
+		e.finish(res, p.began, p.io0, p.tl0, p.con0)
+		return res, nil
+	}
+}
+
+// RowStats reports the plan's Con-Index pin activity (including child
+// plans): rows each member query of a sharing group did not have to
+// re-resolve through the shared tables.
+func (p *SharedPlan) RowStats() conindex.PinStats {
+	st := p.pin.Stats()
+	for _, c := range p.children {
+		cs := c.RowStats()
+		st.Hits += cs.Hits
+		st.Fetched += cs.Fetched
+	}
+	return st
+}
+
+// Close releases the plan's pooled bounding regions. The plan must not be
+// used afterwards. Idempotent; safe on a nil plan.
+func (p *SharedPlan) Close() {
+	if p == nil || p.closed {
+		return
+	}
+	p.closed = true
+	p.e.putRegion(p.maxReg)
+	p.e.putRegion(p.minReg)
+	p.maxReg, p.minReg = nil, nil
+	for _, c := range p.children {
+		c.Close()
+	}
+}

@@ -34,6 +34,17 @@ func newRegion(numSegments int) *region {
 	return r
 }
 
+// reset clears the region for pooled reuse: only the entries its members
+// touched are rewritten, plus one word-level clear of the membership
+// bitset.
+func (r *region) reset() {
+	for _, s := range r.segs {
+		r.round[s] = -1
+	}
+	r.segs = r.segs[:0]
+	clear(r.bits)
+}
+
 func (r *region) add(s roadnet.SegmentID, round int) {
 	if r.round[s] >= 0 {
 		return
@@ -99,18 +110,29 @@ func (e *Engine) rounds(dur time.Duration) int {
 // SQMB applies "naturally" to the minimum region). Each round ORs whole
 // adjacency rows into a scratch bitset word-by-word, then adopts the
 // newly covered segments with the round tag (see region.adopt).
+//
+// The returned region comes from the engine's scratch pool; callers
+// release it with putRegion when done.
 func (e *Engine) boundingRegion(ctx context.Context, starts []roadnet.SegmentID, startOfDay, dur time.Duration, far bool) (*region, error) {
-	reg := newRegion(e.net.NumSegments())
+	return e.boundingRegionPin(ctx, e.con.NewPin(), starts, startOfDay, dur, far)
+}
+
+// boundingRegionPin is boundingRegion with adjacency rows resolved
+// through a batch-scoped pin (see conindex.Pin), so a plan that grows
+// several regions over the same working set fetches each row once.
+func (e *Engine) boundingRegionPin(ctx context.Context, pin *conindex.Pin, starts []roadnet.SegmentID, startOfDay, dur time.Duration, far bool) (*region, error) {
+	reg := e.getRegion()
 	for _, r := range starts {
 		reg.add(r, 0)
 	}
 	err := e.growRegion(ctx, reg, startOfDay, dur, func(r roadnet.SegmentID, slot int) (conindex.Row, error) {
 		if far {
-			return e.con.FarRowCtx(ctx, r, slot)
+			return pin.FarRow(ctx, r, slot)
 		}
-		return e.con.NearRowCtx(ctx, r, slot)
+		return pin.NearRow(ctx, r, slot)
 	})
 	if err != nil {
+		e.putRegion(reg)
 		return nil, err
 	}
 	return reg, nil
@@ -125,7 +147,9 @@ func (e *Engine) growRegion(ctx context.Context, reg *region, startOfDay, dur ti
 	k := e.rounds(dur)
 	slotSec := e.st.SlotSeconds()
 	n := e.net.NumSegments()
-	next := bitset.New(n)
+	nb := e.getBitset()
+	defer e.putBitset(nb)
+	next := nb.bits
 	for i := 0; i < k; i++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -152,43 +176,21 @@ func (e *Engine) growRegion(ctx context.Context, reg *region, startOfDay, dur ti
 
 // SQMB answers an s-query with the paper's two-step pipeline: maximum/
 // minimum bounding region search via the Con-Index, then trace back
-// search (TBS) to refine the Prob-reachable region.
+// search (TBS) to refine the Prob-reachable region. It is a single-use
+// shared plan: PlanReach does everything that is independent of the
+// probability threshold, ResultAt applies the threshold — so one query
+// and a batch group sharing a plan produce bit-identical results by
+// construction.
 func (e *Engine) SQMB(ctx context.Context, q Query) (*Result, error) {
 	if err := e.validate(q.Start, q.Duration, q.Prob); err != nil {
 		return nil, err
 	}
-	began := now()
-	io0 := e.st.Pool().Stats()
-	tl0 := e.st.CacheStats()
-	con0 := e.con.Stats()
-
-	r0, ok := e.st.SnapLocation(q.Location)
-	if !ok {
-		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
-	}
-	starts := []roadnet.SegmentID{r0}
-	tBound := now()
-	maxReg, err := e.boundingRegion(ctx, starts, q.Start, q.Duration, true)
+	p, err := e.PlanReach(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-	minReg, err := e.boundingRegion(ctx, starts, q.Start, q.Duration, false)
-	if err != nil {
-		return nil, err
-	}
-	boundNS := now().Sub(tBound).Nanoseconds()
-
-	tVerify := now()
-	res, err := e.traceBack(ctx, starts, maxReg, minReg, q.Start, q.Duration, q.Prob)
-	if err != nil {
-		return nil, err
-	}
-	res.Metrics.VerifyNS = now().Sub(tVerify).Nanoseconds()
-	res.Metrics.BoundNS = boundNS
-	res.Metrics.MaxRegion = maxReg.size()
-	res.Metrics.MinRegion = minReg.size()
-	e.finish(res, began, io0, tl0, con0)
-	return res, nil
+	defer p.Close()
+	return p.ResultAt(ctx, q.Prob)
 }
 
 // MaxBoundingRegion exposes the SQMB maximum bounding region for tests,
@@ -205,7 +207,9 @@ func (e *Engine) MaxBoundingRegion(ctx context.Context, q Query) ([]roadnet.Segm
 	if err != nil {
 		return nil, err
 	}
-	return append([]roadnet.SegmentID(nil), reg.segs...), nil
+	segs := append([]roadnet.SegmentID(nil), reg.segs...)
+	e.putRegion(reg)
+	return segs, nil
 }
 
 // MinBoundingRegion exposes the SQMB minimum bounding region.
@@ -221,7 +225,9 @@ func (e *Engine) MinBoundingRegion(ctx context.Context, q Query) ([]roadnet.Segm
 	if err != nil {
 		return nil, err
 	}
-	return append([]roadnet.SegmentID(nil), reg.segs...), nil
+	segs := append([]roadnet.SegmentID(nil), reg.segs...)
+	e.putRegion(reg)
+	return segs, nil
 }
 
 // now is indirected for tests.

@@ -2,100 +2,36 @@ package core
 
 import (
 	"context"
-	"sort"
-	"time"
 
 	"streach/internal/roadnet"
 )
 
-// traceBack implements the Trace Back Search (TBS, Algorithm 2): starting
-// from the outer boundary of the maximum bounding region and moving
-// inwards, verify each segment's reachability probability against the
-// on-disk time lists; the minimum bounding region is admitted to the
-// result without verification — the "skip the nearby region of the
-// starting location" saving the thesis credits for most of the speedup
-// (§4.2.1/§4.2.2).
+// The Trace Back Search (TBS, Algorithm 2) starts from the outer boundary
+// of the maximum bounding region and moves inwards, verifying each
+// segment's reachability probability against the on-disk time lists; the
+// minimum bounding region is admitted to the result without verification
+// — the "skip the nearby region of the starting location" saving the
+// thesis credits for most of the speedup (§4.2.1/§4.2.2).
 //
 // Three verification policies are supported (Options):
 //
 //   - default: every segment between the bounding regions is verified,
 //     visited exactly once, in outer-to-inner order; the result is the
 //     qualifying set plus the unverified minimum region.
-//   - EarlyStop: the thesis's aggressive variant — qualifying segments
-//     stop their branch, and anything the failing wave never reached is
-//     admitted unverified. Fastest, but over-approximates on sparse data.
+//   - EarlyStop: the thesis's literal Algorithm 2 queue (below) — branches
+//     stop at qualifying segments and the interior the failing wave never
+//     reaches is admitted unverified. Fastest, over-approximates on
+//     sparse data.
 //   - VerifyAll: everything in the maximum region is verified, including
 //     the minimum region. The result is exactly
 //     {r in Bmax : probability(r, r0) >= Prob}.
-func (e *Engine) traceBack(ctx context.Context, starts []roadnet.SegmentID, maxReg, minReg *region, startOfDay, dur time.Duration, prob float64) (*Result, error) {
-	lo, hi := e.slotWindow(startOfDay, dur)
-	pr, err := e.newProbe(ctx, starts, lo, lo, hi)
-	if err != nil {
-		return nil, err
-	}
-
-	res := &Result{
-		Starts:      append([]roadnet.SegmentID(nil), starts...),
-		Probability: map[roadnet.SegmentID]float64{},
-	}
-	include := make(map[roadnet.SegmentID]bool, maxReg.size())
-
-	// verify runs the bounded worker pool over an ordered candidate list
-	// and folds qualifiers into the result (order-independent: each
-	// segment's probability depends only on the segment).
-	verify := func(order []roadnet.SegmentID) error {
-		probs, err := e.verifyMany(ctx, order, func() func(roadnet.SegmentID) (float64, error) {
-			return pr.worker().prob
-		})
-		if err != nil {
-			return err
-		}
-		for i, s := range order {
-			if probs[i] >= prob {
-				include[s] = true
-				res.Probability[s] = probs[i]
-			}
-		}
-		return nil
-	}
-
-	switch {
-	case e.opts.VerifyAll:
-		if err := verify(maxReg.segs); err != nil {
-			return nil, err
-		}
-
-	case e.opts.EarlyStop:
-		if err := e.earlyStopWave(ctx, maxReg, minReg, pr, prob, include, res.Probability); err != nil {
-			return nil, err
-		}
-
-	default:
-		// Verify Bmax \ Bmin outer-to-inner (descending expansion round,
-		// the trace back order), admit Bmax ∩ Bmin unverified. Both sets
-		// come from word-level bitset ops on the regions.
-		order := make([]roadnet.SegmentID, 0, maxReg.size())
-		maxReg.splitAgainst(minReg,
-			func(s roadnet.SegmentID) { include[s] = true },
-			func(s roadnet.SegmentID) { order = append(order, s) })
-		sort.Slice(order, func(i, j int) bool {
-			ri, rj := maxReg.round[order[i]], maxReg.round[order[j]]
-			if ri != rj {
-				return ri > rj // outer rounds first
-			}
-			return order[i] < order[j]
-		})
-		if err := verify(order); err != nil {
-			return nil, err
-		}
-	}
-
-	for s := range include {
-		res.Segments = append(res.Segments, s)
-	}
-	res.Metrics.Evaluated = int(pr.evaluated.Load())
-	return res, nil
-}
+//
+// The default and VerifyAll policies are threshold-independent up to the
+// final comparison, so they live in SharedPlan (shared.go): candidates
+// are ordered and verified once per plan, and each query's threshold is
+// a scan over the shared probability slice. Only the EarlyStop wave below
+// depends on the threshold — it runs per ResultAt, over memoised
+// probabilities.
 
 // earlyStopWave runs the thesis's literal Algorithm 2 queue mechanics:
 // seed with the outer boundary, stop branches at qualifying segments,
@@ -103,9 +39,9 @@ func (e *Engine) traceBack(ctx context.Context, starts []roadnet.SegmentID, maxR
 // reached (the minimum region and the shielded interior) unverified.
 // The wave is inherently sequential — whether a segment is probed depends
 // on its neighbours' outcomes — so it runs on a single worker, checking
-// ctx before every probe.
-func (e *Engine) earlyStopWave(ctx context.Context, maxReg, minReg *region, pr *probe, prob float64, include map[roadnet.SegmentID]bool, probs map[roadnet.SegmentID]float64) error {
-	w := pr.worker()
+// ctx before every probe. probFn supplies the per-segment probability
+// (a probe worker directly, or a plan's memoised view of one).
+func (e *Engine) earlyStopWave(ctx context.Context, maxReg, minReg *region, probFn func(roadnet.SegmentID) (float64, error), prob float64, include map[roadnet.SegmentID]bool, probs map[roadnet.SegmentID]float64) error {
 	visited := make(map[roadnet.SegmentID]bool, maxReg.size())
 	var queue []roadnet.SegmentID
 	for _, s := range maxReg.segs {
@@ -148,7 +84,7 @@ func (e *Engine) earlyStopWave(ctx context.Context, maxReg, minReg *region, pr *
 			}
 			budget--
 		}
-		p, err := w.prob(r)
+		p, err := probFn(r)
 		if err != nil {
 			return err
 		}

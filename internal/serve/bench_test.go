@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streach"
+)
+
+var (
+	benchOnce sync.Once
+	benchSys  *streach.System
+	benchErr  error
+)
+
+func benchSystem(b *testing.B) *streach.System {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSys, benchErr = streach.NewSystem(streach.CityConfig{
+			OriginLat: 22.50, OriginLng: 114.00,
+			Rows: 8, Cols: 8,
+			SpacingMeters:   900,
+			LocalFraction:   0.4,
+			ResegmentMeters: 450,
+			Seed:            61,
+		}, streach.FleetConfig{Taxis: 80, Days: 6, Seed: 62}, streach.DefaultIndexConfig())
+		if benchErr == nil {
+			benchSys.Warm(11*time.Hour, 10*time.Minute)
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSys
+}
+
+// BenchmarkServeConcurrentDuplicates measures the serving layer under a
+// duplicate-heavy concurrent burst: every in-flight client asks the same
+// query, so the singleflight coalescer should collapse the burst onto a
+// handful of engine executions. The distinct sub-benchmark is the
+// contrast: every client sweeps a different probability, so nothing
+// coalesces and each request pays for its own execution.
+func BenchmarkServeConcurrentDuplicates(b *testing.B) {
+	ts := httptest.NewServer(New(benchSystem(b), Config{}).Handler())
+	defer ts.Close()
+
+	get := func(b *testing.B, url string) {
+		resp, err := http.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d for %s", resp.StatusCode, url)
+		}
+	}
+	// Warm every probability once so distinct vs duplicate compares query
+	// execution, not cold caches.
+	for p := 1; p <= 9; p++ {
+		get(b, fmt.Sprintf("%s/v1/reach?start=11h&dur=10m&prob=0.%d", ts.URL, p))
+	}
+
+	b.Run("duplicates", func(b *testing.B) {
+		url := ts.URL + "/v1/reach?start=11h&dur=10m&prob=0.2"
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				get(b, url)
+			}
+		})
+	})
+	b.Run("distinct", func(b *testing.B) {
+		var ctr atomic.Int64
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				p := 1 + int(ctr.Add(1))%9
+				get(b, fmt.Sprintf("%s/v1/reach?start=11h&dur=10m&prob=0.%d", ts.URL, p))
+			}
+		})
+	})
+}

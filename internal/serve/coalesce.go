@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"streach"
+)
+
+// coalescer merges concurrent identical queries into one execution
+// (singleflight): the first caller of a key becomes the leader and runs
+// the query; callers that arrive while it is in flight wait for — and
+// share — its answer. Under a burst of duplicate-heavy HTTP traffic the
+// engine therefore sees each distinct query once per burst, the serving-
+// layer mirror of DoBatch's group-and-plan scheduler.
+//
+// Answers are shared as pointers: a Region is read-only after Do returns,
+// so leader and followers may serialise it concurrently.
+type coalescer struct {
+	mu       sync.Mutex
+	inflight map[string]*flightEntry
+}
+
+// flightEntry is one in-flight query execution. region and err are
+// written before done is closed; waiters read them only after <-done.
+type flightEntry struct {
+	done    chan struct{}
+	waiters atomic.Int64
+	region  *streach.Region
+	err     error
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{inflight: map[string]*flightEntry{}}
+}
+
+// do runs exec once per key among concurrent callers, returning the
+// shared answer and whether this caller rode another's execution. Two
+// escape hatches keep one caller's context from poisoning another's:
+// a waiter whose own ctx ends stops waiting and returns its ctx error,
+// and a waiter whose leader failed with a context error (the leader's
+// deadline, not the waiter's) retries — becoming the new leader if
+// nobody beat it to the key.
+func (c *coalescer) do(ctx context.Context, key string, exec func() (*streach.Region, error)) (region *streach.Region, shared bool, err error) {
+	for {
+		c.mu.Lock()
+		if fe, ok := c.inflight[key]; ok {
+			fe.waiters.Add(1)
+			c.mu.Unlock()
+			select {
+			case <-fe.done:
+				if isContextErr(fe.err) && ctx.Err() == nil {
+					continue
+				}
+				return fe.region, true, fe.err
+			case <-ctx.Done():
+				return nil, true, ctx.Err()
+			}
+		}
+		fe := &flightEntry{done: make(chan struct{})}
+		c.inflight[key] = fe
+		c.mu.Unlock()
+
+		fe.region, fe.err = exec()
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(fe.done)
+		return fe.region, false, fe.err
+	}
+}
+
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the request-duration histogram bucket upper bounds in
+// seconds (Prometheus `le` label values).
+var latencyBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a dependency-free fixed-bucket latency histogram. Buckets
+// store per-interval counts (cumulated at render time, as the Prometheus
+// text format requires); all fields are atomics, so observation is
+// lock-free under concurrent handlers.
+type histogram struct {
+	counts []atomic.Int64 // len(latencyBounds)+1; the last is +Inf
+	sumNS  atomic.Int64
+	n      atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(latencyBounds)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	h.counts[sort.SearchFloat64s(latencyBounds, d.Seconds())].Add(1)
+	h.sumNS.Add(int64(d))
+	h.n.Add(1)
+}
+
+// endpoints is the fixed label set of the per-endpoint histograms,
+// matching the kind strings record() uses.
+var endpoints = []string{"reach", "reverse", "multi", "route"}
+
+// writePrometheus renders the server's metrics in the Prometheus text
+// exposition format: per-endpoint latency histograms, the batch-sharing
+// and coalescing counters, and every cumulative expvar counter /metrics
+// already serves as JSON.
+func (s *Server) writePrometheus(w io.Writer) {
+	fmt.Fprint(w, "# HELP streach_request_duration_seconds Query latency by endpoint.\n")
+	fmt.Fprint(w, "# TYPE streach_request_duration_seconds histogram\n")
+	for _, ep := range endpoints {
+		h := s.hist[ep]
+		var cum int64
+		for i, b := range latencyBounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "streach_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				ep, strconv.FormatFloat(b, 'g', -1, 64), cum)
+		}
+		cum += h.counts[len(latencyBounds)].Load()
+		fmt.Fprintf(w, "streach_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(w, "streach_request_duration_seconds_sum{endpoint=%q} %g\n", ep, float64(h.sumNS.Load())/1e9)
+		fmt.Fprintf(w, "streach_request_duration_seconds_count{endpoint=%q} %d\n", ep, h.n.Load())
+	}
+
+	sh := s.sys.SharingStats()
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("streach_batch_groups_total",
+		"DoBatch request groups that shared one plan.", sh.BatchGroups)
+	counter("streach_batch_queries_coalesced_total",
+		"Batch queries answered from another query's plan.", sh.QueriesCoalesced)
+	counter("streach_batch_probe_sets_shared_total",
+		"Probe start-set materialisations avoided by batch sharing.", sh.ProbeSetsShared)
+	counter("streach_batch_con_rows_shared_total",
+		"Con-Index row resolutions avoided by batch sharing.", sh.ConRowsShared)
+
+	// The cumulative expvar counters, one Prometheus counter each.
+	var names []string
+	vals := map[string]int64{}
+	s.vars.Do(func(kv expvar.KeyValue) {
+		if iv, ok := kv.Value.(*expvar.Int); ok {
+			names = append(names, kv.Key)
+			vals[kv.Key] = iv.Value()
+		}
+	})
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "# TYPE streach_%s counter\nstreach_%s %d\n", name, name, vals[name])
+	}
+}

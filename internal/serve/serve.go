@@ -1,7 +1,8 @@
 // Package serve exposes a built streach.System over HTTP: JSON (or
 // GeoJSON) reachability and route queries on /v1/reach and /v1/route, a
-// /healthz probe, and a /metrics endpoint surfacing cumulative query
-// Metrics counters in expvar's JSON shape.
+// /healthz probe, and metrics on /metrics (expvar JSON) and
+// /metrics/prometheus (text exposition format with per-endpoint latency
+// histograms and batch-sharing counters).
 //
 // Every request runs under a deadline: the server derives a per-request
 // context from Config.DefaultTimeout (clients may lower — never raise
@@ -10,6 +11,15 @@
 // checkpoints. A client that disconnects or a deadline that expires
 // stops the query mid-flight instead of burning the worker pool on an
 // answer nobody will read.
+//
+// Two traffic-shaping layers sit in front of the engine. Bounded
+// admission caps the in-flight query count (Config.MaxInFlight); beyond
+// it requests are rejected immediately with 429 + Retry-After rather
+// than queueing behind a saturated engine. Singleflight coalescing
+// merges concurrent identical queries into one execution (coalesce.go),
+// the serving-layer mirror of DoBatch's group-and-plan scheduler: a
+// burst of duplicate-heavy traffic reaches the engine once per distinct
+// query.
 package serve
 
 import (
@@ -18,6 +28,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -27,13 +38,18 @@ import (
 )
 
 // Config tunes the server. The zero value serves with 10 s request
-// deadlines capped at 30 s.
+// deadlines capped at 30 s and up to 64 in-flight queries.
 type Config struct {
 	// DefaultTimeout is the per-request query deadline when the client
 	// does not send ?timeout= (default 10 s).
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested timeouts (default 30 s).
 	MaxTimeout time.Duration
+	// MaxInFlight bounds the number of concurrently admitted query
+	// requests; excess requests are rejected immediately with 429 and a
+	// Retry-After header instead of queueing behind a saturated engine.
+	// 0 means the default (64); negative disables admission control.
+	MaxInFlight int
 }
 
 func (c Config) withDefaults() Config {
@@ -42,6 +58,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
 	}
 	return c
 }
@@ -55,12 +74,27 @@ type Server struct {
 	// servers in one process — tests — don't collide); /metrics renders
 	// its canonical expvar JSON.
 	vars expvar.Map
+	// sem is the admission semaphore: one slot per in-flight query
+	// request (nil = unlimited).
+	sem chan struct{}
+	// flights coalesces concurrent identical queries into one execution.
+	flights *coalescer
+	// hist holds the per-endpoint latency histograms the Prometheus
+	// rendering of /metrics exposes.
+	hist map[string]*histogram
 }
 
 // New wraps a built system in a server.
 func New(sys *streach.System, cfg Config) *Server {
-	s := &Server{sys: sys, cfg: cfg.withDefaults()}
+	s := &Server{sys: sys, cfg: cfg.withDefaults(), flights: newCoalescer()}
 	s.vars.Init()
+	if s.cfg.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, s.cfg.MaxInFlight)
+	}
+	s.hist = make(map[string]*histogram, len(endpoints))
+	for _, ep := range endpoints {
+		s.hist[ep] = newHistogram()
+	}
 	return s
 }
 
@@ -69,10 +103,41 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics/prometheus", s.handlePrometheus)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/v1/reach", s.handleReach)
 	mux.HandleFunc("/v1/route", s.handleRoute)
 	return mux
+}
+
+// acquire claims an admission slot; false means the server is saturated.
+func (s *Server) acquire() bool {
+	if s.sem == nil {
+		return true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) release() {
+	if s.sem != nil {
+		<-s.sem
+	}
+}
+
+// reject answers a saturated-server request: 429 with a Retry-After hint,
+// so well-behaved clients back off instead of piling onto the engine.
+func (s *Server) reject(w http.ResponseWriter) {
+	s.vars.Add("admission_rejected_total", 1)
+	s.recordError(http.StatusTooManyRequests)
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error": "server at capacity; retry later",
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -92,6 +157,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, s.vars.String())
 }
 
+// handlePrometheus renders the same counters — plus the per-endpoint
+// latency histograms and batch-sharing counters — in the Prometheus text
+// exposition format (dependency-free; see prometheus.go).
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writePrometheus(w)
+}
+
 // record folds one answered query's Metrics into the cumulative counters.
 func (s *Server) record(kind string, m streach.Metrics) {
 	s.vars.Add("requests_total", 1)
@@ -106,6 +179,22 @@ func (s *Server) record(kind string, m streach.Metrics) {
 	s.vars.Add("elapsed_ns", int64(m.Elapsed))
 	s.vars.Add("bound_ns", int64(m.Bound))
 	s.vars.Add("verify_ns", int64(m.Verify))
+}
+
+// recordShared counts a request answered from a coalesced execution: the
+// engine-cost counters stay with the leader that actually paid them.
+func (s *Server) recordShared(kind string) {
+	s.vars.Add("requests_total", 1)
+	s.vars.Add("requests_"+kind, 1)
+	s.vars.Add("coalesced_total", 1)
+}
+
+// observe feeds one answered request into its endpoint's latency
+// histogram.
+func (s *Server) observe(kind string, d time.Duration) {
+	if h, ok := s.hist[kind]; ok {
+		h.observe(d)
+	}
 }
 
 func (s *Server) recordError(status int) {
@@ -282,12 +371,26 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 
-	region, err := s.sys.Do(ctx, req, opts...)
+	if !s.acquire() {
+		s.reject(w)
+		return
+	}
+	defer s.release()
+
+	began := time.Now()
+	region, shared, err := s.flights.do(ctx, coalesceKey(req, p.Algorithm), func() (*streach.Region, error) {
+		return s.sys.Do(ctx, req, opts...)
+	})
 	if err != nil {
 		s.httpError(w, err)
 		return
 	}
-	s.record(kind, region.Metrics)
+	if shared {
+		s.recordShared(kind)
+	} else {
+		s.record(kind, region.Metrics)
+	}
+	s.observe(kind, time.Since(began))
 
 	if wantsGeoJSON(r) {
 		gj, err := region.GeoJSON()
@@ -349,21 +452,53 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 
-	region, err := s.sys.Do(ctx, streach.RouteRequest(
+	if !s.acquire() {
+		s.reject(w)
+		return
+	}
+	defer s.release()
+
+	req := streach.RouteRequest(
 		streach.Location{Lat: fromLat, Lng: fromLng},
 		streach.Location{Lat: toLat, Lng: toLng},
 		depart,
-	), opts...)
+	)
+	began := time.Now()
+	region, shared, err := s.flights.do(ctx, coalesceKey(req, q.Get("alg")), func() (*streach.Region, error) {
+		return s.sys.Do(ctx, req, opts...)
+	})
 	if err != nil {
 		s.httpError(w, err)
 		return
 	}
-	s.record("route", region.Metrics)
+	if shared {
+		s.recordShared("route")
+	} else {
+		s.record("route", region.Metrics)
+	}
+	s.observe("route", time.Since(began))
 	writeJSON(w, http.StatusOK, map[string]any{
 		"segments":       region.Route.SegmentIDs,
 		"travel_time_ms": region.Route.TravelTime.Milliseconds(),
 		"distance_km":    region.Route.DistanceKm,
 	})
+}
+
+// coalesceKey canonicalises everything that determines a query's answer
+// — kind, algorithm, locations, start, window, and probability — so only
+// truly identical in-flight queries share an execution. The response
+// format and timeout are deliberately absent: they shape the reply, not
+// the answer. This mirrors streach's batch groupKey except that Prob is
+// included, because the coalescer shares whole answers, not plans —
+// keep the two in step when Request grows a field.
+func coalesceKey(req streach.Request, alg string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%s|%d|%d|%x", int(req.Kind), strings.ToLower(alg),
+		req.Start, req.Duration, math.Float64bits(req.Prob))
+	for _, l := range req.Locations {
+		fmt.Fprintf(&b, "|%x,%x", math.Float64bits(l.Lat), math.Float64bits(l.Lng))
+	}
+	return b.String()
 }
 
 // regionResponse is the default JSON shape of a reachability answer.

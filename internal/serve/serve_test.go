@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -219,6 +221,221 @@ func TestBadRequests(t *testing.T) {
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest && resp.StatusCode != http.StatusNotFound {
 			t.Fatalf("GET %s = %d, want 400/404", url, resp.StatusCode)
+		}
+	}
+}
+
+// TestAdmissionControl: with every admission slot held, query endpoints
+// answer 429 with a Retry-After hint; releasing a slot admits again.
+// The semaphore is filled directly so the test is deterministic.
+func TestAdmissionControl(t *testing.T) {
+	srv := New(system(t), Config{MaxInFlight: 2})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	if !srv.acquire() || !srv.acquire() {
+		t.Fatal("could not fill the admission semaphore")
+	}
+	resp, err := http.Get(ts.URL + "/v1/reach?start=11h&dur=5m&prob=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server answered %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 is missing the Retry-After header")
+	}
+	// Health and metrics stay reachable under saturation.
+	getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	getJSON(t, ts.URL+"/metrics", http.StatusOK)
+
+	srv.release()
+	getJSON(t, ts.URL+"/v1/reach?start=11h&dur=5m&prob=0.2", http.StatusOK)
+	srv.release()
+
+	out := getJSON(t, ts.URL+"/metrics", http.StatusOK)
+	if out["admission_rejected_total"].(float64) < 1 {
+		t.Fatalf("rejection not counted: %v", out)
+	}
+}
+
+// TestCoalescerSharesExecution: a follower that arrives while a leader's
+// identical query is in flight shares the leader's answer; the query
+// executes once.
+func TestCoalescerSharesExecution(t *testing.T) {
+	c := newCoalescer()
+	block := make(chan struct{})
+	execs := 0
+	want := &streach.Region{SegmentIDs: []int32{1, 2, 3}}
+	exec := func() (*streach.Region, error) {
+		execs++
+		<-block
+		return want, nil
+	}
+
+	type res struct {
+		region *streach.Region
+		shared bool
+		err    error
+	}
+	results := make(chan res, 2)
+	run := func() {
+		r, shared, err := c.do(context.Background(), "k", exec)
+		results <- res{r, shared, err}
+	}
+	go run()
+	// Wait for the leader to register, then attach a follower and wait
+	// until it is counted before releasing the leader — fully
+	// deterministic, no sleeps in the happy path.
+	waitFor(t, func() bool { c.mu.Lock(); defer c.mu.Unlock(); return len(c.inflight) == 1 })
+	var fe *flightEntry
+	c.mu.Lock()
+	fe = c.inflight["k"]
+	c.mu.Unlock()
+	go run()
+	waitFor(t, func() bool { return fe.waiters.Load() == 1 })
+	close(block)
+
+	a, b := <-results, <-results
+	for _, r := range []res{a, b} {
+		if r.err != nil || r.region != want {
+			t.Fatalf("coalesced result = %+v", r)
+		}
+	}
+	if execs != 1 {
+		t.Fatalf("query executed %d times, want 1", execs)
+	}
+	if a.shared == b.shared {
+		t.Fatalf("exactly one caller should be the leader (shared: %v, %v)", a.shared, b.shared)
+	}
+}
+
+// TestCoalescerLeaderDeadlineDoesNotPoisonFollower: when the leader dies
+// of its own context, a live follower retries instead of inheriting the
+// leader's deadline error.
+func TestCoalescerLeaderDeadlineDoesNotPoisonFollower(t *testing.T) {
+	c := newCoalescer()
+	block := make(chan struct{})
+	calls := 0
+	want := &streach.Region{SegmentIDs: []int32{7}}
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, _, err := c.do(context.Background(), "k", func() (*streach.Region, error) {
+			calls++
+			<-block
+			return nil, context.DeadlineExceeded // the leader's own deadline
+		})
+		if err == nil {
+			t.Error("leader should surface its deadline error")
+		}
+	}()
+	waitFor(t, func() bool { c.mu.Lock(); defer c.mu.Unlock(); return len(c.inflight) == 1 })
+	c.mu.Lock()
+	fe := c.inflight["k"]
+	c.mu.Unlock()
+
+	followerDone := make(chan struct{})
+	go func() {
+		defer close(followerDone)
+		region, _, err := c.do(context.Background(), "k", func() (*streach.Region, error) {
+			calls++
+			return want, nil // the follower's retry succeeds
+		})
+		if err != nil || region != want {
+			t.Errorf("follower retry = %v, %v", region, err)
+		}
+	}()
+	waitFor(t, func() bool { return fe.waiters.Load() == 1 })
+	close(block)
+	<-leaderDone
+	<-followerDone
+	if calls != 2 {
+		t.Fatalf("exec ran %d times, want 2 (leader + follower retry)", calls)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCoalescedEndToEnd: concurrent identical HTTP queries all answer
+// correctly (whether or not they overlapped enough to coalesce), and the
+// coalescing counter is exposed on /metrics.
+func TestCoalescedEndToEnd(t *testing.T) {
+	ts := server(t, Config{})
+	url := ts.URL + "/v1/reach?start=11h&dur=10m&prob=0.2"
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(url)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestPrometheusMetrics: after a query, the Prometheus rendering exposes
+// the per-endpoint latency histogram, the batch-sharing counters, and the
+// cumulative counters, in text exposition format.
+func TestPrometheusMetrics(t *testing.T) {
+	ts := server(t, Config{})
+	getJSON(t, ts.URL+"/v1/reach?start=11h&dur=5m&prob=0.2", http.StatusOK)
+
+	resp, err := http.Get(ts.URL + "/metrics/prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body := new(strings.Builder)
+	if _, err := io.Copy(body, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := body.String()
+	for _, want := range []string{
+		`streach_request_duration_seconds_bucket{endpoint="reach",le="+Inf"}`,
+		`streach_request_duration_seconds_count{endpoint="reach"}`,
+		"streach_batch_groups_total",
+		"streach_requests_total",
+		"# TYPE streach_request_duration_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+	// The reach histogram must have observed at least one request.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, `streach_request_duration_seconds_count{endpoint="reach"}`) {
+			var n int
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &n); err != nil || n < 1 {
+				t.Fatalf("reach histogram count line %q", line)
+			}
 		}
 	}
 }

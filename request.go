@@ -3,7 +3,9 @@ package streach
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -138,6 +140,16 @@ type queryOptions struct {
 	engine       core.Options
 	engineDirty  bool
 	batchWorkers int
+	noSharing    bool
+}
+
+// effectiveProb resolves the probability threshold for one request:
+// WithProb overrides the request's own Prob.
+func (qo queryOptions) effectiveProb(req Request) float64 {
+	if qo.probSet {
+		return qo.prob
+	}
+	return req.Prob
 }
 
 // Option overrides one engine or dispatch knob for a single Do/DoBatch
@@ -195,6 +207,15 @@ func WithNoOverlapFilter(on bool) Option {
 // len(requests))). Ignored by Do.
 func WithBatchWorkers(n int) Option {
 	return func(o *queryOptions) { o.batchWorkers = n }
+}
+
+// WithBatchSharing toggles DoBatch's group-and-plan scheduler (default
+// on): requests that differ only in Prob share one bounding + probe +
+// verification plan. Results are bit-identical either way; turning it
+// off recovers fully independent execution (benchmarks, debugging).
+// Ignored by Do.
+func WithBatchSharing(on bool) Option {
+	return func(o *queryOptions) { o.noSharing = !on }
 }
 
 // resolveOptions folds the call's options over the system defaults.
@@ -382,23 +403,61 @@ type BatchResult struct {
 	Err error
 }
 
-// DoBatch answers every request with a bounded worker pool and returns
-// one BatchResult per request, positionally. A cancelled or expired ctx
-// stops in-flight queries at their next checkpoint and marks every
-// unfinished request with ctx.Err(); options apply to every request in
-// the batch (use WithBatchWorkers to bound the parallelism).
+// DoBatch answers every request and returns one BatchResult per request,
+// positionally. A cancelled or expired ctx stops in-flight queries at
+// their next checkpoint and marks every unfinished request with
+// ctx.Err(); options apply to every request in the batch (use
+// WithBatchWorkers to bound the parallelism).
+//
+// DoBatch is batch-aware: requests asking about the same (kind, start
+// set, start time, window, algorithm) — differing only in Prob — are
+// grouped, and each group is planned once (core.SharedPlan): one
+// bounding-region search, one materialised probe start-set, one
+// verification pass building a per-candidate empirical-probability map
+// that every member's threshold is resolved from. Group results are
+// bit-identical to independent execution (the single-query path runs the
+// same plan machinery); WithBatchSharing(false) disables grouping. The
+// scheduling unit is a group, so a mid-batch cancellation fails a whole
+// group at once and unstarted groups are marked without planning.
 func (s *System) DoBatch(ctx context.Context, reqs []Request, opts ...Option) []BatchResult {
 	out := make([]BatchResult, len(reqs))
 	if len(reqs) == 0 {
 		return out
 	}
 	qo := s.resolveOptions(opts)
+
+	// Each unit is one scheduling item: a singleton request, or a group
+	// of request indexes sharing one plan. Units preserve first-seen
+	// request order.
+	var units [][]int
+	if qo.noSharing {
+		units = make([][]int, len(reqs))
+		for i := range reqs {
+			units[i] = []int{i}
+		}
+	} else {
+		byKey := map[string]int{}
+		for i, req := range reqs {
+			if !groupable(req, qo) {
+				units = append(units, []int{i})
+				continue
+			}
+			k := groupKey(req, qo)
+			if u, ok := byKey[k]; ok {
+				units[u] = append(units[u], i)
+			} else {
+				byKey[k] = len(units)
+				units = append(units, []int{i})
+			}
+		}
+	}
+
 	workers := qo.batchWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(reqs) {
-		workers = len(reqs)
+	if workers > len(units) {
+		workers = len(units)
 	}
 	var (
 		next atomic.Int64
@@ -409,19 +468,180 @@ func (s *System) DoBatch(ctx context.Context, reqs []Request, opts ...Option) []
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(reqs) {
+				u := int(next.Add(1)) - 1
+				if u >= len(units) {
 					return
 				}
+				idxs := units[u]
 				if err := ctx.Err(); err != nil {
-					out[i] = BatchResult{Err: err}
+					for _, i := range idxs {
+						out[i] = BatchResult{Err: err}
+					}
 					continue // mark the rest, don't start new work
 				}
-				region, err := s.do(ctx, reqs[i], qo)
-				out[i] = BatchResult{Region: region, Err: err}
+				if len(idxs) == 1 {
+					i := idxs[0]
+					region, err := s.do(ctx, reqs[i], qo)
+					out[i] = BatchResult{Region: region, Err: err}
+					continue
+				}
+				s.doGroup(ctx, reqs, idxs, qo, out)
 			}
 		}()
 	}
 	wg.Wait()
 	return out
+}
+
+// groupable reports whether the request can ride a shared plan: a valid
+// kind/algorithm pairing with the locations and probability it needs.
+// Malformed requests take the singleton path so their error is exactly
+// what independent execution would return, and so does any request with
+// a deadline budget — the budget is a per-query guarantee, which a plan
+// shared across members cannot honour bit-identically under time
+// pressure.
+func groupable(req Request, qo queryOptions) bool {
+	if qo.budget > 0 {
+		return false
+	}
+	switch req.Kind {
+	case KindReach, KindReverse:
+		if len(req.Locations) < 1 {
+			return false
+		}
+		switch qo.algorithm {
+		case AlgoAuto, AlgoBounded, AlgoExhaustive:
+		default:
+			return false
+		}
+	case KindMulti:
+		if len(req.Locations) == 0 {
+			return false
+		}
+		switch qo.algorithm {
+		case AlgoAuto, AlgoBounded, AlgoSequential:
+		default:
+			return false
+		}
+	case KindRoute:
+		// Route answers are Prob-independent: only literally identical
+		// requests group, and they share one computed journey.
+		return len(req.Locations) >= 2
+	default:
+		return false
+	}
+	p := qo.effectiveProb(req)
+	return p > 0 && p <= 1
+}
+
+// groupKey canonicalises everything that determines a request's shared
+// plan — kind, algorithm, start set, start time, and (except for routes,
+// which ignore it) the window. Prob is deliberately absent: that is the
+// axis the plan is shared across. The serving layer's coalesceKey
+// (internal/serve) mirrors this serialisation but includes Prob, because
+// it shares whole answers, not plans — keep the two in step when Request
+// grows a field.
+func groupKey(req Request, qo queryOptions) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%d|%d", int(req.Kind), int(qo.algorithm), req.Start)
+	if req.Kind != KindRoute {
+		fmt.Fprintf(&b, "|%d", req.Duration)
+	}
+	for _, l := range req.Locations {
+		fmt.Fprintf(&b, "|%x,%x", math.Float64bits(l.Lat), math.Float64bits(l.Lng))
+	}
+	return b.String()
+}
+
+// doGroup answers one group of requests off a single shared plan. Plan
+// failure (including cancellation mid-plan) reclaims the whole group:
+// every member is marked with the same error.
+func (s *System) doGroup(ctx context.Context, reqs []Request, idxs []int, qo queryOptions, out []BatchResult) {
+	fail := func(err error) {
+		for _, i := range idxs {
+			out[i] = BatchResult{Err: err}
+		}
+	}
+	rep := reqs[idxs[0]]
+	if rep.Kind == KindRoute {
+		// One journey computation, cloned per member.
+		region, err := s.do(ctx, rep, qo)
+		if err != nil {
+			fail(err)
+			return
+		}
+		out[idxs[0]] = BatchResult{Region: region}
+		for _, i := range idxs[1:] {
+			out[i] = BatchResult{Region: cloneRegion(region)}
+		}
+		s.sharing.groups.Add(1)
+		s.sharing.coalesced.Add(int64(len(idxs) - 1))
+		return
+	}
+
+	eng := s.engine
+	if qo.engineDirty {
+		eng = s.engine.WithOptions(qo.engine)
+	}
+
+	var (
+		plan *core.SharedPlan
+		err  error
+	)
+	switch rep.Kind {
+	case KindReach, KindReverse:
+		q := core.Query{
+			Location: geo.Point{Lat: rep.Locations[0].Lat, Lng: rep.Locations[0].Lng},
+			Start:    rep.Start,
+			Duration: rep.Duration,
+		}
+		switch {
+		case qo.algorithm == AlgoExhaustive && rep.Kind == KindReverse:
+			plan, err = eng.PlanReverseES(ctx, q)
+		case qo.algorithm == AlgoExhaustive:
+			plan, err = eng.PlanReachES(ctx, q)
+		case rep.Kind == KindReverse:
+			plan, err = eng.PlanReverse(ctx, q)
+		default:
+			plan, err = eng.PlanReach(ctx, q)
+		}
+	case KindMulti:
+		mq := core.MultiQuery{
+			Locations: toPoints(rep.Locations),
+			Start:     rep.Start,
+			Duration:  rep.Duration,
+		}
+		if qo.algorithm == AlgoSequential {
+			plan, err = eng.PlanMultiSequential(ctx, mq)
+		} else {
+			plan, err = eng.PlanMulti(ctx, mq)
+		}
+	}
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer plan.Close()
+
+	for _, i := range idxs {
+		if err := ctx.Err(); err != nil {
+			out[i] = BatchResult{Err: err}
+			continue
+		}
+		res, rerr := plan.ResultAt(ctx, qo.effectiveProb(reqs[i]))
+		if rerr != nil {
+			out[i] = BatchResult{Err: rerr}
+			continue
+		}
+		out[i] = BatchResult{Region: s.region(res)}
+	}
+
+	shared := int64(len(idxs) - 1)
+	s.sharing.groups.Add(1)
+	s.sharing.coalesced.Add(shared)
+	s.sharing.probeSets.Add(shared)
+	rows := plan.RowStats()
+	// Rows the member queries did not have to re-resolve: the pin's own
+	// local hits plus one full working-set fetch per extra member.
+	s.sharing.rowsShared.Add(rows.Hits + rows.Fetched*shared)
 }

@@ -266,6 +266,140 @@ func TestDoBatchParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestDoBatchSharingMatchesIndependent: a duplicate-heavy batch — same
+// (kind, location, start, window), different probabilities — must return,
+// for every algorithm, exactly what independent Do calls return, and the
+// same again with sharing disabled. Runs under -race in CI, so it also
+// proves the shared plans race-free across the batch worker pool.
+func TestDoBatchSharingMatchesIndependent(t *testing.T) {
+	s := smallSystem(t)
+	ctx := context.Background()
+	q := testQuery(s)
+	loc := Location{Lat: q.Lat, Lng: q.Lng}
+	loc2 := Location{Lat: q.Lat + 0.01, Lng: q.Lng + 0.01}
+	probs := []float64{0.1, 0.2, 0.35, 0.5}
+
+	build := func(k Kind) []Request {
+		var reqs []Request
+		for _, p := range probs {
+			r := Request{Kind: k, Locations: []Location{loc}, Start: q.Start, Duration: q.Duration, Prob: p}
+			if k == KindMulti {
+				r.Locations = []Location{loc, loc2}
+			}
+			reqs = append(reqs, r)
+		}
+		// A second copy of every request: identical probs must share too.
+		return append(reqs, reqs...)
+	}
+
+	cases := []struct {
+		name string
+		reqs []Request
+		opts []Option
+	}{
+		{"reach-bounded", build(KindReach), nil},
+		{"reach-exhaustive", build(KindReach), []Option{WithAlgorithm(AlgoExhaustive)}},
+		{"reverse", build(KindReverse), nil},
+		{"reverse-exhaustive", build(KindReverse), []Option{WithAlgorithm(AlgoExhaustive)}},
+		{"multi-mqmb", build(KindMulti), nil},
+		{"multi-sequential", build(KindMulti), []Option{WithAlgorithm(AlgoSequential)}},
+	}
+	groups0 := s.SharingStats().BatchGroups
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			shared := s.DoBatch(ctx, tc.reqs, tc.opts...)
+			unshared := s.DoBatch(ctx, tc.reqs, append([]Option{WithBatchSharing(false)}, tc.opts...)...)
+			for i, req := range tc.reqs {
+				want, err := s.Do(ctx, req, tc.opts...)
+				if err != nil {
+					t.Fatalf("request %d independent: %v", i, err)
+				}
+				for which, got := range map[string]BatchResult{"shared": shared[i], "unshared": unshared[i]} {
+					if got.Err != nil {
+						t.Fatalf("request %d %s: %v", i, which, got.Err)
+					}
+					if !reflect.DeepEqual(want.SegmentIDs, got.Region.SegmentIDs) {
+						t.Fatalf("request %d %s: segments differ from independent Do", i, which)
+					}
+					if !reflect.DeepEqual(want.Probabilities, got.Region.Probabilities) {
+						t.Fatalf("request %d %s: probabilities differ from independent Do", i, which)
+					}
+				}
+			}
+		})
+	}
+	if got := s.SharingStats(); got.BatchGroups <= groups0 || got.QueriesCoalesced == 0 {
+		t.Fatalf("sharing counters did not advance: %+v", got)
+	}
+}
+
+// TestDoBatchRouteGroupSharing: identical route requests share one
+// journey computation; every member owns an equal, independent copy.
+func TestDoBatchRouteGroupSharing(t *testing.T) {
+	s := smallSystem(t)
+	q := testQuery(s)
+	from := Location{Lat: q.Lat, Lng: q.Lng}
+	to := Location{Lat: q.Lat + 0.02, Lng: q.Lng + 0.02}
+	req := RouteRequest(from, to, q.Start)
+	reqs := []Request{req, req, req}
+
+	want, err := s.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := s.DoBatch(context.Background(), reqs)
+	for i, r := range batch {
+		if r.Err != nil {
+			t.Fatalf("route %d: %v", i, r.Err)
+		}
+		if !reflect.DeepEqual(want.SegmentIDs, r.Region.SegmentIDs) {
+			t.Fatalf("route %d differs from independent Do", i)
+		}
+	}
+	// Clones must be independent slices, not views of the same array.
+	if &batch[0].Region.SegmentIDs[0] == &batch[1].Region.SegmentIDs[0] {
+		t.Fatal("route group members share one SegmentIDs array")
+	}
+}
+
+// TestDoBatchBudgetedRequestsStayIndependent: WithDeadlineBudget is a
+// per-query guarantee, so budgeted requests bypass grouping — each gets
+// its own budget exactly as independent execution would.
+func TestDoBatchBudgetedRequestsStayIndependent(t *testing.T) {
+	s := smallSystem(t)
+	req := testRequest(s)
+	reqs := []Request{req, req}
+	before := s.SharingStats().BatchGroups
+	for i, r := range s.DoBatch(context.Background(), reqs, WithDeadlineBudget(time.Minute)) {
+		if r.Err != nil {
+			t.Fatalf("budgeted request %d: %v", i, r.Err)
+		}
+	}
+	if got := s.SharingStats().BatchGroups; got != before {
+		t.Fatalf("budgeted duplicates formed a shared group (%d -> %d)", before, got)
+	}
+}
+
+// TestDoBatchGroupCancellation: a cancellation landing inside a group's
+// shared plan reclaims the whole group — every member reports
+// context.Canceled, none hangs with a partial answer.
+func TestDoBatchGroupCancellation(t *testing.T) {
+	s := smallSystem(t)
+	q := testQuery(s)
+	reqs := make([]Request, 8)
+	for i := range reqs {
+		reqs[i] = q.request(KindReach)
+		reqs[i].Prob = 0.1 + 0.05*float64(i) // one group, eight thresholds
+	}
+	// Three polls land the cancel inside the plan's bounding phase (the
+	// batch loop checks once, then each bounding round checks).
+	for i, r := range s.DoBatch(cancelAfterN(3), reqs, WithBatchWorkers(1)) {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("group member %d after mid-plan cancel = %v, want context.Canceled", i, r.Err)
+		}
+	}
+}
+
 // TestDoBatchCancellation: a cancelled batch context marks every
 // unfinished request with context.Canceled.
 func TestDoBatchCancellation(t *testing.T) {

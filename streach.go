@@ -42,6 +42,7 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 	"time"
 
 	"streach/internal/conindex"
@@ -201,6 +202,62 @@ type System struct {
 	st     *stindex.Index
 	con    *conindex.Index
 	engine *core.Engine
+	// sharing accumulates the batch executor's cross-query work-sharing
+	// counters (see SharingStats).
+	sharing sharingCounters
+}
+
+// sharingCounters are the live batch-sharing counters; snapshot with
+// SharingStats.
+type sharingCounters struct {
+	groups     atomic.Int64
+	coalesced  atomic.Int64
+	probeSets  atomic.Int64
+	rowsShared atomic.Int64
+}
+
+// SharingStats counts the cross-query work sharing DoBatch's group-and-
+// plan scheduler has performed since the system was built.
+type SharingStats struct {
+	// BatchGroups counts groups of two or more requests that shared one
+	// plan.
+	BatchGroups int64
+	// QueriesCoalesced counts requests beyond the first in each group —
+	// queries that did not pay for their own bounding/probe/verification.
+	QueriesCoalesced int64
+	// ProbeSetsShared counts probe start-set materialisations avoided by
+	// sharing (reachability groups only; routes have no probe).
+	ProbeSetsShared int64
+	// ConRowsShared counts Con-Index adjacency-row resolutions avoided:
+	// pin-local re-reads plus one working-set fetch per coalesced query.
+	ConRowsShared int64
+}
+
+// SharingStats snapshots the batch-sharing counters.
+func (s *System) SharingStats() SharingStats {
+	return SharingStats{
+		BatchGroups:      s.sharing.groups.Load(),
+		QueriesCoalesced: s.sharing.coalesced.Load(),
+		ProbeSetsShared:  s.sharing.probeSets.Load(),
+		ConRowsShared:    s.sharing.rowsShared.Load(),
+	}
+}
+
+// cloneRegion deep-copies a query answer so group members sharing one
+// computation each own their slices.
+func cloneRegion(r *Region) *Region {
+	if r == nil {
+		return nil
+	}
+	cp := *r
+	cp.SegmentIDs = append([]int32(nil), r.SegmentIDs...)
+	cp.Probabilities = append([]float32(nil), r.Probabilities...)
+	if r.Route != nil {
+		rt := *r.Route
+		rt.SegmentIDs = append([]int32(nil), r.Route.SegmentIDs...)
+		cp.Route = &rt
+	}
+	return &cp
 }
 
 // NewSystem generates a city, simulates a fleet over it, builds both
