@@ -455,6 +455,50 @@ func BenchmarkDoBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedReach measures the scatter-gather layer against
+// single-engine execution on the same world: the acceptance bar is
+// overhead ≤ 10% on one CPU (partition routing + partial-region merge
+// are the only extra work) and a speedup once GOMAXPROCS > 1 (shards
+// verify concurrently). WithBatchSharing(false) keeps the plan cache out
+// of the measurement — every iteration runs the full pipeline.
+func BenchmarkShardedReach(b *testing.B) {
+	w := world(b)
+	sys, err := w.System(300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Warm(11*time.Hour, 20*time.Minute)
+	idx := streach.IndexConfig{SlotSeconds: 300, PoolPages: 2048, Shards: 4}
+	sharded, err := streach.NewSystemFromData(w.Net, w.DS, idx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sharded.Warm(11*time.Hour, 20*time.Minute)
+	loc, err := w.QueryLocation()
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := streach.ReachRequest(loc, 11*time.Hour, 10*time.Minute, 0.2)
+
+	for _, sy := range []struct {
+		name string
+		s    *streach.System
+	}{{"unsharded", sys}, {"sharded-4", sharded}} {
+		b.Run(sy.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				region, err := sy.s.Do(context.Background(), req, streach.WithBatchSharing(false))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(region.SegmentIDs) == 0 {
+					b.Fatal("empty region")
+				}
+			}
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md §5) ---
 
 // benchQuery is the standard ablation query against the shared world.

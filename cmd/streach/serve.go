@@ -27,6 +27,7 @@ func runServe(args []string) error {
 	timeout := fs.Duration("timeout", 10*time.Second, "default per-request query deadline")
 	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "cap on client-requested ?timeout=")
 	maxInFlight := fs.Int("max-inflight", 0, "bounded admission: max concurrent query requests, 429 beyond (0 = default 64, negative = unlimited)")
+	shards := fs.Int("shards", 0, "sharded execution: partition the network across this many engines and answer by scatter-gather (0/1 = single engine; results are bit-identical)")
 	warmStart := fs.Duration("warm-start", 0, "precompute the Con-Index adjacency from this time of day (with -warm-dur)")
 	warmDur := fs.Duration("warm-dur", 0, "warm window length (0 = skip warming)")
 	dir := fs.String("dir", "", "system save directory: reopened when it holds a saved system")
@@ -39,6 +40,12 @@ func runServe(args []string) error {
 		return err
 	}
 	defer sys.Close()
+	if *shards > 1 {
+		if err := sys.Shard(*shards); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sharded execution: %d partitioned engines\n", sys.Shards())
+	}
 	if *warmDur > 0 {
 		t0 := time.Now()
 		if err := sys.WarmCtx(context.Background(), *warmStart, *warmDur); err != nil {

@@ -58,6 +58,20 @@ func OrGrow(dst, src []uint64) []uint64 {
 	return dst
 }
 
+// AndCount returns the number of bits set in both a and b. Words beyond
+// the shorter operand are implicitly zero.
+func AndCount(a, b []uint64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(a[i] & b[i])
+	}
+	return c
+}
+
 // Intersects reports whether two bitsets share a set bit. Words beyond
 // the shorter operand are implicitly zero.
 func Intersects(a, b []uint64) bool {

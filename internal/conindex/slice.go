@@ -1,0 +1,80 @@
+package conindex
+
+import (
+	"context"
+	"fmt"
+
+	"streach/internal/bitset"
+	"streach/internal/roadnet"
+)
+
+// Slice is a shard-local view of the Con-Index: it resolves adjacency
+// rows only for the segments its shard owns and rejects everything else,
+// so a mis-routed row fetch fails loudly instead of silently answering
+// from another shard's data. Slices share the underlying index — the
+// materialised tables, their singleflight registry, and the per-slot
+// speed extremes — which is the single-process analogue of each shard
+// holding its own partition of the tables while the network topology and
+// speed statistics are replicated everywhere.
+type Slice struct {
+	x     *Index
+	shard int
+	owned bitset.Set
+}
+
+// Slice returns a shard-local view that serves adjacency rows only for
+// the owned segments. shard is the owning shard's ordinal, used in error
+// messages and metrics.
+func (x *Index) Slice(shard int, owned bitset.Set) *Slice {
+	return &Slice{x: x, shard: shard, owned: owned}
+}
+
+// Index returns the shared underlying index.
+func (s *Slice) Index() *Index { return s.x }
+
+// Shard returns the owning shard's ordinal.
+func (s *Slice) Shard() int { return s.shard }
+
+// Owns reports whether the slice serves rows for seg.
+func (s *Slice) Owns(seg roadnet.SegmentID) bool {
+	return seg >= 0 && int(seg) < s.x.net.NumSegments() && s.owned.Has(int(seg))
+}
+
+func (s *Slice) check(seg roadnet.SegmentID) error {
+	if !s.Owns(seg) {
+		return fmt.Errorf("conindex: segment %d is not owned by shard %d", seg, s.shard)
+	}
+	return nil
+}
+
+// FarRow resolves F(seg, slot) through the shard slice.
+func (s *Slice) FarRow(ctx context.Context, seg roadnet.SegmentID, slot int) (Row, error) {
+	if err := s.check(seg); err != nil {
+		return Row{}, err
+	}
+	return s.x.FarRowCtx(ctx, seg, slot)
+}
+
+// NearRow resolves N(seg, slot) through the shard slice.
+func (s *Slice) NearRow(ctx context.Context, seg roadnet.SegmentID, slot int) (Row, error) {
+	if err := s.check(seg); err != nil {
+		return Row{}, err
+	}
+	return s.x.NearRowCtx(ctx, seg, slot)
+}
+
+// FarReverseRow resolves the reverse Far row through the shard slice.
+func (s *Slice) FarReverseRow(ctx context.Context, seg roadnet.SegmentID, slot int) (Row, error) {
+	if err := s.check(seg); err != nil {
+		return Row{}, err
+	}
+	return s.x.FarReverseRowCtx(ctx, seg, slot)
+}
+
+// NearReverseRow resolves the reverse Near row through the shard slice.
+func (s *Slice) NearReverseRow(ctx context.Context, seg roadnet.SegmentID, slot int) (Row, error) {
+	if err := s.check(seg); err != nil {
+		return Row{}, err
+	}
+	return s.x.NearReverseRowCtx(ctx, seg, slot)
+}

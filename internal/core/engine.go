@@ -139,12 +139,31 @@ type Options struct {
 	VerifyWorkers int
 }
 
+// RowSource supplies Con-Index adjacency rows to a plan's bounding
+// phase. The default source is a batch-scoped pin over the engine's own
+// Con-Index (conindex.Pin implements the interface); a sharded cluster
+// installs a routing source that resolves each segment's row through the
+// slice of the shard owning it, which is how one logical bounding-region
+// search scatters across partitioned Con-Index slices without the
+// algorithms knowing.
+type RowSource interface {
+	FarRow(ctx context.Context, seg roadnet.SegmentID, slot int) (conindex.Row, error)
+	NearRow(ctx context.Context, seg roadnet.SegmentID, slot int) (conindex.Row, error)
+	FarReverseRow(ctx context.Context, seg roadnet.SegmentID, slot int) (conindex.Row, error)
+	NearReverseRow(ctx context.Context, seg roadnet.SegmentID, slot int) (conindex.Row, error)
+	Stats() conindex.PinStats
+}
+
 // Engine answers reachability queries over one indexed dataset.
 type Engine struct {
 	net  *roadnet.Network
 	st   *stindex.Index
 	con  *conindex.Index
 	opts Options
+	// rows, when set, overrides the per-plan RowSource factory (the
+	// default is a fresh conindex.Pin per plan). Installed by the shard
+	// cluster's planner view.
+	rows func() RowSource
 	// scratch pools bounding-region and bitset working state so batch
 	// execution stops allocating two network-sized regions per query. A
 	// pointer, so the cheap WithOptions views share one pool.
@@ -227,6 +246,24 @@ func (e *Engine) WithOptions(opts Options) *Engine {
 	return &ne
 }
 
+// WithRowSource returns an engine view whose plans resolve Con-Index
+// adjacency rows through sources built by factory instead of a plain pin
+// — the hook a shard cluster uses to scatter the bounding phase across
+// shard-local Con-Index slices.
+func (e *Engine) WithRowSource(factory func() RowSource) *Engine {
+	ne := *e
+	ne.rows = factory
+	return &ne
+}
+
+// newRowSource builds the per-plan row source.
+func (e *Engine) newRowSource() RowSource {
+	if e.rows != nil {
+		return e.rows()
+	}
+	return e.con.NewPin()
+}
+
 // STIndex returns the engine's spatio-temporal index.
 func (e *Engine) STIndex() *stindex.Index { return e.st }
 
@@ -246,6 +283,12 @@ func validateProb(prob float64) error {
 	}
 	return nil
 }
+
+// ValidateProb reports whether prob is a legal reachability threshold,
+// with the same error the query methods return — callers that separate
+// plan construction from threshold resolution use it to keep validation
+// order (probability before window) identical to the one-shot methods.
+func ValidateProb(prob float64) error { return validateProb(prob) }
 
 func validateWindow(start, dur time.Duration) error {
 	if dur <= 0 {
@@ -336,6 +379,10 @@ func (e *Engine) newProbe(ctx context.Context, sources []roadnet.SegmentID, star
 // one per goroutine that calls prob.
 type probeWorker struct {
 	p *probe
+	// st is the index the worker reads candidate time lists from: the
+	// planning engine's by default, a shard's slice when the worker
+	// verifies that shard's subset of the candidates.
+	st *stindex.Index
 	// matched[source][day] is per-call scratch.
 	matched [][]bool
 	// lists is the reusable time-list fetch buffer.
@@ -344,7 +391,16 @@ type probeWorker struct {
 
 // worker returns a fresh verifier over the probe's shared start sets.
 func (p *probe) worker() *probeWorker {
-	w := &probeWorker{p: p, matched: make([][]bool, len(p.starts))}
+	return p.workerFor(p.e.st)
+}
+
+// workerFor returns a verifier that reads candidate time lists from st —
+// a shard's ST-Index slice during scatter verification. The probe's
+// materialised start sets are shared either way, which is the replicated
+// boundary metadata a shard needs to verify without owning the start
+// segments.
+func (p *probe) workerFor(st *stindex.Index) *probeWorker {
+	w := &probeWorker{p: p, st: st, matched: make([][]bool, len(p.starts))}
 	for i := range w.matched {
 		w.matched[i] = make([]bool, p.days)
 	}
@@ -365,7 +421,7 @@ func (w *probeWorker) prob(seg roadnet.SegmentID) (float64, error) {
 			w.matched[i][d] = false
 		}
 	}
-	lists, err := p.e.st.TimeListsRange(seg, p.loSlot, p.hiSlot, w.lists[:0])
+	lists, err := w.st.TimeListsRange(seg, p.loSlot, p.hiSlot, w.lists[:0])
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sort"
+
+	"streach/internal/roadnet"
+)
+
+// MergeRegions folds partial query answers into one Result — the shared
+// merge step behind both the sequential m-query baseline (one partial
+// answer per start location) and a shard cluster's gather (one partial
+// answer per shard). Semantics:
+//
+//   - Starts concatenate in part order (the sequential baseline keeps
+//     duplicate starts, so no deduplication happens here);
+//   - Segments union ascending, with segments reported by several parts
+//     — shard-boundary segments, overlapping per-start regions —
+//     counted exactly once;
+//   - Probability maps union when mergeProbs is true and at least one
+//     part carries one (shard partials are disjoint, so entries never
+//     conflict; on artificial overlap the last part wins). With
+//     mergeProbs false the merged result has no probability map, which
+//     is the sequential baseline's contract;
+//   - the countable metrics (Evaluated, MaxRegion, MinRegion, BoundNS,
+//     VerifyNS) sum, so per-shard partial metrics add up to exactly the
+//     unsharded totals.
+//
+// Derived fields — ResultSegments, RoadKm, IO and cache attribution,
+// Elapsed — are left zero: the owning plan's Finalize (or the engine's
+// finish step) fills them so merged and unmerged execution attribute
+// cost identically. Empty partials (a shard owning no result segments)
+// merge as no-ops.
+func MergeRegions(mergeProbs bool, parts ...*Result) *Result {
+	res := &Result{}
+	total := 0
+	for _, part := range parts {
+		total += len(part.Segments)
+	}
+	res.Segments = make([]roadnet.SegmentID, 0, total)
+	for _, part := range parts {
+		res.Starts = append(res.Starts, part.Starts...)
+		res.Segments = append(res.Segments, part.Segments...)
+		res.Metrics.Evaluated += part.Metrics.Evaluated
+		res.Metrics.MaxRegion += part.Metrics.MaxRegion
+		res.Metrics.MinRegion += part.Metrics.MinRegion
+		res.Metrics.BoundNS += part.Metrics.BoundNS
+		res.Metrics.VerifyNS += part.Metrics.VerifyNS
+		if mergeProbs && part.Probability != nil {
+			if res.Probability == nil {
+				res.Probability = make(map[roadnet.SegmentID]float64, len(part.Probability))
+			}
+			for s, pv := range part.Probability {
+				res.Probability[s] = pv
+			}
+		}
+	}
+	sort.Slice(res.Segments, func(i, j int) bool { return res.Segments[i] < res.Segments[j] })
+	// Count boundary duplicates exactly once.
+	dedup := res.Segments[:0]
+	for i, s := range res.Segments {
+		if i == 0 || s != res.Segments[i-1] {
+			dedup = append(dedup, s)
+		}
+	}
+	res.Segments = dedup
+	if len(res.Segments) == 0 {
+		res.Segments = nil // match the unmerged paths' empty representation
+	}
+	return res
+}

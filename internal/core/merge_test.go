@@ -1,0 +1,92 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"streach/internal/roadnet"
+)
+
+func segs(ids ...int) []roadnet.SegmentID {
+	out := make([]roadnet.SegmentID, len(ids))
+	for i, id := range ids {
+		out[i] = roadnet.SegmentID(id)
+	}
+	return out
+}
+
+// TestMergeRegionsBoundaryOnce: a segment reported by several partials —
+// a shard-boundary segment, or overlap between per-start regions — must
+// appear exactly once in the merged answer.
+func TestMergeRegionsBoundaryOnce(t *testing.T) {
+	a := &Result{Segments: segs(5, 1, 9), Probability: map[roadnet.SegmentID]float64{1: 0.4}}
+	b := &Result{Segments: segs(9, 2, 5), Probability: map[roadnet.SegmentID]float64{2: 0.7}}
+	got := MergeRegions(true, a, b)
+	if want := segs(1, 2, 5, 9); !reflect.DeepEqual(got.Segments, want) {
+		t.Fatalf("segments = %v, want %v", got.Segments, want)
+	}
+	if len(got.Probability) != 2 || got.Probability[1] != 0.4 || got.Probability[2] != 0.7 {
+		t.Fatalf("probability = %v", got.Probability)
+	}
+}
+
+// TestMergeRegionsEmptyParts: empty partials (a shard that owns no
+// result segments) merge as no-ops, and an all-empty merge matches the
+// unmerged paths' nil-segments representation.
+func TestMergeRegionsEmptyParts(t *testing.T) {
+	empty := &Result{Probability: map[roadnet.SegmentID]float64{}}
+	full := &Result{Segments: segs(3, 7), Probability: map[roadnet.SegmentID]float64{3: 0.5}}
+	got := MergeRegions(true, empty, full, empty)
+	if want := segs(3, 7); !reflect.DeepEqual(got.Segments, want) {
+		t.Fatalf("segments = %v, want %v", got.Segments, want)
+	}
+	if got.Probability == nil || got.Probability[3] != 0.5 {
+		t.Fatalf("probability = %v", got.Probability)
+	}
+	allEmpty := MergeRegions(true, empty, empty)
+	if allEmpty.Segments != nil {
+		t.Fatalf("all-empty merge segments = %#v, want nil", allEmpty.Segments)
+	}
+	if allEmpty.Probability == nil {
+		t.Fatal("all-empty merge should keep the (empty) probability map when parts carry one")
+	}
+	none := MergeRegions(true)
+	if none.Segments != nil || none.Probability != nil {
+		t.Fatalf("zero-part merge = %#v", none)
+	}
+}
+
+// TestMergeRegionsSequentialContract: with mergeProbs false the merged
+// answer drops probabilities (the sequential baseline's contract) but
+// still concatenates starts and sums the countable metrics.
+func TestMergeRegionsSequentialContract(t *testing.T) {
+	a := &Result{
+		Starts:      segs(10),
+		Segments:    segs(1, 2),
+		Probability: map[roadnet.SegmentID]float64{1: 0.9},
+	}
+	a.Metrics.Evaluated, a.Metrics.MaxRegion, a.Metrics.MinRegion = 3, 20, 5
+	a.Metrics.BoundNS, a.Metrics.VerifyNS = 100, 200
+	b := &Result{
+		Starts:      segs(11, 10),
+		Segments:    segs(2, 4),
+		Probability: map[roadnet.SegmentID]float64{4: 0.8},
+	}
+	b.Metrics.Evaluated, b.Metrics.MaxRegion, b.Metrics.MinRegion = 4, 30, 7
+	b.Metrics.BoundNS, b.Metrics.VerifyNS = 1000, 2000
+
+	got := MergeRegions(false, a, b)
+	if got.Probability != nil {
+		t.Fatalf("mergeProbs=false kept probabilities: %v", got.Probability)
+	}
+	if want := segs(10, 11, 10); !reflect.DeepEqual(got.Starts, want) {
+		t.Fatalf("starts = %v, want %v (duplicates preserved, in part order)", got.Starts, want)
+	}
+	if want := segs(1, 2, 4); !reflect.DeepEqual(got.Segments, want) {
+		t.Fatalf("segments = %v, want %v", got.Segments, want)
+	}
+	m := got.Metrics
+	if m.Evaluated != 7 || m.MaxRegion != 50 || m.MinRegion != 12 || m.BoundNS != 1100 || m.VerifyNS != 2200 {
+		t.Fatalf("metrics sums wrong: %+v", m)
+	}
+}

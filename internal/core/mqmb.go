@@ -52,7 +52,7 @@ func (e *Engine) SQuerySequential(ctx context.Context, q MultiQuery) (*Result, e
 // batch-scoped pin: the overlap rule re-reads the row of a candidate's
 // nearest region segment, so the pin's local memo saves one shared-table
 // round-trip per candidate even for a single query.
-func (e *Engine) unifiedRegionPin(ctx context.Context, pin *conindex.Pin, starts []roadnet.SegmentID, startOfDay, dur time.Duration, far bool) (*region, error) {
+func (e *Engine) unifiedRegionPin(ctx context.Context, rows RowSource, starts []roadnet.SegmentID, startOfDay, dur time.Duration, far bool) (*region, error) {
 	n := e.net.NumSegments()
 	reg := e.getRegion()
 	grown := false
@@ -68,9 +68,9 @@ func (e *Engine) unifiedRegionPin(ctx context.Context, pin *conindex.Pin, starts
 	slotSec := e.st.SlotSeconds()
 	rowOf := func(r roadnet.SegmentID, slot int) (conindex.Row, error) {
 		if far {
-			return pin.FarRow(ctx, r, slot)
+			return rows.FarRow(ctx, r, slot)
 		}
-		return pin.NearRow(ctx, r, slot)
+		return rows.NearRow(ctx, r, slot)
 	}
 	nb := e.getBitset()
 	defer e.putBitset(nb)

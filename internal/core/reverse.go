@@ -60,8 +60,15 @@ func (e *Engine) newReverseProbe(ctx context.Context, dst roadnet.SegmentID, sta
 // prob returns the fraction of days on which some trajectory appears at
 // seg in the start window and at the destination within the full window.
 func (p *reverseProbe) prob(seg roadnet.SegmentID) (float64, error) {
+	return p.probOn(p.e.st, seg)
+}
+
+// probOn is prob with the candidate's time list read from st — a shard's
+// ST-Index slice during scatter verification; the destination's folded
+// target bitsets are shared either way.
+func (p *reverseProbe) probOn(st *stindex.Index, seg roadnet.SegmentID) (float64, error) {
 	p.evaluated.Add(1)
-	bits, err := p.e.st.TimeListBitsAt(seg, p.startSlot)
+	bits, err := st.TimeListBitsAt(seg, p.startSlot)
 	if err != nil {
 		return 0, err
 	}
@@ -139,17 +146,17 @@ func (e *Engine) expandReverseDistance(dst roadnet.SegmentID, budget float64, vi
 
 // reverseBoundingRegionPin mirrors SQMB over the reverse connection
 // tables, with the same word-level row unions as the forward bounding
-// phase; adjacency rows resolve through a batch-scoped pin (see
-// conindex.Pin). The returned region is pooled; callers release it with
-// putRegion.
-func (e *Engine) reverseBoundingRegionPin(ctx context.Context, pin *conindex.Pin, dst roadnet.SegmentID, startOfDay, dur time.Duration, far bool) (*region, error) {
+// phase; adjacency rows resolve through the plan's RowSource (a
+// conindex.Pin by default, a shard router on a cluster's planner). The
+// returned region is pooled; callers release it with putRegion.
+func (e *Engine) reverseBoundingRegionPin(ctx context.Context, rows RowSource, dst roadnet.SegmentID, startOfDay, dur time.Duration, far bool) (*region, error) {
 	reg := e.getRegion()
 	reg.add(dst, 0)
 	err := e.growRegion(ctx, reg, startOfDay, dur, func(r roadnet.SegmentID, slot int) (conindex.Row, error) {
 		if far {
-			return pin.FarReverseRow(ctx, r, slot)
+			return rows.FarReverseRow(ctx, r, slot)
 		}
-		return pin.NearReverseRow(ctx, r, slot)
+		return rows.NearReverseRow(ctx, r, slot)
 	})
 	if err != nil {
 		e.putRegion(reg)

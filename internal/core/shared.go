@@ -45,7 +45,10 @@ type SharedPlan struct {
 	tl0   stindex.CacheStats
 	con0  conindex.Stats
 
-	pin    *conindex.Pin
+	// rows resolves the bounding phase's Con-Index adjacency rows: a
+	// batch-scoped pin by default, a shard-routing source on a cluster's
+	// planner engine.
+	rows   RowSource
 	starts []roadnet.SegmentID
 
 	maxReg, minReg *region
@@ -76,7 +79,40 @@ type SharedPlan struct {
 	// baseline.
 	children []*SharedPlan
 
+	// deferred marks a plan built with DeferVerification: candidates are
+	// ordered but unverified until VerifyOn calls cover every position
+	// and FinishVerification seals the plan. verified flips when sealing.
+	deferred bool
+	verified bool
+
 	closed bool
+}
+
+// PlanOption tunes plan construction.
+type PlanOption func(*planConfig)
+
+type planConfig struct {
+	deferVerify bool
+}
+
+// DeferVerification builds the plan without verifying its candidates:
+// the bounding regions, probe start-sets, and candidate order are
+// computed as usual, but the per-candidate probabilities stay zero until
+// VerifyOn fills them in — the scatter step of sharded execution, where
+// each shard verifies the candidates it owns on its own index slice.
+// ResultAt refuses a deferred plan until FinishVerification seals it.
+// Plans under the EarlyStop policy verify lazily per threshold and
+// ignore this option.
+func DeferVerification() PlanOption {
+	return func(c *planConfig) { c.deferVerify = true }
+}
+
+func resolvePlanConfig(opts []PlanOption) planConfig {
+	var c planConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
 }
 
 // planKind selects the execution shape of a SharedPlan.
@@ -102,14 +138,14 @@ func (e *Engine) newSharedPlan(kind planKind) *SharedPlan {
 		io0:   e.st.Pool().Stats(),
 		tl0:   e.st.CacheStats(),
 		con0:  e.con.Stats(),
-		pin:   e.con.NewPin(),
+		rows:  e.newRowSource(),
 	}
 }
 
 // PlanReach runs the threshold-independent part of an s-query (SQMB
 // bounding + candidate verification). q.Prob is ignored; pass it to
 // ResultAt.
-func (e *Engine) PlanReach(ctx context.Context, q Query) (*SharedPlan, error) {
+func (e *Engine) PlanReach(ctx context.Context, q Query, opts ...PlanOption) (*SharedPlan, error) {
 	if err := validateWindow(q.Start, q.Duration); err != nil {
 		return nil, err
 	}
@@ -119,7 +155,7 @@ func (e *Engine) PlanReach(ctx context.Context, q Query) (*SharedPlan, error) {
 	}
 	p := e.newSharedPlan(planBounded)
 	p.starts = []roadnet.SegmentID{r0}
-	if err := p.boundForward(ctx, q.Start, q.Duration, false); err != nil {
+	if err := p.boundForward(ctx, q.Start, q.Duration, false, resolvePlanConfig(opts)); err != nil {
 		p.Close()
 		return nil, err
 	}
@@ -128,7 +164,7 @@ func (e *Engine) PlanReach(ctx context.Context, q Query) (*SharedPlan, error) {
 
 // PlanMulti runs the threshold-independent part of an m-query (MQMB
 // unified bounding + candidate verification).
-func (e *Engine) PlanMulti(ctx context.Context, q MultiQuery) (*SharedPlan, error) {
+func (e *Engine) PlanMulti(ctx context.Context, q MultiQuery, opts ...PlanOption) (*SharedPlan, error) {
 	if err := validateWindow(q.Start, q.Duration); err != nil {
 		return nil, err
 	}
@@ -149,7 +185,7 @@ func (e *Engine) PlanMulti(ctx context.Context, q MultiQuery) (*SharedPlan, erro
 	}
 	p := e.newSharedPlan(planBounded)
 	p.starts = starts
-	if err := p.boundForward(ctx, q.Start, q.Duration, true); err != nil {
+	if err := p.boundForward(ctx, q.Start, q.Duration, true, resolvePlanConfig(opts)); err != nil {
 		p.Close()
 		return nil, err
 	}
@@ -158,28 +194,40 @@ func (e *Engine) PlanMulti(ctx context.Context, q MultiQuery) (*SharedPlan, erro
 
 // PlanMultiSequential builds one PlanReach per location (duplicates
 // included, matching the sequential baseline exactly).
-func (e *Engine) PlanMultiSequential(ctx context.Context, q MultiQuery) (*SharedPlan, error) {
+func (e *Engine) PlanMultiSequential(ctx context.Context, q MultiQuery, opts ...PlanOption) (*SharedPlan, error) {
 	if err := validateWindow(q.Start, q.Duration); err != nil {
 		return nil, err
 	}
 	if len(q.Locations) == 0 {
 		return nil, fmt.Errorf("core: m-query needs at least one location")
 	}
+	cfg := resolvePlanConfig(opts)
 	p := e.newSharedPlan(planSequential)
+	p.deferred = cfg.deferVerify
 	for _, loc := range q.Locations {
-		child, err := e.PlanReach(ctx, Query{Location: loc, Start: q.Start, Duration: q.Duration})
+		child, err := e.PlanReach(ctx, Query{Location: loc, Start: q.Start, Duration: q.Duration}, opts...)
 		if err != nil {
 			p.Close()
 			return nil, err
 		}
 		p.children = append(p.children, child)
 	}
+	// A sequential plan is deferred only while some child still is (an
+	// EarlyStop child verifies lazily and ignores the deferral).
+	if p.deferred {
+		p.deferred = false
+		for _, c := range p.children {
+			if c.deferred {
+				p.deferred = true
+			}
+		}
+	}
 	return p, nil
 }
 
 // PlanReverse runs the threshold-independent part of a reverse s-query
 // (reverse bounding regions + candidate verification).
-func (e *Engine) PlanReverse(ctx context.Context, q Query) (*SharedPlan, error) {
+func (e *Engine) PlanReverse(ctx context.Context, q Query, opts ...PlanOption) (*SharedPlan, error) {
 	if err := validateWindow(q.Start, q.Duration); err != nil {
 		return nil, err
 	}
@@ -187,17 +235,18 @@ func (e *Engine) PlanReverse(ctx context.Context, q Query) (*SharedPlan, error) 
 	if !ok {
 		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
 	}
+	cfg := resolvePlanConfig(opts)
 	p := e.newSharedPlan(planBounded)
 	p.starts = []roadnet.SegmentID{dst}
 
 	tBound := now()
-	maxReg, err := e.reverseBoundingRegionPin(ctx, p.pin, dst, q.Start, q.Duration, true)
+	maxReg, err := e.reverseBoundingRegionPin(ctx, p.rows, dst, q.Start, q.Duration, true)
 	if err != nil {
 		p.Close()
 		return nil, err
 	}
 	p.maxReg = maxReg
-	minReg, err := e.reverseBoundingRegionPin(ctx, p.pin, dst, q.Start, q.Duration, false)
+	minReg, err := e.reverseBoundingRegionPin(ctx, p.rows, dst, q.Start, q.Duration, false)
 	if err != nil {
 		p.Close()
 		return nil, err
@@ -225,6 +274,13 @@ func (e *Engine) PlanReverse(ctx context.Context, q Query) (*SharedPlan, error) 
 			func(s roadnet.SegmentID) { p.keep = append(p.keep, s) },
 			func(s roadnet.SegmentID) { p.order = append(p.order, s) })
 	}
+	p.evalFixed = len(p.order)
+	if cfg.deferVerify {
+		p.deferred = true
+		p.probs = make([]float64, len(p.order))
+		p.verifyNS = now().Sub(tVerify).Nanoseconds()
+		return p, nil
+	}
 	p.probs, err = e.verifyMany(ctx, p.order, func() func(roadnet.SegmentID) (float64, error) {
 		return p.rpr.prob
 	})
@@ -232,14 +288,13 @@ func (e *Engine) PlanReverse(ctx context.Context, q Query) (*SharedPlan, error) 
 		p.Close()
 		return nil, err
 	}
-	p.evalFixed = len(p.order)
 	p.verifyNS = now().Sub(tVerify).Nanoseconds()
 	return p, nil
 }
 
 // PlanReachES runs the exhaustive-search baseline's threshold-independent
 // part: the worst-case-radius expansion verifies every expanded segment.
-func (e *Engine) PlanReachES(ctx context.Context, q Query) (*SharedPlan, error) {
+func (e *Engine) PlanReachES(ctx context.Context, q Query, opts ...PlanOption) (*SharedPlan, error) {
 	if err := validateWindow(q.Start, q.Duration); err != nil {
 		return nil, err
 	}
@@ -247,6 +302,7 @@ func (e *Engine) PlanReachES(ctx context.Context, q Query) (*SharedPlan, error) 
 	if !ok {
 		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
 	}
+	cfg := resolvePlanConfig(opts)
 	p := e.newSharedPlan(planExhaustive)
 	p.starts = []roadnet.SegmentID{r0}
 	lo, hi := e.slotWindow(q.Start, q.Duration)
@@ -267,13 +323,18 @@ func (e *Engine) PlanReachES(ctx context.Context, q Query) (*SharedPlan, error) 
 			expandErr = err
 			return false
 		}
-		pv, err := w.prob(r)
-		if err != nil {
-			expandErr = err
-			return false
+		// The expansion is probability-independent (it is bounded by the
+		// worst-case radius alone), so a deferred plan collects the
+		// candidate order here and verifies later on the shard engines.
+		if !cfg.deferVerify {
+			pv, err := w.prob(r)
+			if err != nil {
+				expandErr = err
+				return false
+			}
+			p.probs = append(p.probs, pv)
 		}
 		p.order = append(p.order, r)
-		p.probs = append(p.probs, pv)
 		return true
 	})
 	if expandErr != nil {
@@ -281,11 +342,15 @@ func (e *Engine) PlanReachES(ctx context.Context, q Query) (*SharedPlan, error) 
 		return nil, expandErr
 	}
 	p.evalFixed = len(p.order)
+	if cfg.deferVerify {
+		p.deferred = true
+		p.probs = make([]float64, len(p.order))
+	}
 	return p, nil
 }
 
 // PlanReverseES is PlanReachES over the reverse expansion and probe.
-func (e *Engine) PlanReverseES(ctx context.Context, q Query) (*SharedPlan, error) {
+func (e *Engine) PlanReverseES(ctx context.Context, q Query, opts ...PlanOption) (*SharedPlan, error) {
 	if err := validateWindow(q.Start, q.Duration); err != nil {
 		return nil, err
 	}
@@ -293,6 +358,7 @@ func (e *Engine) PlanReverseES(ctx context.Context, q Query) (*SharedPlan, error
 	if !ok {
 		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
 	}
+	cfg := resolvePlanConfig(opts)
 	p := e.newSharedPlan(planExhaustive)
 	p.starts = []roadnet.SegmentID{dst}
 	lo, hi := e.slotWindow(q.Start, q.Duration)
@@ -309,13 +375,15 @@ func (e *Engine) PlanReverseES(ctx context.Context, q Query) (*SharedPlan, error
 			expandErr = err
 			return false
 		}
-		pv, err := rpr.prob(r)
-		if err != nil {
-			expandErr = err
-			return false
+		if !cfg.deferVerify {
+			pv, err := rpr.prob(r)
+			if err != nil {
+				expandErr = err
+				return false
+			}
+			p.probs = append(p.probs, pv)
 		}
 		p.order = append(p.order, r)
-		p.probs = append(p.probs, pv)
 		return true
 	})
 	if expandErr != nil {
@@ -323,19 +391,24 @@ func (e *Engine) PlanReverseES(ctx context.Context, q Query) (*SharedPlan, error
 		return nil, expandErr
 	}
 	p.evalFixed = len(p.order)
+	if cfg.deferVerify {
+		p.deferred = true
+		p.probs = make([]float64, len(p.order))
+	}
 	return p, nil
 }
 
 // boundForward grows the forward bounding regions (SQMB or, with
 // unified=true, MQMB's Algorithm 3), builds the probe start-sets, and —
-// except under EarlyStop — verifies every trace-back candidate once.
-func (p *SharedPlan) boundForward(ctx context.Context, start, dur time.Duration, unified bool) error {
+// except under EarlyStop or a deferred plan — verifies every trace-back
+// candidate once.
+func (p *SharedPlan) boundForward(ctx context.Context, start, dur time.Duration, unified bool, cfg planConfig) error {
 	e := p.e
 	grow := func(far bool) (*region, error) {
 		if unified {
-			return e.unifiedRegionPin(ctx, p.pin, p.starts, start, dur, far)
+			return e.unifiedRegionPin(ctx, p.rows, p.starts, start, dur, far)
 		}
-		return e.boundingRegionPin(ctx, p.pin, p.starts, start, dur, far)
+		return e.boundingRegionPin(ctx, p.rows, p.starts, start, dur, far)
 	}
 	tBound := now()
 	maxReg, err := grow(true)
@@ -384,13 +457,19 @@ func (p *SharedPlan) boundForward(ctx context.Context, start, dur time.Duration,
 			return p.order[i] < p.order[j]
 		})
 	}
+	p.evalFixed = len(p.order)
+	if cfg.deferVerify {
+		p.deferred = true
+		p.probs = make([]float64, len(p.order))
+		p.verifyNS = now().Sub(tVerify).Nanoseconds()
+		return nil
+	}
 	p.probs, err = e.verifyMany(ctx, p.order, func() func(roadnet.SegmentID) (float64, error) {
 		return p.pr.worker().prob
 	})
 	if err != nil {
 		return err
 	}
-	p.evalFixed = len(p.order)
 	p.verifyNS = now().Sub(tVerify).Nanoseconds()
 	return nil
 }
@@ -407,32 +486,32 @@ func (p *SharedPlan) ResultAt(ctx context.Context, prob float64) (*Result, error
 	if p.closed {
 		return nil, fmt.Errorf("core: ResultAt on a closed plan")
 	}
+	if p.deferred && !p.verified {
+		return nil, fmt.Errorf("core: ResultAt on a deferred plan before FinishVerification")
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	e := p.e
 	switch p.kind {
 	case planSequential:
-		union := map[roadnet.SegmentID]bool{}
-		res := &Result{}
-		for _, child := range p.children {
+		// One full child answer per location, merged exactly as the
+		// sequential baseline defines: segments unioned (boundary
+		// duplicates counted once), starts concatenated, probabilities
+		// dropped.
+		parts := make([]*Result, len(p.children))
+		for i, child := range p.children {
 			one, err := child.ResultAt(ctx, prob)
 			if err != nil {
 				return nil, err
 			}
-			res.Starts = append(res.Starts, one.Starts...)
-			res.Metrics.Evaluated += one.Metrics.Evaluated
-			res.Metrics.MaxRegion += one.Metrics.MaxRegion
-			res.Metrics.MinRegion += one.Metrics.MinRegion
-			res.Metrics.BoundNS += one.Metrics.BoundNS
-			res.Metrics.VerifyNS += one.Metrics.VerifyNS
-			for _, s := range one.Segments {
-				union[s] = true
-			}
+			parts[i] = one
 		}
-		for s := range union {
-			res.Segments = append(res.Segments, s)
-		}
+		res := MergeRegions(false, parts...)
+		// The scatter step charges a sharded sequential plan's whole
+		// verification to the parent; fold it in (zero when unsharded, so
+		// the merged child timings stand alone as before).
+		res.Metrics.VerifyNS += p.verifyNS
 		e.finish(res, p.began, p.io0, p.tl0, p.con0)
 		return res, nil
 
@@ -503,11 +582,11 @@ func (p *SharedPlan) ResultAt(ctx context.Context, prob float64) (*Result, error
 	}
 }
 
-// RowStats reports the plan's Con-Index pin activity (including child
-// plans): rows each member query of a sharing group did not have to
+// RowStats reports the plan's Con-Index row-source activity (including
+// child plans): rows each member query of a sharing group did not have to
 // re-resolve through the shared tables.
 func (p *SharedPlan) RowStats() conindex.PinStats {
-	st := p.pin.Stats()
+	st := p.rows.Stats()
 	for _, c := range p.children {
 		cs := c.RowStats()
 		st.Hits += cs.Hits

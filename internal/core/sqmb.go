@@ -118,18 +118,19 @@ func (e *Engine) boundingRegion(ctx context.Context, starts []roadnet.SegmentID,
 }
 
 // boundingRegionPin is boundingRegion with adjacency rows resolved
-// through a batch-scoped pin (see conindex.Pin), so a plan that grows
-// several regions over the same working set fetches each row once.
-func (e *Engine) boundingRegionPin(ctx context.Context, pin *conindex.Pin, starts []roadnet.SegmentID, startOfDay, dur time.Duration, far bool) (*region, error) {
+// through a batch-scoped RowSource (a conindex.Pin by default, a shard
+// router on a cluster's planner), so a plan that grows several regions
+// over the same working set fetches each row once.
+func (e *Engine) boundingRegionPin(ctx context.Context, rows RowSource, starts []roadnet.SegmentID, startOfDay, dur time.Duration, far bool) (*region, error) {
 	reg := e.getRegion()
 	for _, r := range starts {
 		reg.add(r, 0)
 	}
 	err := e.growRegion(ctx, reg, startOfDay, dur, func(r roadnet.SegmentID, slot int) (conindex.Row, error) {
 		if far {
-			return pin.FarRow(ctx, r, slot)
+			return rows.FarRow(ctx, r, slot)
 		}
-		return pin.NearRow(ctx, r, slot)
+		return rows.NearRow(ctx, r, slot)
 	})
 	if err != nil {
 		e.putRegion(reg)

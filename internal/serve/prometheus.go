@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"streach"
 )
 
 // latencyBounds are the request-duration histogram bucket upper bounds in
@@ -73,6 +75,39 @@ func (s *Server) writePrometheus(w io.Writer) {
 		"Probe start-set materialisations avoided by batch sharing.", sh.ProbeSetsShared)
 	counter("streach_batch_con_rows_shared_total",
 		"Con-Index row resolutions avoided by batch sharing.", sh.ConRowsShared)
+	counter("streach_plan_cache_hits_total",
+		"Queries answered from a cached cross-batch shared plan.", sh.PlanCacheHits)
+	counter("streach_plan_cache_misses_total",
+		"Plan-cache lookups that built a fresh plan.", sh.PlanCacheMisses)
+
+	// Sharded execution: one gauge/counter set per shard, labelled by
+	// ordinal, so a scrape shows partition balance and where the
+	// scatter-gather work actually lands. Absent on unsharded systems.
+	if shards := s.sys.ShardStats(); len(shards) > 0 {
+		fmt.Fprintf(w, "# HELP streach_shards Shard count of the sharded execution layer.\n")
+		fmt.Fprintf(w, "# TYPE streach_shards gauge\nstreach_shards %d\n", len(shards))
+		shardMetric := func(name, help, typ string, value func(streach.ShardStat) float64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+			for _, st := range shards {
+				fmt.Fprintf(w, "%s{shard=\"%d\"} %g\n", name, st.Shard, value(st))
+			}
+		}
+		shardMetric("streach_shard_segments",
+			"Road segments owned by the shard's partition.", "gauge",
+			func(st streach.ShardStat) float64 { return float64(st.Segments) })
+		shardMetric("streach_shard_boundary_segments",
+			"Owned segments bordering another shard (replicated metadata).", "gauge",
+			func(st streach.ShardStat) float64 { return float64(st.BoundarySegments) })
+		shardMetric("streach_shard_con_rows_total",
+			"Con-Index adjacency rows routed through the shard's slice.", "counter",
+			func(st streach.ShardStat) float64 { return float64(st.RowsFetched) })
+		shardMetric("streach_shard_candidates_verified_total",
+			"Candidates scatter-verified on the shard's ST-Index slice.", "counter",
+			func(st streach.ShardStat) float64 { return float64(st.CandidatesVerified) })
+		shardMetric("streach_shard_verify_seconds_total",
+			"Wall-clock the shard spent in scatter verification.", "counter",
+			func(st streach.ShardStat) float64 { return st.Verify.Seconds() })
+	}
 
 	// The cumulative expvar counters, one Prometheus counter each.
 	var names []string

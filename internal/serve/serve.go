@@ -149,6 +149,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"taxis":        st.Taxis,
 		"days":         st.Days,
 		"slot_seconds": st.SlotSeconds,
+		"shards":       s.sys.Shards(),
 	})
 }
 
@@ -378,7 +379,7 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 
 	began := time.Now()
-	region, shared, err := s.flights.do(ctx, coalesceKey(req, p.Algorithm), func() (*streach.Region, error) {
+	region, shared, err := s.flights.do(ctx, s.coalesceKey(req, p.Algorithm), func() (*streach.Region, error) {
 		return s.sys.Do(ctx, req, opts...)
 	})
 	if err != nil {
@@ -464,7 +465,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		depart,
 	)
 	began := time.Now()
-	region, shared, err := s.flights.do(ctx, coalesceKey(req, q.Get("alg")), func() (*streach.Region, error) {
+	region, shared, err := s.flights.do(ctx, s.coalesceKey(req, q.Get("alg")), func() (*streach.Region, error) {
 		return s.sys.Do(ctx, req, opts...)
 	})
 	if err != nil {
@@ -485,15 +486,20 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 }
 
 // coalesceKey canonicalises everything that determines a query's answer
-// — kind, algorithm, locations, start, window, and probability — so only
-// truly identical in-flight queries share an execution. The response
-// format and timeout are deliberately absent: they shape the reply, not
-// the answer. This mirrors streach's batch groupKey except that Prob is
-// included, because the coalescer shares whole answers, not plans —
-// keep the two in step when Request grows a field.
-func coalesceKey(req streach.Request, alg string) string {
+// — kind, algorithm, the system's result-affecting engine options,
+// locations, start, window, and probability — so only truly identical
+// in-flight queries share an execution. The response format and timeout
+// are deliberately absent: they shape the reply, not the answer. This
+// mirrors streach's batch groupKey except that Prob is included, because
+// the coalescer shares whole answers, not plans — keep the two in step
+// when Request grows a field. The option bits are constant per server
+// today (HTTP exposes no per-query ablation toggles), but folding them
+// in keeps the key honest if that ever changes, exactly as the group-key
+// fix did for batches.
+func (s *Server) coalesceKey(req streach.Request, alg string) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d|%s|%d|%d|%x", int(req.Kind), strings.ToLower(alg),
+	fmt.Fprintf(&b, "%d|%s|%s|%d|%d|%x", int(req.Kind), strings.ToLower(alg),
+		streach.OptionKeyBits(s.sys.Engine().Options()),
 		req.Start, req.Duration, math.Float64bits(req.Prob))
 	for _, l := range req.Locations {
 		fmt.Fprintf(&b, "|%x,%x", math.Float64bits(l.Lat), math.Float64bits(l.Lng))

@@ -463,3 +463,82 @@ func TestAlgorithmParamAliases(t *testing.T) {
 		t.Fatal("alg= and algorithm= dispatched differently")
 	}
 }
+
+// TestShardedServing: a server over a sharded system answers the same
+// bytes as one over an unsharded system, reports its shard count on
+// /healthz, and exposes per-shard metrics on /metrics/prometheus.
+func TestShardedServing(t *testing.T) {
+	base := system(t)
+	idx := streach.DefaultIndexConfig()
+	idx.Shards = 2
+	sharded, err := streach.NewSystemFromData(base.Network(), base.Dataset(), idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := server(t, Config{})
+	tsSharded := httptest.NewServer(New(sharded, Config{}).Handler())
+	t.Cleanup(tsSharded.Close)
+
+	hz := getJSON(t, tsSharded.URL+"/healthz", http.StatusOK)
+	if got := hz["shards"].(float64); got != 2 {
+		t.Fatalf("healthz shards = %v, want 2", got)
+	}
+	if hz := getJSON(t, ts.URL+"/healthz", http.StatusOK); hz["shards"].(float64) != 1 {
+		t.Fatalf("unsharded healthz shards = %v, want 1", hz["shards"])
+	}
+
+	const q = "/v1/reach?start=11h&dur=10m&prob=0.2&format=geojson"
+	fetch := func(url string) string {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", url, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+	if got, want := fetch(tsSharded.URL+q), fetch(ts.URL+q); got != want {
+		t.Fatal("sharded GeoJSON differs from unsharded")
+	}
+
+	resp, err := http.Get(tsSharded.URL + "/metrics/prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"streach_shards 2",
+		`streach_shard_segments{shard="0"}`,
+		`streach_shard_segments{shard="1"}`,
+		`streach_shard_candidates_verified_total{shard="0"}`,
+		"streach_plan_cache_",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus output missing %q", want)
+		}
+	}
+	// The reach query's scatter work must land in the per-shard counters.
+	var verified float64
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "streach_shard_candidates_verified_total{") {
+			var v float64
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &v); err == nil {
+				verified += v
+			}
+		}
+	}
+	if verified == 0 {
+		t.Fatal("no candidates attributed to any shard")
+	}
+}

@@ -1,0 +1,168 @@
+// Package shard implements the sharded execution layer: a spatial
+// partitioner that assigns road segments to K shards, and a Cluster that
+// owns one query engine per shard over shard-local Con-Index/ST-Index
+// slices and answers queries by scatter-gather — one logical plan is
+// built once, shipped to every shard for the work it owns, and the
+// per-shard partial regions are merged into an answer bit-identical to
+// unsharded execution (see core.MergeRegions and DESIGN.md §10).
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"streach/internal/bitset"
+	"streach/internal/roadnet"
+)
+
+// Partition is a spatial assignment of every road segment to exactly one
+// of K shards, plus the replicated boundary metadata every shard needs
+// to reason about its edges: which segments have a neighbour in another
+// shard. The assignment is grid-based — segment midpoints bucket into a
+// serpentine-ordered cell grid, and contiguous cell runs are cut into K
+// balanced groups — so each shard is a spatially coherent tile rather
+// than a random scatter, keeping bounding-region row traffic local for
+// queries whose regions fit inside one tile.
+type Partition struct {
+	k     int
+	owner []int32
+	owned []bitset.Set
+	// boundary marks segments with at least one graph neighbour owned by
+	// a different shard — the metadata replicated to every shard.
+	boundary bitset.Set
+	counts   []int
+	bcounts  []int
+}
+
+// PartitionGrid builds a balanced grid partition of the network into k
+// shards. k is clamped to the segment count; k <= 0 is an error. The
+// partition is deterministic for a given network and k.
+func PartitionGrid(net *roadnet.Network, k int) (*Partition, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("shard: need at least one shard, got %d", k)
+	}
+	n := net.NumSegments()
+	if n == 0 {
+		return nil, fmt.Errorf("shard: empty network")
+	}
+	if k > n {
+		k = n
+	}
+
+	// Bucket segments by midpoint into a cell grid fine enough that the
+	// balancing cut has slack (≈4 cells per shard along each run).
+	g := int(math.Ceil(math.Sqrt(float64(4 * k))))
+	if g < 1 {
+		g = 1
+	}
+	b := net.Bounds()
+	spanLat := b.MaxLat - b.MinLat
+	spanLng := b.MaxLng - b.MinLng
+	cellOf := func(seg roadnet.SegmentID) int {
+		p := net.Segment(seg).Midpoint()
+		row, col := 0, 0
+		if spanLat > 0 {
+			row = int(float64(g) * (p.Lat - b.MinLat) / spanLat)
+		}
+		if spanLng > 0 {
+			col = int(float64(g) * (p.Lng - b.MinLng) / spanLng)
+		}
+		row, col = clamp(row, g-1), clamp(col, g-1)
+		// Serpentine order keeps consecutive cells spatially adjacent, so
+		// a contiguous cell run is a coherent tile.
+		if row%2 == 1 {
+			col = g - 1 - col
+		}
+		return row*g + col
+	}
+
+	cells := make([]int, n)
+	order := make([]roadnet.SegmentID, n)
+	for i := range order {
+		order[i] = roadnet.SegmentID(i)
+		cells[i] = cellOf(roadnet.SegmentID(i))
+	}
+	sort.Slice(order, func(i, j int) bool {
+		ci, cj := cells[order[i]], cells[order[j]]
+		if ci != cj {
+			return ci < cj
+		}
+		return order[i] < order[j]
+	})
+
+	p := &Partition{
+		k:        k,
+		owner:    make([]int32, n),
+		owned:    make([]bitset.Set, k),
+		boundary: bitset.New(n),
+		counts:   make([]int, k),
+		bcounts:  make([]int, k),
+	}
+	for s := range p.owned {
+		p.owned[s] = bitset.New(n)
+	}
+	// Cut the serpentine segment order into k balanced contiguous runs:
+	// segment i of the order goes to shard i*k/n.
+	for i, seg := range order {
+		sh := i * k / n
+		p.owner[seg] = int32(sh)
+		p.owned[sh].Add(int(seg))
+		p.counts[sh]++
+	}
+	// Boundary metadata: a segment whose incoming or outgoing neighbour
+	// lives in another shard.
+	for seg := 0; seg < n; seg++ {
+		sh := p.owner[seg]
+		cross := false
+		for _, nb := range net.Outgoing(roadnet.SegmentID(seg)) {
+			if p.owner[nb] != sh {
+				cross = true
+				break
+			}
+		}
+		if !cross {
+			for _, nb := range net.Incoming(roadnet.SegmentID(seg)) {
+				if p.owner[nb] != sh {
+					cross = true
+					break
+				}
+			}
+		}
+		if cross {
+			p.boundary.Add(seg)
+			p.bcounts[sh]++
+		}
+	}
+	return p, nil
+}
+
+func clamp(v, hi int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Shards returns the shard count K.
+func (p *Partition) Shards() int { return p.k }
+
+// Owner returns the shard owning seg.
+func (p *Partition) Owner(seg roadnet.SegmentID) int { return int(p.owner[seg]) }
+
+// Owned returns shard sh's membership bitset. Callers must not modify it.
+func (p *Partition) Owned(sh int) bitset.Set { return p.owned[sh] }
+
+// Boundary returns the cross-shard boundary bitset (segments with a
+// neighbour in another shard). Callers must not modify it.
+func (p *Partition) Boundary() bitset.Set { return p.boundary }
+
+// Size returns how many segments shard sh owns.
+func (p *Partition) Size(sh int) int { return p.counts[sh] }
+
+// BoundarySize returns how many of shard sh's segments sit on a
+// cross-shard boundary.
+func (p *Partition) BoundarySize(sh int) int { return p.bcounts[sh] }

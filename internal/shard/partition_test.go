@@ -1,0 +1,115 @@
+package shard
+
+import (
+	"testing"
+
+	"streach/internal/roadnet"
+)
+
+func TestPartitionGridInvariants(t *testing.T) {
+	f := getFixture(t)
+	n := f.net.NumSegments()
+	for _, k := range []int{1, 2, 4, 7, 16} {
+		p, err := PartitionGrid(f.net, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Shards() != k {
+			t.Fatalf("k=%d: Shards() = %d", k, p.Shards())
+		}
+		// Every segment owned exactly once, Owner consistent with Owned.
+		total := 0
+		for sh := 0; sh < k; sh++ {
+			total += p.Size(sh)
+		}
+		if total != n {
+			t.Fatalf("k=%d: partition covers %d of %d segments", k, total, n)
+		}
+		for seg := 0; seg < n; seg++ {
+			sh := p.Owner(roadnet.SegmentID(seg))
+			if sh < 0 || sh >= k {
+				t.Fatalf("k=%d: segment %d owned by out-of-range shard %d", k, seg, sh)
+			}
+			if !p.Owned(sh).Has(seg) {
+				t.Fatalf("k=%d: Owned(%d) misses segment %d", k, sh, seg)
+			}
+			for other := 0; other < k; other++ {
+				if other != sh && p.Owned(other).Has(seg) {
+					t.Fatalf("k=%d: segment %d owned by both %d and %d", k, seg, sh, other)
+				}
+			}
+		}
+		// Balance: no shard more than 2x the ideal share (the grid cut is
+		// contiguous, not perfect, but must stay in the same league).
+		ideal := n / k
+		for sh := 0; sh < k; sh++ {
+			if k > 1 && p.Size(sh) > 2*ideal+1 {
+				t.Fatalf("k=%d: shard %d owns %d segments (ideal %d)", k, sh, p.Size(sh), ideal)
+			}
+		}
+	}
+}
+
+func TestPartitionBoundary(t *testing.T) {
+	f := getFixture(t)
+	p, err := PartitionGrid(f.net, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute boundary membership independently and compare.
+	n := f.net.NumSegments()
+	boundary := 0
+	for seg := 0; seg < n; seg++ {
+		sh := p.Owner(roadnet.SegmentID(seg))
+		cross := false
+		for _, nb := range f.net.Outgoing(roadnet.SegmentID(seg)) {
+			if p.Owner(nb) != sh {
+				cross = true
+			}
+		}
+		for _, nb := range f.net.Incoming(roadnet.SegmentID(seg)) {
+			if p.Owner(nb) != sh {
+				cross = true
+			}
+		}
+		if cross != p.Boundary().Has(seg) {
+			t.Fatalf("segment %d: boundary = %v, want %v", seg, p.Boundary().Has(seg), cross)
+		}
+		if cross {
+			boundary++
+		}
+	}
+	if boundary == 0 {
+		t.Fatal("a 4-way partition of a connected city must have boundary segments")
+	}
+	perShard := 0
+	for sh := 0; sh < 4; sh++ {
+		perShard += p.BoundarySize(sh)
+	}
+	if perShard != boundary {
+		t.Fatalf("per-shard boundary counts sum to %d, want %d", perShard, boundary)
+	}
+	// A single-shard partition has no boundary.
+	p1, err := PartitionGrid(f.net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Boundary().Count() != 0 {
+		t.Fatalf("k=1 partition has %d boundary segments", p1.Boundary().Count())
+	}
+}
+
+func TestPartitionGridErrors(t *testing.T) {
+	f := getFixture(t)
+	if _, err := PartitionGrid(f.net, 0); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	// k beyond the segment count clamps rather than erroring.
+	p, err := PartitionGrid(f.net, f.net.NumSegments()+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() != f.net.NumSegments() {
+		t.Fatalf("clamped shards = %d, want %d", p.Shards(), f.net.NumSegments())
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sort"
 	"time"
 
+	"streach/internal/bitset"
 	"streach/internal/btree"
 	"streach/internal/geo"
 	"streach/internal/roadnet"
@@ -93,6 +94,34 @@ type Index struct {
 	handles []storage.BlobHandle
 	// cache holds decoded time lists (nil when disabled).
 	cache *tlCache
+
+	// owned, when non-nil, makes this a shard slice: time lists resolve
+	// only for the owned segments and any other access is an error, so a
+	// shard engine cannot silently answer from data its partition does
+	// not hold. shard is the owning shard's ordinal for error messages.
+	owned bitset.Set
+	shard int
+}
+
+// Slice returns a shard-local view of the index that serves time lists
+// only for the owned segments. The slice shares the underlying storage —
+// buffer pool, blob file, decoded-list cache, R-tree — with the root
+// index and every sibling slice; only ownership enforcement differs,
+// which is the single-process analogue of a shard holding its own
+// partition of the time lists. Close the root index, not its slices.
+func (x *Index) Slice(shard int, owned bitset.Set) *Index {
+	cp := *x
+	cp.owned = owned
+	cp.shard = shard
+	return &cp
+}
+
+// checkOwned rejects reads outside a slice's partition.
+func (x *Index) checkOwned(seg roadnet.SegmentID) error {
+	if x.owned != nil && seg >= 0 && int(seg) < x.net.NumSegments() && !x.owned.Has(int(seg)) {
+		return fmt.Errorf("stindex: segment %d is not owned by shard %d", seg, x.shard)
+	}
+	return nil
 }
 
 // Build constructs the ST-Index over the dataset. Every visit contributes
@@ -351,6 +380,9 @@ func (x *Index) TimeListBitsAt(seg roadnet.SegmentID, slot int) (*TimeListBits, 
 	if slot < 0 || slot >= x.numSlots || seg < 0 || int(seg) >= x.net.NumSegments() {
 		return emptyBits, nil
 	}
+	if err := x.checkOwned(seg); err != nil {
+		return nil, err
+	}
 	key := slot*x.net.NumSegments() + int(seg)
 	h := x.handles[key]
 	if h.IsZero() {
@@ -382,6 +414,9 @@ func (x *Index) TimeListsRange(seg roadnet.SegmentID, loSlot, hiSlot int, dst []
 			dst = append(dst, emptyBits)
 		}
 		return dst, nil
+	}
+	if err := x.checkOwned(seg); err != nil {
+		return nil, err
 	}
 	var reader *storage.BlobReader
 	for s := loSlot; s <= hiSlot; s++ {

@@ -6,7 +6,6 @@ import (
 	"path/filepath"
 
 	"streach/internal/conindex"
-	"streach/internal/core"
 	"streach/internal/roadnet"
 	"streach/internal/stindex"
 	"streach/internal/storage"
@@ -95,9 +94,9 @@ func (s *System) Save(dir string) error {
 	})
 }
 
-// OpenSystem reopens a system saved with Save. PoolPages (and the TBS
-// policy options) are taken from idx; granularity comes from the saved
-// indexes.
+// OpenSystem reopens a system saved with Save. PoolPages, the TBS
+// policy options, Shards, and PlanCache are taken from idx; granularity
+// comes from the saved indexes.
 func OpenSystem(dir string, idx IndexConfig) (*System, error) {
 	if idx.PoolPages == 0 {
 		idx.PoolPages = 1024
@@ -157,16 +156,10 @@ func OpenSystem(dir string, idx IndexConfig) (*System, error) {
 		store.Close()
 		return nil, err
 	}
-	engine, err := core.NewEngine(st, con, core.Options{
-		VerifyAll:       idx.VerifyAll,
-		EarlyStop:       idx.EarlyStop,
-		NoVisitedSet:    idx.NoVisitedSet,
-		NoOverlapFilter: idx.NoOverlapFilter,
-		VerifyWorkers:   idx.VerifyWorkers,
-	})
+	s, err := assembleSystem(net, ds, st, con, idx)
 	if err != nil {
 		st.Close()
 		return nil, err
 	}
-	return &System{net: net, ds: ds, st: st, con: con, engine: engine}, nil
+	return s, nil
 }

@@ -1,0 +1,128 @@
+package streach
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"streach/internal/conindex"
+	"streach/internal/core"
+)
+
+// queryPlan is the shared-plan surface the facade executes against —
+// satisfied by both core.SharedPlan (single engine) and shard.Plan
+// (scatter-gather cluster) — so Do, DoBatch groups, and the cross-batch
+// cache treat sharded and unsharded plans identically.
+type queryPlan interface {
+	ResultAt(ctx context.Context, prob float64) (*core.Result, error)
+	RowStats() conindex.PinStats
+	Rebase()
+	Close()
+}
+
+// planCache is the cross-batch shared-plan LRU: a plan built for one
+// batch group (or one Do call) parks here keyed by its group key, and
+// steady-state duplicate traffic — the same query shape arriving batch
+// after batch — skips bounding, probing, and verification entirely,
+// resolving new thresholds from the cached per-candidate probabilities.
+//
+// Ownership is strict take/put: take removes the entry, so exactly one
+// caller uses a plan at a time (SharedPlan is single-goroutine); put
+// returns it, evicting the least-recently-used plan beyond capacity.
+// Concurrent same-key callers miss and build their own plan — the loser
+// of the race at put replaces the incumbent, which is closed. clear
+// (index reload, Close, re-sharding) closes everything.
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recent; values are *planEntry
+	entries map[string]*list.Element
+}
+
+type planEntry struct {
+	key  string
+	plan queryPlan
+}
+
+// newPlanCache sizes the cache; cap <= 0 disables it (returns nil, and
+// every method is nil-safe).
+func newPlanCache(cap int) *planCache {
+	if cap <= 0 {
+		return nil
+	}
+	return &planCache{cap: cap, ll: list.New(), entries: map[string]*list.Element{}}
+}
+
+// take removes and returns the cached plan for key, if any.
+func (c *planCache) take(key string) (queryPlan, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.Remove(el)
+	delete(c.entries, key)
+	return el.Value.(*planEntry).plan, true
+}
+
+// put parks a plan under key, closing any incumbent and evicting beyond
+// capacity. The caller must not use the plan after put.
+func (c *planCache) put(key string, plan queryPlan) {
+	if c == nil {
+		plan.Close()
+		return
+	}
+	var closing []queryPlan
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		// A concurrent builder raced us; keep the newest, drop the older.
+		closing = append(closing, el.Value.(*planEntry).plan)
+		c.ll.Remove(el)
+		delete(c.entries, key)
+	}
+	c.entries[key] = c.ll.PushFront(&planEntry{key: key, plan: plan})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		ent := el.Value.(*planEntry)
+		closing = append(closing, ent.plan)
+		c.ll.Remove(el)
+		delete(c.entries, ent.key)
+	}
+	c.mu.Unlock()
+	for _, p := range closing {
+		p.Close()
+	}
+}
+
+// clear closes every cached plan — the invalidation hook for Close and
+// re-sharding.
+func (c *planCache) clear() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	var closing []queryPlan
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		closing = append(closing, el.Value.(*planEntry).plan)
+	}
+	c.ll.Init()
+	c.entries = map[string]*list.Element{}
+	c.mu.Unlock()
+	for _, p := range closing {
+		p.Close()
+	}
+}
+
+// len reports how many plans are parked (tests).
+func (c *planCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,216 @@
+package streach
+
+import (
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	cacheSysOnce sync.Once
+	cacheSys     *System
+	cacheSysErr  error
+)
+
+// cacheSystem is a dedicated system with the cross-batch plan cache on
+// (the shared fixture disables it — see smallSystem).
+func cacheSystem(t *testing.T) *System {
+	t.Helper()
+	base := smallSystem(t)
+	cacheSysOnce.Do(func() {
+		idx := DefaultIndexConfig()
+		idx.PlanCache = 8
+		cacheSys, cacheSysErr = NewSystemFromData(base.Network(), base.Dataset(), idx)
+	})
+	if cacheSysErr != nil {
+		t.Fatal(cacheSysErr)
+	}
+	return cacheSys
+}
+
+// TestPlanCacheCrossBatch: a second batch with the same group key must
+// ride the first batch's plan — counted as a cache hit — and still
+// answer bit-identically to independent execution.
+func TestPlanCacheCrossBatch(t *testing.T) {
+	s := cacheSystem(t)
+	loc := s.BusiestLocation(11 * time.Hour)
+	var reqs []Request
+	for i := 0; i < 6; i++ {
+		reqs = append(reqs, ReachRequest(loc, 11*time.Hour, 10*time.Minute, 0.1+0.1*float64(i)))
+	}
+	before := s.SharingStats()
+	first := s.DoBatch(context.Background(), reqs)
+	second := s.DoBatch(context.Background(), reqs)
+	after := s.SharingStats()
+	if after.PlanCacheHits <= before.PlanCacheHits {
+		t.Fatalf("no plan-cache hit across batches: %+v -> %+v", before, after)
+	}
+	// The cached answers must match both the first batch and independent
+	// execution.
+	independent := s.DoBatch(context.Background(), reqs, WithBatchSharing(false))
+	for i := range reqs {
+		for _, r := range []BatchResult{first[i], second[i], independent[i]} {
+			if r.Err != nil {
+				t.Fatalf("request %d: %v", i, r.Err)
+			}
+		}
+		if !reflect.DeepEqual(second[i].Region.SegmentIDs, independent[i].Region.SegmentIDs) ||
+			!reflect.DeepEqual(second[i].Region.Probabilities, independent[i].Region.Probabilities) {
+			t.Fatalf("request %d: cached answer differs from independent execution", i)
+		}
+	}
+}
+
+// TestPlanCacheDoPath: single Do calls share plans across calls too.
+func TestPlanCacheDoPath(t *testing.T) {
+	s := cacheSystem(t)
+	loc := s.BusiestLocation(11 * time.Hour)
+	req := ReverseRequest(loc, 11*time.Hour+5*time.Minute, 10*time.Minute, 0.2)
+	before := s.SharingStats()
+	want, err := s.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := s.SharingStats()
+	if after.PlanCacheHits <= before.PlanCacheHits {
+		t.Fatalf("repeat Do missed the plan cache: %+v -> %+v", before, after)
+	}
+	if !reflect.DeepEqual(got.SegmentIDs, want.SegmentIDs) || !reflect.DeepEqual(got.Probabilities, want.Probabilities) {
+		t.Fatal("cached answer differs")
+	}
+}
+
+// TestGroupKeyFoldsEngineOptions is the regression test for the
+// group-key bug: requests that differ in a result-affecting per-query
+// option (VerifyAll, EarlyStop, NoVisitedSet, NoOverlapFilter) must not
+// share a plan — in a batch group or across the plan cache — while
+// cost-only options (VerifyWorkers) still share.
+func TestGroupKeyFoldsEngineOptions(t *testing.T) {
+	req := ReachRequest(Location{Lat: 22.5, Lng: 114.0}, 11*time.Hour, 10*time.Minute, 0.2)
+	base := queryOptions{}
+	keyOf := func(qo queryOptions) string { return groupKey(req, qo) }
+
+	va := base
+	va.engine.VerifyAll = true
+	es := base
+	es.engine.EarlyStop = true
+	nv := base
+	nv.engine.NoVisitedSet = true
+	nf := base
+	nf.engine.NoOverlapFilter = true
+	for name, qo := range map[string]queryOptions{
+		"verify-all": va, "early-stop": es, "no-visited": nv, "no-overlap": nf,
+	} {
+		if keyOf(qo) == keyOf(base) {
+			t.Fatalf("%s: option not folded into the group key", name)
+		}
+	}
+	vw := base
+	vw.engine.VerifyWorkers = 7
+	if keyOf(vw) != keyOf(base) {
+		t.Fatal("VerifyWorkers changed the group key; it only affects cost, not results")
+	}
+}
+
+// TestGroupKeyOptionsEndToEnd: with the cache on, a VerifyAll query
+// right after a default query must not reuse the default plan — the two
+// answers differ in which segments carry verified probabilities.
+func TestGroupKeyOptionsEndToEnd(t *testing.T) {
+	s := cacheSystem(t)
+	loc := s.BusiestLocation(11 * time.Hour)
+	req := ReachRequest(loc, 11*time.Hour+10*time.Minute, 10*time.Minute, 0.05)
+	def, err := s.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := s.Do(context.Background(), req, WithVerifyAll(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent executions as ground truth.
+	wantDef, err := s.Do(context.Background(), req, WithBatchSharing(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAll, err := s.Do(context.Background(), req, WithVerifyAll(true), WithBatchSharing(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(def.Probabilities, wantDef.Probabilities) {
+		t.Fatal("default-policy answer corrupted by option-crossing plan share")
+	}
+	if !reflect.DeepEqual(all.Probabilities, wantAll.Probabilities) {
+		t.Fatal("VerifyAll answer corrupted by option-crossing plan share")
+	}
+	unverifiedDef := 0
+	for _, p := range wantDef.Probabilities {
+		if p < 0 {
+			unverifiedDef++
+		}
+	}
+	for _, p := range wantAll.Probabilities {
+		if p < 0 {
+			t.Fatal("VerifyAll result carries unverified segments; the policies were not distinguished")
+		}
+	}
+	if unverifiedDef == 0 {
+		t.Skip("default policy verified everything on this world; option split not observable")
+	}
+}
+
+// TestPlanCacheInvalidation: Close and re-sharding flush the cache.
+func TestPlanCacheInvalidation(t *testing.T) {
+	base := smallSystem(t)
+	idx := DefaultIndexConfig()
+	idx.PlanCache = 8
+	s, err := NewSystemFromData(base.Network(), base.Dataset(), idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := base.BusiestLocation(11 * time.Hour)
+	if _, err := s.Do(context.Background(), ReachRequest(loc, 11*time.Hour, 10*time.Minute, 0.2)); err != nil {
+		t.Fatal(err)
+	}
+	if s.plans.len() == 0 {
+		t.Fatal("plan not parked in the cache")
+	}
+	if err := s.Shard(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.plans.len() != 0 {
+		t.Fatal("re-sharding must flush the plan cache")
+	}
+	if _, err := s.Do(context.Background(), ReachRequest(loc, 11*time.Hour, 10*time.Minute, 0.2)); err != nil {
+		t.Fatal(err)
+	}
+	if s.plans.len() == 0 {
+		t.Fatal("sharded plan not parked in the cache")
+	}
+}
+
+// TestPlanCacheEviction: the LRU respects its capacity.
+func TestPlanCacheEviction(t *testing.T) {
+	base := smallSystem(t)
+	idx := DefaultIndexConfig()
+	idx.PlanCache = 2
+	s, err := NewSystemFromData(base.Network(), base.Dataset(), idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := base.BusiestLocation(11 * time.Hour)
+	for i := 0; i < 4; i++ {
+		req := ReachRequest(loc, 11*time.Hour+time.Duration(i)*5*time.Minute, 10*time.Minute, 0.2)
+		if _, err := s.Do(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.plans.len(); got > 2 {
+		t.Fatalf("cache holds %d plans, capacity 2", got)
+	}
+}

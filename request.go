@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 	"streach/internal/core"
 	"streach/internal/geo"
 	"streach/internal/router"
+	"streach/internal/shard"
 )
 
 // Kind selects what a Request asks for.
@@ -209,11 +211,12 @@ func WithBatchWorkers(n int) Option {
 	return func(o *queryOptions) { o.batchWorkers = n }
 }
 
-// WithBatchSharing toggles DoBatch's group-and-plan scheduler (default
-// on): requests that differ only in Prob share one bounding + probe +
-// verification plan. Results are bit-identical either way; turning it
-// off recovers fully independent execution (benchmarks, debugging).
-// Ignored by Do.
+// WithBatchSharing toggles cross-query work sharing (default on): in
+// DoBatch, the group-and-plan scheduler — requests that differ only in
+// Prob share one bounding + probe + verification plan — and, in both Do
+// and DoBatch, the cross-batch plan cache. Results are bit-identical
+// either way; turning it off recovers fully independent execution
+// (benchmarks, debugging, tests that pin per-execution observables).
 func WithBatchSharing(on bool) Option {
 	return func(o *queryOptions) { o.noSharing = !on }
 }
@@ -256,10 +259,6 @@ func (s *System) do(ctx context.Context, req Request, qo queryOptions) (*Region,
 		ctx, cancel = context.WithTimeout(ctx, qo.budget)
 		defer cancel()
 	}
-	eng := s.engine
-	if qo.engineDirty {
-		eng = s.engine.WithOptions(qo.engine)
-	}
 	prob := req.Prob
 	if qo.probSet {
 		prob = qo.prob
@@ -270,65 +269,25 @@ func (s *System) do(ctx context.Context, req Request, qo queryOptions) (*Region,
 		if len(req.Locations) < 1 {
 			return nil, fmt.Errorf("streach: %v request needs a location", req.Kind)
 		}
-		q := core.Query{
-			Location: geo.Point{Lat: req.Locations[0].Lat, Lng: req.Locations[0].Lng},
-			Start:    req.Start,
-			Duration: req.Duration,
-			Prob:     prob,
-		}
-		var (
-			res *core.Result
-			err error
-		)
 		switch qo.algorithm {
-		case AlgoAuto, AlgoBounded:
-			if req.Kind == KindReverse {
-				res, err = eng.ReverseSQMB(ctx, q)
-			} else {
-				res, err = eng.SQMB(ctx, q)
-			}
-		case AlgoExhaustive:
-			if req.Kind == KindReverse {
-				res, err = eng.ReverseES(ctx, q)
-			} else {
-				res, err = eng.ES(ctx, q)
-			}
+		case AlgoAuto, AlgoBounded, AlgoExhaustive:
 		default:
 			return nil, fmt.Errorf("streach: algorithm %v does not answer %v requests", qo.algorithm, req.Kind)
 		}
-		if err != nil {
-			return nil, err
-		}
-		return s.region(res), nil
+		return s.doPlan(ctx, req, qo, prob)
 
 	case KindMulti:
 		if len(req.Locations) == 0 {
 			return nil, fmt.Errorf("streach: multi request needs at least one location")
 		}
-		mq := core.MultiQuery{
-			Locations: toPoints(req.Locations),
-			Start:     req.Start,
-			Duration:  req.Duration,
-			Prob:      prob,
-		}
-		var (
-			res *core.Result
-			err error
-		)
 		switch qo.algorithm {
-		case AlgoAuto, AlgoBounded:
-			res, err = eng.MQMB(ctx, mq)
-		case AlgoSequential:
-			res, err = eng.SQuerySequential(ctx, mq)
+		case AlgoAuto, AlgoBounded, AlgoSequential:
 		case AlgoExhaustive:
 			return nil, fmt.Errorf("streach: exhaustive search has no multi-location variant; use sequential")
 		default:
 			return nil, fmt.Errorf("streach: algorithm %v does not answer multi requests", qo.algorithm)
 		}
-		if err != nil {
-			return nil, err
-		}
-		return s.region(res), nil
+		return s.doPlan(ctx, req, qo, prob)
 
 	case KindRoute:
 		if len(req.Locations) < 2 {
@@ -344,6 +303,133 @@ func (s *System) do(ctx context.Context, req Request, qo queryOptions) (*Region,
 	default:
 		return nil, fmt.Errorf("streach: unknown request kind %v", req.Kind)
 	}
+}
+
+// doPlan answers one reachability request plan-first: probability
+// validated up front (matching the one-shot engine methods' validation
+// order), then a shared plan — cached, sharded, or freshly built — and
+// one ResultAt at the request's threshold.
+func (s *System) doPlan(ctx context.Context, req Request, qo queryOptions, prob float64) (*Region, error) {
+	if err := core.ValidateProb(prob); err != nil {
+		return nil, err
+	}
+	plan, key, cacheable, err := s.acquirePlan(ctx, req, qo)
+	if err != nil {
+		return nil, err
+	}
+	res, rerr := plan.ResultAt(ctx, prob)
+	s.releasePlan(key, cacheable, plan)
+	if rerr != nil {
+		return nil, rerr
+	}
+	return s.region(res), nil
+}
+
+// acquirePlan resolves the shared plan for a reachability request: from
+// the cross-batch cache when an equivalent plan is parked there, else
+// freshly built — on the shard cluster when the system is sharded, on
+// the (possibly option-overridden) engine otherwise.
+func (s *System) acquirePlan(ctx context.Context, req Request, qo queryOptions) (plan queryPlan, key string, cacheable bool, err error) {
+	cacheable = s.plans != nil && !qo.noSharing && req.Kind != KindRoute && groupable(req, qo)
+	if cacheable {
+		key = groupKey(req, qo)
+		if pl, ok := s.plans.take(key); ok {
+			s.sharing.planHits.Add(1)
+			pl.Rebase()
+			return pl, key, true, nil
+		}
+		s.sharing.planMisses.Add(1)
+	}
+	plan, err = s.newPlan(ctx, req, qo)
+	return plan, key, cacheable, err
+}
+
+// releasePlan parks a cacheable plan for the next equivalent query, or
+// closes it.
+func (s *System) releasePlan(key string, cacheable bool, plan queryPlan) {
+	if cacheable {
+		s.plans.put(key, plan)
+	} else {
+		plan.Close()
+	}
+}
+
+// planBackend is one execution backend's plan constructors — the shard
+// cluster or the single engine, adapted to the common queryPlan surface
+// so newPlan dispatches kind and algorithm exactly once.
+type planBackend struct {
+	reach, reverse, reachES, reverseES func(context.Context, core.Query) (queryPlan, error)
+	multi, multiSeq                    func(context.Context, core.MultiQuery) (queryPlan, error)
+}
+
+func clusterBackend(c *shard.Cluster) planBackend {
+	return planBackend{
+		reach:     func(ctx context.Context, q core.Query) (queryPlan, error) { return c.PlanReach(ctx, q) },
+		reverse:   func(ctx context.Context, q core.Query) (queryPlan, error) { return c.PlanReverse(ctx, q) },
+		reachES:   func(ctx context.Context, q core.Query) (queryPlan, error) { return c.PlanReachES(ctx, q) },
+		reverseES: func(ctx context.Context, q core.Query) (queryPlan, error) { return c.PlanReverseES(ctx, q) },
+		multi:     func(ctx context.Context, q core.MultiQuery) (queryPlan, error) { return c.PlanMulti(ctx, q) },
+		multiSeq:  func(ctx context.Context, q core.MultiQuery) (queryPlan, error) { return c.PlanMultiSequential(ctx, q) },
+	}
+}
+
+func engineBackend(e *core.Engine) planBackend {
+	return planBackend{
+		reach:     func(ctx context.Context, q core.Query) (queryPlan, error) { return e.PlanReach(ctx, q) },
+		reverse:   func(ctx context.Context, q core.Query) (queryPlan, error) { return e.PlanReverse(ctx, q) },
+		reachES:   func(ctx context.Context, q core.Query) (queryPlan, error) { return e.PlanReachES(ctx, q) },
+		reverseES: func(ctx context.Context, q core.Query) (queryPlan, error) { return e.PlanReverseES(ctx, q) },
+		multi:     func(ctx context.Context, q core.MultiQuery) (queryPlan, error) { return e.PlanMulti(ctx, q) },
+		multiSeq:  func(ctx context.Context, q core.MultiQuery) (queryPlan, error) { return e.PlanMultiSequential(ctx, q) },
+	}
+}
+
+// newPlan builds the shared plan for one reachability request on the
+// shard cluster when the system is sharded, else on the single engine.
+// The request's kind/algorithm pairing must already be validated.
+func (s *System) newPlan(ctx context.Context, req Request, qo queryOptions) (queryPlan, error) {
+	var be planBackend
+	if c := s.cluster.Load(); c != nil {
+		if qo.engineDirty {
+			c = c.WithOptions(qo.engine)
+		}
+		be = clusterBackend(c)
+	} else {
+		eng := s.engine
+		if qo.engineDirty {
+			eng = s.engine.WithOptions(qo.engine)
+		}
+		be = engineBackend(eng)
+	}
+	switch req.Kind {
+	case KindReach, KindReverse:
+		q := core.Query{
+			Location: geo.Point{Lat: req.Locations[0].Lat, Lng: req.Locations[0].Lng},
+			Start:    req.Start,
+			Duration: req.Duration,
+		}
+		switch {
+		case qo.algorithm == AlgoExhaustive && req.Kind == KindReverse:
+			return be.reverseES(ctx, q)
+		case qo.algorithm == AlgoExhaustive:
+			return be.reachES(ctx, q)
+		case req.Kind == KindReverse:
+			return be.reverse(ctx, q)
+		default:
+			return be.reach(ctx, q)
+		}
+	case KindMulti:
+		mq := core.MultiQuery{
+			Locations: toPoints(req.Locations),
+			Start:     req.Start,
+			Duration:  req.Duration,
+		}
+		if qo.algorithm == AlgoSequential {
+			return be.multiSeq(ctx, mq)
+		}
+		return be.multi(ctx, mq)
+	}
+	return nil, fmt.Errorf("streach: no plan for %v requests", req.Kind)
 }
 
 // doRoute answers KindRoute: the region's SegmentIDs hold the path and
@@ -535,15 +621,20 @@ func groupable(req Request, qo queryOptions) bool {
 }
 
 // groupKey canonicalises everything that determines a request's shared
-// plan — kind, algorithm, start set, start time, and (except for routes,
-// which ignore it) the window. Prob is deliberately absent: that is the
-// axis the plan is shared across. The serving layer's coalesceKey
-// (internal/serve) mirrors this serialisation but includes Prob, because
-// it shares whole answers, not plans — keep the two in step when Request
-// grows a field.
+// plan — kind, algorithm, the result-affecting engine options, start
+// set, start time, and (except for routes, which ignore it) the window.
+// Prob is deliberately absent: that is the axis the plan is shared
+// across. The options matter because the key outlives one DoBatch call:
+// it is also the cross-batch plan-cache key, and two executions that
+// differ in any result-affecting option (WithVerifyAll, WithEarlyStop,
+// WithNoVisitedSet, WithNoOverlapFilter) must never share a plan.
+// VerifyWorkers is excluded on purpose — it changes cost, not results.
+// The serving layer's coalesceKey (internal/serve) mirrors this
+// serialisation but includes Prob, because it shares whole answers, not
+// plans — keep the two in step when Request grows a field.
 func groupKey(req Request, qo queryOptions) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d|%d|%d", int(req.Kind), int(qo.algorithm), req.Start)
+	fmt.Fprintf(&b, "%d|%d|%s|%d", int(req.Kind), int(qo.algorithm), engineOptionBits(qo.engine), req.Start)
 	if req.Kind != KindRoute {
 		fmt.Fprintf(&b, "|%d", req.Duration)
 	}
@@ -552,6 +643,31 @@ func groupKey(req Request, qo queryOptions) string {
 	}
 	return b.String()
 }
+
+// engineOptionBits packs the result-affecting engine options into the
+// canonical key segment shared by groupKey and serve's coalesceKey.
+func engineOptionBits(o core.Options) string {
+	bits := 0
+	if o.VerifyAll {
+		bits |= 1
+	}
+	if o.EarlyStop {
+		bits |= 2
+	}
+	if o.NoVisitedSet {
+		bits |= 4
+	}
+	if o.NoOverlapFilter {
+		bits |= 8
+	}
+	return "o" + strconv.Itoa(bits)
+}
+
+// OptionKeyBits canonicalises the result-affecting engine options into
+// the key segment shared by the batch group key and the serving layer's
+// coalesce key (internal/serve) — the two serialisations must stay in
+// step, so both call this.
+func OptionKeyBits(o core.Options) string { return engineOptionBits(o) }
 
 // doGroup answers one group of requests off a single shared plan. Plan
 // failure (including cancellation mid-plan) reclaims the whole group:
@@ -579,49 +695,12 @@ func (s *System) doGroup(ctx context.Context, reqs []Request, idxs []int, qo que
 		return
 	}
 
-	eng := s.engine
-	if qo.engineDirty {
-		eng = s.engine.WithOptions(qo.engine)
-	}
-
-	var (
-		plan *core.SharedPlan
-		err  error
-	)
-	switch rep.Kind {
-	case KindReach, KindReverse:
-		q := core.Query{
-			Location: geo.Point{Lat: rep.Locations[0].Lat, Lng: rep.Locations[0].Lng},
-			Start:    rep.Start,
-			Duration: rep.Duration,
-		}
-		switch {
-		case qo.algorithm == AlgoExhaustive && rep.Kind == KindReverse:
-			plan, err = eng.PlanReverseES(ctx, q)
-		case qo.algorithm == AlgoExhaustive:
-			plan, err = eng.PlanReachES(ctx, q)
-		case rep.Kind == KindReverse:
-			plan, err = eng.PlanReverse(ctx, q)
-		default:
-			plan, err = eng.PlanReach(ctx, q)
-		}
-	case KindMulti:
-		mq := core.MultiQuery{
-			Locations: toPoints(rep.Locations),
-			Start:     rep.Start,
-			Duration:  rep.Duration,
-		}
-		if qo.algorithm == AlgoSequential {
-			plan, err = eng.PlanMultiSequential(ctx, mq)
-		} else {
-			plan, err = eng.PlanMulti(ctx, mq)
-		}
-	}
+	plan, key, cacheable, err := s.acquirePlan(ctx, rep, qo)
 	if err != nil {
 		fail(err)
 		return
 	}
-	defer plan.Close()
+	defer func() { s.releasePlan(key, cacheable, plan) }()
 
 	for _, i := range idxs {
 		if err := ctx.Err(); err != nil {

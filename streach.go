@@ -49,6 +49,7 @@ import (
 	"streach/internal/core"
 	"streach/internal/geo"
 	"streach/internal/roadnet"
+	"streach/internal/shard"
 	"streach/internal/stindex"
 	"streach/internal/storage"
 	"streach/internal/traj"
@@ -121,6 +122,20 @@ type IndexConfig struct {
 	// PageFile, when set, backs the time lists with a real file instead
 	// of memory.
 	PageFile string
+	// Shards partitions query execution: a value above 1 builds a
+	// spatial grid partition of the road network into that many shards,
+	// one engine per shard over shard-local Con-Index/ST-Index slices,
+	// and answers reach/reverse/multi queries by scatter-gather (plan on
+	// the cluster planner, verify per shard, merge partial regions).
+	// Results are bit-identical to unsharded execution. 0 or 1 keeps the
+	// single engine. Route queries always run unsharded.
+	Shards int
+	// PlanCache is the cross-batch shared-plan LRU capacity in plans:
+	// recently built plans are kept (keyed by the batch group key) so
+	// steady-state duplicate traffic skips bounding and verification
+	// entirely. 0 means the default (32); negative disables. The cache
+	// is invalidated by Close and re-sharding.
+	PlanCache int
 	// VerifyAll switches trace back search to full verification (see
 	// core.Options).
 	VerifyAll bool
@@ -202,6 +217,14 @@ type System struct {
 	st     *stindex.Index
 	con    *conindex.Index
 	engine *core.Engine
+	// cluster, when non-nil, answers reach/reverse/multi queries by
+	// scatter-gather over partitioned engines (IndexConfig.Shards > 1).
+	// An atomic pointer so Shard can re-partition while queries are in
+	// flight: each query snapshots one cluster (or nil) and runs against
+	// it — both layouts answer bit-identically over the same indexes.
+	cluster atomic.Pointer[shard.Cluster]
+	// plans is the cross-batch shared-plan LRU (nil when disabled).
+	plans *planCache
 	// sharing accumulates the batch executor's cross-query work-sharing
 	// counters (see SharingStats).
 	sharing sharingCounters
@@ -214,6 +237,8 @@ type sharingCounters struct {
 	coalesced  atomic.Int64
 	probeSets  atomic.Int64
 	rowsShared atomic.Int64
+	planHits   atomic.Int64
+	planMisses atomic.Int64
 }
 
 // SharingStats counts the cross-query work sharing DoBatch's group-and-
@@ -231,6 +256,12 @@ type SharingStats struct {
 	// ConRowsShared counts Con-Index adjacency-row resolutions avoided:
 	// pin-local re-reads plus one working-set fetch per coalesced query.
 	ConRowsShared int64
+	// PlanCacheHits and PlanCacheMisses count cross-batch plan-cache
+	// activity: a hit answered a query (or a whole batch group) from a
+	// plan built by an earlier batch, skipping bounding, probing, and
+	// verification entirely.
+	PlanCacheHits   int64
+	PlanCacheMisses int64
 }
 
 // SharingStats snapshots the batch-sharing counters.
@@ -240,6 +271,8 @@ func (s *System) SharingStats() SharingStats {
 		QueriesCoalesced: s.sharing.coalesced.Load(),
 		ProbeSetsShared:  s.sharing.probeSets.Load(),
 		ConRowsShared:    s.sharing.rowsShared.Load(),
+		PlanCacheHits:    s.sharing.planHits.Load(),
+		PlanCacheMisses:  s.sharing.planMisses.Load(),
 	}
 }
 
@@ -344,6 +377,15 @@ func NewSystemFromData(net *roadnet.Network, ds *traj.Dataset, idx IndexConfig) 
 	if err != nil {
 		return nil, fmt.Errorf("streach: build Con-Index: %w", err)
 	}
+	return assembleSystem(net, ds, st, con, idx)
+}
+
+// assembleSystem wires built (or reopened) indexes into a System: the
+// engine with the configured policy options, the cross-batch plan
+// cache, and — when IndexConfig.Shards asks for it — the sharded
+// execution layer. Shared by NewSystemFromData and OpenSystem so both
+// construction paths honour the whole IndexConfig.
+func assembleSystem(net *roadnet.Network, ds *traj.Dataset, st *stindex.Index, con *conindex.Index, idx IndexConfig) (*System, error) {
 	engine, err := core.NewEngine(st, con, core.Options{
 		VerifyAll:       idx.VerifyAll,
 		EarlyStop:       idx.EarlyStop,
@@ -354,7 +396,92 @@ func NewSystemFromData(net *roadnet.Network, ds *traj.Dataset, idx IndexConfig) 
 	if err != nil {
 		return nil, err
 	}
-	return &System{net: net, ds: ds, st: st, con: con, engine: engine}, nil
+	planCap := idx.PlanCache
+	if planCap == 0 {
+		planCap = 32
+	}
+	s := &System{net: net, ds: ds, st: st, con: con, engine: engine, plans: newPlanCache(planCap)}
+	if idx.Shards > 1 {
+		if err := s.Shard(idx.Shards); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Shard switches the system to sharded execution with k shards: the road
+// network is grid-partitioned, one engine per shard owns shard-local
+// Con-Index/ST-Index slices, and reach/reverse/multi queries run
+// scatter-gather with answers bit-identical to unsharded execution
+// (route queries always run on the single engine). k <= 1 restores
+// single-engine execution. Safe to call while queries are in flight:
+// in-flight queries finish on the layout they started with (both
+// layouts answer identically over the same indexes), new queries see
+// the new one. The shared-plan cache is flushed — cached plans belong
+// to the previous execution layout; a straggler parking a plan after
+// the flush is harmless, as its answers stay bit-identical.
+func (s *System) Shard(k int) error {
+	if k <= 1 {
+		s.cluster.Store(nil)
+		s.plans.clear()
+		return nil
+	}
+	cluster, err := shard.NewCluster(s.st, s.con, s.engine.Options(), k)
+	if err != nil {
+		return err
+	}
+	s.cluster.Store(cluster)
+	s.plans.clear()
+	return nil
+}
+
+// Shards reports how many shards the system executes across (1 =
+// unsharded).
+func (s *System) Shards() int {
+	if c := s.cluster.Load(); c != nil {
+		return c.Shards()
+	}
+	return 1
+}
+
+// ShardStat describes one shard of a sharded system: its slice of the
+// partition and the work routed to it.
+type ShardStat struct {
+	// Shard is the shard ordinal.
+	Shard int
+	// Segments is how many road segments the shard owns;
+	// BoundarySegments how many of them border another shard (the
+	// replicated boundary metadata).
+	Segments, BoundarySegments int
+	// RowsFetched counts Con-Index adjacency rows the bounding phase
+	// routed through the shard's slice.
+	RowsFetched int64
+	// CandidatesVerified counts candidates scatter-verified on the
+	// shard's ST-Index slice, and Verify the wall-clock spent doing it.
+	CandidatesVerified int64
+	Verify             time.Duration
+}
+
+// ShardStats snapshots per-shard activity; nil when the system is
+// unsharded.
+func (s *System) ShardStats() []ShardStat {
+	c := s.cluster.Load()
+	if c == nil {
+		return nil
+	}
+	stats := c.Stats()
+	out := make([]ShardStat, len(stats))
+	for i, st := range stats {
+		out[i] = ShardStat{
+			Shard:              st.Shard,
+			Segments:           st.Segments,
+			BoundarySegments:   st.BoundarySegments,
+			RowsFetched:        st.RowsFetched,
+			CandidatesVerified: st.CandidatesVerified,
+			Verify:             time.Duration(st.VerifyNS),
+		}
+	}
+	return out
 }
 
 // Warm precomputes the Con-Index Near/Far tables for every time slot
@@ -387,8 +514,11 @@ func (s *System) WarmCtx(ctx context.Context, start, dur time.Duration) error {
 	return s.con.PrecomputeSlotsCtx(ctx, lo, hi, 0)
 }
 
-// Close releases index storage.
-func (s *System) Close() error { return s.st.Close() }
+// Close flushes the shared-plan cache and releases index storage.
+func (s *System) Close() error {
+	s.plans.clear()
+	return s.st.Close()
+}
 
 // Network exposes the underlying road network (in-module callers).
 func (s *System) Network() *roadnet.Network { return s.net }

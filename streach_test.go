@@ -28,7 +28,14 @@ func smallSystem(t *testing.T) *System {
 			Seed:            3,
 		}
 		fleet := FleetConfig{Taxis: 80, Days: 6, Seed: 4}
-		testSys, sysErr = NewSystem(city, fleet, DefaultIndexConfig())
+		// The shared fixture disables the cross-batch plan cache: many
+		// tests here pin per-execution observables (cancellation
+		// checkpoints, IO and cache counters) that a cached plan would
+		// legitimately skip. The cache has its own tests over dedicated
+		// systems (plancache_test.go).
+		idx := DefaultIndexConfig()
+		idx.PlanCache = -1
+		testSys, sysErr = NewSystem(city, fleet, idx)
 	})
 	if sysErr != nil {
 		t.Fatal(sysErr)
