@@ -5,12 +5,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"streach"
 	"streach/internal/serve"
 )
 
@@ -28,6 +32,9 @@ func runServe(args []string) error {
 	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "cap on client-requested ?timeout=")
 	maxInFlight := fs.Int("max-inflight", 0, "bounded admission: max concurrent query requests, 429 beyond (0 = default 64, negative = unlimited)")
 	shards := fs.Int("shards", 0, "sharded execution: partition the network across this many engines and answer by scatter-gather (0/1 = single engine; results are bit-identical)")
+	shardBudget := fs.Duration("shard-budget", 0, "per-shard deadline budget: a shard slower than this fails (typed Timeout) or is skipped under ?partial=true (0 = no budget)")
+	chaos := fs.String("chaos", "", "DEV ONLY fault injection: comma-separated shard=N:error|panic|hang items, e.g. shard=1:error,shard=2:hang (requires -shards)")
+	accessLog := fs.Bool("access-log", false, "log one line per request (method, URI, status, latency, request ID) to stderr")
 	warmStart := fs.Duration("warm-start", 0, "precompute the Con-Index adjacency from this time of day (with -warm-dur)")
 	warmDur := fs.Duration("warm-dur", 0, "warm window length (0 = skip warming)")
 	dir := fs.String("dir", "", "system save directory: reopened when it holds a saved system")
@@ -40,11 +47,19 @@ func runServe(args []string) error {
 		return err
 	}
 	defer sys.Close()
+	if *shardBudget > 0 {
+		sys.SetShardBudget(*shardBudget)
+	}
 	if *shards > 1 {
 		if err := sys.Shard(*shards); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "sharded execution: %d partitioned engines\n", sys.Shards())
+	}
+	if *chaos != "" {
+		if err := applyChaos(sys, *chaos); err != nil {
+			return err
+		}
 	}
 	if *warmDur > 0 {
 		t0 := time.Now()
@@ -55,9 +70,13 @@ func runServe(args []string) error {
 			*warmStart, *warmStart+*warmDur, time.Since(t0).Seconds())
 	}
 
+	cfg := serve.Config{DefaultTimeout: *timeout, MaxTimeout: *maxTimeout, MaxInFlight: *maxInFlight}
+	if *accessLog {
+		cfg.AccessLog = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: serve.New(sys, serve.Config{DefaultTimeout: *timeout, MaxTimeout: *maxTimeout, MaxInFlight: *maxInFlight}).Handler(),
+		Handler: serve.New(sys, cfg).Handler(),
 	}
 
 	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, let in-flight
@@ -77,4 +96,39 @@ func runServe(args []string) error {
 		return err
 	}
 	return <-idle
+}
+
+// applyChaos parses and applies the -chaos spec: comma-separated
+// "shard=N:kind" items, where kind is error, panic, or hang. Development
+// tooling for exercising the degraded-serving paths against a live
+// server; it refuses to run on an unsharded system rather than silently
+// doing nothing.
+func applyChaos(sys *streach.System, spec string) error {
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		rest, ok := strings.CutPrefix(item, "shard=")
+		if !ok {
+			return fmt.Errorf("bad -chaos item %q: want shard=N:error|panic|hang", item)
+		}
+		nStr, kindStr, ok := strings.Cut(rest, ":")
+		if !ok {
+			return fmt.Errorf("bad -chaos item %q: want shard=N:error|panic|hang", item)
+		}
+		n, err := strconv.Atoi(nStr)
+		if err != nil {
+			return fmt.Errorf("bad -chaos shard %q: %v", nStr, err)
+		}
+		kind, err := streach.ParseShardFault(kindStr)
+		if err != nil {
+			return fmt.Errorf("bad -chaos item %q: %v", item, err)
+		}
+		if err := sys.InjectShardFault(n, kind); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "chaos: injected %s fault on shard %d\n", kind, n)
+	}
+	return nil
 }

@@ -8,6 +8,8 @@ import (
 	"sort"
 
 	"streach/internal/roadnet"
+	"streach/internal/storage"
+	"streach/internal/xerr"
 )
 
 // Adjacency persistence: the materialised Near/Far rows of all four
@@ -25,13 +27,20 @@ import (
 //	    enc u8        0=sparse sorted-ID list, 1=bitset
 //	    sparse: count u32, count x u32 segment IDs
 //	    bitset: nwords u32, nwords x u64 (trailing zero words trimmed)
+//	then crc u32 (v2+, CRC-32C of every preceding byte incl. magic)
 //
 // The sparse/bitset choice mirrors the in-memory adaptive rows (and the
 // v2 time-list format): dense rows ship as word arrays, sparse rows as
 // ID lists, so blob size stays proportional to what was materialised.
+//
+// v2 adds the trailing checksum, and loading became transactional: rows
+// are parsed and validated first, the checksum (or, on v1, a strict
+// EOF) is verified, and only then is anything installed — a corrupt
+// blob warms nothing instead of warming a prefix.
 const (
-	adjMagic   = "CADJ"
-	adjVersion = 1
+	adjMagic      = "CADJ"
+	adjVersion    = 2
+	adjVersionMin = 1
 )
 
 const (
@@ -49,16 +58,18 @@ func (x *Index) adjTables() []*table {
 // under their read locks; rows are immutable).
 func (x *Index) SaveAdjacency(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(adjMagic); err != nil {
+	h := storage.NewChecksum()
+	tee := io.MultiWriter(bw, h)
+	if _, err := io.WriteString(tee, adjMagic); err != nil {
 		return fmt.Errorf("conindex: write adjacency magic: %w", err)
 	}
 	var buf [8]byte
 	binary.LittleEndian.PutUint16(buf[:2], adjVersion)
-	bw.Write(buf[:2])
+	tee.Write(buf[:2])
 	binary.LittleEndian.PutUint32(buf[:4], uint32(x.slotSec))
-	bw.Write(buf[:4])
+	tee.Write(buf[:4])
 	binary.LittleEndian.PutUint32(buf[:4], uint32(x.net.NumSegments()))
-	bw.Write(buf[:4])
+	tee.Write(buf[:4])
 
 	type snap struct {
 		keys []int64
@@ -79,48 +90,57 @@ func (x *Index) SaveAdjacency(w io.Writer) error {
 		snaps = append(snaps, s)
 	}
 	binary.LittleEndian.PutUint32(buf[:4], uint32(numRows))
-	if _, err := bw.Write(buf[:4]); err != nil {
+	if _, err := tee.Write(buf[:4]); err != nil {
 		return err
 	}
 	for ti, s := range snaps {
 		for _, k := range s.keys {
-			if err := writeAdjRow(bw, uint8(ti), k, s.rows[k]); err != nil {
+			if err := writeAdjRow(tee, uint8(ti), k, s.rows[k]); err != nil {
 				return err
 			}
 		}
 	}
+	binary.LittleEndian.PutUint32(buf[:4], h.Sum32())
+	if _, err := bw.Write(buf[:4]); err != nil {
+		return fmt.Errorf("conindex: write adjacency checksum: %w", err)
+	}
 	return bw.Flush()
 }
 
-func writeAdjRow(bw *bufio.Writer, tableID uint8, key int64, r Row) error {
+func writeAdjRow(w io.Writer, tableID uint8, key int64, r Row) error {
 	var buf [8]byte
-	bw.WriteByte(tableID)
-	binary.LittleEndian.PutUint32(buf[:4], uint32(key>>32))   // slot
-	bw.Write(buf[:4])
+	buf[0] = tableID
+	if _, err := w.Write(buf[:1]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(buf[:4], uint32(key>>32)) // slot
+	w.Write(buf[:4])
 	binary.LittleEndian.PutUint32(buf[:4], uint32(key&0xffffffff)) // segment
-	bw.Write(buf[:4])
+	w.Write(buf[:4])
 	if r.bits != nil {
 		words := r.bits
 		for len(words) > 0 && words[len(words)-1] == 0 {
 			words = words[:len(words)-1]
 		}
-		bw.WriteByte(adjEncBitset)
+		buf[0] = adjEncBitset
+		w.Write(buf[:1])
 		binary.LittleEndian.PutUint32(buf[:4], uint32(len(words)))
-		bw.Write(buf[:4])
-		for _, w := range words {
-			binary.LittleEndian.PutUint64(buf[:8], w)
-			if _, err := bw.Write(buf[:8]); err != nil {
+		w.Write(buf[:4])
+		for _, wd := range words {
+			binary.LittleEndian.PutUint64(buf[:8], wd)
+			if _, err := w.Write(buf[:8]); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	bw.WriteByte(adjEncSparse)
+	buf[0] = adjEncSparse
+	w.Write(buf[:1])
 	binary.LittleEndian.PutUint32(buf[:4], uint32(len(r.ids)))
-	bw.Write(buf[:4])
+	w.Write(buf[:4])
 	for _, s := range r.ids {
 		binary.LittleEndian.PutUint32(buf[:4], uint32(s))
-		if _, err := bw.Write(buf[:4]); err != nil {
+		if _, err := w.Write(buf[:4]); err != nil {
 			return err
 		}
 	}
@@ -129,45 +149,56 @@ func writeAdjRow(bw *bufio.Writer, tableID uint8, key int64, r Row) error {
 
 // LoadAdjacency restores rows persisted with SaveAdjacency into the
 // index's tables, replacing any rows already materialised for the same
-// keys. The blob must match the index's Δt and segment count.
+// keys. The blob must match the index's Δt and segment count. Nothing is
+// installed until the whole blob has parsed, validated, and (v2)
+// checksum-verified: a corrupt blob is rejected in full.
 func (x *Index) LoadAdjacency(r io.Reader) error {
 	br := bufio.NewReader(r)
+	h := storage.NewChecksum()
+	tee := io.TeeReader(br, h)
 	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
+	if _, err := io.ReadFull(tee, magic); err != nil {
 		return fmt.Errorf("conindex: read adjacency magic: %w", err)
 	}
 	if string(magic) != adjMagic {
 		return fmt.Errorf("conindex: bad adjacency magic %q", magic)
 	}
 	var buf [8]byte
-	if _, err := io.ReadFull(br, buf[:2]); err != nil {
+	if _, err := io.ReadFull(tee, buf[:2]); err != nil {
 		return fmt.Errorf("conindex: read adjacency version: %w", err)
 	}
-	if v := binary.LittleEndian.Uint16(buf[:2]); v != adjVersion {
-		return fmt.Errorf("conindex: unsupported adjacency version %d", v)
+	ver := binary.LittleEndian.Uint16(buf[:2])
+	if ver < adjVersionMin || ver > adjVersion {
+		return fmt.Errorf("conindex: unsupported adjacency version %d", ver)
 	}
-	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+	if _, err := io.ReadFull(tee, buf[:4]); err != nil {
 		return err
 	}
 	if got := int(binary.LittleEndian.Uint32(buf[:4])); got != x.slotSec {
 		return fmt.Errorf("conindex: adjacency slot seconds %d, index has %d", got, x.slotSec)
 	}
-	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+	if _, err := io.ReadFull(tee, buf[:4]); err != nil {
 		return err
 	}
 	numSeg := x.net.NumSegments()
 	if got := int(binary.LittleEndian.Uint32(buf[:4])); got != numSeg {
 		return fmt.Errorf("conindex: adjacency over %d segments, network has %d", got, numSeg)
 	}
-	if _, err := io.ReadFull(br, buf[:4]); err != nil {
+	if _, err := io.ReadFull(tee, buf[:4]); err != nil {
 		return err
 	}
 	numRows := int(binary.LittleEndian.Uint32(buf[:4]))
 	tables := x.adjTables()
 	maxWords := (numSeg + 63) / 64
+	type pendingRow struct {
+		tableID uint8
+		key     int64
+		row     Row
+	}
+	pending := make([]pendingRow, 0, numRows)
 	for i := 0; i < numRows; i++ {
 		hdr := make([]byte, 1+4+4+1+4)
-		if _, err := io.ReadFull(br, hdr); err != nil {
+		if _, err := io.ReadFull(tee, hdr); err != nil {
 			return fmt.Errorf("conindex: read adjacency row %d: %w", i, err)
 		}
 		tableID := hdr[0]
@@ -189,7 +220,7 @@ func (x *Index) LoadAdjacency(r io.Reader) error {
 			}
 			ids := make([]roadnet.SegmentID, count)
 			for j := 0; j < count; j++ {
-				if _, err := io.ReadFull(br, buf[:4]); err != nil {
+				if _, err := io.ReadFull(tee, buf[:4]); err != nil {
 					return fmt.Errorf("conindex: read adjacency row %d: %w", i, err)
 				}
 				id := binary.LittleEndian.Uint32(buf[:4])
@@ -210,7 +241,7 @@ func (x *Index) LoadAdjacency(r io.Reader) error {
 			}
 			words := make([]uint64, count)
 			for j := 0; j < count; j++ {
-				if _, err := io.ReadFull(br, buf[:8]); err != nil {
+				if _, err := io.ReadFull(tee, buf[:8]); err != nil {
 					return fmt.Errorf("conindex: read adjacency row %d: %w", i, err)
 				}
 				words[j] = binary.LittleEndian.Uint64(buf[:8])
@@ -219,7 +250,24 @@ func (x *Index) LoadAdjacency(r io.Reader) error {
 		default:
 			return fmt.Errorf("conindex: adjacency row %d has bad encoding %d", i, enc)
 		}
-		tables[tableID].put(cacheKey(roadnet.SegmentID(seg), slot), row)
+		pending = append(pending, pendingRow{tableID: tableID, key: cacheKey(roadnet.SegmentID(seg), slot), row: row})
+	}
+	if ver >= 2 {
+		// The stored checksum is read from br directly: it is not part
+		// of its own coverage.
+		want := h.Sum32()
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return fmt.Errorf("conindex: read adjacency checksum: %w", err)
+		}
+		if got := binary.LittleEndian.Uint32(buf[:4]); got != want {
+			return xerr.Markf(xerr.KindCorrupt, "conindex: adjacency checksum mismatch (stored %08x, computed %08x)", got, want)
+		}
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return xerr.Markf(xerr.KindCorrupt, "conindex: trailing bytes after v%d adjacency blob", ver)
+	}
+	for _, p := range pending {
+		tables[p.tableID].put(p.key, p.row)
 		x.stats.loaded.Add(1)
 	}
 	return nil

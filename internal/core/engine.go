@@ -27,6 +27,7 @@ import (
 	"streach/internal/roadnet"
 	"streach/internal/stindex"
 	"streach/internal/storage"
+	"streach/internal/xerr"
 )
 
 // Every query method takes a context.Context as its first argument and
@@ -171,10 +172,43 @@ type Engine struct {
 }
 
 // engineScratch holds the pooled per-query working state. All pooled
-// values are sized for the engine's network.
+// values are sized for the engine's network. The get/put counters exist
+// for leak accounting: outside an in-flight query every get must have
+// been matched by a put, including on error, panic-recovery, and
+// cancellation paths — ScratchStats exposes the balance to tests.
 type engineScratch struct {
 	regions sync.Pool // *region
 	bitsets sync.Pool // *bitsetBox
+
+	regionGets atomic.Int64
+	regionPuts atomic.Int64
+	bitsetGets atomic.Int64
+	bitsetPuts atomic.Int64
+}
+
+// ScratchStats is a point-in-time snapshot of the scratch pool's get/put
+// counters. With no query in flight, an imbalance means a pooled region
+// or bitset leaked on some exit path.
+type ScratchStats struct {
+	RegionGets, RegionPuts int64
+	BitsetGets, BitsetPuts int64
+}
+
+// Balanced reports whether every checkout has been returned.
+func (s ScratchStats) Balanced() bool {
+	return s.RegionGets == s.RegionPuts && s.BitsetGets == s.BitsetPuts
+}
+
+// ScratchStats snapshots the engine's scratch-pool counters. Engines
+// derived via WithOptions/WithRowSource share one pool and therefore one
+// set of counters.
+func (e *Engine) ScratchStats() ScratchStats {
+	return ScratchStats{
+		RegionGets: e.scratch.regionGets.Load(),
+		RegionPuts: e.scratch.regionPuts.Load(),
+		BitsetGets: e.scratch.bitsetGets.Load(),
+		BitsetPuts: e.scratch.bitsetPuts.Load(),
+	}
 }
 
 // bitsetBox wraps a pooled bitset behind a pointer so Put does not box a
@@ -198,6 +232,7 @@ func NewEngine(st *stindex.Index, con *conindex.Index, opts Options) (*Engine, e
 
 // getRegion checks a reset region out of the pool.
 func (e *Engine) getRegion() *region {
+	e.scratch.regionGets.Add(1)
 	if v := e.scratch.regions.Get(); v != nil {
 		r := v.(*region)
 		if len(r.round) == e.net.NumSegments() {
@@ -212,12 +247,14 @@ func (e *Engine) getRegion() *region {
 // region or any view of its segs slice.
 func (e *Engine) putRegion(r *region) {
 	if r != nil {
+		e.scratch.regionPuts.Add(1)
 		e.scratch.regions.Put(r)
 	}
 }
 
 // getBitset checks a zeroed full-network bitset out of the pool.
 func (e *Engine) getBitset() *bitsetBox {
+	e.scratch.bitsetGets.Add(1)
 	if v := e.scratch.bitsets.Get(); v != nil {
 		b := v.(*bitsetBox)
 		if len(b.bits)*64 >= e.net.NumSegments() {
@@ -228,7 +265,12 @@ func (e *Engine) getBitset() *bitsetBox {
 	return &bitsetBox{bits: bitset.New(e.net.NumSegments())}
 }
 
-func (e *Engine) putBitset(b *bitsetBox) { e.scratch.bitsets.Put(b) }
+func (e *Engine) putBitset(b *bitsetBox) {
+	if b != nil {
+		e.scratch.bitsetPuts.Add(1)
+		e.scratch.bitsets.Put(b)
+	}
+}
 
 // Network returns the engine's road network.
 func (e *Engine) Network() *roadnet.Network { return e.net }
@@ -279,7 +321,7 @@ func (e *Engine) validate(start, dur time.Duration, prob float64) error {
 
 func validateProb(prob float64) error {
 	if prob <= 0 || prob > 1 {
-		return fmt.Errorf("core: Prob must be in (0, 1], got %v", prob)
+		return xerr.Markf(xerr.KindInvalid, "core: Prob must be in (0, 1], got %v", prob)
 	}
 	return nil
 }
@@ -292,10 +334,10 @@ func ValidateProb(prob float64) error { return validateProb(prob) }
 
 func validateWindow(start, dur time.Duration) error {
 	if dur <= 0 {
-		return fmt.Errorf("core: duration must be positive, got %v", dur)
+		return xerr.Markf(xerr.KindInvalid, "core: duration must be positive, got %v", dur)
 	}
 	if start < 0 || start >= 24*time.Hour {
-		return fmt.Errorf("core: start must be a time of day, got %v", start)
+		return xerr.Markf(xerr.KindInvalid, "core: start must be a time of day, got %v", start)
 	}
 	return nil
 }

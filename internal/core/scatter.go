@@ -2,11 +2,11 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"time"
 
 	"streach/internal/bitset"
 	"streach/internal/roadnet"
+	"streach/internal/xerr"
 )
 
 // This file is the SharedPlan's scatter-gather surface: the hooks a
@@ -66,13 +66,13 @@ func (p *SharedPlan) Starts() []roadnet.SegmentID {
 // disjoint (each position is written once).
 func (p *SharedPlan) VerifyOn(ctx context.Context, eng *Engine, positions []int) error {
 	if p.closed {
-		return fmt.Errorf("core: VerifyOn on a closed plan")
+		return xerr.Markf(xerr.KindInternal, "core: VerifyOn on a closed plan")
 	}
 	if !p.deferred || p.verified {
-		return fmt.Errorf("core: VerifyOn needs a deferred, unsealed plan")
+		return xerr.Markf(xerr.KindInternal, "core: VerifyOn needs a deferred, unsealed plan")
 	}
 	if p.kind == planSequential {
-		return fmt.Errorf("core: VerifyOn on a sequential plan; verify its children")
+		return xerr.Markf(xerr.KindInternal, "core: VerifyOn on a sequential plan; verify its children")
 	}
 	if len(positions) == 0 {
 		return nil
@@ -133,13 +133,13 @@ func (p *SharedPlan) PartialAt(ctx context.Context, prob float64, owned bitset.S
 		return nil, err
 	}
 	if p.closed {
-		return nil, fmt.Errorf("core: PartialAt on a closed plan")
+		return nil, xerr.Markf(xerr.KindInternal, "core: PartialAt on a closed plan")
 	}
 	if p.deferred && !p.verified {
-		return nil, fmt.Errorf("core: PartialAt on a deferred plan before FinishVerification")
+		return nil, xerr.Markf(xerr.KindInternal, "core: PartialAt on a deferred plan before FinishVerification")
 	}
 	if p.lazy {
-		return nil, fmt.Errorf("core: PartialAt on an EarlyStop plan (lazy verification has no partial form)")
+		return nil, xerr.Markf(xerr.KindInternal, "core: PartialAt on an EarlyStop plan (lazy verification has no partial form)")
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

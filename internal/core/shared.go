@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"sort"
 	"time"
 
@@ -10,6 +9,7 @@ import (
 	"streach/internal/roadnet"
 	"streach/internal/stindex"
 	"streach/internal/storage"
+	"streach/internal/xerr"
 )
 
 // SharedPlan is the probability-threshold-independent part of one query
@@ -151,7 +151,7 @@ func (e *Engine) PlanReach(ctx context.Context, q Query, opts ...PlanOption) (*S
 	}
 	r0, ok := e.st.SnapLocation(q.Location)
 	if !ok {
-		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
+		return nil, xerr.Markf(xerr.KindInvalid, "core: no road segment near %v", q.Location)
 	}
 	p := e.newSharedPlan(planBounded)
 	p.starts = []roadnet.SegmentID{r0}
@@ -169,14 +169,14 @@ func (e *Engine) PlanMulti(ctx context.Context, q MultiQuery, opts ...PlanOption
 		return nil, err
 	}
 	if len(q.Locations) == 0 {
-		return nil, fmt.Errorf("core: m-query needs at least one location")
+		return nil, xerr.Markf(xerr.KindInvalid, "core: m-query needs at least one location")
 	}
 	starts := make([]roadnet.SegmentID, 0, len(q.Locations))
 	seen := map[roadnet.SegmentID]bool{}
 	for _, loc := range q.Locations {
 		r0, ok := e.st.SnapLocation(loc)
 		if !ok {
-			return nil, fmt.Errorf("core: no road segment near %v", loc)
+			return nil, xerr.Markf(xerr.KindInvalid, "core: no road segment near %v", loc)
 		}
 		if !seen[r0] {
 			seen[r0] = true
@@ -199,7 +199,7 @@ func (e *Engine) PlanMultiSequential(ctx context.Context, q MultiQuery, opts ...
 		return nil, err
 	}
 	if len(q.Locations) == 0 {
-		return nil, fmt.Errorf("core: m-query needs at least one location")
+		return nil, xerr.Markf(xerr.KindInvalid, "core: m-query needs at least one location")
 	}
 	cfg := resolvePlanConfig(opts)
 	p := e.newSharedPlan(planSequential)
@@ -233,7 +233,7 @@ func (e *Engine) PlanReverse(ctx context.Context, q Query, opts ...PlanOption) (
 	}
 	dst, ok := e.st.SnapLocation(q.Location)
 	if !ok {
-		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
+		return nil, xerr.Markf(xerr.KindInvalid, "core: no road segment near %v", q.Location)
 	}
 	cfg := resolvePlanConfig(opts)
 	p := e.newSharedPlan(planBounded)
@@ -300,7 +300,7 @@ func (e *Engine) PlanReachES(ctx context.Context, q Query, opts ...PlanOption) (
 	}
 	r0, ok := e.st.SnapLocation(q.Location)
 	if !ok {
-		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
+		return nil, xerr.Markf(xerr.KindInvalid, "core: no road segment near %v", q.Location)
 	}
 	cfg := resolvePlanConfig(opts)
 	p := e.newSharedPlan(planExhaustive)
@@ -356,7 +356,7 @@ func (e *Engine) PlanReverseES(ctx context.Context, q Query, opts ...PlanOption)
 	}
 	dst, ok := e.st.SnapLocation(q.Location)
 	if !ok {
-		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
+		return nil, xerr.Markf(xerr.KindInvalid, "core: no road segment near %v", q.Location)
 	}
 	cfg := resolvePlanConfig(opts)
 	p := e.newSharedPlan(planExhaustive)
@@ -484,10 +484,10 @@ func (p *SharedPlan) ResultAt(ctx context.Context, prob float64) (*Result, error
 		return nil, err
 	}
 	if p.closed {
-		return nil, fmt.Errorf("core: ResultAt on a closed plan")
+		return nil, xerr.Markf(xerr.KindInternal, "core: ResultAt on a closed plan")
 	}
 	if p.deferred && !p.verified {
-		return nil, fmt.Errorf("core: ResultAt on a deferred plan before FinishVerification")
+		return nil, xerr.Markf(xerr.KindInternal, "core: ResultAt on a deferred plan before FinishVerification")
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -2,13 +2,13 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"math/bits"
 	"time"
 
 	"streach/internal/bitset"
 	"streach/internal/conindex"
 	"streach/internal/roadnet"
+	"streach/internal/xerr"
 )
 
 // region is a bounding region over a fixed-size network, held in two
@@ -202,7 +202,7 @@ func (e *Engine) MaxBoundingRegion(ctx context.Context, q Query) ([]roadnet.Segm
 	}
 	r0, ok := e.st.SnapLocation(q.Location)
 	if !ok {
-		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
+		return nil, xerr.Markf(xerr.KindInvalid, "core: no road segment near %v", q.Location)
 	}
 	reg, err := e.boundingRegion(ctx, []roadnet.SegmentID{r0}, q.Start, q.Duration, true)
 	if err != nil {
@@ -220,7 +220,7 @@ func (e *Engine) MinBoundingRegion(ctx context.Context, q Query) ([]roadnet.Segm
 	}
 	r0, ok := e.st.SnapLocation(q.Location)
 	if !ok {
-		return nil, fmt.Errorf("core: no road segment near %v", q.Location)
+		return nil, xerr.Markf(xerr.KindInvalid, "core: no road segment near %v", q.Location)
 	}
 	reg, err := e.boundingRegion(ctx, []roadnet.SegmentID{r0}, q.Start, q.Duration, false)
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log"
 	"math"
 	"net/http"
 	"strconv"
@@ -50,6 +51,10 @@ type Config struct {
 	// Retry-After header instead of queueing behind a saturated engine.
 	// 0 means the default (64); negative disables admission control.
 	MaxInFlight int
+	// AccessLog, when set, receives one line per request (method, URI,
+	// status, latency, request ID) plus panic reports. nil disables
+	// access logging.
+	AccessLog *log.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -98,7 +103,8 @@ func New(sys *streach.System, cfg Config) *Server {
 	return s
 }
 
-// Handler returns the route table.
+// Handler returns the route table, wrapped in the request-ID /
+// access-log / panic-recovery middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -107,7 +113,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/v1/reach", s.handleReach)
 	mux.HandleFunc("/v1/route", s.handleRoute)
-	return mux
+	return s.middleware(mux)
 }
 
 // acquire claims an admission slot; false means the server is saturated.
@@ -142,7 +148,7 @@ func (s *Server) reject(w http.ResponseWriter) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.sys.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":       "ok",
 		"segments":     st.Segments,
 		"road_km":      st.RoadKm,
@@ -150,7 +156,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"days":         st.Days,
 		"slot_seconds": st.SlotSeconds,
 		"shards":       s.sys.Shards(),
-	})
+	}
+	// On a sharded system the probe also reports per-shard failure
+	// state, so a cluster running degraded (injected fault, repeated
+	// scatter failures) is visible before it costs a query.
+	if hs := s.sys.ShardHealth(); hs != nil {
+		degraded := false
+		shardStates := make([]map[string]any, len(hs))
+		for i, h := range hs {
+			if h.Degraded() {
+				degraded = true
+			}
+			shardStates[i] = map[string]any{
+				"shard":      h.Shard,
+				"failures":   h.Failures,
+				"last_error": h.LastError,
+				"fault":      h.Fault,
+				"degraded":   h.Degraded(),
+			}
+		}
+		resp["degraded"] = degraded
+		resp["shard_health"] = shardStates
+		if degraded {
+			resp["status"] = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -203,30 +234,60 @@ func (s *Server) recordError(status int) {
 	s.vars.Add("errors_"+strconv.Itoa(status), 1)
 }
 
-// httpError maps a query failure to an HTTP status.
-func (s *Server) httpError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
+// statusOf maps a query failure to an HTTP status: context sentinels
+// and the location-snap miss first (a missing road is 404, not the 400
+// its InvalidRequest marking would suggest), then the typed streach
+// error taxonomy, then the legacy message heuristics for errors that
+// predate it.
+func statusOf(err error) int {
 	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		// The client went away; the status is for the log line only.
-		status = 499
+		return 499
 	case strings.Contains(err.Error(), "no road"):
-		status = http.StatusNotFound
+		return http.StatusNotFound
+	}
+	switch streach.CodeOf(err) {
+	case streach.InvalidRequest:
+		return http.StatusBadRequest
+	case streach.Timeout:
+		return http.StatusGatewayTimeout
+	case streach.Overloaded:
+		return http.StatusTooManyRequests
+	case streach.ShardFailure:
+		return http.StatusBadGateway
+	case streach.CorruptData, streach.Internal:
+		return http.StatusInternalServerError
+	}
+	switch {
 	case strings.Contains(err.Error(), "must be"),
 		strings.Contains(err.Error(), "needs"),
 		strings.Contains(err.Error(), "does not answer"),
 		strings.Contains(err.Error(), "has no multi-location"):
-		status = http.StatusBadRequest
+		return http.StatusBadRequest
 	}
-	s.recordError(status)
-	writeJSON(w, status, map[string]any{"error": err.Error()})
+	return http.StatusInternalServerError
 }
 
-func (s *Server) badRequest(w http.ResponseWriter, format string, args ...any) {
+// httpError answers a failed query: typed status, and an error body
+// carrying the machine-readable code and the request ID.
+func (s *Server) httpError(w http.ResponseWriter, r *http.Request, err error) {
+	status := statusOf(err)
+	s.recordError(status)
+	writeJSON(w, status, map[string]any{
+		"error":      err.Error(),
+		"code":       streach.CodeOf(err).String(),
+		"request_id": RequestID(r.Context()),
+	})
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, r *http.Request, format string, args ...any) {
 	s.recordError(http.StatusBadRequest)
-	writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf(format, args...)})
+	writeJSON(w, http.StatusBadRequest, map[string]any{
+		"error":      fmt.Sprintf(format, args...),
+		"code":       streach.InvalidRequest.String(),
+		"request_id": RequestID(r.Context()),
+	})
 }
 
 // queryCtx derives the per-request deadline context: the default server
@@ -265,6 +326,7 @@ type reachPayload struct {
 	Prob      float64            `json:"prob"`
 	Algorithm string             `json:"algorithm"`
 	Reverse   bool               `json:"reverse"`
+	Partial   bool               `json:"partial"`
 }
 
 // handleReach answers reachability queries. GET parameters (or the POST
@@ -281,7 +343,7 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 		if q.Get("lat") != "" || q.Get("lng") != "" {
 			lat, lng, err := parseFloatPair(q.Get("lat"), q.Get("lng"))
 			if err != nil {
-				s.badRequest(w, "%v", err)
+				s.badRequest(w, r, "%v", err)
 				return
 			}
 			p.Lat, p.Lng = &lat, &lng
@@ -291,7 +353,7 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 		if v := q.Get("prob"); v != "" {
 			var err error
 			if p.Prob, err = strconv.ParseFloat(v, 64); err != nil {
-				s.badRequest(w, "bad prob %q", v)
+				s.badRequest(w, r, "bad prob %q", v)
 				return
 			}
 		}
@@ -299,9 +361,10 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 			p.Algorithm = q.Get("algorithm")
 		}
 		p.Reverse = q.Get("reverse") == "true" || q.Get("reverse") == "1"
+		p.Partial = q.Get("partial") == "true" || q.Get("partial") == "1"
 	case http.MethodPost:
 		if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
-			s.badRequest(w, "bad JSON body: %v", err)
+			s.badRequest(w, r, "bad JSON body: %v", err)
 			return
 		}
 	default:
@@ -313,12 +376,12 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 
 	start, err := parseDurationDefault(p.Start, 11*time.Hour)
 	if err != nil {
-		s.badRequest(w, "bad start: %v", err)
+		s.badRequest(w, r, "bad start: %v", err)
 		return
 	}
 	dur, err := parseDurationDefault(p.Duration, 10*time.Minute)
 	if err != nil {
-		s.badRequest(w, "bad dur: %v", err)
+		s.badRequest(w, r, "bad dur: %v", err)
 		return
 	}
 	if p.Prob == 0 {
@@ -339,7 +402,7 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 		req.Kind = streach.KindReach
 		req.Locations = []streach.Location{{Lat: *p.Lat, Lng: *p.Lng}}
 	case p.Lat != nil || p.Lng != nil:
-		s.badRequest(w, "lat/lng must be given together")
+		s.badRequest(w, r, "lat/lng must be given together")
 		return
 	default:
 		// No location given: query the busiest segment at the start time.
@@ -348,7 +411,7 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 	}
 	if p.Reverse {
 		if req.Kind == streach.KindMulti {
-			s.badRequest(w, "reverse multi-location queries are not supported")
+			s.badRequest(w, r, "reverse multi-location queries are not supported")
 			return
 		}
 		req.Kind = streach.KindReverse
@@ -359,15 +422,18 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 	if p.Algorithm != "" {
 		alg, err := parseAlgorithm(p.Algorithm)
 		if err != nil {
-			s.badRequest(w, "%v", err)
+			s.badRequest(w, r, "%v", err)
 			return
 		}
 		opts = append(opts, streach.WithAlgorithm(alg))
 	}
+	if p.Partial {
+		opts = append(opts, streach.WithPartialResults(true))
+	}
 
 	ctx, cancel, err := s.queryCtx(r)
 	if err != nil {
-		s.badRequest(w, "%v", err)
+		s.badRequest(w, r, "%v", err)
 		return
 	}
 	defer cancel()
@@ -379,11 +445,11 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 
 	began := time.Now()
-	region, shared, err := s.flights.do(ctx, s.coalesceKey(req, p.Algorithm), func() (*streach.Region, error) {
+	region, shared, err := s.flights.do(ctx, s.coalesceKey(req, p.Algorithm, p.Partial), func() (*streach.Region, error) {
 		return s.sys.Do(ctx, req, opts...)
 	})
 	if err != nil {
-		s.httpError(w, err)
+		s.httpError(w, r, err)
 		return
 	}
 	if shared {
@@ -396,7 +462,7 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 	if wantsGeoJSON(r) {
 		gj, err := region.GeoJSON()
 		if err != nil {
-			s.httpError(w, err)
+			s.httpError(w, r, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/geo+json")
@@ -418,29 +484,29 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 	}
 	q := r.URL.Query()
 	if q.Get("from_lat") == "" || q.Get("to_lat") == "" {
-		s.badRequest(w, "route needs from_lat/from_lng and to_lat/to_lng")
+		s.badRequest(w, r, "route needs from_lat/from_lng and to_lat/to_lng")
 		return
 	}
 	fromLat, fromLng, err := parseFloatPair(q.Get("from_lat"), q.Get("from_lng"))
 	if err != nil {
-		s.badRequest(w, "from: %v", err)
+		s.badRequest(w, r, "from: %v", err)
 		return
 	}
 	toLat, toLng, err := parseFloatPair(q.Get("to_lat"), q.Get("to_lng"))
 	if err != nil {
-		s.badRequest(w, "to: %v", err)
+		s.badRequest(w, r, "to: %v", err)
 		return
 	}
 	depart, err := parseDurationDefault(q.Get("depart"), 8*time.Hour)
 	if err != nil {
-		s.badRequest(w, "bad depart: %v", err)
+		s.badRequest(w, r, "bad depart: %v", err)
 		return
 	}
 	var opts []streach.Option
 	if alg := q.Get("alg"); alg != "" {
 		a, err := parseAlgorithm(alg)
 		if err != nil {
-			s.badRequest(w, "%v", err)
+			s.badRequest(w, r, "%v", err)
 			return
 		}
 		opts = append(opts, streach.WithAlgorithm(a))
@@ -448,7 +514,7 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel, err := s.queryCtx(r)
 	if err != nil {
-		s.badRequest(w, "%v", err)
+		s.badRequest(w, r, "%v", err)
 		return
 	}
 	defer cancel()
@@ -465,11 +531,11 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		depart,
 	)
 	began := time.Now()
-	region, shared, err := s.flights.do(ctx, s.coalesceKey(req, q.Get("alg")), func() (*streach.Region, error) {
+	region, shared, err := s.flights.do(ctx, s.coalesceKey(req, q.Get("alg"), false), func() (*streach.Region, error) {
 		return s.sys.Do(ctx, req, opts...)
 	})
 	if err != nil {
-		s.httpError(w, err)
+		s.httpError(w, r, err)
 		return
 	}
 	if shared {
@@ -496,9 +562,9 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 // today (HTTP exposes no per-query ablation toggles), but folding them
 // in keeps the key honest if that ever changes, exactly as the group-key
 // fix did for batches.
-func (s *Server) coalesceKey(req streach.Request, alg string) string {
+func (s *Server) coalesceKey(req streach.Request, alg string, partial bool) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d|%s|%s|%d|%d|%x", int(req.Kind), strings.ToLower(alg),
+	fmt.Fprintf(&b, "%d|%s|%t|%s|%d|%d|%x", int(req.Kind), strings.ToLower(alg), partial,
 		streach.OptionKeyBits(s.sys.Engine().Options()),
 		req.Start, req.Duration, math.Float64bits(req.Prob))
 	for _, l := range req.Locations {
@@ -508,9 +574,11 @@ func (s *Server) coalesceKey(req streach.Request, alg string) string {
 }
 
 // regionResponse is the default JSON shape of a reachability answer.
+// A partial-results answer additionally carries "degraded": true with
+// the missing shards and the coverage fraction.
 func regionResponse(region *streach.Region) map[string]any {
 	m := region.Metrics
-	return map[string]any{
+	resp := map[string]any{
 		"segments":      region.SegmentIDs,
 		"probabilities": region.Probabilities,
 		"road_km":       region.RoadKm,
@@ -526,6 +594,12 @@ func regionResponse(region *streach.Region) map[string]any {
 			"road_segments": m.RoadSegments,
 		},
 	}
+	if d := region.Degraded; d != nil {
+		resp["degraded"] = true
+		resp["missing_shards"] = d.MissingShards
+		resp["coverage"] = d.Coverage
+	}
+	return resp
 }
 
 func wantsGeoJSON(r *http.Request) bool {

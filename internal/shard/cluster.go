@@ -2,8 +2,10 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +13,7 @@ import (
 	"streach/internal/conindex"
 	"streach/internal/core"
 	"streach/internal/stindex"
+	"streach/internal/xerr"
 )
 
 // Cluster owns one core.Engine per shard over shard-local index slices
@@ -40,6 +43,10 @@ type Cluster struct {
 	numSlots  int
 	opts      core.Options
 	m         *metrics
+	faults    *faultTable   // injected per-shard faults (shared by views)
+	hlth      *healthTable  // per-shard failure records (shared by views)
+	partial   bool          // degrade instead of failing (view-local)
+	budget    time.Duration // per-shard scatter/gather bound (view-local)
 }
 
 // metrics holds the cluster's per-shard activity counters, shared by
@@ -90,6 +97,8 @@ func NewCluster(st *stindex.Index, con *conindex.Index, opts core.Options, k int
 			verified: make([]atomic.Int64, k),
 			verifyNS: make([]atomic.Int64, k),
 		},
+		faults: newFaultTable(),
+		hlth:   newHealthTable(k),
 	}
 	for sh := 0; sh < k; sh++ {
 		c.conSlices[sh] = con.Slice(sh, part.Owned(sh))
@@ -151,6 +160,20 @@ func (c *Cluster) Stats() []Stats {
 func (c *Cluster) PlansSharded() int64  { return c.m.plans.Load() }
 func (c *Cluster) PlansFallback() int64 { return c.m.fallback.Load() }
 
+// ScratchStats snapshots the scratch-pool counters of the planner
+// (index 0 — shared with the base engine it is a view of) and every
+// shard engine (index 1..k). With no query in flight each snapshot must
+// be Balanced(), including after a shard failed or panicked mid-query;
+// an imbalance is a leaked pooled region or bitset on some error path.
+func (c *Cluster) ScratchStats() []core.ScratchStats {
+	out := make([]core.ScratchStats, 0, 1+len(c.engines))
+	out = append(out, c.planner.ScratchStats())
+	for _, e := range c.engines {
+		out = append(out, e.ScratchStats())
+	}
+	return out
+}
+
 // Plan is a sharded (or, for lazy policies, planner-local) shared plan;
 // it satisfies the same plan surface the facade uses for single-engine
 // execution, with ResultAt running the gather step.
@@ -158,6 +181,13 @@ type Plan struct {
 	c       *Cluster
 	p       *core.SharedPlan
 	sharded bool
+	// failed holds the shards lost at scatter time (partial-results mode
+	// only; fail-fast scatters never produce a plan with losses).
+	failed []*ShardError
+	// degraded describes the loss behind the most recent ResultAt, nil
+	// when the answer was complete. Plans are single-goroutine by the
+	// facade's ownership contract, so a plain field suffices.
+	degraded *Degraded
 }
 
 // plan builds one deferred plan via build, scatter-verifies it, and
@@ -178,12 +208,13 @@ func (c *Cluster) plan(ctx context.Context, build func(opts ...core.PlanOption) 
 	if err != nil {
 		return nil, err
 	}
-	if err := c.scatter(ctx, p); err != nil {
+	failed, err := c.scatter(ctx, p)
+	if err != nil {
 		p.Close()
 		return nil, err
 	}
 	c.m.plans.Add(1)
-	return &Plan{c: c, p: p, sharded: true}, nil
+	return &Plan{c: c, p: p, sharded: true, failed: failed}, nil
 }
 
 // PlanReach plans a forward s-query across the shards.
@@ -231,14 +262,53 @@ func (c *Cluster) PlanReverseES(ctx context.Context, q core.Query) (*Plan, error
 
 // scatter ships the plan to the shards: every leaf plan's candidates are
 // routed to their owners, each shard verifies its positions on its own
-// engine concurrently, and the plan is sealed.
-func (c *Cluster) scatter(ctx context.Context, p *core.SharedPlan) error {
+// engine concurrently, and the plan is sealed. A shard worker that
+// errors, panics, or overruns the per-shard budget becomes a
+// ShardError: in default (fail-fast) mode the first one cancels the
+// surviving workers and fails the scatter with a typed error; in
+// partial-results mode the loss is recorded and the surviving shards'
+// work still seals the plan, returning the failures for the gather step
+// to skip.
+func (c *Cluster) scatter(ctx context.Context, p *core.SharedPlan) ([]*ShardError, error) {
 	began := time.Now()
 	leaves := []*core.SharedPlan{p}
 	if kids := p.Children(); len(kids) > 0 {
 		leaves = kids
 	}
+	// scatterCtx cancels the surviving workers once a failure has already
+	// decided the query's fate (fail-fast mode only).
+	scatterCtx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+	var (
+		mu      sync.Mutex
+		failed  []*ShardError
+		failSet = map[int]bool{}
+	)
+	// record classifies one worker error: collateral cancellations (the
+	// caller's context ended, or fail-fast already cancelled the scatter)
+	// are not the shard's failure and return nil; genuine failures are
+	// recorded against the shard's health, once per scatter.
+	record := func(sh int, err error) *ShardError {
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			return nil
+		}
+		if errors.Is(err, context.Canceled) && scatterCtx.Err() != nil {
+			return nil
+		}
+		se := &ShardError{Shard: sh, Err: err}
+		c.hlth.record(sh, se)
+		mu.Lock()
+		defer mu.Unlock()
+		if !failSet[sh] {
+			failSet[sh] = true
+			failed = append(failed, se)
+		}
+		return se
+	}
 	for _, leaf := range leaves {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if !leaf.Deferred() {
 			continue
 		}
@@ -266,15 +336,17 @@ func (c *Cluster) scatter(ctx context.Context, p *core.SharedPlan) error {
 			// No parallelism to win: verify the shards inline and skip the
 			// goroutine fan-out (keeps single-CPU overhead down).
 			for sh, pos := range positions {
-				if len(pos) == 0 {
+				if len(pos) == 0 || failSet[sh] {
 					continue
 				}
-				t0 := time.Now()
-				if err := leaf.VerifyOn(ctx, c.engines[sh], pos); err != nil {
-					return err
+				if err := c.verifyShard(scatterCtx, leaf, sh, c.engines[sh], pos); err != nil {
+					if se := record(sh, err); se != nil && !c.partial {
+						return nil, shardFailure(ctx, se)
+					}
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
 				}
-				c.m.verified[sh].Add(int64(len(pos)))
-				c.m.verifyNS[sh].Add(time.Since(t0).Nanoseconds())
 			}
 			continue
 		}
@@ -284,10 +356,13 @@ func (c *Cluster) scatter(ctx context.Context, p *core.SharedPlan) error {
 		// the CPUs k-fold over what unsharded verification uses. Worker
 		// count never changes results, only cost.
 		active := 0
-		for _, pos := range positions {
-			if len(pos) > 0 {
+		for sh, pos := range positions {
+			if len(pos) > 0 && !failSet[sh] {
 				active++
 			}
+		}
+		if active == 0 {
+			continue
 		}
 		budget := c.opts.VerifyWorkers
 		if budget <= 0 {
@@ -300,33 +375,97 @@ func (c *Cluster) scatter(ctx context.Context, p *core.SharedPlan) error {
 		shardOpts := c.opts
 		shardOpts.VerifyWorkers = perShard
 		var (
-			wg      sync.WaitGroup
-			errOnce sync.Once
-			firstEr error
+			wg    sync.WaitGroup
+			once  sync.Once
+			fatal *ShardError
 		)
 		for sh, pos := range positions {
-			if len(pos) == 0 {
+			if len(pos) == 0 || failSet[sh] {
 				continue
 			}
 			wg.Add(1)
 			go func(sh int, pos []int) {
 				defer wg.Done()
-				t0 := time.Now()
-				if err := leaf.VerifyOn(ctx, c.engines[sh].WithOptions(shardOpts), pos); err != nil {
-					errOnce.Do(func() { firstEr = err })
-					return
+				if err := c.verifyShard(scatterCtx, leaf, sh, c.engines[sh].WithOptions(shardOpts), pos); err != nil {
+					if se := record(sh, err); se != nil && !c.partial {
+						once.Do(func() {
+							fatal = se
+							cancelAll() // fail fast: stop the surviving workers
+						})
+					}
 				}
-				c.m.verified[sh].Add(int64(len(pos)))
-				c.m.verifyNS[sh].Add(time.Since(t0).Nanoseconds())
 			}(sh, pos)
 		}
 		wg.Wait()
-		if firstEr != nil {
-			return firstEr
+		if fatal != nil {
+			return nil, shardFailure(ctx, fatal)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 	}
+	if c.partial && len(failed) == c.part.Shards() {
+		return nil, xerr.Mark(xerr.KindShardFailure,
+			fmt.Errorf("shard: all %d shards failed: %w", len(failed), failed[0]))
+	}
+	sort.Slice(failed, func(i, j int) bool { return failed[i].Shard < failed[j].Shard })
 	p.FinishVerification(time.Since(began))
+	return failed, nil
+}
+
+// verifyShard runs one shard's verification slice with the cluster's
+// failure policy applied: the shard's injected fault (if any) fires
+// first, the per-shard budget bounds the work, and a panic anywhere
+// inside verification is recovered into an error.
+func (c *Cluster) verifyShard(ctx context.Context, leaf *core.SharedPlan, sh int, eng *core.Engine, pos []int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if c.budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.budget)
+		defer cancel()
+	}
+	if err := c.injectedFault(ctx, sh); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if err := leaf.VerifyOn(ctx, eng, pos); err != nil {
+		return err
+	}
+	c.m.verified[sh].Add(int64(len(pos)))
+	c.m.verifyNS[sh].Add(time.Since(t0).Nanoseconds())
 	return nil
+}
+
+// injectedFault fires the shard's injected fault, if any.
+func (c *Cluster) injectedFault(ctx context.Context, sh int) error {
+	switch c.faults.get(sh) {
+	case FaultError:
+		return errors.New("injected shard fault")
+	case FaultPanic:
+		panic(fmt.Sprintf("injected shard panic (shard %d)", sh))
+	case FaultHang:
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	return nil
+}
+
+// shardFailure types one fatal shard error for the facade: a budget
+// expiry surfaces as a timeout, everything else as a shard failure. A
+// caller context that has itself ended wins — that is not the shard's
+// fault — and stays a bare context error.
+func shardFailure(ctx context.Context, se *ShardError) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if errors.Is(se.Err, context.DeadlineExceeded) {
+		return xerr.Mark(xerr.KindTimeout, se)
+	}
+	return xerr.Mark(xerr.KindShardFailure, se)
 }
 
 // ResultAt runs the gather step for one probability threshold: one
@@ -334,6 +473,12 @@ func (c *Cluster) scatter(ctx context.Context, p *core.SharedPlan) error {
 // stamped by the plan's Finalize — bit-identical to ResultAt on an
 // unsharded engine. Lazy (EarlyStop) plans answer directly from the
 // planner.
+//
+// Shards lost at scatter time are skipped, and a shard failing its
+// gather step (error, recovered panic, injected fault, budget expiry)
+// is — in partial-results mode — added to the loss; either way the
+// surviving partials merge and the loss is reported via Degraded. In
+// fail-fast mode a gather failure fails the query with a typed error.
 func (pl *Plan) ResultAt(ctx context.Context, prob float64) (*core.Result, error) {
 	if !pl.sharded {
 		return pl.p.ResultAt(ctx, prob)
@@ -341,18 +486,87 @@ func (pl *Plan) ResultAt(ctx context.Context, prob float64) (*core.Result, error
 	if err := core.ValidateProb(prob); err != nil {
 		return nil, err
 	}
-	parts := make([]*core.Result, pl.c.part.Shards())
-	for sh := range parts {
-		part, err := pl.p.PartialAt(ctx, prob, pl.c.part.Owned(sh))
-		if err != nil {
-			return nil, err
+	pl.degraded = nil
+	k := pl.c.part.Shards()
+	missing := append([]*ShardError(nil), pl.failed...)
+	failSet := make(map[int]bool, len(missing))
+	for _, se := range missing {
+		failSet[se.Shard] = true
+	}
+	parts := make([]*core.Result, 0, k)
+	for sh := 0; sh < k; sh++ {
+		if failSet[sh] {
+			continue
 		}
-		parts[sh] = part
+		part, err := pl.partialOn(ctx, sh, prob)
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+				return nil, ctxErr
+			}
+			se := &ShardError{Shard: sh, Err: err}
+			pl.c.hlth.record(sh, se)
+			if !pl.c.partial {
+				return nil, shardFailure(ctx, se)
+			}
+			failSet[sh] = true
+			missing = append(missing, se)
+			continue
+		}
+		parts = append(parts, part)
+	}
+	if len(parts) == 0 {
+		err := errors.New("shard: no shard answered")
+		if len(missing) > 0 {
+			err = fmt.Errorf("shard: no shard answered: %w", missing[0])
+		}
+		return nil, xerr.Mark(xerr.KindShardFailure, err)
 	}
 	res := core.MergeRegions(true, parts...)
 	pl.p.Finalize(res)
+	if len(missing) > 0 {
+		sort.Slice(missing, func(i, j int) bool { return missing[i].Shard < missing[j].Shard })
+		d := &Degraded{Failures: missing}
+		owned, total := 0, 0
+		for sh := 0; sh < k; sh++ {
+			total += pl.c.part.Size(sh)
+			if failSet[sh] {
+				d.MissingShards = append(d.MissingShards, sh)
+			} else {
+				owned += pl.c.part.Size(sh)
+			}
+		}
+		if total > 0 {
+			d.Coverage = float64(owned) / float64(total)
+		}
+		pl.degraded = d
+	}
 	return res, nil
 }
+
+// partialOn gathers one shard's partial with the cluster's failure
+// policy applied: injected fault first, per-shard budget, panic
+// recovery.
+func (pl *Plan) partialOn(ctx context.Context, sh int, prob float64) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if pl.c.budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, pl.c.budget)
+		defer cancel()
+	}
+	if err := pl.c.injectedFault(ctx, sh); err != nil {
+		return nil, err
+	}
+	return pl.p.PartialAt(ctx, prob, pl.c.part.Owned(sh))
+}
+
+// Degraded reports the loss behind the plan's most recent ResultAt: nil
+// for a complete answer, else the missing shards and surviving
+// ownership coverage. The facade surfaces it on the result.
+func (pl *Plan) Degraded() *Degraded { return pl.degraded }
 
 // RowStats reports the plan's row-source activity (see
 // core.SharedPlan.RowStats).

@@ -1,0 +1,198 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultKind selects how an injected shard fault manifests — the three
+// failure shapes a real shard process exhibits.
+type FaultKind int
+
+const (
+	// FaultNone clears injection for the shard.
+	FaultNone FaultKind = iota
+	// FaultError makes the shard's verify/gather steps return an error.
+	FaultError
+	// FaultPanic makes them panic (recovered into a typed error).
+	FaultPanic
+	// FaultHang makes them block until their context is done — the
+	// slow-shard shape a per-shard budget is meant to bound.
+	FaultHang
+)
+
+// String names the kind (chaos-flag keyword).
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultError:
+		return "error"
+	case FaultPanic:
+		return "panic"
+	case FaultHang:
+		return "hang"
+	}
+	return "?"
+}
+
+// ParseFaultKind parses a chaos-flag keyword.
+func ParseFaultKind(s string) (FaultKind, error) {
+	switch s {
+	case "none":
+		return FaultNone, nil
+	case "error":
+		return FaultError, nil
+	case "panic":
+		return FaultPanic, nil
+	case "hang":
+		return FaultHang, nil
+	}
+	return FaultNone, fmt.Errorf("shard: unknown fault kind %q", s)
+}
+
+// faultTable holds the injected per-shard faults, shared by every
+// cluster view. The atomic active count keeps the healthy fast path to
+// one load.
+type faultTable struct {
+	active atomic.Int32
+	mu     sync.Mutex
+	kinds  map[int]FaultKind
+}
+
+func newFaultTable() *faultTable { return &faultTable{kinds: map[int]FaultKind{}} }
+
+func (t *faultTable) get(sh int) FaultKind {
+	if t.active.Load() == 0 {
+		return FaultNone
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.kinds[sh]
+}
+
+func (t *faultTable) set(sh int, k FaultKind) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if k == FaultNone {
+		delete(t.kinds, sh)
+	} else {
+		t.kinds[sh] = k
+	}
+	t.active.Store(int32(len(t.kinds)))
+}
+
+// ShardError is one shard's failure within a scatter-gather query.
+type ShardError struct {
+	// Shard is the failing shard's ordinal.
+	Shard int
+	// Err is the underlying cause (error return, recovered panic, or
+	// budget expiry).
+	Err error
+}
+
+// Error implements error.
+func (e *ShardError) Error() string { return fmt.Sprintf("shard %d: %v", e.Shard, e.Err) }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Degraded describes a partial-results answer: which shards did not
+// contribute and how much of the network the answer still covers.
+type Degraded struct {
+	// MissingShards lists the shards whose partials are absent from the
+	// merged region, ascending.
+	MissingShards []int
+	// Coverage is the fraction of network segments owned by the shards
+	// that did contribute, in [0, 1].
+	Coverage float64
+	// Failures carries the per-shard causes, parallel to MissingShards.
+	Failures []*ShardError
+}
+
+// Health is one shard's failure record.
+type Health struct {
+	// Shard is the shard ordinal.
+	Shard int
+	// Failures counts scatter/gather failures attributed to the shard.
+	Failures int64
+	// LastError is the most recent failure's message ("" when none).
+	LastError string
+	// Fault is the currently injected fault, FaultNone when healthy.
+	Fault FaultKind
+}
+
+// healthTable accumulates per-shard failure records, shared by every
+// cluster view.
+type healthTable struct {
+	failures []atomic.Int64
+	mu       sync.Mutex
+	lastErr  []string
+}
+
+func newHealthTable(k int) *healthTable {
+	return &healthTable{failures: make([]atomic.Int64, k), lastErr: make([]string, k)}
+}
+
+func (h *healthTable) record(sh int, err error) {
+	h.failures[sh].Add(1)
+	h.mu.Lock()
+	h.lastErr[sh] = err.Error()
+	h.mu.Unlock()
+}
+
+// InjectFault injects (or, with FaultNone, clears) a fault on shard sh:
+// every subsequent scatter verification and gather step touching the
+// shard fails with the given shape. Shared by all views of the cluster.
+func (c *Cluster) InjectFault(sh int, k FaultKind) error {
+	if sh < 0 || sh >= c.part.Shards() {
+		return fmt.Errorf("shard: no shard %d (cluster has %d)", sh, c.part.Shards())
+	}
+	c.faults.set(sh, k)
+	return nil
+}
+
+// Health snapshots every shard's failure record.
+func (c *Cluster) Health() []Health {
+	out := make([]Health, c.part.Shards())
+	c.hlth.mu.Lock()
+	defer c.hlth.mu.Unlock()
+	for sh := range out {
+		out[sh] = Health{
+			Shard:     sh,
+			Failures:  c.hlth.failures[sh].Load(),
+			LastError: c.hlth.lastErr[sh],
+			Fault:     c.faults.get(sh),
+		}
+	}
+	return out
+}
+
+// WithPartialResults returns a cluster view that degrades instead of
+// failing: scatter-gather queries on the view tolerate shard failures,
+// merging the surviving shards' partials and reporting the loss as
+// Degraded metadata on the plan. The partition, engines, metrics,
+// faults, and health are shared with the receiver.
+func (c *Cluster) WithPartialResults(on bool) *Cluster {
+	if c.partial == on {
+		return c
+	}
+	nc := *c
+	nc.partial = on
+	return &nc
+}
+
+// WithShardBudget returns a cluster view whose per-shard scatter work
+// is bounded by d: a shard that does not finish verifying inside d is
+// treated as failed (timeout), instead of stalling the whole query.
+// Zero removes the bound.
+func (c *Cluster) WithShardBudget(d time.Duration) *Cluster {
+	if c.budget == d {
+		return c
+	}
+	nc := *c
+	nc.budget = d
+	return &nc
+}

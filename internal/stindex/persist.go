@@ -10,6 +10,7 @@ import (
 	"streach/internal/btree"
 	"streach/internal/roadnet"
 	"streach/internal/storage"
+	"streach/internal/xerr"
 )
 
 // Index persistence: the time-list blobs already live in the page store
@@ -22,38 +23,68 @@ import (
 //
 //	magic "STIX" | version u16 | slotSec u32 | days u32 |
 //	baseDate unix s i64 | numSegments u32 | blob tail i64 |
-//	numHandles u32 | numHandles x (offset i64, length i32)
+//	pagesCRC u32 (v3+) |
+//	numHandles u32 | numHandles x (offset i64, length i32) |
+//	metaCRC u32 (v3+, CRC-32C of every preceding byte incl. magic)
 
 // Version history: v1 indexes hold sorted-ID time-list blobs, v2 indexes
 // hold bitset blobs (bits.go). Blobs are self-tagged, so v1 indexes load
-// and decode transparently; new indexes are always saved as v2.
+// and decode transparently. v3 adds two CRC-32C checksums: pagesCRC over
+// the page store's full contents (the time-list blobs) and a trailing
+// metaCRC over the meta bytes themselves, so a flipped bit in either
+// file is detected at load instead of surfacing as a wrong answer. New
+// indexes are always saved as v3; v1/v2 metas still load (no checksums
+// to verify, but trailing garbage is rejected so a corrupted version
+// field cannot silently downgrade a v3 file).
 const (
 	metaMagic      = "STIX"
-	metaVersion    = 2
+	metaVersion    = 3
 	metaVersionMin = 1
 )
+
+// PagesChecksum computes the CRC-32C of the page store's full contents,
+// read through the buffer pool so unflushed dirty pages are included —
+// exactly the bytes a flush would persist.
+func (x *Index) PagesChecksum() (uint32, error) {
+	h := storage.NewChecksum()
+	n := x.pool.NumPages()
+	for id := storage.PageID(0); int64(id) < n; id++ {
+		page, err := x.pool.GetPage(id)
+		if err != nil {
+			return 0, fmt.Errorf("stindex: checksum page %d: %w", id, err)
+		}
+		h.Write(page)
+	}
+	return h.Sum32(), nil
+}
 
 // SaveMeta writes the index metadata. The page store must be flushed (or
 // the index Closed) separately for the blobs to be durable.
 func (x *Index) SaveMeta(w io.Writer) error {
+	pagesCRC, err := x.PagesChecksum()
+	if err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(metaMagic); err != nil {
+	h := storage.NewChecksum()
+	tee := io.MultiWriter(bw, h)
+	if _, err := io.WriteString(tee, metaMagic); err != nil {
 		return fmt.Errorf("stindex: write meta magic: %w", err)
 	}
 	var buf [12]byte
 	u16 := func(v uint16) error {
 		binary.LittleEndian.PutUint16(buf[:2], v)
-		_, err := bw.Write(buf[:2])
+		_, err := tee.Write(buf[:2])
 		return err
 	}
 	u32 := func(v uint32) error {
 		binary.LittleEndian.PutUint32(buf[:4], v)
-		_, err := bw.Write(buf[:4])
+		_, err := tee.Write(buf[:4])
 		return err
 	}
 	u64 := func(v uint64) error {
 		binary.LittleEndian.PutUint64(buf[:8], v)
-		_, err := bw.Write(buf[:8])
+		_, err := tee.Write(buf[:8])
 		return err
 	}
 	if err := u16(metaVersion); err != nil {
@@ -74,15 +105,24 @@ func (x *Index) SaveMeta(w io.Writer) error {
 	if err := u64(uint64(x.blob.Tail())); err != nil {
 		return err
 	}
+	if err := u32(pagesCRC); err != nil {
+		return err
+	}
 	if err := u32(uint32(len(x.handles))); err != nil {
 		return err
 	}
-	for _, h := range x.handles {
-		binary.LittleEndian.PutUint64(buf[:8], uint64(h.Offset))
-		binary.LittleEndian.PutUint32(buf[8:12], uint32(h.Length))
-		if _, err := bw.Write(buf[:12]); err != nil {
+	for _, hd := range x.handles {
+		binary.LittleEndian.PutUint64(buf[:8], uint64(hd.Offset))
+		binary.LittleEndian.PutUint32(buf[8:12], uint32(hd.Length))
+		if _, err := tee.Write(buf[:12]); err != nil {
 			return fmt.Errorf("stindex: write handle: %w", err)
 		}
+	}
+	// Trailing meta checksum, written outside the tee: it covers
+	// everything before itself.
+	binary.LittleEndian.PutUint32(buf[:4], h.Sum32())
+	if _, err := bw.Write(buf[:4]); err != nil {
+		return fmt.Errorf("stindex: write meta checksum: %w", err)
 	}
 	return bw.Flush()
 }
@@ -90,31 +130,39 @@ func (x *Index) SaveMeta(w io.Writer) error {
 // LoadIndex reopens a persisted index: net must be the same network it
 // was built over (the network is deterministic from its generator config
 // or its own codec), and cfg.Store must hold the original pages.
+//
+// v3 metas are verified end to end: the trailing meta checksum first,
+// then the page store's contents against the recorded pages checksum. A
+// mismatch returns an error (wrapped as corrupt data by the caller's
+// taxonomy) — LoadIndex never installs an index over bytes it cannot
+// vouch for.
 func LoadIndex(net *roadnet.Network, cfg Config, meta io.Reader) (*Index, error) {
 	cfg = cfg.withDefaults()
 	br := bufio.NewReader(meta)
+	h := storage.NewChecksum()
+	tee := io.TeeReader(br, h)
 	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
+	if _, err := io.ReadFull(tee, magic); err != nil {
 		return nil, fmt.Errorf("stindex: read meta magic: %w", err)
 	}
 	if string(magic) != metaMagic {
-		return nil, fmt.Errorf("stindex: bad meta magic %q", magic)
+		return nil, xerr.Markf(xerr.KindCorrupt, "stindex: bad meta magic %q", magic)
 	}
 	var buf [12]byte
 	u16 := func() (uint16, error) {
-		if _, err := io.ReadFull(br, buf[:2]); err != nil {
+		if _, err := io.ReadFull(tee, buf[:2]); err != nil {
 			return 0, err
 		}
 		return binary.LittleEndian.Uint16(buf[:2]), nil
 	}
 	u32 := func() (uint32, error) {
-		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+		if _, err := io.ReadFull(tee, buf[:4]); err != nil {
 			return 0, err
 		}
 		return binary.LittleEndian.Uint32(buf[:4]), nil
 	}
 	u64 := func() (uint64, error) {
-		if _, err := io.ReadFull(br, buf[:8]); err != nil {
+		if _, err := io.ReadFull(tee, buf[:8]); err != nil {
 			return 0, err
 		}
 		return binary.LittleEndian.Uint64(buf[:8]), nil
@@ -149,6 +197,12 @@ func LoadIndex(net *roadnet.Network, cfg Config, meta io.Reader) (*Index, error)
 	if err != nil {
 		return nil, err
 	}
+	var pagesCRC uint32
+	if ver >= 3 {
+		if pagesCRC, err = u32(); err != nil {
+			return nil, fmt.Errorf("stindex: read pages checksum: %w", err)
+		}
+	}
 	numHandles, err := u32()
 	if err != nil {
 		return nil, err
@@ -159,6 +213,34 @@ func LoadIndex(net *roadnet.Network, cfg Config, meta io.Reader) (*Index, error)
 	numSlots := 86400 / int(slotSec)
 	if int(numHandles) != numSlots*int(numSeg) {
 		return nil, fmt.Errorf("stindex: meta has %d handles, want %d", numHandles, numSlots*int(numSeg))
+	}
+
+	handles := make([]storage.BlobHandle, numHandles)
+	for i := range handles {
+		if _, err := io.ReadFull(tee, buf[:12]); err != nil {
+			return nil, fmt.Errorf("stindex: read handle %d: %w", i, err)
+		}
+		handles[i] = storage.BlobHandle{
+			Offset: int64(binary.LittleEndian.Uint64(buf[:8])),
+			Length: int32(binary.LittleEndian.Uint32(buf[8:12])),
+		}
+	}
+	if ver >= 3 {
+		// The stored checksum is read from br directly: it is not part of
+		// its own coverage.
+		want := h.Sum32()
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, fmt.Errorf("stindex: read meta checksum: %w", err)
+		}
+		if got := binary.LittleEndian.Uint32(buf[:4]); got != want {
+			return nil, xerr.Markf(xerr.KindCorrupt, "stindex: meta checksum mismatch (stored %08x, computed %08x)", got, want)
+		}
+	}
+	// Every version must end exactly here; trailing bytes mean the file
+	// is not what its version field claims (e.g. a v3 meta whose version
+	// field itself took the bit flip).
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, xerr.Markf(xerr.KindCorrupt, "stindex: trailing bytes after v%d meta", ver)
 	}
 
 	pool, err := storage.NewBufferPool(cfg.Store, cfg.PoolPages)
@@ -174,19 +256,19 @@ func LoadIndex(net *roadnet.Network, cfg Config, meta io.Reader) (*Index, error)
 		temporal: btree.New(),
 		pool:     pool,
 		blob:     storage.ReopenBlobFile(pool, int64(tail)),
-		handles:  make([]storage.BlobHandle, numHandles),
+		handles:  handles,
 		cache:    newTLCache(cfg.TimeListCache),
 	}
 	for s := 0; s < numSlots; s++ {
 		idx.temporal.Put(int64(s*int(slotSec)), int64(s))
 	}
-	for i := range idx.handles {
-		if _, err := io.ReadFull(br, buf[:12]); err != nil {
-			return nil, fmt.Errorf("stindex: read handle %d: %w", i, err)
+	if ver >= 3 {
+		got, err := idx.PagesChecksum()
+		if err != nil {
+			return nil, err
 		}
-		idx.handles[i] = storage.BlobHandle{
-			Offset: int64(binary.LittleEndian.Uint64(buf[:8])),
-			Length: int32(binary.LittleEndian.Uint32(buf[8:12])),
+		if got != pagesCRC {
+			return nil, xerr.Markf(xerr.KindCorrupt, "stindex: page store checksum mismatch (stored %08x, computed %08x)", pagesCRC, got)
 		}
 	}
 	return idx, nil

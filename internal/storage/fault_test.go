@@ -1,62 +1,18 @@
 package storage
 
 import (
+	"bytes"
 	"errors"
-	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
-// faultStore wraps a Store and fails operations once armed, exercising
-// the error paths of the buffer pool and blob file.
-type faultStore struct {
-	inner      Store
-	mu         sync.Mutex
-	failReads  bool
-	failWrites bool
-	failAllocs bool
-	opsUntil   int // ops remaining before failures arm; <0 = armed now
-}
-
-var errInjected = errors.New("injected fault")
-
-func (f *faultStore) tick() bool {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.opsUntil--
-	return f.opsUntil < 0
-}
-
-func (f *faultStore) NumPages() int64 { return f.inner.NumPages() }
-
-func (f *faultStore) Allocate() (PageID, error) {
-	if f.failAllocs && f.tick() {
-		return 0, fmt.Errorf("allocate: %w", errInjected)
-	}
-	return f.inner.Allocate()
-}
-
-func (f *faultStore) ReadPage(id PageID, buf []byte) error {
-	if f.failReads && f.tick() {
-		return fmt.Errorf("read %d: %w", id, errInjected)
-	}
-	return f.inner.ReadPage(id, buf)
-}
-
-func (f *faultStore) WritePage(id PageID, buf []byte) error {
-	if f.failWrites && f.tick() {
-		return fmt.Errorf("write %d: %w", id, errInjected)
-	}
-	return f.inner.WritePage(id, buf)
-}
-
-func (f *faultStore) Close() error { return f.inner.Close() }
-
 func TestBufferPoolPropagatesReadFault(t *testing.T) {
-	fs := &faultStore{inner: NewMemStore(), failReads: true, opsUntil: 0}
+	fs := NewFaultStore(NewMemStore(), Scenario{Rules: []FaultRule{{Op: OpRead, Mode: ModeError}}})
 	bp, _ := NewBufferPool(fs, 4)
 	id, _ := bp.Allocate()
-	if _, err := bp.GetPage(id); !errors.Is(err, errInjected) {
+	if _, err := bp.GetPage(id); !errors.Is(err, ErrInjected) {
 		t.Fatalf("GetPage error = %v, want injected fault", err)
 	}
 	// The failed page must not be cached.
@@ -66,7 +22,7 @@ func TestBufferPoolPropagatesReadFault(t *testing.T) {
 }
 
 func TestBufferPoolPropagatesEvictionWriteFault(t *testing.T) {
-	fs := &faultStore{inner: NewMemStore(), failWrites: true, opsUntil: 0}
+	fs := NewFaultStore(NewMemStore(), Scenario{Rules: []FaultRule{{Op: OpWrite, Mode: ModeError}}})
 	bp, _ := NewBufferPool(fs, 1)
 	a, _ := bp.Allocate()
 	b, _ := bp.Allocate()
@@ -75,28 +31,28 @@ func TestBufferPoolPropagatesEvictionWriteFault(t *testing.T) {
 	}
 	// Touching b forces eviction of dirty a, whose write-back fails.
 	_, err := bp.GetPage(b)
-	if !errors.Is(err, errInjected) {
+	if !errors.Is(err, ErrInjected) {
 		t.Fatalf("eviction error = %v, want injected fault", err)
 	}
 }
 
 func TestBufferPoolPropagatesFlushFault(t *testing.T) {
-	fs := &faultStore{inner: NewMemStore(), failWrites: true, opsUntil: 0}
+	fs := NewFaultStore(NewMemStore(), Scenario{Rules: []FaultRule{{Op: OpWrite, Mode: ModeError}}})
 	bp, _ := NewBufferPool(fs, 8)
 	id, _ := bp.Allocate()
 	if err := bp.WritePage(id, make([]byte, PageSize)); err != nil {
 		t.Fatal(err)
 	}
-	if err := bp.Flush(); !errors.Is(err, errInjected) {
+	if err := bp.Flush(); !errors.Is(err, ErrInjected) {
 		t.Fatalf("Flush error = %v, want injected fault", err)
 	}
 }
 
 func TestBlobFilePropagatesAllocFault(t *testing.T) {
-	fs := &faultStore{inner: NewMemStore(), failAllocs: true, opsUntil: 0}
+	fs := NewFaultStore(NewMemStore(), Scenario{Rules: []FaultRule{{Op: OpAlloc, Mode: ModeError}}})
 	bp, _ := NewBufferPool(fs, 4)
 	f := NewBlobFile(bp)
-	if _, err := f.Append([]byte("payload")); !errors.Is(err, errInjected) {
+	if _, err := f.Append([]byte("payload")); !errors.Is(err, ErrInjected) {
 		t.Fatalf("Append error = %v, want injected fault", err)
 	}
 }
@@ -104,7 +60,7 @@ func TestBlobFilePropagatesAllocFault(t *testing.T) {
 func TestBlobFileRecoversAfterTransientFault(t *testing.T) {
 	// Arm a read fault after the blobs are written, verify it surfaces,
 	// then clear it and confirm the same handles read back intact.
-	fs := &faultStore{inner: NewMemStore()}
+	fs := NewFaultStore(NewMemStore(), Scenario{})
 	bp, _ := NewBufferPool(fs, 1) // capacity 1 forces physical reads
 	f := NewBlobFile(bp)
 	h1, err := f.Append([]byte("aaaa"))
@@ -118,17 +74,15 @@ func TestBlobFileRecoversAfterTransientFault(t *testing.T) {
 	if err := bp.Invalidate(); err != nil {
 		t.Fatal(err)
 	}
-	fs.mu.Lock()
-	fs.failReads = true
-	fs.opsUntil = 0 // next physical read faults
-	fs.mu.Unlock()
-	if _, err := f.Read(h1); !errors.Is(err, errInjected) {
+	fs.Arm(FaultRule{Op: OpRead, Mode: ModeError}) // next physical read faults
+	if _, err := f.Read(h1); !errors.Is(err, ErrInjected) {
 		t.Fatalf("Read error = %v, want injected fault", err)
 	}
+	if fs.Injected() == 0 {
+		t.Fatal("Injected() should count the faulted read")
+	}
 	// Fault cleared: everything reads again, nothing was corrupted.
-	fs.mu.Lock()
-	fs.failReads = false
-	fs.mu.Unlock()
+	fs.Clear()
 	got, err := f.Read(h1)
 	if err != nil {
 		t.Fatal(err)
@@ -142,6 +96,109 @@ func TestBlobFileRecoversAfterTransientFault(t *testing.T) {
 	}
 	if len(big) != PageSize {
 		t.Fatalf("recovered big blob length = %d", len(big))
+	}
+}
+
+func TestFaultStoreArmingAndCount(t *testing.T) {
+	// read:error@2x1 — reads 1-2 pass, read 3 fails, reads 4+ pass.
+	fs := NewFaultStore(NewMemStore(), Scenario{Rules: []FaultRule{
+		{Op: OpRead, Mode: ModeError, After: 2, Count: 1},
+	}})
+	id, _ := fs.Allocate()
+	buf := make([]byte, PageSize)
+	for i, wantErr := range []bool{false, false, true, false, false} {
+		err := fs.ReadPage(id, buf)
+		if gotErr := errors.Is(err, ErrInjected); gotErr != wantErr {
+			t.Fatalf("read %d: err = %v, want injected=%v", i+1, err, wantErr)
+		}
+	}
+	if n := fs.Injected(); n != 1 {
+		t.Fatalf("Injected() = %d, want 1", n)
+	}
+}
+
+func TestFaultStoreCorruptionIsDeterministic(t *testing.T) {
+	payload := make([]byte, PageSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	readBack := func(seed int64) []byte {
+		inner := NewMemStore()
+		id, _ := inner.Allocate()
+		if err := inner.WritePage(id, payload); err != nil {
+			t.Fatal(err)
+		}
+		fs := NewFaultStore(inner, Scenario{Seed: seed, Rules: []FaultRule{
+			{Op: OpRead, Mode: ModeCorrupt, Count: 1},
+		}})
+		buf := make([]byte, PageSize)
+		if err := fs.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	a, b := readBack(7), readBack(7)
+	if bytes.Equal(a, payload) {
+		t.Fatal("corrupt read returned pristine data")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed should corrupt the same bit")
+	}
+	// Exactly one bit differs.
+	diff := 0
+	for i := range a {
+		x := a[i] ^ payload[i]
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bits, want 1", diff)
+	}
+}
+
+func TestFaultStoreLatency(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(), Scenario{Rules: []FaultRule{
+		{Op: OpRead, Mode: ModeLatency, Latency: 20 * time.Millisecond, Count: 1},
+	}})
+	id, _ := fs.Allocate()
+	buf := make([]byte, PageSize)
+	start := time.Now()
+	if err := fs.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delayed read took %v, want >= 20ms", d)
+	}
+	// Rule exhausted: second read is fast-path (no assertion on time,
+	// just that it succeeds).
+	if err := fs.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseScenario(t *testing.T) {
+	sc, err := ParseScenario("read:error@10x3,write:latency=5ms,alloc:corrupt,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Seed != 42 || len(sc.Rules) != 3 {
+		t.Fatalf("scenario = %+v", sc)
+	}
+	want := []FaultRule{
+		{Op: OpRead, Mode: ModeError, After: 10, Count: 3},
+		{Op: OpWrite, Mode: ModeLatency, Latency: 5 * time.Millisecond},
+		{Op: OpAlloc, Mode: ModeCorrupt},
+	}
+	for i, r := range sc.Rules {
+		if r != want[i] {
+			t.Fatalf("rule %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+	for _, bad := range []string{"read", "spin:error", "read:explode", "read:latency", "read:error@x", "seed=abc"} {
+		if _, err := ParseScenario(bad); err == nil {
+			t.Fatalf("ParseScenario(%q) should fail", bad)
+		}
 	}
 }
 

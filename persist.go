@@ -2,6 +2,7 @@ package streach
 
 import (
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 
@@ -97,6 +98,14 @@ func (s *System) Save(dir string) error {
 // OpenSystem reopens a system saved with Save. PoolPages, the TBS
 // policy options, Shards, and PlanCache are taken from idx; granularity
 // comes from the saved indexes.
+//
+// The network and dataset are the ground truth and must load cleanly.
+// Both indexes are derived from them, so a corrupt index file — a
+// checksum mismatch, truncation, or any other load failure — is
+// detected, logged, and repaired by a cold rebuild from the
+// trajectories instead of failing the open (or worse, serving wrong
+// answers from flipped bits). The repaired index is re-saved into dir
+// (best effort) so the next open is warm again.
 func OpenSystem(dir string, idx IndexConfig) (*System, error) {
 	if idx.PoolPages == 0 {
 		idx.PoolPages = 1024
@@ -119,24 +128,55 @@ func OpenSystem(dir string, idx IndexConfig) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	conFile, err := os.Open(filepath.Join(dir, fileConIndex))
-	if err != nil {
-		return nil, fmt.Errorf("streach: open con-index: %w", err)
+	st, stErr := openSTIndex(dir, net, idx)
+	con, conErr := openConIndex(dir, net)
+	// Cold rebuilds need the saved granularity; a surviving index carries
+	// it, otherwise fall back to the configured (or default) slot width.
+	slotSec := idx.SlotSeconds
+	if st != nil {
+		slotSec = st.SlotSeconds()
+	} else if con != nil {
+		slotSec = con.SlotSeconds()
 	}
-	con, err := conindex.Load(net, conFile)
-	conFile.Close()
-	if err != nil {
-		return nil, err
+	if slotSec == 0 {
+		slotSec = 300
+	}
+	if stErr != nil {
+		log.Printf("streach: st-index unreadable (%v): cold rebuild from trajectories", stErr)
+		if st, err = rebuildSTIndex(dir, net, ds, idx, slotSec); err != nil {
+			return nil, fmt.Errorf("streach: st-index cold rebuild: %w", err)
+		}
+	}
+	if conErr != nil {
+		log.Printf("streach: con-index unreadable (%v): cold rebuild from trajectories", conErr)
+		if con, err = rebuildConIndex(dir, net, ds, slotSec); err != nil {
+			st.Close()
+			return nil, fmt.Errorf("streach: con-index cold rebuild: %w", err)
+		}
 	}
 	// Restore the persisted adjacency rows when present. The blob is a
 	// derived warm cache, so a missing file (pre-adjacency save dir) or a
-	// corrupt/mismatched one must not fail the open: every row is fully
-	// validated before it is installed, so whatever prefix loaded is
-	// exact, and anything not restored just re-materialises lazily.
+	// corrupt/mismatched one must not fail the open: the blob is fully
+	// validated (v2: checksum-verified) before anything is installed, and
+	// anything not restored just re-materialises lazily.
 	if adjFile, err := os.Open(filepath.Join(dir, fileConAdj)); err == nil {
-		_ = con.LoadAdjacency(adjFile)
+		if aerr := con.LoadAdjacency(adjFile); aerr != nil {
+			log.Printf("streach: con-index adjacency cache unreadable (%v): dropped, rows re-materialise lazily", aerr)
+		}
 		adjFile.Close()
 	}
+	s, err := assembleSystem(net, ds, st, con, idx)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// openSTIndex loads the persisted ST-Index over dir's page store. Any
+// failure — including a checksum mismatch in the meta or the pages —
+// closes the store and reports the error for the cold-rebuild path.
+func openSTIndex(dir string, net *roadnet.Network, idx IndexConfig) (*stindex.Index, error) {
 	store, err := storage.OpenFileStore(filepath.Join(dir, filePages))
 	if err != nil {
 		return nil, err
@@ -156,10 +196,79 @@ func OpenSystem(dir string, idx IndexConfig) (*System, error) {
 		store.Close()
 		return nil, err
 	}
-	s, err := assembleSystem(net, ds, st, con, idx)
-	if err != nil {
-		st.Close()
+	return st, nil
+}
+
+// rebuildSTIndex rebuilds the ST-Index from the trajectories over a
+// fresh page file, replacing dir's corrupt pages.db, and re-saves the
+// meta so the repair is durable (best effort: a failed re-save only
+// logs — the in-memory index is already correct).
+func rebuildSTIndex(dir string, net *roadnet.Network, ds *traj.Dataset, idx IndexConfig, slotSec int) (*stindex.Index, error) {
+	pagePath := filepath.Join(dir, filePages)
+	if err := os.Remove(pagePath); err != nil && !os.IsNotExist(err) {
 		return nil, err
 	}
-	return s, nil
+	store, err := storage.OpenFileStore(pagePath)
+	if err != nil {
+		return nil, err
+	}
+	st, err := stindex.Build(net, ds, stindex.Config{
+		SlotSeconds:   slotSec,
+		PoolPages:     idx.PoolPages,
+		TimeListCache: idx.TimeListCache,
+		Store:         store,
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	if err := resaveSTMeta(dir, st); err != nil {
+		log.Printf("streach: re-save rebuilt st-index: %v", err)
+	}
+	return st, nil
+}
+
+func resaveSTMeta(dir string, st *stindex.Index) error {
+	f, err := os.Create(filepath.Join(dir, fileSTMeta))
+	if err != nil {
+		return err
+	}
+	if err := st.SaveMeta(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return st.Pool().Flush()
+}
+
+// openConIndex loads the persisted Con-Index statistics.
+func openConIndex(dir string, net *roadnet.Network) (*conindex.Index, error) {
+	conFile, err := os.Open(filepath.Join(dir, fileConIndex))
+	if err != nil {
+		return nil, fmt.Errorf("streach: open con-index: %w", err)
+	}
+	defer conFile.Close()
+	return conindex.Load(net, conFile)
+}
+
+// rebuildConIndex rebuilds the Con-Index from the trajectories and
+// re-saves dir's conindex.bin (best effort).
+func rebuildConIndex(dir string, net *roadnet.Network, ds *traj.Dataset, slotSec int) (*conindex.Index, error) {
+	con, err := conindex.Build(net, ds, conindex.Config{SlotSeconds: slotSec})
+	if err != nil {
+		return nil, err
+	}
+	f, cerr := os.Create(filepath.Join(dir, fileConIndex))
+	if cerr == nil {
+		cerr = con.Save(f)
+		if e := f.Close(); cerr == nil {
+			cerr = e
+		}
+	}
+	if cerr != nil {
+		log.Printf("streach: re-save rebuilt con-index: %v", cerr)
+	}
+	return con, nil
 }

@@ -135,14 +135,17 @@ func RouteRequest(from, to Location, depart time.Duration) Request {
 // start from the system's build-time defaults and each With... override
 // replaces one knob for this call only.
 type queryOptions struct {
-	algorithm    Algorithm
-	prob         float64
-	probSet      bool
-	budget       time.Duration
-	engine       core.Options
-	engineDirty  bool
-	batchWorkers int
-	noSharing    bool
+	algorithm      Algorithm
+	prob           float64
+	probSet        bool
+	budget         time.Duration
+	engine         core.Options
+	engineDirty    bool
+	batchWorkers   int
+	noSharing      bool
+	partial        bool          // WithPartialResults: degrade, don't die
+	shardBudget    time.Duration // WithShardBudget override
+	shardBudgetSet bool
 }
 
 // effectiveProb resolves the probability threshold for one request:
@@ -247,7 +250,8 @@ func (s *System) resolveOptions(opts []Option) queryOptions {
 // region fields.
 func (s *System) Do(ctx context.Context, req Request, opts ...Option) (*Region, error) {
 	qo := s.resolveOptions(opts)
-	return s.do(ctx, req, qo)
+	region, err := s.do(ctx, req, qo)
+	return region, wrapError(req.Kind.String(), err)
 }
 
 func (s *System) do(ctx context.Context, req Request, qo queryOptions) (*Region, error) {
@@ -267,41 +271,41 @@ func (s *System) do(ctx context.Context, req Request, qo queryOptions) (*Region,
 	switch req.Kind {
 	case KindReach, KindReverse:
 		if len(req.Locations) < 1 {
-			return nil, fmt.Errorf("streach: %v request needs a location", req.Kind)
+			return nil, errInvalid(req.Kind.String(), "streach: %v request needs a location", req.Kind)
 		}
 		switch qo.algorithm {
 		case AlgoAuto, AlgoBounded, AlgoExhaustive:
 		default:
-			return nil, fmt.Errorf("streach: algorithm %v does not answer %v requests", qo.algorithm, req.Kind)
+			return nil, errInvalid(req.Kind.String(), "streach: algorithm %v does not answer %v requests", qo.algorithm, req.Kind)
 		}
 		return s.doPlan(ctx, req, qo, prob)
 
 	case KindMulti:
 		if len(req.Locations) == 0 {
-			return nil, fmt.Errorf("streach: multi request needs at least one location")
+			return nil, errInvalid("multi", "streach: multi request needs at least one location")
 		}
 		switch qo.algorithm {
 		case AlgoAuto, AlgoBounded, AlgoSequential:
 		case AlgoExhaustive:
-			return nil, fmt.Errorf("streach: exhaustive search has no multi-location variant; use sequential")
+			return nil, errInvalid("multi", "streach: exhaustive search has no multi-location variant; use sequential")
 		default:
-			return nil, fmt.Errorf("streach: algorithm %v does not answer multi requests", qo.algorithm)
+			return nil, errInvalid("multi", "streach: algorithm %v does not answer multi requests", qo.algorithm)
 		}
 		return s.doPlan(ctx, req, qo, prob)
 
 	case KindRoute:
 		if len(req.Locations) < 2 {
-			return nil, fmt.Errorf("streach: route request needs origin and destination locations")
+			return nil, errInvalid("route", "streach: route request needs origin and destination locations")
 		}
 		switch qo.algorithm {
 		case AlgoAuto, AlgoBounded, AlgoFreeFlow:
 		default:
-			return nil, fmt.Errorf("streach: algorithm %v does not answer route requests", qo.algorithm)
+			return nil, errInvalid("route", "streach: algorithm %v does not answer route requests", qo.algorithm)
 		}
 		return s.doRoute(ctx, req.Locations[0], req.Locations[1], req.Start, qo.algorithm == AlgoFreeFlow)
 
 	default:
-		return nil, fmt.Errorf("streach: unknown request kind %v", req.Kind)
+		return nil, errInvalid("do", "streach: unknown request kind %v", req.Kind)
 	}
 }
 
@@ -317,12 +321,24 @@ func (s *System) doPlan(ctx context.Context, req Request, qo queryOptions, prob 
 	if err != nil {
 		return nil, err
 	}
+	// Deferred so the plan (and its pooled bounding regions) is released
+	// on every exit, including a panic unwinding through ResultAt.
+	defer func() { s.releasePlan(key, cacheable, plan) }()
 	res, rerr := plan.ResultAt(ctx, prob)
-	s.releasePlan(key, cacheable, plan)
 	if rerr != nil {
 		return nil, rerr
 	}
-	return s.region(res), nil
+	// Capture the loss record before the plan is released (a released
+	// plan may be reused or closed by another goroutine).
+	var deg *shard.Degraded
+	if p, ok := plan.(interface{ Degraded() *shard.Degraded }); ok {
+		deg = p.Degraded()
+	}
+	region := s.region(res)
+	if deg != nil {
+		region.Degraded = newDegraded(deg)
+	}
+	return region, nil
 }
 
 // acquirePlan resolves the shared plan for a reachability request: from
@@ -393,6 +409,12 @@ func (s *System) newPlan(ctx context.Context, req Request, qo queryOptions) (que
 		if qo.engineDirty {
 			c = c.WithOptions(qo.engine)
 		}
+		if qo.partial {
+			c = c.WithPartialResults(true)
+		}
+		if qo.shardBudgetSet {
+			c = c.WithShardBudget(qo.shardBudget)
+		}
 		be = clusterBackend(c)
 	} else {
 		eng := s.engine
@@ -438,11 +460,11 @@ func (s *System) doRoute(ctx context.Context, from, to Location, departAt time.D
 	began := time.Now()
 	src, _, _, ok := s.net.SnapPoint(geo.Point{Lat: from.Lat, Lng: from.Lng})
 	if !ok {
-		return nil, fmt.Errorf("streach: no road near %+v", from)
+		return nil, errInvalid("route", "streach: no road near %+v", from)
 	}
 	dst, _, _, ok := s.net.SnapPoint(geo.Point{Lat: to.Lat, Lng: to.Lng})
 	if !ok {
-		return nil, fmt.Errorf("streach: no road near %+v", to)
+		return nil, errInvalid("route", "streach: no road near %+v", to)
 	}
 	rt := router.New(s.net, s.con)
 	var (
@@ -568,7 +590,7 @@ func (s *System) DoBatch(ctx context.Context, reqs []Request, opts ...Option) []
 				if len(idxs) == 1 {
 					i := idxs[0]
 					region, err := s.do(ctx, reqs[i], qo)
-					out[i] = BatchResult{Region: region, Err: err}
+					out[i] = BatchResult{Region: region, Err: wrapError(reqs[i].Kind.String(), err)}
 					continue
 				}
 				s.doGroup(ctx, reqs, idxs, qo, out)
@@ -588,6 +610,12 @@ func (s *System) DoBatch(ctx context.Context, reqs []Request, opts ...Option) []
 // pressure.
 func groupable(req Request, qo queryOptions) bool {
 	if qo.budget > 0 {
+		return false
+	}
+	// Partial-results plans are only valid for the shard failures they
+	// observed, and a per-call shard budget is a per-query latency
+	// guarantee — neither can ride a plan shared with other queries.
+	if qo.partial || qo.shardBudgetSet {
 		return false
 	}
 	switch req.Kind {
@@ -673,12 +701,14 @@ func OptionKeyBits(o core.Options) string { return engineOptionBits(o) }
 // failure (including cancellation mid-plan) reclaims the whole group:
 // every member is marked with the same error.
 func (s *System) doGroup(ctx context.Context, reqs []Request, idxs []int, qo queryOptions, out []BatchResult) {
+	rep := reqs[idxs[0]]
+	op := rep.Kind.String()
 	fail := func(err error) {
+		err = wrapError(op, err)
 		for _, i := range idxs {
 			out[i] = BatchResult{Err: err}
 		}
 	}
-	rep := reqs[idxs[0]]
 	if rep.Kind == KindRoute {
 		// One journey computation, cloned per member.
 		region, err := s.do(ctx, rep, qo)
@@ -709,7 +739,7 @@ func (s *System) doGroup(ctx context.Context, reqs []Request, idxs []int, qo que
 		}
 		res, rerr := plan.ResultAt(ctx, qo.effectiveProb(reqs[i]))
 		if rerr != nil {
-			out[i] = BatchResult{Err: rerr}
+			out[i] = BatchResult{Err: wrapError(op, rerr)}
 			continue
 		}
 		out[i] = BatchResult{Region: s.region(res)}

@@ -136,6 +136,18 @@ type IndexConfig struct {
 	// entirely. 0 means the default (32); negative disables. The cache
 	// is invalidated by Close and re-sharding.
 	PlanCache int
+	// ShardBudget bounds each shard's per-query scatter/gather work on a
+	// sharded system: a shard that has not finished inside the budget is
+	// treated as failed (fail-fast by default, skipped under
+	// WithPartialResults) instead of stalling the query. Zero means no
+	// bound; WithShardBudget overrides per call.
+	ShardBudget time.Duration
+	// StoreFaults, when non-empty, wraps the page store in a
+	// storage.FaultStore armed with this scenario spec (see
+	// storage.ParseScenario; e.g. "read:error@100" or "read:corrupt").
+	// The development hook behind `serve -chaos store=...` — never set
+	// it in production.
+	StoreFaults string
 	// VerifyAll switches trace back search to full verification (see
 	// core.Options).
 	VerifyAll bool
@@ -206,6 +218,10 @@ type Region struct {
 	// Route is set only for KindRoute answers: the planned journey, whose
 	// path SegmentIDs mirrors.
 	Route *RouteResult
+	// Degraded is set only when a sharded query ran with
+	// WithPartialResults and lost shards: the answer covers the
+	// surviving shards only. Nil for complete answers.
+	Degraded *Degraded
 
 	sys *System
 }
@@ -228,6 +244,9 @@ type System struct {
 	// sharing accumulates the batch executor's cross-query work-sharing
 	// counters (see SharingStats).
 	sharing sharingCounters
+	// shardBudget is IndexConfig.ShardBudget, applied to every cluster
+	// the system shards into.
+	shardBudget time.Duration
 }
 
 // sharingCounters are the live batch-sharing counters; snapshot with
@@ -285,6 +304,7 @@ func cloneRegion(r *Region) *Region {
 	cp := *r
 	cp.SegmentIDs = append([]int32(nil), r.SegmentIDs...)
 	cp.Probabilities = append([]float32(nil), r.Probabilities...)
+	cp.Degraded = cloneDegraded(r.Degraded)
 	if r.Route != nil {
 		rt := *r.Route
 		rt.SegmentIDs = append([]int32(nil), r.Route.SegmentIDs...)
@@ -364,6 +384,16 @@ func NewSystemFromData(net *roadnet.Network, ds *traj.Dataset, idx IndexConfig) 
 		}
 		store = fs
 	}
+	if idx.StoreFaults != "" {
+		sc, err := storage.ParseScenario(idx.StoreFaults)
+		if err != nil {
+			return nil, fmt.Errorf("streach: store-fault scenario: %w", err)
+		}
+		if store == nil {
+			store = storage.NewMemStore()
+		}
+		store = storage.NewFaultStore(store, sc)
+	}
 	st, err := stindex.Build(net, ds, stindex.Config{
 		SlotSeconds:   idx.SlotSeconds,
 		PoolPages:     idx.PoolPages,
@@ -400,7 +430,7 @@ func assembleSystem(net *roadnet.Network, ds *traj.Dataset, st *stindex.Index, c
 	if planCap == 0 {
 		planCap = 32
 	}
-	s := &System{net: net, ds: ds, st: st, con: con, engine: engine, plans: newPlanCache(planCap)}
+	s := &System{net: net, ds: ds, st: st, con: con, engine: engine, plans: newPlanCache(planCap), shardBudget: idx.ShardBudget}
 	if idx.Shards > 1 {
 		if err := s.Shard(idx.Shards); err != nil {
 			return nil, err
@@ -429,6 +459,9 @@ func (s *System) Shard(k int) error {
 	cluster, err := shard.NewCluster(s.st, s.con, s.engine.Options(), k)
 	if err != nil {
 		return err
+	}
+	if s.shardBudget > 0 {
+		cluster = cluster.WithShardBudget(s.shardBudget)
 	}
 	s.cluster.Store(cluster)
 	s.plans.clear()
@@ -512,6 +545,20 @@ func (s *System) WarmCtx(ctx context.Context, start, dur time.Duration) error {
 		return nil
 	}
 	return s.con.PrecomputeSlotsCtx(ctx, lo, hi, 0)
+}
+
+// SetShardBudget sets the default per-shard deadline budget (see
+// IndexConfig.ShardBudget): a shard that has not finished its share of
+// a query inside d counts as failed. Applied to the current cluster (if
+// sharded) and to every later Shard call; WithShardBudget overrides it
+// per query. Zero removes the budget for subsequent Shard calls only.
+func (s *System) SetShardBudget(d time.Duration) {
+	s.shardBudget = d
+	if d > 0 {
+		if c := s.cluster.Load(); c != nil {
+			s.cluster.Store(c.WithShardBudget(d))
+		}
+	}
 }
 
 // Close flushes the shared-plan cache and releases index storage.
