@@ -50,6 +50,8 @@ func main() {
 		err = runMatch(args)
 	case "serve":
 		err = runServe(args)
+	case "overload":
+		err = runOverload(args)
 	case "experiment":
 		err = runExperiment(args)
 	case "help", "-h", "--help":
@@ -78,6 +80,8 @@ commands:
   serve        serve reachability and route queries over HTTP
                (JSON/GeoJSON /v1/reach, /v1/route, /healthz, /metrics;
                request deadlines propagate into the query engine)
+  overload     flood a running serve past its admission limit and report
+               status mix, latency quantiles, and self-protection metrics
   experiment   regenerate the paper's evaluation tables and figures
 
 run "streach <command> -h" for command flags`)

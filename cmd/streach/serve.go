@@ -30,7 +30,16 @@ func runServe(args []string) error {
 	addr := fs.String("addr", ":8780", "listen address")
 	timeout := fs.Duration("timeout", 10*time.Second, "default per-request query deadline")
 	maxTimeout := fs.Duration("max-timeout", 30*time.Second, "cap on client-requested ?timeout=")
-	maxInFlight := fs.Int("max-inflight", 0, "bounded admission: max concurrent query requests, 429 beyond (0 = default 64, negative = unlimited)")
+	maxInFlight := fs.Int("max-inflight", 0, "adaptive admission ceiling: max concurrent query requests, 429 beyond (0 = default 64, negative = unlimited)")
+	minInFlight := fs.Int("min-inflight", 0, "adaptive admission floor: overload never shrinks the limit below this (0 = max/4)")
+	staticAdmission := fs.Bool("static-admission", false, "disable AIMD adaptation: keep the in-flight bound fixed at -max-inflight")
+	clientRPS := fs.Float64("client-rps", 0, "per-client token-bucket quota in requests/second, keyed by X-API-Key or peer host (0 = off)")
+	clientBurst := fs.Int("client-burst", 0, "per-client quota burst depth (0 = 2x -client-rps)")
+	breakers := fs.Bool("breakers", false, "per-shard circuit breakers: short-circuit a repeatedly failing shard instead of paying its budget every query (requires -shards)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (0 = default 2s)")
+	breakerRatio := fs.Float64("breaker-ratio", 0, "failure ratio over the rolling window that trips a breaker (0 = default 0.5)")
+	hedge := fs.Bool("hedge", false, "hedged shard verification: race a slow shard's verify slice with a second attempt, first result wins (requires -shards)")
+	hedgeAfter := fs.Duration("hedge-after", 0, "hedge trigger latency floor (0 = default 25ms; effective trigger also tracks 2x shard p95)")
 	shards := fs.Int("shards", 0, "sharded execution: partition the network across this many engines and answer by scatter-gather (0/1 = single engine; results are bit-identical)")
 	shardBudget := fs.Duration("shard-budget", 0, "per-shard deadline budget: a shard slower than this fails (typed Timeout) or is skipped under ?partial=true (0 = no budget)")
 	chaos := fs.String("chaos", "", "DEV ONLY fault injection: comma-separated shard=N:error|panic|hang items, e.g. shard=1:error,shard=2:hang (requires -shards)")
@@ -56,6 +65,22 @@ func runServe(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "sharded execution: %d partitioned engines\n", sys.Shards())
 	}
+	if *breakers {
+		if sys.Shards() <= 1 {
+			return errors.New("-breakers requires -shards > 1")
+		}
+		sys.ConfigureBreakers(streach.BreakerConfig{
+			Enabled: true, FailureRatio: *breakerRatio, Cooldown: *breakerCooldown,
+		})
+		fmt.Fprintln(os.Stderr, "per-shard circuit breakers enabled")
+	}
+	if *hedge {
+		if sys.Shards() <= 1 {
+			return errors.New("-hedge requires -shards > 1")
+		}
+		sys.SetHedging(streach.HedgeConfig{Enabled: true, Trigger: *hedgeAfter})
+		fmt.Fprintln(os.Stderr, "hedged shard verification enabled")
+	}
 	if *chaos != "" {
 		if err := applyChaos(sys, *chaos); err != nil {
 			return err
@@ -70,13 +95,23 @@ func runServe(args []string) error {
 			*warmStart, *warmStart+*warmDur, time.Since(t0).Seconds())
 	}
 
-	cfg := serve.Config{DefaultTimeout: *timeout, MaxTimeout: *maxTimeout, MaxInFlight: *maxInFlight}
+	cfg := serve.Config{
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		MaxInFlight:     *maxInFlight,
+		MinInFlight:     *minInFlight,
+		StaticAdmission: *staticAdmission,
+		ClientRPS:       *clientRPS,
+		ClientBurst:     *clientBurst,
+	}
 	if *accessLog {
 		cfg.AccessLog = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
 	}
+	handler := serve.New(sys, cfg)
+	defer handler.Close()
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: serve.New(sys, cfg).Handler(),
+		Handler: handler.Handler(),
 	}
 
 	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, let in-flight

@@ -142,6 +142,9 @@ type ShardHealth struct {
 	LastError string
 	// Fault names the currently injected fault ("none" when healthy).
 	Fault string
+	// Breaker names the shard's circuit-breaker state ("closed",
+	// "half_open", "open"; "closed" when breakers are disabled).
+	Breaker string
 }
 
 // Degraded reports whether the shard is currently failing: a fault is
@@ -163,6 +166,7 @@ func (s *System) ShardHealth() []ShardHealth {
 			Failures:  h.Failures,
 			LastError: h.LastError,
 			Fault:     h.Fault.String(),
+			Breaker:   h.Breaker.String(),
 		}
 	}
 	return out

@@ -192,7 +192,9 @@ func TestServeGoroutineHygiene(t *testing.T) {
 	before := runtime.NumGoroutine()
 
 	func() {
-		ts := httptest.NewServer(New(sys, Config{}).Handler())
+		srv := New(sys, Config{})
+		ts := httptest.NewServer(srv.Handler())
+		defer srv.Close()
 		defer ts.Close()
 
 		// Plain traffic.

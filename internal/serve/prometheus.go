@@ -107,6 +107,42 @@ func (s *Server) writePrometheus(w io.Writer) {
 		shardMetric("streach_shard_verify_seconds_total",
 			"Wall-clock the shard spent in scatter verification.", "counter",
 			func(st streach.ShardStat) float64 { return st.Verify.Seconds() })
+
+		// Overload self-protection: per-shard breaker state plus the
+		// cluster-wide hedge/breaker counters.
+		if hs := s.sys.ShardHealth(); len(hs) > 0 {
+			fmt.Fprintf(w, "# HELP streach_breaker_state Circuit-breaker state per shard (0=closed, 1=half_open, 2=open).\n")
+			fmt.Fprintf(w, "# TYPE streach_breaker_state gauge\n")
+			for _, h := range hs {
+				v := 0
+				switch h.Breaker {
+				case "half_open":
+					v = 1
+				case "open":
+					v = 2
+				}
+				fmt.Fprintf(w, "streach_breaker_state{shard=\"%d\"} %d\n", h.Shard, v)
+			}
+		}
+		rs := s.sys.ResilienceStats()
+		counter("streach_breaker_opens_total",
+			"Circuit-breaker trips (closed/half-open to open).", rs.BreakerOpens)
+		counter("streach_breaker_short_circuits_total",
+			"Shard calls rejected by an open breaker.", rs.BreakerShortCircuits)
+		counter("streach_hedges_total",
+			"Hedged shard verification attempts launched.", rs.HedgesLaunched)
+		counter("streach_hedge_wins_total",
+			"Hedge attempts that finished before their primary.", rs.HedgeWins)
+	}
+
+	// Adaptive admission: the live limit and occupancy, so dashboards see
+	// the brownout ladder move before clients see 429s.
+	if s.lim != nil {
+		limit, inflight := s.lim.snapshot()
+		fmt.Fprintf(w, "# HELP streach_admission_limit Current AIMD admission limit.\n")
+		fmt.Fprintf(w, "# TYPE streach_admission_limit gauge\nstreach_admission_limit %g\n", limit)
+		fmt.Fprintf(w, "# HELP streach_admission_inflight Admitted requests currently in flight.\n")
+		fmt.Fprintf(w, "# TYPE streach_admission_inflight gauge\nstreach_admission_inflight %d\n", inflight)
 	}
 
 	// The cumulative expvar counters, one Prometheus counter each.

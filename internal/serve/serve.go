@@ -12,14 +12,18 @@
 // stops the query mid-flight instead of burning the worker pool on an
 // answer nobody will read.
 //
-// Two traffic-shaping layers sit in front of the engine. Bounded
-// admission caps the in-flight query count (Config.MaxInFlight); beyond
-// it requests are rejected immediately with 429 + Retry-After rather
-// than queueing behind a saturated engine. Singleflight coalescing
-// merges concurrent identical queries into one execution (coalesce.go),
-// the serving-layer mirror of DoBatch's group-and-plan scheduler: a
-// burst of duplicate-heavy traffic reaches the engine once per distinct
-// query.
+// Three traffic-shaping layers sit in front of the engine. Per-client
+// token-bucket quotas (Config.ClientRPS) fence off overeager clients
+// first. Adaptive admission bounds the in-flight query count with an
+// AIMD limiter that starts at Config.MaxInFlight and converges on what
+// the engine sustains within its deadlines (admission.go); occupancy
+// drives a brownout ladder — shed prefetch work, force aggressive
+// partial semantics for opted-in clients, and finally reject with 429 +
+// an honest Retry-After derived from the limiter state. Singleflight
+// coalescing merges concurrent identical queries into one execution
+// (coalesce.go), the serving-layer mirror of DoBatch's group-and-plan
+// scheduler: a burst of duplicate-heavy traffic reaches the engine once
+// per distinct query.
 package serve
 
 import (
@@ -33,6 +37,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"streach"
@@ -46,11 +52,26 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested timeouts (default 30 s).
 	MaxTimeout time.Duration
-	// MaxInFlight bounds the number of concurrently admitted query
-	// requests; excess requests are rejected immediately with 429 and a
-	// Retry-After header instead of queueing behind a saturated engine.
-	// 0 means the default (64); negative disables admission control.
+	// MaxInFlight is the ceiling on concurrently admitted query
+	// requests — the AIMD limiter's starting point and maximum; excess
+	// requests are rejected immediately with 429 and a Retry-After
+	// header instead of queueing behind a saturated engine. 0 means the
+	// default (64); negative disables admission control.
 	MaxInFlight int
+	// MinInFlight is the AIMD limiter's floor: overload can shrink the
+	// admitted concurrency down to this but never below. 0 means
+	// MaxInFlight/4, at least 1.
+	MinInFlight int
+	// StaticAdmission disables AIMD adaptation: the in-flight bound
+	// stays fixed at MaxInFlight, as before adaptive admission.
+	StaticAdmission bool
+	// ClientRPS, when positive, enforces a per-client token-bucket
+	// quota of this many requests per second (keyed by X-API-Key, else
+	// peer host) in front of global admission. 0 disables quotas.
+	ClientRPS float64
+	// ClientBurst is the quota bucket depth (default 2×ClientRPS, at
+	// least 1).
+	ClientBurst int
 	// AccessLog, when set, receives one line per request (method, URI,
 	// status, latency, request ID) plus panic reports. nil disables
 	// access logging.
@@ -79,28 +100,50 @@ type Server struct {
 	// servers in one process — tests — don't collide); /metrics renders
 	// its canonical expvar JSON.
 	vars expvar.Map
-	// sem is the admission semaphore: one slot per in-flight query
-	// request (nil = unlimited).
-	sem chan struct{}
+	// lim is the adaptive admission gate: one slot per in-flight query
+	// request, AIMD-adjusted between MinInFlight and MaxInFlight (nil =
+	// unlimited).
+	lim *aimdLimiter
+	// quota is the per-client token-bucket table (nil = no quotas).
+	quota *quotas
 	// flights coalesces concurrent identical queries into one execution.
 	flights *coalescer
 	// hist holds the per-endpoint latency histograms the Prometheus
 	// rendering of /metrics exposes.
 	hist map[string]*histogram
+	// Background prefetch lifecycle: warmBusy keeps at most one warm in
+	// flight, baseCtx/stop and wg bound it to the server's lifetime so
+	// Close leaves no goroutine behind.
+	warmBusy atomic.Bool
+	baseCtx  context.Context
+	stop     context.CancelFunc
+	wg       sync.WaitGroup
 }
 
-// New wraps a built system in a server.
+// New wraps a built system in a server. Call Close when done to stop
+// background prefetch work.
 func New(sys *streach.System, cfg Config) *Server {
 	s := &Server{sys: sys, cfg: cfg.withDefaults(), flights: newCoalescer()}
 	s.vars.Init()
 	if s.cfg.MaxInFlight > 0 {
-		s.sem = make(chan struct{}, s.cfg.MaxInFlight)
+		s.lim = newLimiter(s.cfg.MaxInFlight, s.cfg.MinInFlight, s.cfg.StaticAdmission)
+	}
+	if s.cfg.ClientRPS > 0 {
+		s.quota = newQuotas(s.cfg.ClientRPS, s.cfg.ClientBurst)
 	}
 	s.hist = make(map[string]*histogram, len(endpoints))
 	for _, ep := range endpoints {
 		s.hist[ep] = newHistogram()
 	}
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
 	return s
+}
+
+// Close stops the server's background work (prefetch warms) and waits
+// for it to exit. Idempotent.
+func (s *Server) Close() {
+	s.stop()
+	s.wg.Wait()
 }
 
 // Handler returns the route table, wrapped in the request-ID /
@@ -116,34 +159,107 @@ func (s *Server) Handler() http.Handler {
 	return s.middleware(mux)
 }
 
-// acquire claims an admission slot; false means the server is saturated.
+// admit claims an admission slot; level is the brownout rung the
+// request enters under (0 = none), !ok means the limiter is full.
+func (s *Server) admit() (ok bool, level int) {
+	if s.lim == nil {
+		return true, 0
+	}
+	return s.lim.admit()
+}
+
+// acquire claims an admission slot without brownout context; false
+// means the server is saturated. Paired with release.
 func (s *Server) acquire() bool {
-	if s.sem == nil {
-		return true
-	}
-	select {
-	case s.sem <- struct{}{}:
-		return true
-	default:
-		return false
-	}
+	ok, _ := s.admit()
+	return ok
 }
 
+// release returns an acquire'd slot without latency feedback.
 func (s *Server) release() {
-	if s.sem != nil {
-		<-s.sem
+	if s.lim != nil {
+		s.lim.releaseIdle()
 	}
 }
 
-// reject answers a saturated-server request: 429 with a Retry-After hint,
-// so well-behaved clients back off instead of piling onto the engine.
-func (s *Server) reject(w http.ResponseWriter) {
+// finish returns an admitted request's slot with its outcome, feeding
+// the AIMD limiter: deadline failures shrink the admitted concurrency,
+// comfortable completions grow it back.
+func (s *Server) finish(lat, deadline time.Duration, err error) {
+	if s.lim == nil {
+		return
+	}
+	deadlineHit := err != nil &&
+		(errors.Is(err, context.DeadlineExceeded) || streach.CodeOf(err) == streach.Timeout)
+	s.lim.release(lat, deadline, deadlineHit)
+}
+
+// reject answers a saturated-server request: 429 with a Retry-After
+// derived from the limiter state (how long until a slot plausibly
+// frees), so well-behaved clients back off for about the right time
+// instead of a fixed guess.
+func (s *Server) reject(w http.ResponseWriter, r *http.Request) {
 	s.vars.Add("admission_rejected_total", 1)
+	retry := time.Second
+	if s.lim != nil {
+		retry = s.lim.retryAfter()
+	}
+	s.rejectWith(w, r, retry, "server at capacity; retry later")
+}
+
+// rejectQuota answers a client that exhausted its token bucket.
+func (s *Server) rejectQuota(w http.ResponseWriter, r *http.Request, retry time.Duration) {
+	s.vars.Add("quota_rejections_total", 1)
+	if retry < time.Second {
+		retry = time.Second
+	}
+	s.rejectWith(w, r, retry, "client quota exceeded; retry later")
+}
+
+func (s *Server) rejectWith(w http.ResponseWriter, r *http.Request, retry time.Duration, msg string) {
 	s.recordError(http.StatusTooManyRequests)
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
 	writeJSON(w, http.StatusTooManyRequests, map[string]any{
-		"error": "server at capacity; retry later",
+		"error":      msg,
+		"code":       streach.Overloaded.String(),
+		"request_id": RequestID(r.Context()),
 	})
+}
+
+// allowClient enforces the per-client quota; a false return has already
+// written the 429.
+func (s *Server) allowClient(w http.ResponseWriter, r *http.Request) bool {
+	if s.quota == nil {
+		return true
+	}
+	ok, retry := s.quota.allow(clientKey(r), time.Now())
+	if !ok {
+		s.rejectQuota(w, r, retry)
+	}
+	return ok
+}
+
+// maybePrefetch warms the Con-Index window following an answered query
+// in the background — the cheapest work there is, and therefore the
+// first thing the brownout ladder sheds. At most one warm runs at a
+// time, bounded to the server's lifetime (Close).
+func (s *Server) maybePrefetch(start, dur time.Duration, level int) {
+	if level >= brownoutShedWork {
+		s.vars.Add("brownout_warm_shed_total", 1)
+		return
+	}
+	if !s.warmBusy.CompareAndSwap(false, true) {
+		return
+	}
+	slot := time.Duration(s.sys.Stats().SlotSeconds) * time.Second
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.warmBusy.Store(false)
+		if s.sys.WarmCtx(s.baseCtx, start+dur, slot) == nil {
+			s.vars.Add("prefetch_warms_total", 1)
+		}
+	}()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -172,6 +288,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 				"failures":   h.Failures,
 				"last_error": h.LastError,
 				"fault":      h.Fault,
+				"breaker":    h.Breaker,
 				"degraded":   h.Degraded(),
 			}
 		}
@@ -293,16 +410,17 @@ func (s *Server) badRequest(w http.ResponseWriter, r *http.Request, format strin
 // queryCtx derives the per-request deadline context: the default server
 // timeout, or the client's ?timeout= capped at MaxTimeout. The cap
 // applies only to client-requested timeouts — the operator's configured
-// default is honoured as-is.
-func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc, error) {
+// default is honoured as-is. The effective timeout is returned too: it
+// is the deadline budget the AIMD limiter measures headroom against.
+func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc, time.Duration, error) {
 	timeout := s.cfg.DefaultTimeout
 	if v := r.URL.Query().Get("timeout"); v != "" {
 		d, err := time.ParseDuration(v)
 		if err != nil {
-			return nil, nil, fmt.Errorf("bad timeout %q: %v", v, err)
+			return nil, nil, 0, fmt.Errorf("bad timeout %q: %v", v, err)
 		}
 		if d <= 0 {
-			return nil, nil, fmt.Errorf("timeout must be positive, got %v", d)
+			return nil, nil, 0, fmt.Errorf("timeout must be positive, got %v", d)
 		}
 		if d > s.cfg.MaxTimeout {
 			d = s.cfg.MaxTimeout
@@ -310,7 +428,7 @@ func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc,
 		timeout = d
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	return ctx, cancel, nil
+	return ctx, cancel, timeout, nil
 }
 
 // reachPayload is the POST body of /v1/reach; GET requests carry the
@@ -431,24 +549,45 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 		opts = append(opts, streach.WithPartialResults(true))
 	}
 
-	ctx, cancel, err := s.queryCtx(r)
+	if !s.allowClient(w, r) {
+		return
+	}
+	ctx, cancel, timeout, err := s.queryCtx(r)
 	if err != nil {
 		s.badRequest(w, r, "%v", err)
 		return
 	}
 	defer cancel()
 
-	if !s.acquire() {
-		s.reject(w)
+	ok, level := s.admit()
+	if !ok {
+		s.reject(w, r)
 		return
 	}
-	defer s.release()
+	// Brownout level 2 forces aggressive partial semantics for clients
+	// that opted in: a tight per-shard budget skips a slow shard instead
+	// of waiting for it, trading coverage for bounded latency. The
+	// forced flag joins the coalesce key — a budgeted answer must not be
+	// shared with un-browned-out duplicates.
+	forced := false
+	if level >= brownoutForcePartial && p.Partial {
+		forced = true
+		s.vars.Add("brownout_forced_partial_total", 1)
+		opts = append(opts, streach.WithShardBudget(timeout/4))
+	}
 
 	began := time.Now()
-	region, shared, err := s.flights.do(ctx, s.coalesceKey(req, p.Algorithm, p.Partial), func() (*streach.Region, error) {
+	var qerr error
+	defer func() { s.finish(time.Since(began), timeout, qerr) }()
+	key := s.coalesceKey(req, p.Algorithm, p.Partial)
+	if forced {
+		key += "|browned"
+	}
+	region, shared, err := s.flights.do(ctx, key, func() (*streach.Region, error) {
 		return s.sys.Do(ctx, req, opts...)
 	})
 	if err != nil {
+		qerr = err
 		s.httpError(w, r, err)
 		return
 	}
@@ -458,6 +597,7 @@ func (s *Server) handleReach(w http.ResponseWriter, r *http.Request) {
 		s.record(kind, region.Metrics)
 	}
 	s.observe(kind, time.Since(began))
+	s.maybePrefetch(start, dur, level)
 
 	if wantsGeoJSON(r) {
 		gj, err := region.GeoJSON()
@@ -512,18 +652,20 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		opts = append(opts, streach.WithAlgorithm(a))
 	}
 
-	ctx, cancel, err := s.queryCtx(r)
+	if !s.allowClient(w, r) {
+		return
+	}
+	ctx, cancel, timeout, err := s.queryCtx(r)
 	if err != nil {
 		s.badRequest(w, r, "%v", err)
 		return
 	}
 	defer cancel()
 
-	if !s.acquire() {
-		s.reject(w)
+	if ok, _ := s.admit(); !ok {
+		s.reject(w, r)
 		return
 	}
-	defer s.release()
 
 	req := streach.RouteRequest(
 		streach.Location{Lat: fromLat, Lng: fromLng},
@@ -531,10 +673,13 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 		depart,
 	)
 	began := time.Now()
+	var qerr error
+	defer func() { s.finish(time.Since(began), timeout, qerr) }()
 	region, shared, err := s.flights.do(ctx, s.coalesceKey(req, q.Get("alg"), false), func() (*streach.Region, error) {
 		return s.sys.Do(ctx, req, opts...)
 	})
 	if err != nil {
+		qerr = err
 		s.httpError(w, r, err)
 		return
 	}

@@ -42,7 +42,9 @@ func system(t *testing.T) *streach.System {
 
 func server(t *testing.T, cfg Config) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New(system(t), cfg).Handler())
+	srv := New(system(t), cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(srv.Close)
 	t.Cleanup(ts.Close)
 	return ts
 }

@@ -45,6 +45,8 @@ type Cluster struct {
 	m         *metrics
 	faults    *faultTable   // injected per-shard faults (shared by views)
 	hlth      *healthTable  // per-shard failure records (shared by views)
+	brk       *breakerTable // per-shard circuit breakers (shared by views)
+	hedge     *hedgeState   // hedge budget and counters (shared by views)
 	partial   bool          // degrade instead of failing (view-local)
 	budget    time.Duration // per-shard scatter/gather bound (view-local)
 }
@@ -99,6 +101,8 @@ func NewCluster(st *stindex.Index, con *conindex.Index, opts core.Options, k int
 		},
 		faults: newFaultTable(),
 		hlth:   newHealthTable(k),
+		brk:    newBreakerTable(k, BreakerConfig{}),
+		hedge:  newHedgeState(k),
 	}
 	for sh := 0; sh < k; sh++ {
 		c.conSlices[sh] = con.Slice(sh, part.Owned(sh))
@@ -332,6 +336,19 @@ func (c *Cluster) scatter(ctx context.Context, p *core.SharedPlan) ([]*ShardErro
 			sh := c.part.Owner(s)
 			positions[sh] = append(positions[sh], i)
 		}
+		// shortCircuit records a breaker rejection: the shard was never
+		// called, so its health record is untouched — the breaker opening
+		// already counted the underlying failures.
+		shortCircuit := func(sh int) *ShardError {
+			se := &ShardError{Shard: sh, Err: ErrBreakerOpen}
+			mu.Lock()
+			defer mu.Unlock()
+			if !failSet[sh] {
+				failSet[sh] = true
+				failed = append(failed, se)
+			}
+			return se
+		}
 		if runtime.GOMAXPROCS(0) == 1 {
 			// No parallelism to win: verify the shards inline and skip the
 			// goroutine fan-out (keeps single-CPU overhead down).
@@ -339,16 +356,55 @@ func (c *Cluster) scatter(ctx context.Context, p *core.SharedPlan) ([]*ShardErro
 				if len(pos) == 0 || failSet[sh] {
 					continue
 				}
-				if err := c.verifyShard(scatterCtx, leaf, sh, c.engines[sh], pos); err != nil {
-					if se := record(sh, err); se != nil && !c.partial {
+				admit, probe := c.brk.allow(sh)
+				if !admit {
+					if se := shortCircuit(sh); !c.partial {
 						return nil, shardFailure(ctx, se)
+					}
+					continue
+				}
+				began := time.Now()
+				if err := c.verifyShardHedged(scatterCtx, leaf, sh, c.engines[sh], pos, probe); err != nil {
+					if se := record(sh, err); se != nil {
+						c.brk.record(sh, false, time.Since(began), probe)
+						if !c.partial {
+							return nil, shardFailure(ctx, se)
+						}
+					} else {
+						c.brk.cancel(sh, probe)
 					}
 					if err := ctx.Err(); err != nil {
 						return nil, err
 					}
+				} else {
+					c.brk.record(sh, true, time.Since(began), probe)
 				}
 			}
 			continue
+		}
+		// Breaker gate first, before any worker launches: a fail-fast
+		// short-circuit must not leave workers running, and a granted
+		// half-open probe must be returned if the scatter aborts early.
+		admitted := make([]bool, k)
+		probes := make([]bool, k)
+		for sh, pos := range positions {
+			if len(pos) == 0 || failSet[sh] {
+				continue
+			}
+			admit, probe := c.brk.allow(sh)
+			if !admit {
+				se := shortCircuit(sh)
+				if !c.partial {
+					for g := range admitted {
+						if admitted[g] {
+							c.brk.cancel(g, probes[g])
+						}
+					}
+					return nil, shardFailure(ctx, se)
+				}
+				continue
+			}
+			admitted[sh], probes[sh] = true, probe
 		}
 		// Split the verification worker budget across the shards that
 		// have work: each shard's VerifyOn runs its own verifyMany pool,
@@ -356,8 +412,8 @@ func (c *Cluster) scatter(ctx context.Context, p *core.SharedPlan) ([]*ShardErro
 		// the CPUs k-fold over what unsharded verification uses. Worker
 		// count never changes results, only cost.
 		active := 0
-		for sh, pos := range positions {
-			if len(pos) > 0 && !failSet[sh] {
+		for sh := range admitted {
+			if admitted[sh] {
 				active++
 			}
 		}
@@ -380,21 +436,29 @@ func (c *Cluster) scatter(ctx context.Context, p *core.SharedPlan) ([]*ShardErro
 			fatal *ShardError
 		)
 		for sh, pos := range positions {
-			if len(pos) == 0 || failSet[sh] {
+			if !admitted[sh] {
 				continue
 			}
 			wg.Add(1)
-			go func(sh int, pos []int) {
+			go func(sh int, pos []int, probe bool) {
 				defer wg.Done()
-				if err := c.verifyShard(scatterCtx, leaf, sh, c.engines[sh].WithOptions(shardOpts), pos); err != nil {
-					if se := record(sh, err); se != nil && !c.partial {
-						once.Do(func() {
-							fatal = se
-							cancelAll() // fail fast: stop the surviving workers
-						})
+				began := time.Now()
+				if err := c.verifyShardHedged(scatterCtx, leaf, sh, c.engines[sh].WithOptions(shardOpts), pos, probe); err != nil {
+					if se := record(sh, err); se != nil {
+						c.brk.record(sh, false, time.Since(began), probe)
+						if !c.partial {
+							once.Do(func() {
+								fatal = se
+								cancelAll() // fail fast: stop the surviving workers
+							})
+						}
+					} else {
+						c.brk.cancel(sh, probe)
 					}
+				} else {
+					c.brk.record(sh, true, time.Since(began), probe)
 				}
-			}(sh, pos)
+			}(sh, pos, probes[sh])
 		}
 		wg.Wait()
 		if fatal != nil {
@@ -417,27 +481,43 @@ func (c *Cluster) scatter(ctx context.Context, p *core.SharedPlan) ([]*ShardErro
 // failure policy applied: the shard's injected fault (if any) fires
 // first, the per-shard budget bounds the work, and a panic anywhere
 // inside verification is recovered into an error.
-func (c *Cluster) verifyShard(ctx context.Context, leaf *core.SharedPlan, sh int, eng *core.Engine, pos []int) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("panic: %v", r)
-		}
-	}()
+func (c *Cluster) verifyShard(ctx context.Context, leaf *core.SharedPlan, sh int, eng *core.Engine, pos []int) error {
 	if c.budget > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.budget)
 		defer cancel()
 	}
-	if err := c.injectedFault(ctx, sh); err != nil {
-		return err
-	}
 	t0 := time.Now()
-	if err := leaf.VerifyOn(ctx, eng, pos); err != nil {
+	vals, err := c.verifyShardVals(ctx, leaf, sh, eng, pos, false)
+	if err != nil {
 		return err
 	}
+	leaf.CommitVerified(pos, vals)
 	c.m.verified[sh].Add(int64(len(pos)))
 	c.m.verifyNS[sh].Add(time.Since(t0).Nanoseconds())
 	return nil
+}
+
+// verifyShardVals computes one shard's verification slice into a
+// private buffer without committing it — the racing half of a hedged
+// scatter. The hedge attempt models a retry against a healthy replica
+// of the slice, so it skips the shard's injected fault (that is what
+// lets a hedge heal a chaos-injected hang); everything else — panic
+// recovery, context cancellation — applies to both attempts.
+func (c *Cluster) verifyShardVals(ctx context.Context, leaf *core.SharedPlan, sh int, eng *core.Engine, pos []int, hedge bool) (vals []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if !hedge {
+		if err := c.injectedFault(ctx, sh); err != nil {
+			return nil, err
+		}
+	} else if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return leaf.VerifyPositions(ctx, eng, pos)
 }
 
 // injectedFault fires the shard's injected fault, if any.
@@ -498,13 +578,11 @@ func (pl *Plan) ResultAt(ctx context.Context, prob float64) (*core.Result, error
 		if failSet[sh] {
 			continue
 		}
-		part, err := pl.partialOn(ctx, sh, prob)
-		if err != nil {
-			if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
-				return nil, ctxErr
-			}
-			se := &ShardError{Shard: sh, Err: err}
-			pl.c.hlth.record(sh, se)
+		admit, probe := pl.c.brk.allow(sh)
+		if !admit {
+			// Short-circuited by the open breaker: the shard was never
+			// called, so its health record is untouched.
+			se := &ShardError{Shard: sh, Err: ErrBreakerOpen}
 			if !pl.c.partial {
 				return nil, shardFailure(ctx, se)
 			}
@@ -512,6 +590,24 @@ func (pl *Plan) ResultAt(ctx context.Context, prob float64) (*core.Result, error
 			missing = append(missing, se)
 			continue
 		}
+		began := time.Now()
+		part, err := pl.partialOn(ctx, sh, prob)
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+				pl.c.brk.cancel(sh, probe)
+				return nil, ctxErr
+			}
+			se := &ShardError{Shard: sh, Err: err}
+			pl.c.hlth.record(sh, se)
+			pl.c.brk.record(sh, false, time.Since(began), probe)
+			if !pl.c.partial {
+				return nil, shardFailure(ctx, se)
+			}
+			failSet[sh] = true
+			missing = append(missing, se)
+			continue
+		}
+		pl.c.brk.record(sh, true, time.Since(began), probe)
 		parts = append(parts, part)
 	}
 	if len(parts) == 0 {

@@ -122,6 +122,9 @@ type Health struct {
 	LastError string
 	// Fault is the currently injected fault, FaultNone when healthy.
 	Fault FaultKind
+	// Breaker is the shard's circuit-breaker state (closed when
+	// breakers are disabled).
+	Breaker BreakerState
 }
 
 // healthTable accumulates per-shard failure records, shared by every
@@ -165,6 +168,7 @@ func (c *Cluster) Health() []Health {
 			Failures:  c.hlth.failures[sh].Load(),
 			LastError: c.hlth.lastErr[sh],
 			Fault:     c.faults.get(sh),
+			Breaker:   c.brk.state(sh),
 		}
 	}
 	return out

@@ -1,0 +1,188 @@
+package shard
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"streach/internal/core"
+)
+
+func hedgeDefaultsCheck(t *testing.T, k, wantOutstanding int) {
+	t.Helper()
+	cfg := HedgeConfig{Enabled: true}.withDefaults(k)
+	if cfg.Trigger != 25*time.Millisecond {
+		t.Fatalf("k=%d: trigger default = %v", k, cfg.Trigger)
+	}
+	if cfg.MaxOutstanding != wantOutstanding {
+		t.Fatalf("k=%d: MaxOutstanding default = %d, want %d", k, cfg.MaxOutstanding, wantOutstanding)
+	}
+}
+
+func TestHedgeDefaults(t *testing.T) {
+	hedgeDefaultsCheck(t, 8, 4)
+	hedgeDefaultsCheck(t, 1, 1) // never zero
+}
+
+// TestHedgeBudget: the cluster-wide hedge budget is a hard bound —
+// acquires past MaxOutstanding fail until a slot is released.
+func TestHedgeBudget(t *testing.T) {
+	h := newHedgeState(4)
+	h.configure(HedgeConfig{Enabled: true, MaxOutstanding: 2}, 4)
+	if !h.tryAcquire() || !h.tryAcquire() {
+		t.Fatal("budget refused a slot it had")
+	}
+	if h.tryAcquire() {
+		t.Fatal("budget exceeded MaxOutstanding")
+	}
+	h.release()
+	if !h.tryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+}
+
+// TestHedgeTriggerTracksQuantile: the effective trigger is the config
+// floor until the shard's window holds enough successes, then 2× its
+// p95 if that is larger.
+func TestHedgeTriggerTracksQuantile(t *testing.T) {
+	f := getFixture(t)
+	c, err := NewCluster(f.st, f.con, core.Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := HedgeConfig{Enabled: true, Trigger: 10 * time.Millisecond}.withDefaults(4)
+	if got := c.hedgeTrigger(0, cfg); got != 10*time.Millisecond {
+		t.Fatalf("empty-window trigger = %v, want the 10ms floor", got)
+	}
+	for i := 0; i < 8; i++ {
+		c.brk.record(0, true, 40*time.Millisecond, false)
+	}
+	if got := c.hedgeTrigger(0, cfg); got != 80*time.Millisecond {
+		t.Fatalf("trigger with p95=40ms = %v, want 80ms", got)
+	}
+}
+
+// TestHedgeHealsHungShard is the chaos half of the hedging contract: a
+// scatter slice hung by an injected fault is overtaken by its hedge
+// (which models a retry against a healthy replica and so skips the
+// fault), the query succeeds without degradation, and the committed
+// region is bit-identical to unsharded execution. The loser is reaped:
+// no goroutine survives and every pooled scratch buffer comes back.
+func TestHedgeHealsHungShard(t *testing.T) {
+	f := getFixture(t)
+	q := core.Query{Location: f.center, Start: 11 * time.Hour, Duration: 10 * time.Minute}
+	eng, err := core.NewEngine(f.st, f.con, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GC()
+	time.Sleep(10 * time.Millisecond)
+	before := runtime.NumGoroutine()
+
+	c, err := NewCluster(f.st, f.con, core.Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetHedging(HedgeConfig{Enabled: true, Trigger: 2 * time.Millisecond})
+	if err := c.InjectFault(1, FaultHang); err != nil {
+		t.Fatal(err)
+	}
+
+	pl, err := c.PlanReach(bg, q)
+	if err != nil {
+		t.Fatalf("hedge did not heal the hung scatter: %v", err)
+	}
+	// The gather path is not hedged; clear the fault so ResultAt reads
+	// the healthy committed values (the hang only afflicted the scatter).
+	if err := c.InjectFault(1, FaultNone); err != nil {
+		t.Fatal(err)
+	}
+	for _, prob := range probs {
+		got, err := pl.ResultAt(bg, prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl.Degraded() != nil {
+			t.Fatalf("hedged answer degraded: %+v", pl.Degraded())
+		}
+		qq := q
+		qq.Prob = prob
+		want, err := eng.SQMB(bg, qq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, "hedged", got, want)
+	}
+	pl.Close()
+
+	r := c.Resilience()
+	if r.HedgesLaunched == 0 || r.HedgeWins == 0 {
+		t.Fatalf("resilience = %+v, want launched and winning hedges", r)
+	}
+	for i, st := range c.ScratchStats() {
+		if !st.Balanced() {
+			t.Fatalf("engine %d scratch leaked after hedged scatter: %+v", i, st)
+		}
+	}
+
+	// The cancelled primary (hung on the injected fault) must be reaped
+	// before verifyShardHedged returns; nothing may linger.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines grew %d -> %d after hedged query; stacks:\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		runtime.GC()
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestHedgeRaceIsDeterministic: with an aggressive trigger every shard
+// hedges against a healthy primary; whichever attempt wins, the
+// committed probabilities are a property of the data, so repeated runs
+// and the unsharded engine agree bit-for-bit — and the losing attempts
+// return their scratch. Run under -race in CI, this is also the
+// data-race proof for the compute/commit split.
+func TestHedgeRaceIsDeterministic(t *testing.T) {
+	f := getFixture(t)
+	q := core.Query{Location: f.center, Start: 11 * time.Hour, Duration: 10 * time.Minute}
+	eng, err := core.NewEngine(f.st, f.con, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCluster(f.st, f.con, core.Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetHedging(HedgeConfig{Enabled: true, Trigger: time.Nanosecond, MaxOutstanding: 4})
+
+	for round := 0; round < 3; round++ {
+		pl, err := c.PlanReach(bg, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, prob := range probs {
+			got, err := pl.ResultAt(bg, prob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qq := q
+			qq.Prob = prob
+			want, err := eng.SQMB(bg, qq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "hedge-race", got, want)
+		}
+		pl.Close()
+	}
+	for i, st := range c.ScratchStats() {
+		if !st.Balanced() {
+			t.Fatalf("engine %d scratch leaked across hedge races: %+v", i, st)
+		}
+	}
+}

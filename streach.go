@@ -142,6 +142,16 @@ type IndexConfig struct {
 	// WithPartialResults) instead of stalling the query. Zero means no
 	// bound; WithShardBudget overrides per call.
 	ShardBudget time.Duration
+	// Breaker configures per-shard circuit breakers on a sharded
+	// system: a shard whose recent calls keep failing is short-circuited
+	// instead of paying its budget on every query. Default off. See
+	// BreakerConfig.
+	Breaker BreakerConfig
+	// Hedge configures hedged scatter verification on a sharded system:
+	// a slow shard's verify slice is raced by a hedge attempt, first
+	// success wins, answers stay bit-identical. Default off. See
+	// HedgeConfig.
+	Hedge HedgeConfig
 	// StoreFaults, when non-empty, wraps the page store in a
 	// storage.FaultStore armed with this scenario spec (see
 	// storage.ParseScenario; e.g. "read:error@100" or "read:corrupt").
@@ -247,6 +257,11 @@ type System struct {
 	// shardBudget is IndexConfig.ShardBudget, applied to every cluster
 	// the system shards into.
 	shardBudget time.Duration
+	// breakerCfg and hedgeCfg are the overload self-protection knobs
+	// (IndexConfig.Breaker/Hedge), applied to every cluster the system
+	// shards into.
+	breakerCfg BreakerConfig
+	hedgeCfg   HedgeConfig
 }
 
 // sharingCounters are the live batch-sharing counters; snapshot with
@@ -430,7 +445,8 @@ func assembleSystem(net *roadnet.Network, ds *traj.Dataset, st *stindex.Index, c
 	if planCap == 0 {
 		planCap = 32
 	}
-	s := &System{net: net, ds: ds, st: st, con: con, engine: engine, plans: newPlanCache(planCap), shardBudget: idx.ShardBudget}
+	s := &System{net: net, ds: ds, st: st, con: con, engine: engine, plans: newPlanCache(planCap),
+		shardBudget: idx.ShardBudget, breakerCfg: idx.Breaker, hedgeCfg: idx.Hedge}
 	if idx.Shards > 1 {
 		if err := s.Shard(idx.Shards); err != nil {
 			return nil, err
@@ -462,6 +478,12 @@ func (s *System) Shard(k int) error {
 	}
 	if s.shardBudget > 0 {
 		cluster = cluster.WithShardBudget(s.shardBudget)
+	}
+	if s.breakerCfg.Enabled {
+		cluster.ConfigureBreakers(s.breakerCfg.internal())
+	}
+	if s.hedgeCfg.Enabled {
+		cluster.SetHedging(s.hedgeCfg.internal())
 	}
 	s.cluster.Store(cluster)
 	s.plans.clear()
