@@ -1,0 +1,377 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"streach"
+	"streach/internal/mapmatch"
+	"streach/internal/traj"
+)
+
+// streach ingest: replay a raw GPS CSV against a running serve's
+// POST /v1/ingest, open-loop at a target rate. The CSV is map-matched
+// onto the (deterministically regenerated) network first, so the wire
+// carries segment-resolved updates — the same pre-processing the offline
+// pipeline applies, moved in front of the live endpoint. Open-loop
+// means the replayer does not slow down when the server sheds load: a
+// 429 counts the batch shed and the clock keeps running, which is what
+// makes the achieved-rate number honest.
+func runIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	wf := addWorldFlags(fs)
+	url := fs.String("url", "http://localhost:8780", "base URL of a running streach serve")
+	gps := fs.String("gps", "", "input GPS CSV to replay (required; see gen-gps)")
+	base := fs.String("base", "2014-11-01", "base date (day 0), YYYY-MM-DD")
+	rate := fs.Float64("rate", 2000, "target updates/second (open loop)")
+	batch := fs.Int("batch", 256, "updates per POST")
+	wait := fs.Bool("wait", false, "ask the server to fold each batch before answering (?wait=1)")
+	compact := fs.Bool("compact", false, "trigger a delta compaction after the replay")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *gps == "" {
+		return fmt.Errorf("ingest: -gps is required")
+	}
+	baseDate, err := time.Parse("2006-01-02", *base)
+	if err != nil {
+		return fmt.Errorf("ingest: parse base date: %w", err)
+	}
+	net, err := buildNetworkOnly(wf)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*gps)
+	if err != nil {
+		return err
+	}
+	raws, err := traj.ReadGPSCSV(f, baseDate)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "map-matching %d trajectories...\n", len(raws))
+	matcher := mapmatch.New(net, mapmatch.DefaultConfig())
+	var updates []wireUpdate
+	for i := range raws {
+		mt, err := matcher.Match(&raws[i])
+		if err != nil {
+			return fmt.Errorf("ingest: trajectory %d: %w", i, err)
+		}
+		for _, v := range mt.Visits {
+			updates = append(updates, wireUpdate{
+				Taxi: int32(mt.Taxi), Day: int(mt.Day), Seg: int32(v.Segment),
+				EnterMs: v.EnterMs, ExitMs: v.ExitMs, SpeedMps: v.Speed,
+			})
+		}
+	}
+	if len(updates) == 0 {
+		return fmt.Errorf("ingest: no visits matched")
+	}
+	fmt.Fprintf(os.Stderr, "replaying %d updates at %.0f/s...\n", len(updates), *rate)
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	endpoint := *url + "/v1/ingest"
+	if *wait {
+		endpoint += "?wait=1"
+	}
+	interval := time.Duration(float64(*batch) / *rate * float64(time.Second))
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var sent, accepted, shed int
+	began := time.Now()
+	for off := 0; off < len(updates); off += *batch {
+		end := off + *batch
+		if end > len(updates) {
+			end = len(updates)
+		}
+		n, err := postIngest(client, endpoint, updates[off:end])
+		if err != nil {
+			return err
+		}
+		sent += end - off
+		accepted += n
+		shed += (end - off) - n
+		if end < len(updates) {
+			<-tick.C
+		}
+	}
+	elapsed := time.Since(began)
+	fmt.Printf("sent %d updates in %.2fs (%.0f/s achieved): %d accepted, %d shed\n",
+		sent, elapsed.Seconds(), float64(sent)/elapsed.Seconds(), accepted, shed)
+	if *compact {
+		resp, err := client.Post(*url+"/v1/ingest/compact", "application/json", nil)
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("compaction: %s\n", bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// wireUpdate mirrors the serve layer's JSON update shape.
+type wireUpdate struct {
+	Taxi     int32   `json:"taxi"`
+	Day      int     `json:"day"`
+	Seg      int32   `json:"seg"`
+	EnterMs  int32   `json:"enter_ms"`
+	ExitMs   int32   `json:"exit_ms"`
+	SpeedMps float32 `json:"speed_mps"`
+}
+
+// postIngest POSTs one batch and returns how many updates the server
+// accepted. A 429 is not an error — it is the backpressure contract —
+// and partial acceptance is read out of the response body.
+func postIngest(client *http.Client, endpoint string, batch []wireUpdate) (int, error) {
+	body, err := json.Marshal(map[string]any{"updates": batch})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(endpoint, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var ack struct {
+		Accepted int    `json:"accepted"`
+		Error    string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return 0, fmt.Errorf("ingest: bad response (%s): %v", resp.Status, err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusTooManyRequests:
+		return ack.Accepted, nil
+	}
+	return 0, fmt.Errorf("ingest: %s: %s", resp.Status, ack.Error)
+}
+
+// runBench dispatches the bench modes ("streach bench ingest").
+func runBench(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("bench: usage: streach bench ingest [flags]")
+	}
+	switch args[0] {
+	case "ingest":
+		return runBenchIngest(args[1:])
+	}
+	return fmt.Errorf("bench: unknown mode %q (want ingest)", args[0])
+}
+
+// runBenchIngest measures the live-ingestion subsystem in process and
+// writes BENCH_ingest.json: sustained insert throughput, the merged-read
+// query p95 against the base-only p95 (the delta-layer read overhead),
+// and the compaction pause. The read probes are full reach queries over
+// distinct start times with the plan cache off, so the delta merge, the
+// decoded-list cache invalidation, and the speed-bound recomputes are
+// all on the measured path.
+func runBenchIngest(args []string) error {
+	fs := flag.NewFlagSet("bench ingest", flag.ExitOnError)
+	wf := addWorldFlags(fs)
+	out := fs.String("out", "BENCH_ingest.json", "output JSON path")
+	rate := fs.Float64("rate", 5000, "target ingest rate in updates/second")
+	dur := fs.Duration("ingest-dur", 2*time.Second, "how long to sustain the ingest load")
+	queries := fs.Int("queries", 40, "read probes per phase")
+	prob := fs.Float64("prob", 0.2, "probe probability threshold")
+	window := fs.Duration("window", 10*time.Minute, "probe window L")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "bench ingest: building world (%d taxis x %d days)...\n", wf.taxis, wf.days)
+	sys, err := streach.NewSystem(
+		streach.CityConfig{
+			OriginLat: 22.45, OriginLng: 113.90,
+			Rows: wf.rows, Cols: wf.cols,
+			SpacingMeters: wf.spacing, LocalFraction: 0.4,
+			ResegmentMeters: wf.reseg, Seed: wf.seed,
+		},
+		streach.FleetConfig{Taxis: wf.taxis, Days: wf.days, Seed: wf.seed + 1},
+		streach.IndexConfig{SlotSeconds: wf.slotSecs, PlanCache: -1},
+	)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	if err := sys.StartIngest(streach.IngestConfig{}); err != nil {
+		return err
+	}
+	numSegments := sys.Network().NumSegments()
+
+	// Probe set: one busy location, distinct start times spread over an
+	// hour so every probe bounds and verifies for itself.
+	loc := sys.BusiestLocation(11 * time.Hour)
+	type probeLats struct {
+		total, bound, verify []time.Duration
+		conMaterialised      int64
+	}
+	probe := func() (probeLats, error) {
+		var lats probeLats
+		for i := 0; i < *queries; i++ {
+			start := 11*time.Hour + time.Duration(i)*90*time.Second
+			t0 := time.Now()
+			reg, err := sys.Do(context.Background(),
+				streach.ReachRequest(loc, start, *window, *prob))
+			if err != nil {
+				return probeLats{}, err
+			}
+			lats.total = append(lats.total, time.Since(t0))
+			lats.bound = append(lats.bound, reg.Metrics.Bound)
+			lats.verify = append(lats.verify, reg.Metrics.Verify)
+			lats.conMaterialised += reg.Metrics.ConMaterialised
+		}
+		return lats, nil
+	}
+	p95ms := func(lats []time.Duration) float64 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		return float64(lats[int(0.95*float64(len(lats)-1))]) / float64(time.Millisecond)
+	}
+
+	// Warm pass (Con-Index rows, buffer pool), then the base measurement.
+	if _, err := probe(); err != nil {
+		return err
+	}
+	baseLats, err := probe()
+	if err != nil {
+		return err
+	}
+	baseP95 := p95ms(baseLats.total)
+
+	// Sustained open-loop ingest on a background goroutine: synthetic
+	// updates over real segments, fresh taxi IDs (a live fleet joining
+	// the historical one), speeds near free flow.
+	var accepted, shed int64
+	var ingestElapsed time.Duration
+	ingestDone := make(chan struct{})
+	go func() {
+		defer close(ingestDone)
+		rng := rand.New(rand.NewSource(wf.seed + 99))
+		const benchBatch = 256
+		batch := make([]streach.IngestUpdate, 0, benchBatch)
+		interval := time.Duration(float64(benchBatch) / *rate * float64(time.Second))
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		began := time.Now()
+		for time.Since(began) < *dur {
+			batch = batch[:0]
+			for i := 0; i < benchBatch; i++ {
+				enter := int32(rng.Intn(86_000_000))
+				batch = append(batch, streach.IngestUpdate{
+					TaxiID:    int32(wf.taxis + rng.Intn(1000)),
+					Day:       rng.Intn(wf.days),
+					SegmentID: int32(rng.Intn(numSegments)),
+					EnterMs:   enter,
+					ExitMs:    enter + 5000 + int32(rng.Intn(30000)),
+					SpeedMps:  6 + 8*rng.Float32(),
+				})
+			}
+			n, err := sys.TryIngest(batch)
+			accepted += int64(n)
+			if err != nil {
+				shed += int64(len(batch) - n)
+			}
+			<-tick.C
+		}
+		ingestElapsed = time.Since(began)
+	}()
+
+	// Merged reads, measured concurrently with the ingest load and with
+	// the same warm-then-measure discipline as the base pass: a quarter
+	// of the load runs first so a real delta depth has accumulated, the
+	// warm pass repopulates the keys the burst invalidated, and the
+	// measured pass then pays re-merges only for keys live appends keep
+	// invalidating under it — the steady state an operator actually sees
+	// between compactions.
+	time.Sleep(*dur / 4)
+	if _, err := probe(); err != nil {
+		return err
+	}
+	mergedLats, err := probe()
+	if err != nil {
+		return err
+	}
+	mergedP95 := p95ms(mergedLats.total)
+	<-ingestDone
+	if err := sys.FlushIngest(context.Background()); err != nil {
+		return err
+	}
+	preStats := sys.IngestStats()
+
+	cres, err := sys.CompactIngest(context.Background())
+	if err != nil {
+		return err
+	}
+
+	// Post-compaction reads answer from the freshly encoded blobs (the
+	// warm pass re-reads the keys the ingest tail invalidated after the
+	// merged measurement).
+	if _, err := probe(); err != nil {
+		return err
+	}
+	postLats, err := probe()
+	if err != nil {
+		return err
+	}
+
+	report := map[string]any{
+		"world": map[string]any{
+			"segments":     numSegments,
+			"taxis":        wf.taxis,
+			"days":         wf.days,
+			"slot_seconds": wf.slotSecs,
+		},
+		"ingest": map[string]any{
+			"target_rate":   *rate,
+			"achieved_rate": float64(accepted) / ingestElapsed.Seconds(),
+			"accepted":      accepted,
+			"shed":          shed,
+			"applied":       preStats.Applied,
+			"dropped":       preStats.Dropped,
+			"pending_obs":   preStats.PendingObs,
+			"dirty_keys":    preStats.DirtyKeys,
+		},
+		"reads": map[string]any{
+			"queries_per_phase":       *queries,
+			"base_p95_ms":             baseP95,
+			"merged_p95_ms":           mergedP95,
+			"post_compact_p95_ms":     p95ms(postLats.total),
+			"merged_overhead_pct":     (mergedP95/baseP95 - 1) * 100,
+			"base_bound_p95_ms":       p95ms(baseLats.bound),
+			"base_verify_p95_ms":      p95ms(baseLats.verify),
+			"merged_bound_p95_ms":     p95ms(mergedLats.bound),
+			"merged_verify_p95_ms":    p95ms(mergedLats.verify),
+			"base_con_materialised":   baseLats.conMaterialised,
+			"merged_con_materialised": mergedLats.conMaterialised,
+		},
+		"compaction": map[string]any{
+			"keys":         cres.Keys,
+			"observations": cres.Observations,
+			"bytes":        cres.Bytes,
+			"pause_ms":     float64(cres.Pause) / float64(time.Millisecond),
+			"epoch":        cres.Epoch,
+		},
+	}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(enc))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench ingest: report written to %s\n", *out)
+	}
+	return nil
+}

@@ -50,6 +50,10 @@ func main() {
 		err = runMatch(args)
 	case "serve":
 		err = runServe(args)
+	case "ingest":
+		err = runIngest(args)
+	case "bench":
+		err = runBench(args)
 	case "overload":
 		err = runOverload(args)
 	case "experiment":
@@ -80,6 +84,10 @@ commands:
   serve        serve reachability and route queries over HTTP
                (JSON/GeoJSON /v1/reach, /v1/route, /healthz, /metrics;
                request deadlines propagate into the query engine)
+  ingest       map-match a GPS CSV and replay it open-loop against a
+               running serve's POST /v1/ingest at a target rate
+  bench        offline harnesses; "bench ingest" measures live-ingest
+               throughput, merged-read p95, and the compaction pause
   overload     flood a running serve past its admission limit and report
                status mix, latency quantiles, and self-protection metrics
   experiment   regenerate the paper's evaluation tables and figures

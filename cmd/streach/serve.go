@@ -44,6 +44,7 @@ func runServe(args []string) error {
 	shardBudget := fs.Duration("shard-budget", 0, "per-shard deadline budget: a shard slower than this fails (typed Timeout) or is skipped under ?partial=true (0 = no budget)")
 	chaos := fs.String("chaos", "", "DEV ONLY fault injection: comma-separated shard=N:error|panic|hang items, e.g. shard=1:error,shard=2:hang (requires -shards)")
 	accessLog := fs.Bool("access-log", false, "log one line per request (method, URI, status, latency, request ID) to stderr")
+	ingestOn := fs.Bool("ingest", false, "enable live ingestion: POST /v1/ingest accepts position updates, /v1/ingest/compact folds the delta layer")
 	warmStart := fs.Duration("warm-start", 0, "precompute the Con-Index adjacency from this time of day (with -warm-dur)")
 	warmDur := fs.Duration("warm-dur", 0, "warm window length (0 = skip warming)")
 	dir := fs.String("dir", "", "system save directory: reopened when it holds a saved system")
@@ -85,6 +86,14 @@ func runServe(args []string) error {
 		if err := applyChaos(sys, *chaos); err != nil {
 			return err
 		}
+	}
+	// Ingest starts after sharding so the writer's per-shard routing sees
+	// the cluster partition.
+	if *ingestOn {
+		if err := sys.StartIngest(streach.IngestConfig{}); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "live ingest enabled (POST /v1/ingest)")
 	}
 	if *warmDur > 0 {
 		t0 := time.Now()

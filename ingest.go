@@ -1,0 +1,333 @@
+package streach
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"streach/internal/ingest"
+	"streach/internal/roadnet"
+	"streach/internal/traj"
+)
+
+// Live trajectory ingestion (DESIGN.md §13). A built or reopened system
+// is no longer frozen at index-construction time: StartIngest attaches
+// a batching, worker-pooled writer that folds streaming position
+// updates into the ST-Index delta layer and the Con-Index speed
+// statistics, queries merge base and delta transparently, and
+// CompactIngest folds the accumulated delta into freshly encoded blobs
+// — a new index epoch — off the query hot path.
+
+// ErrIngestBackpressure is returned by TryIngest when the ingest queue
+// is full: shed the update or retry later. The serving layer maps it to
+// a 429.
+var ErrIngestBackpressure = ingest.ErrBackpressure
+
+// IngestUpdate is one live position report, already resolved to a road
+// segment: the taxi traversed SegmentID on Day between EnterMs and
+// ExitMs (milliseconds since that day's midnight) at SpeedMps.
+type IngestUpdate struct {
+	TaxiID    int32
+	Day       int
+	SegmentID int32
+	EnterMs   int32
+	ExitMs    int32
+	SpeedMps  float32
+}
+
+// IngestConfig controls the live-ingest writer. The zero value is
+// usable: two workers, a 4096-update queue, 256-update batches, and a
+// write-ahead log at dir/ingest.delta when the system has a save
+// directory.
+type IngestConfig struct {
+	// Workers is the apply worker-pool size (default 2).
+	Workers int
+	// QueueDepth bounds the pending-update queue (default 4096);
+	// TryIngest rejects beyond it.
+	QueueDepth int
+	// BatchSize is how many updates fold into one index append and one
+	// WAL record (default 256).
+	BatchSize int
+	// FlushInterval bounds how long a partial batch waits (default 50ms).
+	FlushInterval time.Duration
+	// SpeedBuffer caps how many Con-Index speed samples buffer before
+	// being folded into the min/max bounds (default 65536). Trajectory
+	// data goes live in the ST-Index delta on every batch; the speed
+	// bounds — pruning statistics — fold at FlushIngest/CompactIngest/
+	// Close or when this cap fills, so live write load cannot turn the
+	// query bounding phase into a per-sample row-recompute storm.
+	SpeedBuffer int
+	// WALPath overrides the write-ahead log location. Empty uses
+	// dir/ingest.delta when the system was opened from (or saved to) a
+	// directory; a directory-less system runs without a WAL.
+	WALPath string
+	// DisableWAL runs without crash durability even when a directory or
+	// WALPath is available.
+	DisableWAL bool
+}
+
+// IngestStats snapshots the live-ingest machinery: the writer counters
+// (zero before StartIngest) and the ST-Index delta layer.
+type IngestStats struct {
+	// Writer counters.
+	Accepted  int64 // updates admitted to the queue
+	Applied   int64 // updates folded into the indexes
+	Dropped   int64 // updates rejected during apply (bad segment/day/taxi/time)
+	Rejected  int64 // updates refused by TryIngest (backpressure)
+	Batches   int64 // index append batches
+	WALErrors int64 // WAL append failures (updates stayed live, not durable)
+	QueueLen  int   // updates currently queued
+	// PendingSpeedSamples counts Con-Index speed samples buffered for
+	// the next fold (FlushIngest, CompactIngest, Close, or the
+	// SpeedBuffer cap).
+	PendingSpeedSamples int
+	// PerShard counts applied updates per owning shard (len 1 when
+	// unsharded).
+	PerShard []int64
+	// ST-Index delta layer.
+	DirtyKeys        int   // (segment, slot) keys pending compaction
+	PendingObs       int64 // delta observations not yet compacted
+	AppendedObs      int64 // cumulative observations accepted
+	Epoch            uint64
+	DataVersion      uint64
+	Compactions      uint64
+	LastCompactKeys  int64
+	LastCompactPause time.Duration
+}
+
+// CompactResult reports one CompactIngest call.
+type CompactResult struct {
+	// Keys is how many dirty (segment, slot) keys were folded,
+	// Observations how many delta observations they held, and Bytes how
+	// many freshly encoded blob bytes were appended.
+	Keys         int
+	Observations int64
+	Bytes        int64
+	// Pause is the handle-table install critical section — the only
+	// moment the fold excludes appends and cache misses.
+	Pause time.Duration
+	// Epoch is the index epoch after the install.
+	Epoch uint64
+	// Durable reports whether the fold was persisted (the system has a
+	// save directory) and the WAL truncated.
+	Durable bool
+}
+
+// StartIngest attaches the live-ingest writer to the system. Updates
+// stream in through Ingest/TryIngest, fold into the indexes on a small
+// worker pool, and become visible to queries within one batch flush.
+// When the system has a save directory (OpenSystem, or after Save) a
+// write-ahead log at dir/ingest.delta makes accepted updates
+// crash-durable between compactions; OpenSystem replays it.
+func (s *System) StartIngest(cfg IngestConfig) error {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if s.ingestW != nil {
+		return fmt.Errorf("streach: ingest already started")
+	}
+	var wal *ingest.Log
+	if !cfg.DisableWAL {
+		path := cfg.WALPath
+		if path == "" && s.dir != "" {
+			path = filepath.Join(s.dir, fileIngestDelta)
+		}
+		if path != "" {
+			var err error
+			if wal, err = ingest.OpenLog(path); err != nil {
+				return fmt.Errorf("streach: %w", err)
+			}
+		}
+	}
+	icfg := ingest.Config{
+		Workers:       cfg.Workers,
+		QueueDepth:    cfg.QueueDepth,
+		BatchSize:     cfg.BatchSize,
+		FlushInterval: cfg.FlushInterval,
+		SpeedBuffer:   cfg.SpeedBuffer,
+		WAL:           wal,
+	}
+	if c := s.cluster.Load(); c != nil {
+		part := c.Partition()
+		icfg.Owner = func(seg int) int { return part.Owner(roadnet.SegmentID(seg)) }
+		icfg.Shards = part.Shards()
+	}
+	s.wal = wal
+	s.ingestW = ingest.NewWriter(s.st, s.con, icfg)
+	return nil
+}
+
+// ingestWriter snapshots the writer under the ingest lock.
+func (s *System) ingestWriter() *ingest.Writer {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	return s.ingestW
+}
+
+// IngestEnabled reports whether StartIngest has attached a live writer.
+func (s *System) IngestEnabled() bool { return s.ingestWriter() != nil }
+
+// stopIngest stops the writer (draining its queue) and closes the WAL.
+// Part of Close; idempotent.
+func (s *System) stopIngest() error {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	var err error
+	if s.ingestW != nil {
+		err = s.ingestW.Close()
+		s.ingestW = nil
+	}
+	if s.wal != nil {
+		if cerr := s.wal.Close(); err == nil {
+			err = cerr
+		}
+		s.wal = nil
+	}
+	return err
+}
+
+func toIngestUpdates(updates []IngestUpdate) []ingest.Update {
+	out := make([]ingest.Update, len(updates))
+	for i, u := range updates {
+		out[i] = ingest.Update{
+			Taxi:    traj.TaxiID(u.TaxiID),
+			Day:     traj.Day(u.Day),
+			Seg:     roadnet.SegmentID(u.SegmentID),
+			EnterMs: u.EnterMs,
+			ExitMs:  u.ExitMs,
+			Speed:   u.SpeedMps,
+		}
+	}
+	return out
+}
+
+// Ingest enqueues live updates, blocking while the queue is full until
+// ctx expires. Requires StartIngest.
+func (s *System) Ingest(ctx context.Context, updates []IngestUpdate) error {
+	w := s.ingestWriter()
+	if w == nil {
+		return fmt.Errorf("streach: ingest not started")
+	}
+	return w.Add(ctx, toIngestUpdates(updates))
+}
+
+// TryIngest enqueues live updates without blocking. It returns how many
+// were admitted; the remainder failed with ErrIngestBackpressure (queue
+// full) or a closed-writer error.
+func (s *System) TryIngest(updates []IngestUpdate) (int, error) {
+	w := s.ingestWriter()
+	if w == nil {
+		return 0, fmt.Errorf("streach: ingest not started")
+	}
+	return w.TryAdd(toIngestUpdates(updates))
+}
+
+// FlushIngest blocks until every update accepted so far is folded into
+// the indexes (or ctx expires).
+func (s *System) FlushIngest(ctx context.Context) error {
+	w := s.ingestWriter()
+	if w == nil {
+		return nil
+	}
+	return w.Flush(ctx)
+}
+
+// IngestStats snapshots the ingest counters and the delta layer. Valid
+// before StartIngest (writer counters read zero).
+func (s *System) IngestStats() IngestStats {
+	ds := s.st.DeltaStats()
+	out := IngestStats{
+		DirtyKeys:        ds.DirtyKeys,
+		PendingObs:       ds.PendingObs,
+		AppendedObs:      ds.AppendedObs,
+		Epoch:            ds.Epoch,
+		DataVersion:      ds.DataVersion,
+		Compactions:      ds.Compactions,
+		LastCompactKeys:  ds.LastCompactKeys,
+		LastCompactPause: ds.LastCompactPause,
+	}
+	if w := s.ingestWriter(); w != nil {
+		ws := w.Stats()
+		out.Accepted = ws.Accepted
+		out.Applied = ws.Applied
+		out.Dropped = ws.Dropped
+		out.Rejected = ws.Rejected
+		out.Batches = ws.Batches
+		out.WALErrors = ws.WALErrors
+		out.QueueLen = ws.QueueLen
+		out.PendingSpeedSamples = ws.PendingSpeeds
+		out.PerShard = ws.PerShard
+	}
+	return out
+}
+
+// IndexEpoch reports the ST-Index epoch, bumped once per compaction.
+func (s *System) IndexEpoch() uint64 { return s.st.Epoch() }
+
+// IndexDataVersion reports the live data version, bumped on every
+// applied append batch and every compaction. It is folded into the
+// shared-plan cache key (and the serving layer's coalesce key via
+// DataVersionKey), so cached results never outlive the data they were
+// computed from.
+func (s *System) IndexDataVersion() uint64 { return s.st.DataVersion() }
+
+// DataVersionKey canonicalises everything that versions the system's
+// live data — the ST-Index data version and the Con-Index invalidation
+// generation — into the key segment shared by the plan cache and the
+// serving layer's coalescer. Two calls returning the same string are
+// guaranteed to observe index state producing identical answers.
+func (s *System) DataVersionKey() string {
+	return fmt.Sprintf("v%d.%d", s.st.DataVersion(), s.con.InvalidationGen())
+}
+
+// CompactIngest flushes the pending ingest queue, folds the delta layer
+// into freshly encoded blobs, and installs a new index epoch. In-flight
+// queries finish on the epoch they started with; only the handle-table
+// install (the reported Pause) excludes concurrent appends. When the
+// system has a save directory the fold is persisted — pages, ST-Index
+// meta, Con-Index statistics and adjacency, each atomically — and the
+// WAL truncated; a persist failure leaves the WAL intact so nothing
+// accepted is lost across a crash.
+func (s *System) CompactIngest(ctx context.Context) (CompactResult, error) {
+	// Serialise whole compaction cycles (fold + persist + truncate), not
+	// just the folds: two concurrent calls could otherwise interleave a
+	// stale persist over a newer one.
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	if w := s.ingestWriter(); w != nil {
+		if err := w.Flush(ctx); err != nil {
+			return CompactResult{}, fmt.Errorf("streach: flush before compaction: %w", err)
+		}
+	}
+	cs, err := s.st.CompactDeltas()
+	if err != nil {
+		return CompactResult{}, fmt.Errorf("streach: compact deltas: %w", err)
+	}
+	res := CompactResult{
+		Keys:         cs.Keys,
+		Observations: cs.Observations,
+		Bytes:        cs.Bytes,
+		Pause:        cs.Pause,
+		Epoch:        cs.Epoch,
+	}
+	if s.dir == "" {
+		return res, nil
+	}
+	if err := s.persistCompacted(); err != nil {
+		// The fold is live in memory and every accepted update is still
+		// in the WAL: the next open replays it, so nothing is lost.
+		return res, fmt.Errorf("streach: persist compaction (wal kept for replay): %w", err)
+	}
+	s.ingestMu.Lock()
+	wal := s.wal
+	s.ingestMu.Unlock()
+	if wal != nil {
+		if err := wal.Truncate(); err != nil {
+			// Harmless beyond a larger replay: the ST-Index replay is
+			// idempotent and only mean-speed accumulators double-count.
+			return res, fmt.Errorf("streach: truncate ingest wal: %w", err)
+		}
+	}
+	res.Durable = true
+	return res, nil
+}

@@ -1,0 +1,556 @@
+package streach
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streach/internal/traj"
+)
+
+// liveFixtureUpdates is a deterministic batch of position updates from a
+// fresh fleet (taxi IDs above anything simulated), concentrated around
+// the test query window so the answers actually change.
+func liveFixtureUpdates(s *System) []IngestUpdate {
+	n := s.Network().NumSegments()
+	days := s.Dataset().Days
+	var out []IngestUpdate
+	for i := 0; i < 600; i++ {
+		enterMs := int32((10*3600+600*(i%15))*1000 + (i%7)*1000)
+		out = append(out, IngestUpdate{
+			TaxiID:    int32(1000 + i%25),
+			Day:       i % days,
+			SegmentID: int32((i * 13) % n),
+			EnterMs:   enterMs,
+			ExitMs:    enterMs + 45_000,
+			SpeedMps:  float32(4 + i%9),
+		})
+	}
+	return out
+}
+
+// blanketUpdates covers every segment on every day at the given slots,
+// so any reach query inside that window flips to full-probability
+// answers once the batch lands — a guaranteed answer change for
+// cache-staleness tests, no matter how dense the base traffic is.
+func blanketUpdates(s *System, slots []int) []IngestUpdate {
+	n := s.Network().NumSegments()
+	days := s.Dataset().Days
+	var out []IngestUpdate
+	for day := 0; day < days; day++ {
+		for seg := 0; seg < n; seg++ {
+			for _, slot := range slots {
+				ms := int32(slot*300*1000 + 1000)
+				out = append(out, IngestUpdate{
+					TaxiID: int32(1000 + seg%30), Day: day, SegmentID: int32(seg),
+					EnterMs: ms, ExitMs: ms + 20_000, SpeedMps: 8,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// unionDataset builds the dataset an offline rebuild would see: the base
+// trajectories plus every ingested update as a one-visit trajectory.
+func unionDataset(base *traj.Dataset, updates []IngestUpdate) *traj.Dataset {
+	matched := append([]traj.MatchedTrajectory(nil), base.Matched...)
+	for _, u := range toIngestUpdates(updates) {
+		matched = append(matched, traj.MatchedTrajectory{
+			Taxi: u.Taxi, Day: u.Day,
+			Visits: []traj.Visit{{Segment: u.Seg, EnterMs: u.EnterMs, ExitMs: u.ExitMs, Speed: u.Speed}},
+		})
+	}
+	return &traj.Dataset{BaseDate: base.BaseDate, Days: base.Days, Matched: matched}
+}
+
+func regionsEqual(t *testing.T, label string, got, want *Region) {
+	t.Helper()
+	if !reflect.DeepEqual(got.SegmentIDs, want.SegmentIDs) {
+		t.Fatalf("%s: segment sets differ (%d vs %d segments)", label, len(got.SegmentIDs), len(want.SegmentIDs))
+	}
+	if !reflect.DeepEqual(got.Probabilities, want.Probabilities) {
+		t.Fatalf("%s: probabilities differ", label)
+	}
+}
+
+// TestIngestEquivalenceOfflineRebuild is the tentpole acceptance test:
+// a system answering from base + delta (and, after compaction, from the
+// folded blobs) is bit-identical to one built offline over the union of
+// base and ingested data — across probability thresholds, query kinds,
+// and sharding.
+func TestIngestEquivalenceOfflineRebuild(t *testing.T) {
+	base := smallSystem(t)
+	idx := DefaultIndexConfig()
+	idx.PlanCache = -1
+	live, err := NewSystemFromData(base.Network(), base.Dataset(), idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	if err := live.StartIngest(IngestConfig{FlushInterval: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	updates := liveFixtureUpdates(live)
+	if err := live.Ingest(context.Background(), updates); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := live.FlushIngest(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	offline, err := NewSystemFromData(base.Network(), unionDataset(base.Dataset(), updates), idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer offline.Close()
+
+	loc := base.BusiestLocation(10 * time.Hour)
+	locs := []Location{loc, {loc.Lat + 0.01, loc.Lng}, {loc.Lat, loc.Lng + 0.01}}
+	start, dur := 10*time.Hour, 10*time.Minute
+	requests := func(prob float64) map[string]Request {
+		return map[string]Request{
+			"reach":   ReachRequest(loc, start, dur, prob),
+			"reverse": ReverseRequest(loc, start, dur, prob),
+			"multi":   MultiRequest(locs, start, dur, prob),
+		}
+	}
+
+	check := func(stage string, sys *System) {
+		t.Helper()
+		for _, prob := range []float64{0.1, 0.2, 0.4, 0.8} {
+			for kind, req := range requests(prob) {
+				got, err := sys.Do(context.Background(), req)
+				if err != nil {
+					t.Fatalf("%s %s p=%.1f: %v", stage, kind, prob, err)
+				}
+				want, err := offline.Do(context.Background(), req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				regionsEqual(t, fmt.Sprintf("%s %s p=%.1f", stage, kind, prob), got, want)
+			}
+		}
+	}
+
+	check("base+delta k=1", live)
+
+	// Sharded execution over the merged reads.
+	if err := live.Shard(4); err != nil {
+		t.Fatal(err)
+	}
+	check("base+delta k=4", live)
+
+	res, err := live.CompactIngest(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Keys == 0 || res.Epoch != 1 {
+		t.Fatalf("compaction result: %+v", res)
+	}
+	if res.Durable {
+		t.Fatal("directory-less system reported a durable compaction")
+	}
+	if live.IndexEpoch() != 1 {
+		t.Fatalf("epoch = %d after compaction", live.IndexEpoch())
+	}
+	check("post-compaction k=4", live)
+	if err := live.Shard(1); err != nil {
+		t.Fatal(err)
+	}
+	check("post-compaction k=1", live)
+
+	st := live.IngestStats()
+	if st.DirtyKeys != 0 || st.PendingObs != 0 {
+		t.Fatalf("delta not drained: %+v", st)
+	}
+	if st.Applied != int64(len(updates)) || st.Dropped != 0 {
+		t.Fatalf("writer stats: %+v (want %d applied)", st, len(updates))
+	}
+}
+
+// TestIngestVersionKeysInvalidateCaches pins satellite (a): the plan
+// cache and the serve coalescer key on DataVersionKey, so a cached
+// answer can never outlive the data it was computed from.
+func TestIngestVersionKeysInvalidateCaches(t *testing.T) {
+	base := smallSystem(t)
+	idx := DefaultIndexConfig() // plan cache ON
+	sys, err := NewSystemFromData(base.Network(), base.Dataset(), idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	if err := sys.StartIngest(IngestConfig{FlushInterval: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+
+	key0 := sys.DataVersionKey()
+	// Query an off-peak window, then blanket it with live traffic: the
+	// answer is guaranteed to change, so a stale cached plan is caught.
+	req := ReachRequest(base.BusiestLocation(10*time.Hour), 2*time.Hour, 10*time.Minute, 0.2)
+	before, err := sys.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same request again: must hit the plan cache.
+	sh0 := sys.SharingStats()
+	if _, err := sys.Do(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if sys.SharingStats().PlanCacheHits <= sh0.PlanCacheHits {
+		t.Fatal("repeat query did not hit the plan cache")
+	}
+
+	if err := sys.Ingest(context.Background(), blanketUpdates(sys, []int{24, 25, 26})); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sys.FlushIngest(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if sys.DataVersionKey() == key0 {
+		t.Fatal("ingest did not change DataVersionKey")
+	}
+
+	// The same request now must MISS the plan cache (stale plan would
+	// return the pre-ingest region) and reflect the new data.
+	sh1 := sys.SharingStats()
+	after, err := sys.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.SharingStats().PlanCacheHits != sh1.PlanCacheHits {
+		t.Fatal("post-ingest query served from a pre-ingest cached plan")
+	}
+	if reflect.DeepEqual(before.SegmentIDs, after.SegmentIDs) &&
+		reflect.DeepEqual(before.Probabilities, after.Probabilities) {
+		t.Fatal("fixture too weak: ingest did not change the answer at all")
+	}
+
+	// Compaction bumps the version again (new epoch).
+	key1 := sys.DataVersionKey()
+	if _, err := sys.CompactIngest(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if sys.DataVersionKey() == key1 {
+		t.Fatal("compaction did not change DataVersionKey")
+	}
+}
+
+// TestIngestConcurrentWithQueries races live ingestion, queries, and
+// compactions (run under -race): no errors, no torn reads, and the final
+// state answers like the offline rebuild.
+func TestIngestConcurrentWithQueries(t *testing.T) {
+	base := smallSystem(t)
+	idx := DefaultIndexConfig()
+	idx.PlanCache = -1
+	live, err := NewSystemFromData(base.Network(), base.Dataset(), idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	if err := live.Shard(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.StartIngest(IngestConfig{FlushInterval: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+
+	updates := liveFixtureUpdates(live)
+	req := ReachRequest(base.BusiestLocation(10*time.Hour), 10*time.Hour, 10*time.Minute, 0.2)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // queriers
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := live.Do(context.Background(), req); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // compactor
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if _, err := live.CompactIngest(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	for off := 0; off < len(updates); off += 50 {
+		if err := live.Ingest(context.Background(), updates[off:off+50]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := live.FlushIngest(ctx); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if _, err := live.CompactIngest(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	offline, err := NewSystemFromData(base.Network(), unionDataset(base.Dataset(), updates), idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer offline.Close()
+	got, err := live.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := offline.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regionsEqual(t, "after concurrent ingest", got, want)
+}
+
+// TestIngestEpochSwapLeaksNoGoroutines: repeated start/ingest/compact/
+// close cycles leave no workers behind.
+func TestIngestEpochSwapLeaksNoGoroutines(t *testing.T) {
+	base := smallSystem(t)
+	idx := DefaultIndexConfig()
+	idx.PlanCache = -1
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		live, err := NewSystemFromData(base.Network(), base.Dataset(), idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := live.StartIngest(IngestConfig{Workers: 3, FlushInterval: time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		if err := live.Ingest(context.Background(), liveFixtureUpdates(live)[:200]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := live.CompactIngest(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if err := live.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Allow stragglers to exit before counting.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after ingest cycles", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestIngestWALReplayOnOpen: accepted updates survive a crash (a close
+// without compaction) via the WAL, and the reopened system folds them
+// back in before serving.
+func TestIngestWALReplayOnOpen(t *testing.T) {
+	base := smallSystem(t)
+	dir := t.TempDir()
+	if err := base.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	idx := DefaultIndexConfig()
+	idx.PlanCache = -1
+
+	sys, err := OpenSystem(dir, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.StartIngest(IngestConfig{FlushInterval: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	updates := liveFixtureUpdates(sys)
+	if err := sys.Ingest(context.Background(), updates); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sys.FlushIngest(ctx); err != nil {
+		t.Fatal(err)
+	}
+	req := ReachRequest(sys.BusiestLocation(10*time.Hour), 10*time.Hour, 10*time.Minute, 0.2)
+	want, err := sys.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Crash": close without compacting. The WAL must hold the updates.
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, fileIngestDelta)); err != nil || fi.Size() <= 6 {
+		t.Fatalf("wal missing or empty after close: %v", err)
+	}
+
+	reopened, err := OpenSystem(dir, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	got, err := reopened.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regionsEqual(t, "replayed reopen", got, want)
+
+	// A durable compaction truncates the WAL; the next open needs no
+	// replay and still answers identically.
+	if err := reopened.StartIngest(IngestConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := reopened.CompactIngest(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Durable {
+		t.Fatalf("compaction on a dir-backed system not durable: %+v", res)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, fileIngestDelta)); err != nil || fi.Size() > 6 {
+		t.Fatalf("wal not truncated after durable compaction (size %d, err %v)", fi.Size(), err)
+	}
+	if err := reopened.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := OpenSystem(dir, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	got2, err := cold.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regionsEqual(t, "post-compaction reopen", got2, want)
+}
+
+// TestIngestWALCorruptionFuzz pins satellite (d) at the system level: a
+// flipped bit anywhere in the ingest WAL is detected by CRC on reopen,
+// logged, and the file dropped — the system comes up serving the base
+// data (never a silently merged corrupt record) and accepts re-ingest.
+func TestIngestWALCorruptionFuzz(t *testing.T) {
+	base := smallSystem(t)
+	dir := t.TempDir()
+	if err := base.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	idx := DefaultIndexConfig()
+	idx.PlanCache = -1
+	req := ReachRequest(base.BusiestLocation(10*time.Hour), 10*time.Hour, 10*time.Minute, 0.2)
+
+	// Write a WAL through a live session, keep a pristine copy.
+	sys, err := OpenSystem(dir, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.StartIngest(IngestConfig{FlushInterval: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Ingest(context.Background(), liveFixtureUpdates(sys)[:100]); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := sys.FlushIngest(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fullAnswer, err := sys.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, fileIngestDelta)
+	pristine, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 4; trial++ {
+		mut := append([]byte(nil), pristine...)
+		bit := rng.Intn(len(mut) * 8)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if err := os.WriteFile(walPath, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		var logBuf bytes.Buffer
+		log.SetOutput(&logBuf)
+		reopened, err := OpenSystem(dir, idx)
+		log.SetOutput(os.Stderr)
+		if err != nil {
+			t.Fatalf("bit %d: reopen failed instead of dropping the wal: %v", bit, err)
+		}
+		if !strings.Contains(logBuf.String(), "ingest wal corrupt") {
+			t.Fatalf("bit %d: corruption not logged:\n%s", bit, logBuf.String())
+		}
+		if _, err := os.Stat(walPath); !os.IsNotExist(err) {
+			t.Fatalf("bit %d: corrupt wal not dropped (err %v)", bit, err)
+		}
+
+		// Whatever intact prefix was replayed came from pristine batches;
+		// the rest is gone. Re-ingesting everything must converge back to
+		// the full live answer (set union absorbs the replayed prefix).
+		if err := reopened.StartIngest(IngestConfig{FlushInterval: time.Millisecond}); err != nil {
+			t.Fatal(err)
+		}
+		if err := reopened.Ingest(context.Background(), liveFixtureUpdates(reopened)[:100]); err != nil {
+			t.Fatal(err)
+		}
+		ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := reopened.FlushIngest(ctx2); err != nil {
+			cancel2()
+			t.Fatal(err)
+		}
+		cancel2()
+		got, err := reopened.Do(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Set-union ingest and idempotent min/max bounds make the recovery
+		// converge exactly (reach answers never read the mean-speed
+		// accumulators, the one statistic replay may double-count).
+		regionsEqual(t, fmt.Sprintf("bit %d: recovery", bit), got, fullAnswer)
+		if err := reopened.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Closing wrote a fresh WAL with the re-ingested updates; restore
+		// the pristine file for the next trial.
+		if err := os.WriteFile(walPath, pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -85,13 +86,37 @@ type Index struct {
 	net      *roadnet.Network
 	slotSec  int
 	numSlots int
-	// minSpeed/maxSpeed are indexed [slot*numSegments + segment], m/s.
-	minSpeed []float32
-	maxSpeed []float32
-	// sumSpeed/cntSpeed accumulate per-slot means for MeanSpeed (used by
-	// the time-dependent router).
-	sumSpeed []float32
+	// cfg keeps the floor/fallback/safety knobs live so streaming speed
+	// observations (ObserveSpeed) can reproduce exactly what an offline
+	// Build over the union of the data would have computed.
+	cfg Config
+	// minSpeed/maxSpeed are indexed [slot*numSegments + segment] and hold
+	// math.Float32bits of the speed in m/s. They are read atomically: the
+	// ingest path updates them in place while expansions run.
+	minSpeed []uint32
+	maxSpeed []uint32
+	// sumSpeed (Float32bits) / cntSpeed accumulate per-slot means for
+	// MeanSpeed (used by the time-dependent router).
+	sumSpeed []uint32
 	cntSpeed []uint32
+
+	// obsMu serialises ObserveSpeed writers; readers stay lock-free.
+	obsMu sync.Mutex
+	// invGen is bumped after every speed change that can alter a row; it
+	// feeds DataVersionKey so plan caches key on the Con-Index state.
+	invGen atomic.Uint64
+	// slotGen is invGen broken out per slot. An expansion only reads
+	// speeds at its own slot, so a materialisation records slotGen[slot]
+	// before its expansion reads any speed and the store step refuses to
+	// install the row if that slot's generation moved — a row computed
+	// from pre-ingest speeds can never outlive the invalidation that
+	// should have killed it (waiters still receive the computed row:
+	// their query raced the ingest, which is fine; caching it would not
+	// be). Guarding per slot rather than globally matters under live
+	// ingest: at thousands of observations/s a global generation moves
+	// during nearly every expansion, so no row would ever cache and the
+	// bounding phase degrades to one Dijkstra per row per query.
+	slotGen []atomic.Uint64
 
 	// The four adjacency tables: materialised Near/Far rows in adaptive
 	// sparse-list/bitset encoding (see row.go), with singleflight cold
@@ -193,15 +218,22 @@ func Build(net *roadnet.Network, ds *traj.Dataset, cfg Config) (*Index, error) {
 		net:      net,
 		slotSec:  cfg.SlotSeconds,
 		numSlots: numSlots,
-		minSpeed: make([]float32, numSlots*n),
-		maxSpeed: make([]float32, numSlots*n),
-		sumSpeed: make([]float32, numSlots*n),
+		cfg:      cfg,
+		minSpeed: make([]uint32, numSlots*n),
+		maxSpeed: make([]uint32, numSlots*n),
+		sumSpeed: make([]uint32, numSlots*n),
 		cntSpeed: make([]uint32, numSlots*n),
+		slotGen:  make([]atomic.Uint64, numSlots),
 		near:     newTable(),
 		far:      newTable(),
 		nearRev:  newTable(),
 		farRev:   newTable(),
 	}
+	// Accumulate in plain float32 (construction is offline and
+	// single-threaded), then publish as bits.
+	minS := make([]float32, numSlots*n)
+	maxS := make([]float32, numSlots*n)
+	sumS := make([]float32, numSlots*n)
 	for i := range ds.Matched {
 		mt := &ds.Matched[i]
 		for _, v := range mt.Visits {
@@ -216,13 +248,13 @@ func Build(net *roadnet.Network, ds *traj.Dataset, cfg Config) (*Index, error) {
 				}
 				k := s*n + int(v.Segment)
 				sp := v.Speed
-				if idx.minSpeed[k] == 0 || sp < idx.minSpeed[k] {
-					idx.minSpeed[k] = sp
+				if minS[k] == 0 || sp < minS[k] {
+					minS[k] = sp
 				}
-				if sp > idx.maxSpeed[k] {
-					idx.maxSpeed[k] = sp
+				if sp > maxS[k] {
+					maxS[k] = sp
 				}
-				idx.sumSpeed[k] += sp
+				sumS[k] += sp
 				idx.cntSpeed[k]++
 			}
 		}
@@ -233,14 +265,19 @@ func Build(net *roadnet.Network, ds *traj.Dataset, cfg Config) (*Index, error) {
 		for seg := 0; seg < n; seg++ {
 			k := s*n + seg
 			ff := net.Segment(roadnet.SegmentID(seg)).Class.FreeFlowSpeed()
-			if idx.minSpeed[k] == 0 {
-				idx.minSpeed[k] = float32(ff * cfg.FallbackMinFraction)
+			if minS[k] == 0 {
+				minS[k] = float32(ff * cfg.FallbackMinFraction)
 			}
-			if idx.maxSpeed[k] == 0 {
-				idx.maxSpeed[k] = float32(ff * cfg.FallbackMaxFraction)
+			if maxS[k] == 0 {
+				maxS[k] = float32(ff * cfg.FallbackMaxFraction)
 			}
-			idx.minSpeed[k] *= float32(cfg.NearSafetyFactor)
+			minS[k] *= float32(cfg.NearSafetyFactor)
 		}
+	}
+	for k := range minS {
+		idx.minSpeed[k] = math.Float32bits(minS[k])
+		idx.maxSpeed[k] = math.Float32bits(maxS[k])
+		idx.sumSpeed[k] = math.Float32bits(sumS[k])
 	}
 	return idx, nil
 }
@@ -251,14 +288,19 @@ func (x *Index) SlotSeconds() int { return x.slotSec }
 // NumSlots returns the slots per day.
 func (x *Index) NumSlots() int { return x.numSlots }
 
+// loadSpeed atomically reads one speed cell (stored as Float32bits).
+func loadSpeed(a []uint32, k int) float32 {
+	return math.Float32frombits(atomic.LoadUint32(&a[k]))
+}
+
 // MinSpeed returns the slot's minimum observed (or fallback) speed on seg.
 func (x *Index) MinSpeed(seg roadnet.SegmentID, slot int) float64 {
-	return float64(x.minSpeed[x.key(seg, slot)])
+	return float64(loadSpeed(x.minSpeed, x.key(seg, slot)))
 }
 
 // MaxSpeed returns the slot's maximum observed (or fallback) speed on seg.
 func (x *Index) MaxSpeed(seg roadnet.SegmentID, slot int) float64 {
-	return float64(x.maxSpeed[x.key(seg, slot)])
+	return float64(loadSpeed(x.maxSpeed, x.key(seg, slot)))
 }
 
 // MeanSpeed returns the slot's mean observed speed on seg, falling back
@@ -266,15 +308,15 @@ func (x *Index) MaxSpeed(seg roadnet.SegmentID, slot int) float64 {
 // time-dependent route queries.
 func (x *Index) MeanSpeed(seg roadnet.SegmentID, slot int) float64 {
 	k := x.key(seg, slot)
-	if x.cntSpeed[k] > 0 {
-		return float64(x.sumSpeed[k]) / float64(x.cntSpeed[k])
+	if cnt := atomic.LoadUint32(&x.cntSpeed[k]); cnt > 0 {
+		return float64(loadSpeed(x.sumSpeed, k)) / float64(cnt)
 	}
 	return 0.7 * x.net.Segment(seg).Class.FreeFlowSpeed()
 }
 
 // Observations returns how many speed samples the slot has for seg.
 func (x *Index) Observations(seg roadnet.SegmentID, slot int) int {
-	return int(x.cntSpeed[x.key(seg, slot)])
+	return int(atomic.LoadUint32(&x.cntSpeed[x.key(seg, slot)]))
 }
 
 func (x *Index) key(seg roadnet.SegmentID, slot int) int {
@@ -390,7 +432,7 @@ func (x *Index) expand(ctx context.Context, seg roadnet.SegmentID, slot int, far
 		if sc.enterStamp[it.seg] == stamp && it.cost > sc.enterCost[it.seg] {
 			continue // stale entry
 		}
-		sp := float64(speeds[base+int(it.seg)])
+		sp := float64(loadSpeed(speeds, base+int(it.seg)))
 		exit := budget + 1
 		if sp > 0 {
 			exit = it.cost + x.net.Segment(it.seg).Length/sp

@@ -5,7 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
+	"sync/atomic"
 
 	"streach/internal/roadnet"
 	"streach/internal/storage"
@@ -57,10 +57,10 @@ func (x *Index) Save(w io.Writer) error {
 		return err
 	}
 	for i := range x.minSpeed {
-		binary.LittleEndian.PutUint32(buf[0:4], math.Float32bits(x.minSpeed[i]))
-		binary.LittleEndian.PutUint32(buf[4:8], math.Float32bits(x.maxSpeed[i]))
-		binary.LittleEndian.PutUint32(buf[8:12], math.Float32bits(x.sumSpeed[i]))
-		binary.LittleEndian.PutUint32(buf[12:16], x.cntSpeed[i])
+		binary.LittleEndian.PutUint32(buf[0:4], atomic.LoadUint32(&x.minSpeed[i]))
+		binary.LittleEndian.PutUint32(buf[4:8], atomic.LoadUint32(&x.maxSpeed[i]))
+		binary.LittleEndian.PutUint32(buf[8:12], atomic.LoadUint32(&x.sumSpeed[i]))
+		binary.LittleEndian.PutUint32(buf[12:16], atomic.LoadUint32(&x.cntSpeed[i]))
 		if _, err := tee.Write(buf[:16]); err != nil {
 			return fmt.Errorf("conindex: write stats %d: %w", i, err)
 		}
@@ -113,10 +113,15 @@ func Load(net *roadnet.Network, r io.Reader) (*Index, error) {
 		net:      net,
 		slotSec:  slotSec,
 		numSlots: numSlots,
-		minSpeed: make([]float32, total),
-		maxSpeed: make([]float32, total),
-		sumSpeed: make([]float32, total),
+		// The floor/fallback/safety knobs are not serialized; reopened
+		// indexes use the defaults, which is what every build path in
+		// this repo configures. They only matter for live ObserveSpeed.
+		cfg:      Config{SlotSeconds: slotSec}.withDefaults(),
+		minSpeed: make([]uint32, total),
+		maxSpeed: make([]uint32, total),
+		sumSpeed: make([]uint32, total),
 		cntSpeed: make([]uint32, total),
+		slotGen:  make([]atomic.Uint64, numSlots),
 		near:     newTable(),
 		far:      newTable(),
 		nearRev:  newTable(),
@@ -126,9 +131,9 @@ func Load(net *roadnet.Network, r io.Reader) (*Index, error) {
 		if _, err := io.ReadFull(tee, buf[:16]); err != nil {
 			return nil, fmt.Errorf("conindex: read stats %d: %w", i, err)
 		}
-		idx.minSpeed[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[0:4]))
-		idx.maxSpeed[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4:8]))
-		idx.sumSpeed[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[8:12]))
+		idx.minSpeed[i] = binary.LittleEndian.Uint32(buf[0:4])
+		idx.maxSpeed[i] = binary.LittleEndian.Uint32(buf[4:8])
+		idx.sumSpeed[i] = binary.LittleEndian.Uint32(buf[8:12])
 		idx.cntSpeed[i] = binary.LittleEndian.Uint32(buf[12:16])
 	}
 	if ver >= 2 {

@@ -91,7 +91,7 @@ func (x *Index) expandReverse(ctx context.Context, seg roadnet.SegmentID, slot i
 		speeds = x.maxSpeed
 	}
 	timeOf := func(s roadnet.SegmentID) float64 {
-		sp := float64(speeds[base+int(s)])
+		sp := float64(loadSpeed(speeds, base+int(s)))
 		if sp <= 0 {
 			return budget + 1
 		}

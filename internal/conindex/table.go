@@ -16,6 +16,11 @@ type table struct {
 	rows   map[int64]Row
 	lists  map[int64][]roadnet.SegmentID
 	flight map[int64]*flightCall
+	// bySlot indexes the materialised row keys by slot. A live speed
+	// observation invalidates rows at exactly one slot; without this
+	// index every invalidation would scan the whole rows map under the
+	// write lock, which at ingest rates starves the read path.
+	bySlot map[int]map[int64]struct{}
 }
 
 // flightCall is one in-progress row materialisation. row and err are
@@ -27,7 +32,22 @@ type flightCall struct {
 }
 
 func newTable() table {
-	return table{rows: map[int64]Row{}, lists: map[int64][]roadnet.SegmentID{}}
+	return table{
+		rows:   map[int64]Row{},
+		lists:  map[int64][]roadnet.SegmentID{},
+		bySlot: map[int]map[int64]struct{}{},
+	}
+}
+
+// index records key in the by-slot index. Caller holds t.mu.
+func (t *table) index(key int64) {
+	slot := int(key >> 32)
+	m := t.bySlot[slot]
+	if m == nil {
+		m = map[int64]struct{}{}
+		t.bySlot[slot] = m
+	}
+	m[key] = struct{}{}
 }
 
 // row returns the cached row for key, materialising it with compute on a
@@ -68,6 +88,17 @@ func (t *table) row(x *Index, key int64, compute func() ([]roadnet.SegmentID, er
 		t.flight[key] = fc
 		t.mu.Unlock()
 
+		// Record the slot's invalidation generation before the expansion
+		// reads any speed: if an ObserveSpeed lands on this slot
+		// mid-compute, the row below was built from pre-update speeds and
+		// must not be cached (the invalidation scan may already have run
+		// and missed it). Waiters still get the computed row — their
+		// query merely raced the ingest. The guard is per slot because an
+		// expansion only reads its own slot's speeds; observations on
+		// other slots cannot stale this row.
+		slot := int(key >> 32)
+		gen := x.slotGen[slot].Load()
+
 		// Deregister and release waiters even if compute panics — a
 		// poisoned flight entry would block every later lookup of this key
 		// forever. On panic or error the row stays unmaterialised and
@@ -76,9 +107,10 @@ func (t *table) row(x *Index, key int64, compute func() ([]roadnet.SegmentID, er
 		func() {
 			defer func() {
 				t.mu.Lock()
-				if stored {
+				if stored && x.slotGen[slot].Load() == gen {
 					t.rows[key] = fc.row
-				} else if fc.err == nil {
+					t.index(key)
+				} else if !stored && fc.err == nil {
 					fc.err = errAborted
 				}
 				delete(t.flight, key)
@@ -129,12 +161,44 @@ func (t *table) size() int {
 	return len(t.rows)
 }
 
+// invalidateSlot drops every materialised row at slot that the probe
+// set can have influenced: the rows keyed by selves (a row always
+// contains its own segment, but may be empty when nothing is reachable
+// — the one case membership cannot witness), plus any row containing a
+// probe segment. Decoded-slice memos go with their rows. Only the
+// touched slot's rows are visited (bySlot), so an observation on a slot
+// no query has materialised costs one map lookup.
+func (t *table) invalidateSlot(slot int, selves []int64, probes []roadnet.SegmentID) {
+	t.mu.Lock()
+	keys := t.bySlot[slot]
+	for key := range keys {
+		r := t.rows[key]
+		drop := false
+		for i := 0; !drop && i < len(selves); i++ {
+			drop = key == selves[i]
+		}
+		for i := 0; !drop && i < len(probes); i++ {
+			drop = r.Has(probes[i])
+		}
+		if drop {
+			delete(t.rows, key)
+			delete(t.lists, key)
+			delete(keys, key)
+		}
+	}
+	if len(keys) == 0 {
+		delete(t.bySlot, slot)
+	}
+	t.mu.Unlock()
+}
+
 // put installs a row directly (the adjacency-blob load path), dropping
 // any decoded-slice memo so the list API cannot serve a stale decode of
 // a replaced row.
 func (t *table) put(key int64, r Row) {
 	t.mu.Lock()
 	t.rows[key] = r
+	t.index(key)
 	delete(t.lists, key)
 	t.mu.Unlock()
 }

@@ -40,7 +40,7 @@ func (h *histogram) observe(d time.Duration) {
 
 // endpoints is the fixed label set of the per-endpoint histograms,
 // matching the kind strings record() uses.
-var endpoints = []string{"reach", "reverse", "multi", "route"}
+var endpoints = []string{"reach", "reverse", "multi", "route", "ingest"}
 
 // writePrometheus renders the server's metrics in the Prometheus text
 // exposition format: per-endpoint latency histograms, the batch-sharing
@@ -134,6 +134,40 @@ func (s *Server) writePrometheus(w io.Writer) {
 		counter("streach_hedge_wins_total",
 			"Hedge attempts that finished before their primary.", rs.HedgeWins)
 	}
+
+	// Live ingestion: the index epoch, the delta layer's depth, and the
+	// compaction history, so a dashboard sees delta depth grow between
+	// compactions and the epoch step when one lands. Always rendered —
+	// a frozen system just shows epoch 0 and an empty delta.
+	ist := s.sys.IngestStats()
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("streach_index_epoch",
+		"ST-Index epoch, bumped once per delta compaction.", float64(ist.Epoch))
+	gauge("streach_index_data_version",
+		"Live data version, bumped per ingest append batch and compaction.", float64(ist.DataVersion))
+	gauge("streach_ingest_delta_dirty_keys",
+		"(segment, slot) keys holding uncompacted delta observations.", float64(ist.DirtyKeys))
+	gauge("streach_ingest_delta_pending_obs",
+		"Delta observations not yet folded by a compaction.", float64(ist.PendingObs))
+	gauge("streach_ingest_queue_len",
+		"Updates waiting in the ingest queue.", float64(ist.QueueLen))
+	gauge("streach_ingest_pending_speed_samples",
+		"Con-Index speed samples buffered for the next fold (flush/compaction/cap).",
+		float64(ist.PendingSpeedSamples))
+	counter("streach_ingest_applied_total",
+		"Live updates folded into the indexes.", ist.Applied)
+	counter("streach_ingest_dropped_total",
+		"Live updates rejected during apply (out-of-range fields).", ist.Dropped)
+	counter("streach_ingest_backpressure_total",
+		"Live updates refused at the queue (backpressure).", ist.Rejected)
+	counter("streach_ingest_wal_errors_total",
+		"WAL append failures (updates stayed live but not durable).", ist.WALErrors)
+	counter("streach_ingest_compactions_total",
+		"Delta compactions installed.", int64(ist.Compactions))
+	gauge("streach_ingest_last_compact_pause_seconds",
+		"Handle-table install pause of the last compaction.", ist.LastCompactPause.Seconds())
 
 	// Adaptive admission: the live limit and occupancy, so dashboards see
 	// the brownout ladder move before clients see 429s.

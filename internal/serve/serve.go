@@ -156,6 +156,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/v1/reach", s.handleReach)
 	mux.HandleFunc("/v1/route", s.handleRoute)
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
+	mux.HandleFunc("/v1/ingest/compact", s.handleIngestCompact)
 	return s.middleware(mux)
 }
 
@@ -707,9 +709,13 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request) {
 // today (HTTP exposes no per-query ablation toggles), but folding them
 // in keeps the key honest if that ever changes, exactly as the group-key
 // fix did for batches.
+// The system's live data version joins the key too: an ingest append or
+// a compaction must stop new requests from latching onto an in-flight
+// execution that started over the older data.
 func (s *Server) coalesceKey(req streach.Request, alg string, partial bool) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d|%s|%t|%s|%d|%d|%x", int(req.Kind), strings.ToLower(alg), partial,
+	fmt.Fprintf(&b, "%d|%s|%t|%s|%s|%d|%d|%x", int(req.Kind), strings.ToLower(alg), partial,
+		s.sys.DataVersionKey(),
 		streach.OptionKeyBits(s.sys.Engine().Options()),
 		req.Start, req.Duration, math.Float64bits(req.Prob))
 	for _, l := range req.Locations {

@@ -84,6 +84,22 @@ func (c *tlCache) put(key int, b *TimeListBits) {
 	c.mu.Unlock()
 }
 
+// peek returns the cached decode without counting a hit or promoting
+// the entry. Ingest appends use it to refresh resident merges in place
+// (copy-on-write) instead of invalidating them — under live write load
+// an invalidation storm would turn every read into a cold miss.
+func (c *tlCache) peek(key int) (*TimeListBits, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		return el.Value.(*tlEntry).bits, true
+	}
+	return nil, false
+}
+
 // stats snapshots the counters.
 func (c *tlCache) stats() CacheStats {
 	if c == nil {

@@ -1,0 +1,433 @@
+package stindex
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streach/internal/roadnet"
+	"streach/internal/storage"
+	"streach/internal/traj"
+)
+
+// Live delta layer (DESIGN.md §13).
+//
+// The base index is immutable after Build/LoadIndex: time lists live as
+// blobs in the page store and the handle table locates them. Ingest
+// appends land in an in-memory delta layer instead — per dirty
+// (segment, slot) key, a day→taxi-bitset map — and reads merge base and
+// delta on the fly. Compaction folds dirty keys back into freshly
+// encoded blobs (the file is append-only, so old handles stay valid for
+// in-flight readers) and atomically installs a new handle table, which
+// bumps the index epoch.
+//
+// Concurrency discipline:
+//
+//   - handles is an atomic pointer to an immutable slice; readers load
+//     it without locking.
+//   - the delta map is guarded by mu. Readers decode the base blob
+//     OUTSIDE the lock, then under RLock (a) re-check the handle they
+//     decoded is still installed — if compaction swapped the table the
+//     read retries — and (b) merge the delta and publish to the
+//     decoded-list cache. Appends and the compaction install take the
+//     write lock, so a cached value is always the CURRENT merge of the
+//     handle table and delta map: a reader publishes it with no append
+//     in flight, every append refreshes resident keys inside its
+//     critical section (copy-on-write — never by mutating a published
+//     list, which readers may still hold), and the install leaves
+//     cached merges valid by construction (old base ∪ delta == new
+//     base ∪ remaining delta). Refresh-instead-of-invalidate is what
+//     keeps merged reads near base-read cost under live write load: at
+//     thousands of appends/second, invalidation would evict keys
+//     faster than queries re-warm them and every read would pay a cold
+//     blob decode.
+//   - per-entry seq numbers let compaction clear only entries unchanged
+//     since its snapshot; appends that raced the fold stay pending and
+//     re-fold next time (set-union is idempotent, so nothing is lost or
+//     double-counted in the bitsets).
+//
+// dataVersion increments on every append batch and every install; epoch
+// increments only on install. Plan caches and coalescers key on the
+// version so a shared plan never outlives the data it was computed from.
+type liveState struct {
+	epoch   atomic.Uint64
+	version atomic.Uint64
+	handles atomic.Pointer[[]storage.BlobHandle]
+
+	mu      sync.RWMutex
+	entries map[int]*deltaEntry
+
+	pending     atomic.Int64 // delta observations not yet compacted
+	appended    atomic.Int64 // cumulative accepted observations
+	compactions atomic.Uint64
+	lastPauseNS atomic.Int64
+	lastKeys    atomic.Int64
+
+	// compactMu serialises compactions (and, at the facade layer, the
+	// durable re-save that follows one).
+	compactMu sync.Mutex
+}
+
+// deltaEntry is the pending delta for one (segment, slot) key.
+type deltaEntry struct {
+	seq  uint64           // bumped on every mutation; compaction clears only unchanged entries
+	obs  int64            // distinct (day, taxi) bits held
+	days map[int][]uint64 // day -> taxi bitset
+}
+
+func newLiveState(handles []storage.BlobHandle) *liveState {
+	lv := &liveState{entries: make(map[int]*deltaEntry)}
+	lv.handles.Store(&handles)
+	return lv
+}
+
+// liveHandles returns the currently installed handle table.
+func (x *Index) liveHandles() []storage.BlobHandle { return *x.live.handles.Load() }
+
+// DeltaObs is one ingested observation: taxi was on seg during slot on
+// day. The ingest layer expands a position report into one DeltaObs per
+// overlapped slot, mirroring how Build expands visits.
+type DeltaObs struct {
+	Seg  roadnet.SegmentID
+	Slot int
+	Day  traj.Day
+	Taxi traj.TaxiID
+}
+
+// Epoch returns the index epoch, bumped once per compaction install.
+func (x *Index) Epoch() uint64 { return x.live.epoch.Load() }
+
+// DataVersion returns the data version, bumped on every append batch and
+// every compaction install. Anything caching derived results across
+// requests must fold this into its key.
+func (x *Index) DataVersion() uint64 { return x.live.version.Load() }
+
+// DeltaStats snapshots the live-layer counters.
+type DeltaStats struct {
+	DirtyKeys        int   // (segment, slot) keys pending compaction
+	PendingObs       int64 // delta observations not yet compacted
+	AppendedObs      int64 // cumulative observations accepted
+	Epoch            uint64
+	DataVersion      uint64
+	Compactions      uint64
+	LastCompactKeys  int64
+	LastCompactPause time.Duration
+}
+
+// DeltaStats snapshots the live delta layer.
+func (x *Index) DeltaStats() DeltaStats {
+	lv := x.live
+	lv.mu.RLock()
+	dirty := len(lv.entries)
+	lv.mu.RUnlock()
+	return DeltaStats{
+		DirtyKeys:        dirty,
+		PendingObs:       lv.pending.Load(),
+		AppendedObs:      lv.appended.Load(),
+		Epoch:            lv.epoch.Load(),
+		DataVersion:      lv.version.Load(),
+		Compactions:      lv.compactions.Load(),
+		LastCompactKeys:  lv.lastKeys.Load(),
+		LastCompactPause: time.Duration(lv.lastPauseNS.Load()),
+	}
+}
+
+// AppendDelta applies a batch of observations to the delta layer. The
+// whole batch is validated first — the same bounds Build enforces, plus
+// day within the dataset's day range so that merged answers stay
+// bit-identical to an offline rebuild over the union — and then applied
+// atomically with respect to readers. Touched decoded-list cache keys
+// are refreshed copy-on-write inside the critical section, so resident
+// merges stay both warm and exact under sustained write load.
+func (x *Index) AppendDelta(obs []DeltaObs) error {
+	n := x.net.NumSegments()
+	for _, o := range obs {
+		if o.Seg < 0 || int(o.Seg) >= n {
+			return fmt.Errorf("stindex: delta segment %d out of range [0,%d)", o.Seg, n)
+		}
+		if o.Slot < 0 || o.Slot >= x.numSlots {
+			return fmt.Errorf("stindex: delta slot %d out of range [0,%d)", o.Slot, x.numSlots)
+		}
+		if o.Day < 0 || int(o.Day) >= x.days {
+			return fmt.Errorf("stindex: delta day %d out of range [0,%d)", o.Day, x.days)
+		}
+		if o.Taxi < 0 || o.Taxi >= 1<<15 {
+			return fmt.Errorf("stindex: delta taxi %d out of range [0,%d)", o.Taxi, 1<<15)
+		}
+	}
+	if len(obs) == 0 {
+		return nil
+	}
+	lv := x.live
+	// adds collects the batch's bits per key for the cache refresh below
+	// (duplicates and already-present bits are harmless: the refresh ORs).
+	var adds map[int]map[int][]uint64
+	if x.cache != nil {
+		adds = make(map[int]map[int][]uint64)
+	}
+	lv.mu.Lock()
+	for _, o := range obs {
+		key := o.Slot*n + int(o.Seg)
+		e := lv.entries[key]
+		if e == nil {
+			e = &deltaEntry{days: make(map[int][]uint64)}
+			lv.entries[key] = e
+		}
+		w := e.days[int(o.Day)]
+		wi, bit := int(o.Taxi)>>6, uint64(1)<<(uint(o.Taxi)&63)
+		for len(w) <= wi {
+			w = append(w, 0)
+		}
+		if w[wi]&bit == 0 {
+			w[wi] |= bit
+			e.obs++
+			lv.pending.Add(1)
+		}
+		e.days[int(o.Day)] = w
+		e.seq++
+		if adds != nil {
+			a := adds[key]
+			if a == nil {
+				a = make(map[int][]uint64)
+				adds[key] = a
+			}
+			aw := a[int(o.Day)]
+			for len(aw) <= wi {
+				aw = append(aw, 0)
+			}
+			aw[wi] |= bit
+			a[int(o.Day)] = aw
+		}
+	}
+	// Refresh resident cache entries rather than invalidating them. Under
+	// the write lock the cached value is exactly base ∪ delta-before-this-
+	// batch (readers publish under RLock), so OR-ing the batch's bits into
+	// a fresh copy keeps it exact; absent keys stay absent so write-only
+	// traffic cannot flush read-hot entries.
+	for key, a := range adds {
+		if cached, ok := x.cache.peek(key); ok {
+			x.cache.put(key, mergeDeltaBits(cached, a))
+		}
+	}
+	lv.appended.Add(int64(len(obs)))
+	lv.version.Add(1)
+	lv.mu.Unlock()
+	return nil
+}
+
+// readMerged is the slow path behind a decoded-list cache miss: decode
+// the base blob outside the lock, then merge the pending delta (if any)
+// under RLock and publish the result to the cache. If a compaction
+// installed a new handle table between the unlocked decode and the
+// locked merge, the read retries on the new table — the old merge could
+// otherwise pair a stale base with an already-cleared delta.
+func (x *Index) readMerged(key int, seg roadnet.SegmentID, slot int, read func(storage.BlobHandle) ([]byte, error)) (*TimeListBits, error) {
+	lv := x.live
+	for {
+		h := (*lv.handles.Load())[key]
+		base := emptyBits
+		if !h.IsZero() {
+			var err error
+			if base, err = x.decodeHandle(h, read, seg, slot); err != nil {
+				return nil, err
+			}
+		}
+		lv.mu.RLock()
+		if (*lv.handles.Load())[key] != h {
+			lv.mu.RUnlock()
+			continue
+		}
+		merged := base
+		if e := lv.entries[key]; e != nil {
+			merged = mergeDeltaBits(base, e.days)
+		}
+		if x.cache != nil && merged != emptyBits {
+			x.cache.put(key, merged)
+		}
+		lv.mu.RUnlock()
+		return merged, nil
+	}
+}
+
+// mergeDeltaBits unions a base time list with a delta day map into a
+// fresh TimeListBits. Day slices present only in the base are aliased
+// (the base is immutable); days touched by the delta are copied, because
+// the delta's words keep mutating under later appends.
+func mergeDeltaBits(base *TimeListBits, days map[int][]uint64) *TimeListBits {
+	if len(days) == 0 {
+		return base
+	}
+	maxWord := len(base.DayMask) - 1
+	for d := range days {
+		if w := d >> 6; w > maxWord {
+			maxWord = w
+		}
+	}
+	out := &TimeListBits{DayMask: make([]uint64, maxWord+1)}
+	copy(out.DayMask, base.DayMask)
+	for d := range days {
+		out.DayMask[d>>6] |= 1 << (uint(d) & 63)
+	}
+	baseAt := make(map[int]int, len(base.Days))
+	for i, d := range base.Days {
+		baseAt[int(d)] = i
+	}
+	for wi, w := range out.DayMask {
+		for w != 0 {
+			d := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			var merged []uint64
+			bi, inBase := baseAt[d]
+			dw, inDelta := days[d]
+			switch {
+			case inBase && inDelta:
+				bw := base.Bits[bi]
+				nw := len(bw)
+				if len(dw) > nw {
+					nw = len(dw)
+				}
+				merged = make([]uint64, nw)
+				copy(merged, bw)
+				for i, v := range dw {
+					merged[i] |= v
+				}
+			case inDelta:
+				merged = append([]uint64(nil), dw...)
+			default:
+				merged = base.Bits[bi]
+			}
+			out.Days = append(out.Days, traj.Day(d))
+			out.Bits = append(out.Bits, merged)
+		}
+	}
+	return out
+}
+
+// CompactStats reports one compaction.
+type CompactStats struct {
+	Keys         int           // dirty keys folded
+	Observations int64         // delta observations folded
+	Bytes        int64         // blob bytes appended
+	Pause        time.Duration // handle-table install critical section
+	Epoch        uint64        // epoch after the install
+}
+
+// CompactDeltas folds the pending delta layer into freshly encoded
+// blobs and installs a new handle table (a new index epoch). The fold
+// runs off the hot path: blob appends go to the append-only file while
+// readers keep answering from the old handles, and only the table swap
+// plus the seq-checked delta clear happen under the write lock — that
+// critical section is the reported pause. Entries appended to during
+// the fold survive the clear and re-fold next time.
+//
+// The re-encode goes through the same adaptive encoder as Build, so a
+// post-compaction blob is byte-identical to what an offline rebuild
+// over the union of base and ingested trajectories would have written
+// for that (segment, slot).
+func (x *Index) CompactDeltas() (CompactStats, error) {
+	lv := x.live
+	lv.compactMu.Lock()
+	defer lv.compactMu.Unlock()
+
+	type snapEntry struct {
+		seq  uint64
+		obs  int64
+		days map[int][]uint64
+	}
+	lv.mu.RLock()
+	snaps := make(map[int]snapEntry, len(lv.entries))
+	for key, e := range lv.entries {
+		cp := make(map[int][]uint64, len(e.days))
+		for d, w := range e.days {
+			cp[d] = append([]uint64(nil), w...)
+		}
+		snaps[key] = snapEntry{seq: e.seq, obs: e.obs, days: cp}
+	}
+	lv.mu.RUnlock()
+	if len(snaps) == 0 {
+		return CompactStats{Epoch: lv.epoch.Load()}, nil
+	}
+
+	keys := make([]int, 0, len(snaps))
+	for key := range snaps {
+		keys = append(keys, key)
+	}
+	sort.Ints(keys)
+
+	old := *lv.handles.Load()
+	next := append([]storage.BlobHandle(nil), old...)
+	reader := x.blob.NewReader()
+	n := x.net.NumSegments()
+	var appendedBytes, obsFolded int64
+	for _, key := range keys {
+		s := snaps[key]
+		slot, seg := key/n, key%n
+		base := emptyBits
+		if h := old[key]; !h.IsZero() {
+			var err error
+			if base, err = x.decodeHandle(h, reader.Read, roadnet.SegmentID(seg), slot); err != nil {
+				return CompactStats{}, fmt.Errorf("stindex: compact read: %w", err)
+			}
+		}
+		run := tuplesFromBits(slot, seg, mergeDeltaBits(base, s.days))
+		blob := encodeTimeListRunAdaptive(run)
+		h, err := x.blob.Append(blob)
+		if err != nil {
+			return CompactStats{}, fmt.Errorf("stindex: compact write: %w", err)
+		}
+		next[key] = h
+		appendedBytes += int64(len(blob))
+		obsFolded += s.obs
+	}
+
+	began := time.Now()
+	lv.mu.Lock()
+	lv.handles.Store(&next)
+	for key, s := range snaps {
+		if e := lv.entries[key]; e != nil && e.seq == s.seq {
+			lv.pending.Add(-e.obs)
+			delete(lv.entries, key)
+		}
+	}
+	lv.epoch.Add(1)
+	lv.version.Add(1)
+	lv.mu.Unlock()
+	pause := time.Since(began)
+
+	lv.compactions.Add(1)
+	lv.lastPauseNS.Store(int64(pause))
+	lv.lastKeys.Store(int64(len(keys)))
+	return CompactStats{
+		Keys:         len(keys),
+		Observations: obsFolded,
+		Bytes:        appendedBytes,
+		Pause:        pause,
+		Epoch:        lv.epoch.Load(),
+	}, nil
+}
+
+// tuplesFromBits rebuilds the sorted packed-tuple run Build would have
+// produced for this (slot, seg) content, so compaction can reuse the
+// exact adaptive encoder.
+func tuplesFromBits(slot, seg int, b *TimeListBits) []uint64 {
+	total := 0
+	for _, words := range b.Bits {
+		for _, w := range words {
+			total += bits.OnesCount64(w)
+		}
+	}
+	run := make([]uint64, 0, total)
+	for i, d := range b.Days {
+		for wi, w := range b.Bits[i] {
+			for w != 0 {
+				taxi := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				run = append(run, packTuple(slot, seg, int(d), taxi))
+			}
+		}
+	}
+	return run
+}

@@ -59,8 +59,13 @@ func (x *Index) PagesChecksum() (uint32, error) {
 }
 
 // SaveMeta writes the index metadata. The page store must be flushed (or
-// the index Closed) separately for the blobs to be durable.
+// the index Closed) separately for the blobs to be durable. SaveMeta
+// holds the compaction lock so the handle table, blob tail, and page
+// contents it records are one consistent snapshot even while the live
+// delta layer keeps accepting appends.
 func (x *Index) SaveMeta(w io.Writer) error {
+	x.live.compactMu.Lock()
+	defer x.live.compactMu.Unlock()
 	pagesCRC, err := x.PagesChecksum()
 	if err != nil {
 		return err
@@ -108,10 +113,11 @@ func (x *Index) SaveMeta(w io.Writer) error {
 	if err := u32(pagesCRC); err != nil {
 		return err
 	}
-	if err := u32(uint32(len(x.handles))); err != nil {
+	handles := x.liveHandles()
+	if err := u32(uint32(len(handles))); err != nil {
 		return err
 	}
-	for _, hd := range x.handles {
+	for _, hd := range handles {
 		binary.LittleEndian.PutUint64(buf[:8], uint64(hd.Offset))
 		binary.LittleEndian.PutUint32(buf[8:12], uint32(hd.Length))
 		if _, err := tee.Write(buf[:12]); err != nil {
@@ -256,7 +262,7 @@ func LoadIndex(net *roadnet.Network, cfg Config, meta io.Reader) (*Index, error)
 		temporal: btree.New(),
 		pool:     pool,
 		blob:     storage.ReopenBlobFile(pool, int64(tail)),
-		handles:  handles,
+		live:     newLiveState(handles),
 		cache:    newTLCache(cfg.TimeListCache),
 	}
 	for s := 0; s < numSlots; s++ {

@@ -90,8 +90,12 @@ type Index struct {
 	temporal *btree.Tree // slot start second -> slot index
 	pool     *storage.BufferPool
 	blob     *storage.BlobFile
-	// handles[slot*numSegments + segment] locates the time list blob.
-	handles []storage.BlobHandle
+	// live holds the installed handle table
+	// (handles[slot*numSegments + segment] locates the time list blob)
+	// plus the ingest delta layer and epoch counters (delta.go). Shared
+	// by every Slice of this index, so deltas and epoch swaps are
+	// visible to all shards at once.
+	live *liveState
 	// cache holds decoded time lists (nil when disabled).
 	cache *tlCache
 
@@ -142,6 +146,7 @@ func Build(net *roadnet.Network, ds *traj.Dataset, cfg Config) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	handles := make([]storage.BlobHandle, numSlots*net.NumSegments())
 	idx := &Index{
 		net:      net,
 		slotSec:  cfg.SlotSeconds,
@@ -151,7 +156,7 @@ func Build(net *roadnet.Network, ds *traj.Dataset, cfg Config) (*Index, error) {
 		temporal: btree.New(),
 		pool:     pool,
 		blob:     storage.NewBlobFile(pool),
-		handles:  make([]storage.BlobHandle, numSlots*net.NumSegments()),
+		live:     newLiveState(handles),
 		cache:    newTLCache(cfg.TimeListCache),
 	}
 	for s := 0; s < numSlots; s++ {
@@ -213,7 +218,7 @@ func Build(net *roadnet.Network, ds *traj.Dataset, cfg Config) (*Index, error) {
 		if err != nil {
 			return nil, fmt.Errorf("stindex: write time list: %w", err)
 		}
-		idx.handles[slot*net.NumSegments()+seg] = h
+		handles[slot*net.NumSegments()+seg] = h
 		i = j
 	}
 	// Construction happens offline: flush, drop the cache so queries start
@@ -384,8 +389,7 @@ func (x *Index) TimeListBitsAt(seg roadnet.SegmentID, slot int) (*TimeListBits, 
 		return nil, err
 	}
 	key := slot*x.net.NumSegments() + int(seg)
-	h := x.handles[key]
-	if h.IsZero() {
+	if x.live.pending.Load() == 0 && x.liveHandles()[key].IsZero() {
 		return emptyBits, nil // nothing to read; keep the cache for real lists
 	}
 	if x.cache != nil {
@@ -393,14 +397,7 @@ func (x *Index) TimeListBitsAt(seg roadnet.SegmentID, slot int) (*TimeListBits, 
 			return b, nil
 		}
 	}
-	b, err := x.decodeHandle(h, x.blob.Read, seg, slot)
-	if err != nil {
-		return nil, err
-	}
-	if x.cache != nil {
-		x.cache.put(key, b)
-	}
-	return b, nil
+	return x.readMerged(key, seg, slot, x.blob.Read)
 }
 
 // TimeListsRange reads the time lists of (segment, lo..hi inclusive) in
@@ -419,14 +416,15 @@ func (x *Index) TimeListsRange(seg roadnet.SegmentID, loSlot, hiSlot int, dst []
 		return nil, err
 	}
 	var reader *storage.BlobReader
+	deltaEmpty := x.live.pending.Load() == 0
+	handles := x.liveHandles()
 	for s := loSlot; s <= hiSlot; s++ {
 		if s < 0 || s >= x.numSlots {
 			dst = append(dst, emptyBits)
 			continue
 		}
 		key := s*x.net.NumSegments() + int(seg)
-		h := x.handles[key]
-		if h.IsZero() {
+		if deltaEmpty && handles[key].IsZero() {
 			dst = append(dst, emptyBits)
 			continue
 		}
@@ -439,12 +437,9 @@ func (x *Index) TimeListsRange(seg roadnet.SegmentID, loSlot, hiSlot int, dst []
 		if reader == nil {
 			reader = x.blob.NewReader()
 		}
-		b, err := x.decodeHandle(h, reader.Read, seg, s)
+		b, err := x.readMerged(key, seg, s, reader.Read)
 		if err != nil {
 			return nil, err
-		}
-		if x.cache != nil {
-			x.cache.put(key, b)
 		}
 		dst = append(dst, b)
 	}

@@ -268,8 +268,9 @@ func TestBuildDeterministic(t *testing.T) {
 	b := buildIndex(t, n, ds)
 	defer b.Close()
 	// Same handles imply identical serialized layout.
-	for i := range a.handles {
-		if a.handles[i] != b.handles[i] {
+	ah, bh := a.liveHandles(), b.liveHandles()
+	for i := range ah {
+		if ah[i] != bh[i] {
 			t.Fatalf("handle %d differs between builds", i)
 		}
 	}

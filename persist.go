@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 
 	"streach/internal/conindex"
+	"streach/internal/ingest"
 	"streach/internal/roadnet"
 	"streach/internal/stindex"
 	"streach/internal/storage"
@@ -26,13 +27,22 @@ import (
 //	                   conindex.SaveAdjacency). Save dirs written before
 //	                   the adjacency blob existed simply lack the file
 //	                   and reopen with cold, lazily-materialised tables.
+//
+// A live-ingesting system adds one more file:
+//
+//	dir/ingest.delta   write-ahead log of accepted live updates not yet
+//	                   folded by a durable compaction ("IDLT" format;
+//	                   see internal/ingest). OpenSystem replays it; a
+//	                   corrupt log is detected by its per-batch CRC,
+//	                   logged, and dropped — never silently merged.
 const (
-	fileNetwork  = "network.bin"
-	fileDataset  = "dataset.bin"
-	filePages    = "pages.db"
-	fileSTMeta   = "stindex.meta"
-	fileConIndex = "conindex.bin"
-	fileConAdj   = "conindex.adj"
+	fileNetwork     = "network.bin"
+	fileDataset     = "dataset.bin"
+	filePages       = "pages.db"
+	fileSTMeta      = "stindex.meta"
+	fileConIndex    = "conindex.bin"
+	fileConAdj      = "conindex.adj"
+	fileIngestDelta = "ingest.delta"
 )
 
 // Save persists the whole system into dir (created if absent): network,
@@ -74,25 +84,92 @@ func (s *System) Save(dir string) error {
 		return err
 	}
 	// Copy the page store contents (works for both memory- and
-	// file-backed systems).
+	// file-backed systems). When the pool's store already is
+	// dir/pages.db (a system reopened from this very dir), a flush is
+	// the copy — rewriting the file the store holds open would corrupt
+	// it.
 	if err := s.st.Pool().Flush(); err != nil {
 		return err
 	}
-	return writeTo(filePages, func(f *os.File) error {
-		buf := make([]byte, storage.PageSize)
-		n := s.st.Pool().NumPages()
-		for id := storage.PageID(0); int64(id) < n; id++ {
-			page, err := s.st.Pool().GetPage(id)
-			if err != nil {
-				return err
-			}
-			copy(buf, page)
-			if _, err := f.Write(buf); err != nil {
-				return err
-			}
+	if !(s.pagesInDir && s.dir == dir) {
+		if err := writeTo(filePages, s.copyPagesTo); err != nil {
+			return err
 		}
-		return nil
-	})
+	}
+	// The directory now holds the whole system: remember it so
+	// CompactIngest can persist folds (and place the ingest WAL) here.
+	s.dir = dir
+	return nil
+}
+
+// copyPagesTo streams every page of the pool's store into f.
+func (s *System) copyPagesTo(f *os.File) error {
+	buf := make([]byte, storage.PageSize)
+	n := s.st.Pool().NumPages()
+	for id := storage.PageID(0); int64(id) < n; id++ {
+		page, err := s.st.Pool().GetPage(id)
+		if err != nil {
+			return err
+		}
+		copy(buf, page)
+		if _, err := f.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFileAtomic writes dir/name via a temp file and rename, so a
+// crash mid-write can never leave a half-written file where a valid one
+// used to be.
+func writeFileAtomic(dir, name string, fn func(f *os.File) error) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("streach: create temp for %s: %w", name, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := fn(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("streach: write %s: %w", name, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("streach: sync %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("streach: close %s: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("streach: install %s: %w", name, err)
+	}
+	return nil
+}
+
+// persistCompacted makes a just-folded compaction durable in s.dir:
+// pages first (the blob data the new handles point into), then the
+// ST-Index meta, then the Con-Index statistics and adjacency cache —
+// each installed atomically. Ordering matters for crash consistency:
+// a crash between steps leaves a meta whose handles all resolve (the
+// blob file is append-only) plus a WAL that replays anything newer.
+func (s *System) persistCompacted() error {
+	if err := s.st.Pool().Flush(); err != nil {
+		return fmt.Errorf("streach: flush pages: %w", err)
+	}
+	if !s.pagesInDir {
+		if err := writeFileAtomic(s.dir, filePages, s.copyPagesTo); err != nil {
+			return err
+		}
+	}
+	if err := writeFileAtomic(s.dir, fileSTMeta, func(f *os.File) error { return s.st.SaveMeta(f) }); err != nil {
+		return err
+	}
+	if err := writeFileAtomic(s.dir, fileConIndex, func(f *os.File) error { return s.con.Save(f) }); err != nil {
+		return err
+	}
+	// The adjacency cache is re-written too: rows invalidated by live
+	// speed observations must not resurrect from a stale blob on the
+	// next open.
+	return writeFileAtomic(s.dir, fileConAdj, func(f *os.File) error { return s.con.SaveAdjacency(f) })
 }
 
 // OpenSystem reopens a system saved with Save. PoolPages, the TBS
@@ -165,11 +242,34 @@ func OpenSystem(dir string, idx IndexConfig) (*System, error) {
 		}
 		adjFile.Close()
 	}
+	// Replay the ingest WAL: live updates accepted since the last durable
+	// compaction fold back into the delta layer and the speed statistics
+	// (after the adjacency load, so replayed observations invalidate any
+	// stale restored rows). A corrupt log is detected by its per-batch
+	// CRC and dropped — intact batches before the damage are kept, the
+	// lost tail needs a cold re-ingest — never silently merged.
+	walPath := filepath.Join(dir, fileIngestDelta)
+	var replayed, replayDropped int
+	if n, rerr := ingest.ReplayLog(walPath, func(batch []ingest.Update) error {
+		a, d := ingest.ApplyBatch(st, con, batch)
+		replayed += a
+		replayDropped += d
+		return nil
+	}); rerr != nil {
+		log.Printf("streach: ingest wal corrupt after %d updates (%v): dropped — re-ingest anything newer", n, rerr)
+		if remErr := os.Remove(walPath); remErr != nil && !os.IsNotExist(remErr) {
+			log.Printf("streach: drop corrupt ingest wal: %v", remErr)
+		}
+	} else if replayed > 0 || replayDropped > 0 {
+		log.Printf("streach: replayed %d live updates from ingest wal (%d dropped)", replayed, replayDropped)
+	}
 	s, err := assembleSystem(net, ds, st, con, idx)
 	if err != nil {
 		st.Close()
 		return nil, err
 	}
+	s.dir = dir
+	s.pagesInDir = true
 	return s, nil
 }
 

@@ -348,7 +348,14 @@ func (s *System) doPlan(ctx context.Context, req Request, qo queryOptions, prob 
 func (s *System) acquirePlan(ctx context.Context, req Request, qo queryOptions) (plan queryPlan, key string, cacheable bool, err error) {
 	cacheable = s.plans != nil && !qo.noSharing && req.Kind != KindRoute && groupable(req, qo)
 	if cacheable {
-		key = groupKey(req, qo)
+		// The data-version suffix keeps cached plans from outliving the
+		// data they were computed from: a live ingest append or a
+		// compaction bumps the version, so a plan parked before it can
+		// never answer a query issued after it. (Intra-batch grouping
+		// uses the bare groupKey — members of one DoBatch call share a
+		// plan regardless of concurrent ingest, which is the same
+		// query-raced-the-ingest linearization a single query has.)
+		key = groupKey(req, qo) + "|" + s.DataVersionKey()
 		if pl, ok := s.plans.take(key); ok {
 			s.sharing.planHits.Add(1)
 			pl.Rebase()

@@ -42,12 +42,14 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"streach/internal/conindex"
 	"streach/internal/core"
 	"streach/internal/geo"
+	"streach/internal/ingest"
 	"streach/internal/roadnet"
 	"streach/internal/shard"
 	"streach/internal/stindex"
@@ -262,6 +264,18 @@ type System struct {
 	// shards into.
 	breakerCfg BreakerConfig
 	hedgeCfg   HedgeConfig
+	// dir is the save directory backing the system (set by OpenSystem
+	// and Save); empty for purely in-memory systems. pagesInDir reports
+	// that the page store IS dir/pages.db (the OpenSystem case), so
+	// persisting a compaction only needs a pool flush, not a page copy.
+	dir        string
+	pagesInDir bool
+	// ingestMu guards the live-ingest machinery (see ingest.go);
+	// compactMu serialises whole CompactIngest cycles.
+	ingestMu  sync.Mutex
+	compactMu sync.Mutex
+	ingestW   *ingest.Writer
+	wal       *ingest.Log
 }
 
 // sharingCounters are the live batch-sharing counters; snapshot with
@@ -583,10 +597,15 @@ func (s *System) SetShardBudget(d time.Duration) {
 	}
 }
 
-// Close flushes the shared-plan cache and releases index storage.
+// Close stops the live-ingest writer (draining its queue), closes the
+// WAL, flushes the shared-plan cache, and releases index storage.
 func (s *System) Close() error {
+	err := s.stopIngest()
 	s.plans.clear()
-	return s.st.Close()
+	if cerr := s.st.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Network exposes the underlying road network (in-module callers).
