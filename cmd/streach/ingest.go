@@ -185,6 +185,7 @@ func runBenchIngest(args []string) error {
 	queries := fs.Int("queries", 40, "read probes per phase")
 	prob := fs.Float64("prob", 0.2, "probe probability threshold")
 	window := fs.Duration("window", 10*time.Minute, "probe window L")
+	compactKeys := fs.Int("compact-keys", 0, "per-cycle dirty-key cap for the incremental compaction phase (0 = dirty/4, min 64)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -308,9 +309,49 @@ func runBenchIngest(args []string) error {
 	}
 	preStats := sys.IngestStats()
 
-	cres, err := sys.CompactIngest(context.Background())
-	if err != nil {
-		return err
+	// Incremental compaction: drain the accumulated delta in budgeted
+	// cycles instead of one stop-the-world fold. The per-cycle cap is
+	// deliberately smaller than the dirty-key backlog, so the measurement
+	// exercises the roll-forward path: each install pause is bounded by
+	// the cap, not by the backlog — the property that keeps a live server
+	// responsive while a deep delta drains.
+	cap0 := *compactKeys
+	if cap0 <= 0 {
+		cap0 = preStats.DirtyKeys / 4
+		if cap0 < 64 {
+			cap0 = 64
+		}
+	}
+	type cycleStat struct {
+		Keys      int     `json:"keys"`
+		PauseMs   float64 `json:"pause_ms"`
+		Remaining int     `json:"remaining"`
+	}
+	var cycles []cycleStat
+	var cres streach.CompactResult
+	var totKeys int
+	var totObs, totBytes int64
+	var maxPause time.Duration
+	for {
+		res, err := sys.CompactIngestN(context.Background(), cap0)
+		if err != nil {
+			return err
+		}
+		cres = res
+		totKeys += res.Keys
+		totObs += res.Observations
+		totBytes += res.Bytes
+		if res.Pause > maxPause {
+			maxPause = res.Pause
+		}
+		cycles = append(cycles, cycleStat{
+			Keys:      res.Keys,
+			PauseMs:   float64(res.Pause) / float64(time.Millisecond),
+			Remaining: res.Remaining,
+		})
+		if res.Remaining == 0 {
+			break
+		}
 	}
 
 	// Post-compaction reads answer from the freshly encoded blobs (the
@@ -355,11 +396,17 @@ func runBenchIngest(args []string) error {
 			"merged_con_materialised": mergedLats.conMaterialised,
 		},
 		"compaction": map[string]any{
-			"keys":         cres.Keys,
-			"observations": cres.Observations,
-			"bytes":        cres.Bytes,
-			"pause_ms":     float64(cres.Pause) / float64(time.Millisecond),
+			"keys":         totKeys,
+			"observations": totObs,
+			"bytes":        totBytes,
 			"epoch":        cres.Epoch,
+			"incremental": map[string]any{
+				"key_cap":      cap0,
+				"dirty_keys":   preStats.DirtyKeys,
+				"cycles":       len(cycles),
+				"max_pause_ms": float64(maxPause) / float64(time.Millisecond),
+				"per_cycle":    cycles,
+			},
 		},
 	}
 	enc, err := json.MarshalIndent(report, "", "  ")

@@ -45,6 +45,9 @@ func runServe(args []string) error {
 	chaos := fs.String("chaos", "", "DEV ONLY fault injection: comma-separated shard=N:error|panic|hang items, e.g. shard=1:error,shard=2:hang (requires -shards)")
 	accessLog := fs.Bool("access-log", false, "log one line per request (method, URI, status, latency, request ID) to stderr")
 	ingestOn := fs.Bool("ingest", false, "enable live ingestion: POST /v1/ingest accepts position updates, /v1/ingest/compact folds the delta layer")
+	compactEvery := fs.Duration("compact-every", 0, "background incremental compaction period (0 = manual compaction only)")
+	compactKeys := fs.Int("compact-keys", 0, "dirty keys folded per background cycle; the rest roll forward (0 = default 4096)")
+	compactBudget := fs.Duration("compact-pause-budget", 0, "install-pause budget the background loop adapts its per-cycle key cap toward (0 = no adaptation)")
 	warmStart := fs.Duration("warm-start", 0, "precompute the Con-Index adjacency from this time of day (with -warm-dur)")
 	warmDur := fs.Duration("warm-dur", 0, "warm window length (0 = skip warming)")
 	dir := fs.String("dir", "", "system save directory: reopened when it holds a saved system")
@@ -90,10 +93,17 @@ func runServe(args []string) error {
 	// Ingest starts after sharding so the writer's per-shard routing sees
 	// the cluster partition.
 	if *ingestOn {
-		if err := sys.StartIngest(streach.IngestConfig{}); err != nil {
+		if err := sys.StartIngest(streach.IngestConfig{
+			CompactInterval:    *compactEvery,
+			CompactMaxKeys:     *compactKeys,
+			CompactPauseBudget: *compactBudget,
+		}); err != nil {
 			return err
 		}
 		fmt.Fprintln(os.Stderr, "live ingest enabled (POST /v1/ingest)")
+		if *compactEvery > 0 {
+			fmt.Fprintf(os.Stderr, "background incremental compaction every %v\n", *compactEvery)
+		}
 	}
 	if *warmDur > 0 {
 		t0 := time.Now()

@@ -3,11 +3,14 @@ package streach
 import (
 	"context"
 	"fmt"
+	"log"
+	"os"
 	"path/filepath"
 	"time"
 
 	"streach/internal/ingest"
 	"streach/internal/roadnet"
+	"streach/internal/storage"
 	"streach/internal/traj"
 )
 
@@ -58,13 +61,31 @@ type IngestConfig struct {
 	// Close or when this cap fills, so live write load cannot turn the
 	// query bounding phase into a per-sample row-recompute storm.
 	SpeedBuffer int
-	// WALPath overrides the write-ahead log location. Empty uses
-	// dir/ingest.delta when the system was opened from (or saved to) a
+	// WALPath overrides the write-ahead log directory. Empty uses
+	// dir/wal when the system was opened from (or saved to) a
 	// directory; a directory-less system runs without a WAL.
 	WALPath string
 	// DisableWAL runs without crash durability even when a directory or
 	// WALPath is available.
 	DisableWAL bool
+	// WALSegmentBytes rotates a WAL segment past this size (default 4 MiB).
+	WALSegmentBytes int64
+	// WALSegmentAge rotates a WAL segment older than this (default 1m).
+	WALSegmentAge time.Duration
+	// CompactInterval, when positive, runs incremental compactions on a
+	// background loop every interval while dirty keys are pending, with
+	// exponential backoff after a persist failure. Zero leaves
+	// compaction to explicit CompactIngest calls.
+	CompactInterval time.Duration
+	// CompactMaxKeys caps how many dirty keys one background compaction
+	// cycle folds (default 4096 when the loop is enabled); the rest roll
+	// to the next cycle. Zero or negative folds everything.
+	CompactMaxKeys int
+	// CompactPauseBudget, when positive, adapts the background loop's
+	// per-cycle key cap so the install pause stays at or under this
+	// budget: a cycle that overshoots halves the cap, a cycle under half
+	// the budget with backlog remaining doubles it.
+	CompactPauseBudget time.Duration
 }
 
 // IngestStats snapshots the live-ingest machinery: the writer counters
@@ -85,6 +106,22 @@ type IngestStats struct {
 	// PerShard counts applied updates per owning shard (len 1 when
 	// unsharded).
 	PerShard []int64
+	// DurabilityDegraded is set while WAL appends are failing: the
+	// system keeps serving and accepting updates, but acknowledged
+	// updates since the failure are not crash-durable. The next
+	// successful append clears it.
+	DurabilityDegraded bool
+	// WALLastError is the most recent WAL append failure ("" when none).
+	WALLastError string
+	// WALEnabled reports whether a segmented WAL is attached (false
+	// before StartIngest, with DisableWAL, or on a directory-less
+	// system).
+	WALEnabled bool
+	// WALSegments counts live WAL segment files (0 without a WAL).
+	WALSegments int
+	// Background compaction loop counters (zero when the loop is off).
+	BackgroundCompactions int64
+	BackgroundCompactErrs int64
 	// ST-Index delta layer.
 	DirtyKeys        int   // (segment, slot) keys pending compaction
 	PendingObs       int64 // delta observations not yet compacted
@@ -110,31 +147,51 @@ type CompactResult struct {
 	// Epoch is the index epoch after the install.
 	Epoch uint64
 	// Durable reports whether the fold was persisted (the system has a
-	// save directory) and the WAL truncated.
+	// save directory) and the covered WAL segments retired.
 	Durable bool
+	// Remaining counts dirty keys rolled to the next cycle by a
+	// budgeted (CompactIngestN) fold; 0 after a full compaction.
+	Remaining int
+	// CarriedObs counts rolled-over delta observations re-logged to the
+	// WAL as carry records so segment retirement never sheds them.
+	CarriedObs int
 }
 
 // StartIngest attaches the live-ingest writer to the system. Updates
 // stream in through Ingest/TryIngest, fold into the indexes on a small
 // worker pool, and become visible to queries within one batch flush.
 // When the system has a save directory (OpenSystem, or after Save) a
-// write-ahead log at dir/ingest.delta makes accepted updates
-// crash-durable between compactions; OpenSystem replays it.
+// segmented write-ahead log under dir/wal makes accepted updates
+// crash-durable between compactions; OpenSystem replays it in parallel.
+// A positive CompactInterval also starts the background incremental
+// compaction loop.
 func (s *System) StartIngest(cfg IngestConfig) error {
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	if s.ingestW != nil {
 		return fmt.Errorf("streach: ingest already started")
 	}
-	var wal *ingest.Log
+	shards := 1
+	var owner func(seg int) int
+	if c := s.cluster.Load(); c != nil {
+		part := c.Partition()
+		owner = func(seg int) int { return part.Owner(roadnet.SegmentID(seg)) }
+		shards = part.Shards()
+	}
+	var wal *ingest.SegmentedLog
 	if !cfg.DisableWAL {
-		path := cfg.WALPath
-		if path == "" && s.dir != "" {
-			path = filepath.Join(s.dir, fileIngestDelta)
+		walDir := cfg.WALPath
+		if walDir == "" && s.dir != "" {
+			walDir = filepath.Join(s.dir, walDirName)
 		}
-		if path != "" {
+		if walDir != "" {
 			var err error
-			if wal, err = ingest.OpenLog(path); err != nil {
+			if wal, err = ingest.OpenSegmented(walDir, ingest.SegmentedConfig{
+				SegmentBytes: cfg.WALSegmentBytes,
+				SegmentAge:   cfg.WALSegmentAge,
+				Shards:       shards,
+				Epoch:        s.st.Epoch(),
+			}); err != nil {
 				return fmt.Errorf("streach: %w", err)
 			}
 		}
@@ -145,16 +202,80 @@ func (s *System) StartIngest(cfg IngestConfig) error {
 		BatchSize:     cfg.BatchSize,
 		FlushInterval: cfg.FlushInterval,
 		SpeedBuffer:   cfg.SpeedBuffer,
-		WAL:           wal,
+		Owner:         owner,
+		Shards:        shards,
 	}
-	if c := s.cluster.Load(); c != nil {
-		part := c.Partition()
-		icfg.Owner = func(seg int) int { return part.Owner(roadnet.SegmentID(seg)) }
-		icfg.Shards = part.Shards()
+	if wal != nil {
+		icfg.WAL = wal
 	}
 	s.wal = wal
 	s.ingestW = ingest.NewWriter(s.st, s.con, icfg)
+	if cfg.CompactInterval > 0 {
+		maxKeys := cfg.CompactMaxKeys
+		if maxKeys == 0 {
+			maxKeys = 4096
+		}
+		s.compactStop = make(chan struct{})
+		s.compactDone = make(chan struct{})
+		go s.compactLoop(cfg.CompactInterval, maxKeys, cfg.CompactPauseBudget, s.compactStop, s.compactDone)
+	}
 	return nil
+}
+
+// compactLoop runs incremental compactions in the background: every
+// interval it folds up to maxKeys of the hottest dirty keys (rolling
+// the rest forward), adapting the cap to the pause budget and backing
+// off exponentially when a cycle fails (typically a persist error —
+// nothing is lost, the WAL keeps everything until a cycle succeeds).
+func (s *System) compactLoop(interval time.Duration, maxKeys int, budget time.Duration, stop, done chan struct{}) {
+	defer close(done)
+	keys := maxKeys
+	backoff := interval
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-timer.C:
+		}
+		if s.st.DeltaStats().DirtyKeys == 0 {
+			timer.Reset(interval)
+			continue
+		}
+		res, err := s.CompactIngestN(context.Background(), keys)
+		if err != nil {
+			s.bgCompactErrs.Add(1)
+			backoff *= 2
+			if backoff > 16*interval {
+				backoff = 16 * interval
+			}
+			log.Printf("streach: background compaction failed (retrying in %s): %v", backoff, err)
+			timer.Reset(backoff)
+			continue
+		}
+		backoff = interval
+		s.bgCompacts.Add(1)
+		if budget > 0 && keys > 0 {
+			// Keep the install pause at or under its budget: overshooting
+			// halves the per-cycle cap, comfortably undershooting with
+			// backlog left doubles it.
+			if res.Pause > budget && keys > 64 {
+				keys /= 2
+				if keys < 64 {
+					keys = 64
+				}
+			} else if res.Pause < budget/2 && res.Remaining > 0 {
+				keys *= 2
+			}
+		}
+		if res.Remaining > 0 {
+			// Backlog left: come back sooner than a full interval.
+			timer.Reset(interval / 4)
+		} else {
+			timer.Reset(interval)
+		}
+	}
 }
 
 // ingestWriter snapshots the writer under the ingest lock.
@@ -167,9 +288,19 @@ func (s *System) ingestWriter() *ingest.Writer {
 // IngestEnabled reports whether StartIngest has attached a live writer.
 func (s *System) IngestEnabled() bool { return s.ingestWriter() != nil }
 
-// stopIngest stops the writer (draining its queue) and closes the WAL.
-// Part of Close; idempotent.
+// stopIngest stops the background compaction loop and the writer
+// (draining its queue), then closes the WAL. Part of Close; idempotent.
 func (s *System) stopIngest() error {
+	// Stop the loop outside ingestMu: a mid-cycle CompactIngestN takes
+	// ingestMu itself, so waiting for it under the lock would deadlock.
+	s.ingestMu.Lock()
+	stop, done := s.compactStop, s.compactDone
+	s.compactStop, s.compactDone = nil, nil
+	s.ingestMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
 	s.ingestMu.Lock()
 	defer s.ingestMu.Unlock()
 	var err error
@@ -257,7 +388,27 @@ func (s *System) IngestStats() IngestStats {
 		out.QueueLen = ws.QueueLen
 		out.PendingSpeedSamples = ws.PendingSpeeds
 		out.PerShard = ws.PerShard
+		out.DurabilityDegraded = ws.DurabilityDegraded
+		out.WALLastError = ws.WALLastError
 	}
+	s.ingestMu.Lock()
+	wal := s.wal
+	s.ingestMu.Unlock()
+	if wal != nil {
+		ls := wal.Stats()
+		out.WALEnabled = true
+		out.WALSegments = ls.Segments
+		// The log's own view of degradation (append retries exhausted,
+		// carry-record failures) folds in alongside the writer's.
+		if ls.Degraded {
+			out.DurabilityDegraded = true
+		}
+		if out.WALLastError == "" {
+			out.WALLastError = ls.LastError
+		}
+	}
+	out.BackgroundCompactions = s.bgCompacts.Load()
+	out.BackgroundCompactErrs = s.bgCompactErrs.Load()
 	return out
 }
 
@@ -280,18 +431,40 @@ func (s *System) DataVersionKey() string {
 	return fmt.Sprintf("v%d.%d", s.st.DataVersion(), s.con.InvalidationGen())
 }
 
-// CompactIngest flushes the pending ingest queue, folds the delta layer
-// into freshly encoded blobs, and installs a new index epoch. In-flight
-// queries finish on the epoch they started with; only the handle-table
-// install (the reported Pause) excludes concurrent appends. When the
-// system has a save directory the fold is persisted — pages, ST-Index
-// meta, Con-Index statistics and adjacency, each atomically — and the
-// WAL truncated; a persist failure leaves the WAL intact so nothing
-// accepted is lost across a crash.
+// CompactIngest flushes the pending ingest queue, folds the whole delta
+// layer into freshly encoded blobs, and installs a new index epoch. See
+// CompactIngestN for the fold/persist/retire protocol.
 func (s *System) CompactIngest(ctx context.Context) (CompactResult, error) {
-	// Serialise whole compaction cycles (fold + persist + truncate), not
-	// just the folds: two concurrent calls could otherwise interleave a
-	// stale persist over a newer one.
+	return s.CompactIngestN(ctx, 0)
+}
+
+// CompactIngestN is CompactIngest with a key budget: maxKeys > 0 folds
+// only the hottest maxKeys dirty (segment, slot) keys — bounding the
+// encode work and the install pause — and rolls the rest to the next
+// cycle (reported as Remaining). In-flight queries finish on the epoch
+// they started with; only the handle-table install (the reported Pause)
+// excludes concurrent appends.
+//
+// When the system has a save directory the cycle is durable, in an
+// order that never sheds an acknowledged update:
+//
+//  1. the WAL is sealed, fixing the retirement cut — every record at or
+//     below it is in the delta snapshot the fold sees;
+//  2. the fold is persisted (pages synced, then ST-Index meta,
+//     Con-Index statistics, and adjacency, each installed atomically);
+//  3. observations the budget rolled over are re-logged as WAL carry
+//     records (their speed statistics are already durable from step 2);
+//  4. only then are the covered segments retired.
+//
+// A failure at any step keeps the sealed segments: the fold stays live
+// in memory and the next open replays everything newer than the last
+// durable epoch. Replay is idempotent for the ST-Index delta (set
+// union) and the Con-Index min/max bounds; only mean-speed accumulators
+// can double-count across a partial cycle.
+func (s *System) CompactIngestN(ctx context.Context, maxKeys int) (CompactResult, error) {
+	// Serialise whole compaction cycles (seal + fold + persist + carry +
+	// retire), not just the folds: two concurrent calls could otherwise
+	// interleave a stale persist over a newer one.
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
 	if w := s.ingestWriter(); w != nil {
@@ -299,7 +472,17 @@ func (s *System) CompactIngest(ctx context.Context) (CompactResult, error) {
 			return CompactResult{}, fmt.Errorf("streach: flush before compaction: %w", err)
 		}
 	}
-	cs, err := s.st.CompactDeltas()
+	s.ingestMu.Lock()
+	wal := s.wal
+	s.ingestMu.Unlock()
+	var cut uint64
+	if wal != nil && s.dir != "" {
+		// Seal before the fold snapshot: every WAL record at or below the
+		// cut is already applied to the delta layer (the writer appends to
+		// the index before the WAL), so the snapshot covers it.
+		cut = wal.Seal()
+	}
+	cs, err := s.st.CompactDeltasBudget(maxKeys)
 	if err != nil {
 		return CompactResult{}, fmt.Errorf("streach: compact deltas: %w", err)
 	}
@@ -309,23 +492,51 @@ func (s *System) CompactIngest(ctx context.Context) (CompactResult, error) {
 		Bytes:        cs.Bytes,
 		Pause:        cs.Pause,
 		Epoch:        cs.Epoch,
+		Remaining:    cs.Remaining,
 	}
 	if s.dir == "" {
 		return res, nil
 	}
 	if err := s.persistCompacted(); err != nil {
 		// The fold is live in memory and every accepted update is still
-		// in the WAL: the next open replays it, so nothing is lost.
+		// in the WAL (nothing was retired): the next open replays it, so
+		// nothing is lost.
 		return res, fmt.Errorf("streach: persist compaction (wal kept for replay): %w", err)
 	}
-	s.ingestMu.Lock()
-	wal := s.wal
-	s.ingestMu.Unlock()
 	if wal != nil {
-		if err := wal.Truncate(); err != nil {
-			// Harmless beyond a larger replay: the ST-Index replay is
-			// idempotent and only mean-speed accumulators double-count.
-			return res, fmt.Errorf("streach: truncate ingest wal: %w", err)
+		wal.SetEpoch(cs.Epoch)
+		// Re-log what the budget rolled over before retiring the segments
+		// it came from. PendingDelta may also include observations newer
+		// than the cut (their segments survive retirement); replaying
+		// those twice is harmless — the delta layer is a set union.
+		carry := s.st.PendingDelta()
+		for len(carry) > 0 {
+			n := len(carry)
+			if n > 1<<16 {
+				n = 1 << 16
+			}
+			if err := wal.AppendObs(0, carry[:n]); err != nil {
+				// Without a durable carry the rolled-over keys would ride
+				// only on the old segments: keep them (skip retirement).
+				return res, fmt.Errorf("streach: carry rolled-over delta to wal (segments kept for replay): %w", err)
+			}
+			res.CarriedObs += n
+			carry = carry[n:]
+		}
+		if err := wal.Retire(cut); err != nil {
+			// Leftover segments cost reopen time, never correctness:
+			// replay is idempotent.
+			return res, fmt.Errorf("streach: retire wal segments: %w", err)
+		}
+	}
+	// A pre-segmented save dir may still hold the legacy single-file WAL
+	// (already replayed on open); this durable fold covers it, so the
+	// migration completes here.
+	if legacy := filepath.Join(s.dir, fileIngestDelta); wal != nil {
+		if err := os.Remove(legacy); err == nil {
+			storage.SyncDir(s.dir)
+		} else if !os.IsNotExist(err) {
+			log.Printf("streach: remove legacy ingest wal: %v", err)
 		}
 	}
 	res.Durable = true

@@ -83,3 +83,35 @@ func ApplyBatch(st *stindex.Index, con *conindex.Index, batch []Update) (applied
 	con.ObserveSpeedBatch(speedSamples(st.SlotSeconds(), good))
 	return len(good), len(rejected)
 }
+
+// ApplyObs folds replayed carry observations into the ST-Index delta
+// layer. Carry records are raw per-slot observations a budgeted
+// compaction rolled over — their speed statistics were already durable
+// in the persisted Con-Index when the carry was written, so replay
+// deliberately touches only the trajectory delta: synthesising speed
+// samples here would push fabricated values into the min/max bounds.
+// Out-of-range observations (a corrupted record that still passed its
+// frame CRC, or a world mismatch) are dropped and counted.
+func ApplyObs(st *stindex.Index, obs []stindex.DeltaObs) (applied, dropped int) {
+	numSeg := st.Network().NumSegments()
+	numSlots := st.NumSlots()
+	days := st.Days()
+	good := obs[:0]
+	for _, o := range obs {
+		if o.Seg < 0 || int(o.Seg) >= numSeg ||
+			o.Slot < 0 || o.Slot >= numSlots ||
+			o.Day < 0 || int(o.Day) >= days ||
+			o.Taxi < 0 || o.Taxi >= 1<<15 {
+			dropped++
+			continue
+		}
+		good = append(good, o)
+	}
+	if len(good) == 0 {
+		return 0, dropped
+	}
+	if err := st.AppendDelta(good); err != nil {
+		return 0, dropped + len(good)
+	}
+	return len(good), dropped
+}

@@ -36,10 +36,12 @@ type Config struct {
 	// (default 50ms).
 	FlushInterval time.Duration
 	// WAL, when non-nil, receives every applied batch before it is
-	// acknowledged. WAL write failures do not fail the apply — the
+	// acknowledged: a *SegmentedLog in production, the legacy *Log in
+	// older tests. WAL write failures do not fail the apply — the
 	// update is live in memory, just not crash-durable — but they are
-	// counted and logged.
-	WAL *Log
+	// counted, logged, and surfaced as a degraded-durability state until
+	// an append succeeds again.
+	WAL WALog
 	// Owner, when non-nil, maps a segment to its owning shard; per-shard
 	// accepted counts are kept so the scatter layout of ingest traffic
 	// is observable. Shards sizes the counter vector.
@@ -85,6 +87,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// WALog is the write-ahead log a Writer appends applied batches to.
+// The shard is the batch's owning shard (always 0 without an Owner
+// hook); the segmented log keeps one append stream per shard.
+type WALog interface {
+	AppendUpdates(shard int, batch []Update) error
+}
+
+// AppendUpdates adapts the legacy single-file Log to the WALog
+// interface; the shard is ignored, every stream shares the one file.
+func (l *Log) AppendUpdates(_ int, batch []Update) error { return l.Append(batch) }
+
 // Stats snapshots a Writer's counters.
 type Stats struct {
 	Accepted  int64 // updates admitted to the queue
@@ -94,6 +107,13 @@ type Stats struct {
 	Batches   int64 // index append batches
 	WALErrors int64 // WAL append failures (updates stayed live, not durable)
 	QueueLen  int   // updates currently queued
+	// DurabilityDegraded is set while the most recent WAL append failed:
+	// the system keeps serving and accepting, but acknowledged updates
+	// since the failure are not crash-durable. The next successful
+	// append clears it.
+	DurabilityDegraded bool
+	// WALLastError is the most recent WAL append failure ("" when none).
+	WALLastError string
 	// PendingSpeeds counts buffered Con-Index speed samples awaiting the
 	// next fold (Flush, Close, or the SpeedBuffer cap).
 	PendingSpeeds int
@@ -119,6 +139,10 @@ type Writer struct {
 	batches   atomic.Int64
 	walErrors atomic.Int64
 	perShard  []atomic.Int64
+
+	walDegraded atomic.Bool
+	walErrMu    sync.Mutex
+	walLastErr  string
 
 	// sampleMu guards the buffered Con-Index speed samples (see
 	// Config.SpeedBuffer and FoldSpeeds).
@@ -248,7 +272,12 @@ func (w *Writer) Stats() Stats {
 		WALErrors: w.walErrors.Load(),
 		QueueLen:  len(w.in),
 		PerShard:  make([]int64, len(w.perShard)),
+
+		DurabilityDegraded: w.walDegraded.Load(),
 	}
+	w.walErrMu.Lock()
+	s.WALLastError = w.walLastErr
+	w.walErrMu.Unlock()
 	w.sampleMu.Lock()
 	s.PendingSpeeds = len(w.samples)
 	w.sampleMu.Unlock()
@@ -311,19 +340,44 @@ func (w *Writer) apply(batch []Update) {
 		return
 	}
 	w.bufferSpeeds(speedSamples(w.st.SlotSeconds(), good))
-	for _, u := range good {
-		if w.cfg.Owner != nil {
-			if sh := w.cfg.Owner(int(u.Seg)); sh >= 0 && sh < len(w.perShard) {
+	// Split the batch by owning shard: the per-shard counters feed the
+	// scatter-layout stats, and the segmented WAL keeps one append
+	// stream (and one fsync pipeline) per shard.
+	var byShard map[int][]Update
+	if w.cfg.Owner != nil {
+		byShard = make(map[int][]Update)
+		for _, u := range good {
+			sh := w.cfg.Owner(int(u.Seg))
+			if sh < 0 || sh >= w.cfg.Shards {
+				sh = 0
+			}
+			byShard[sh] = append(byShard[sh], u)
+			if sh < len(w.perShard) {
 				w.perShard[sh].Add(1)
 			}
-		} else if len(w.perShard) == 1 {
-			w.perShard[0].Add(1)
+		}
+	} else {
+		byShard = map[int][]Update{0: good}
+		if len(w.perShard) == 1 {
+			w.perShard[0].Add(int64(len(good)))
 		}
 	}
 	if w.cfg.WAL != nil {
-		if err := w.cfg.WAL.Append(good); err != nil {
-			w.walErrors.Add(1)
-			w.cfg.Log.Printf("ingest: wal append failed (%d updates live but not durable): %v", len(good), err)
+		failed := false
+		for sh, part := range byShard {
+			if err := w.cfg.WAL.AppendUpdates(sh, part); err != nil {
+				failed = true
+				w.walErrors.Add(1)
+				w.walErrMu.Lock()
+				w.walLastErr = err.Error()
+				w.walErrMu.Unlock()
+				w.cfg.Log.Printf("ingest: wal append failed (%d updates live but not durable): %v", len(part), err)
+			}
+		}
+		if failed {
+			w.walDegraded.Store(true)
+		} else if w.walDegraded.CompareAndSwap(true, false) {
+			w.cfg.Log.Printf("ingest: wal append succeeded; durability restored")
 		}
 	}
 	w.batches.Add(1)

@@ -129,7 +129,19 @@ func (l *Log) Append(batch []Update) error {
 func encodeBatch(batch []Update) []byte {
 	buf := make([]byte, 4+recordSize*len(batch)+4)
 	binary.LittleEndian.PutUint32(buf[:4], uint32(len(batch)))
-	off := 4
+	off := 4 + copy(buf[4:], encodeUpdateRecords(batch))
+	h := storage.NewChecksum()
+	h.Write(buf[:off])
+	binary.LittleEndian.PutUint32(buf[off:], h.Sum32())
+	return buf
+}
+
+// encodeUpdateRecords serialises a batch as bare 20-byte records — the
+// shared record codec of the legacy single-file WAL and the segmented
+// WAL's kind-0 frames.
+func encodeUpdateRecords(batch []Update) []byte {
+	buf := make([]byte, recordSize*len(batch))
+	off := 0
 	for _, u := range batch {
 		binary.LittleEndian.PutUint32(buf[off:], uint32(u.Seg))
 		binary.LittleEndian.PutUint16(buf[off+4:], uint16(u.Day))
@@ -139,10 +151,26 @@ func encodeBatch(batch []Update) []byte {
 		binary.LittleEndian.PutUint32(buf[off+16:], math.Float32bits(u.Speed))
 		off += recordSize
 	}
-	h := storage.NewChecksum()
-	h.Write(buf[:off])
-	binary.LittleEndian.PutUint32(buf[off:], h.Sum32())
 	return buf
+}
+
+// decodeUpdateRecords is encodeUpdateRecords' inverse over a validated
+// payload of n records.
+func decodeUpdateRecords(payload []byte, n int) []Update {
+	batch := make([]Update, n)
+	off := 0
+	for i := range batch {
+		batch[i] = Update{
+			Seg:     roadnet.SegmentID(binary.LittleEndian.Uint32(payload[off:])),
+			Day:     traj.Day(binary.LittleEndian.Uint16(payload[off+4:])),
+			Taxi:    traj.TaxiID(binary.LittleEndian.Uint16(payload[off+6:])),
+			EnterMs: int32(binary.LittleEndian.Uint32(payload[off+8:])),
+			ExitMs:  int32(binary.LittleEndian.Uint32(payload[off+12:])),
+			Speed:   math.Float32frombits(binary.LittleEndian.Uint32(payload[off+16:])),
+		}
+		off += recordSize
+	}
+	return batch
 }
 
 // Truncate discards the log's contents, leaving a fresh header. Called

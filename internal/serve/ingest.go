@@ -3,7 +3,9 @@ package serve
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"streach"
@@ -153,7 +155,23 @@ func (s *Server) handleIngestCompact(w http.ResponseWriter, r *http.Request) {
 	if !s.allowClient(w, r) {
 		return
 	}
-	res, err := s.sys.CompactIngest(r.Context())
+	// ?keys=N bounds the fold to the N hottest dirty keys (incremental
+	// compaction); the rest roll to the next call or background cycle.
+	maxKeys := 0
+	if v := r.URL.Query().Get("keys"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.recordError(http.StatusBadRequest)
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error":      fmt.Sprintf("invalid keys parameter %q", v),
+				"code":       streach.InvalidRequest.String(),
+				"request_id": RequestID(r.Context()),
+			})
+			return
+		}
+		maxKeys = n
+	}
+	res, err := s.sys.CompactIngestN(r.Context(), maxKeys)
 	if err != nil {
 		s.httpError(w, r, err)
 		return
@@ -166,5 +184,7 @@ func (s *Server) handleIngestCompact(w http.ResponseWriter, r *http.Request) {
 		"pause_ms":     float64(res.Pause) / float64(time.Millisecond),
 		"epoch":        res.Epoch,
 		"durable":      res.Durable,
+		"remaining":    res.Remaining,
+		"carried_obs":  res.CarriedObs,
 	})
 }

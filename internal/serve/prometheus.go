@@ -164,8 +164,20 @@ func (s *Server) writePrometheus(w io.Writer) {
 		"Live updates refused at the queue (backpressure).", ist.Rejected)
 	counter("streach_ingest_wal_errors_total",
 		"WAL append failures (updates stayed live but not durable).", ist.WALErrors)
+	degraded := 0.0
+	if ist.DurabilityDegraded {
+		degraded = 1
+	}
+	gauge("streach_durability_degraded",
+		"1 while WAL appends are failing: accepted updates are live but not crash-durable.", degraded)
+	gauge("streach_ingest_wal_segments",
+		"Live WAL segment files awaiting retirement by a durable compaction.", float64(ist.WALSegments))
 	counter("streach_ingest_compactions_total",
 		"Delta compactions installed.", int64(ist.Compactions))
+	counter("streach_ingest_background_compactions_total",
+		"Incremental compaction cycles run by the background loop.", ist.BackgroundCompactions)
+	counter("streach_ingest_background_compact_errors_total",
+		"Background compaction cycles that failed (retried with backoff).", ist.BackgroundCompactErrs)
 	gauge("streach_ingest_last_compact_pause_seconds",
 		"Handle-table install pause of the last compaction.", ist.LastCompactPause.Seconds())
 

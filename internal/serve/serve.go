@@ -275,6 +275,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"slot_seconds": st.SlotSeconds,
 		"shards":       s.sys.Shards(),
 	}
+	// Durability state: "ok" while the ingest WAL is keeping up,
+	// "degraded" while appends are failing (updates stay live but are
+	// not crash-durable), "none" without a WAL-backed ingest writer.
+	ist := s.sys.IngestStats()
+	switch {
+	case ist.DurabilityDegraded:
+		resp["durability"] = "degraded"
+		resp["durability_error"] = ist.WALLastError
+		resp["status"] = "degraded"
+	case ist.WALEnabled:
+		resp["durability"] = "ok"
+	default:
+		resp["durability"] = "none"
+	}
 	// On a sharded system the probe also reports per-shard failure
 	// state, so a cluster running degraded (injected fault, repeated
 	// scatter failures) is visible before it costs a query.

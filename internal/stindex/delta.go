@@ -309,13 +309,20 @@ func mergeDeltaBits(base *TimeListBits, days map[int][]uint64) *TimeListBits {
 // CompactStats reports one compaction.
 type CompactStats struct {
 	Keys         int           // dirty keys folded
+	Remaining    int           // dirty keys rolled to the next cycle (budgeted folds)
 	Observations int64         // delta observations folded
 	Bytes        int64         // blob bytes appended
 	Pause        time.Duration // handle-table install critical section
 	Epoch        uint64        // epoch after the install
 }
 
-// CompactDeltas folds the pending delta layer into freshly encoded
+// CompactDeltas folds the whole pending delta layer; see
+// CompactDeltasBudget.
+func (x *Index) CompactDeltas() (CompactStats, error) {
+	return x.CompactDeltasBudget(0)
+}
+
+// CompactDeltasBudget folds the pending delta layer into freshly encoded
 // blobs and installs a new handle table (a new index epoch). The fold
 // runs off the hot path: blob appends go to the append-only file while
 // readers keep answering from the old handles, and only the table swap
@@ -323,11 +330,17 @@ type CompactStats struct {
 // critical section is the reported pause. Entries appended to during
 // the fold survive the clear and re-fold next time.
 //
+// maxKeys > 0 bounds the cycle: only the maxKeys hottest dirty keys (by
+// delta depth, ties broken by key for determinism) are folded and the
+// rest roll to the next epoch, which is what keeps the install pause —
+// proportional to the folded key count — flat under sustained write
+// load. CompactStats.Remaining reports the rolled-over keys.
+//
 // The re-encode goes through the same adaptive encoder as Build, so a
 // post-compaction blob is byte-identical to what an offline rebuild
 // over the union of base and ingested trajectories would have written
 // for that (segment, slot).
-func (x *Index) CompactDeltas() (CompactStats, error) {
+func (x *Index) CompactDeltasBudget(maxKeys int) (CompactStats, error) {
 	lv := x.live
 	lv.compactMu.Lock()
 	defer lv.compactMu.Unlock()
@@ -354,6 +367,24 @@ func (x *Index) CompactDeltas() (CompactStats, error) {
 	keys := make([]int, 0, len(snaps))
 	for key := range snaps {
 		keys = append(keys, key)
+	}
+	remaining := 0
+	if maxKeys > 0 && len(keys) > maxKeys {
+		// Hottest first: deep entries cost the most to merge at read time
+		// and hold the most pending memory, so folding them buys the most
+		// per unit of install pause.
+		sort.Slice(keys, func(i, j int) bool {
+			oi, oj := snaps[keys[i]].obs, snaps[keys[j]].obs
+			if oi != oj {
+				return oi > oj
+			}
+			return keys[i] < keys[j]
+		})
+		for _, key := range keys[maxKeys:] {
+			delete(snaps, key)
+		}
+		remaining = len(keys) - maxKeys
+		keys = keys[:maxKeys]
 	}
 	sort.Ints(keys)
 
@@ -400,13 +431,48 @@ func (x *Index) CompactDeltas() (CompactStats, error) {
 	lv.compactions.Add(1)
 	lv.lastPauseNS.Store(int64(pause))
 	lv.lastKeys.Store(int64(len(keys)))
+	lv.mu.RLock()
+	remaining = len(lv.entries)
+	lv.mu.RUnlock()
 	return CompactStats{
 		Keys:         len(keys),
+		Remaining:    remaining,
 		Observations: obsFolded,
 		Bytes:        appendedBytes,
 		Pause:        pause,
 		Epoch:        lv.epoch.Load(),
 	}, nil
+}
+
+// PendingDelta snapshots every observation still pending in the delta
+// layer as replayable DeltaObs. A durable budgeted compaction writes
+// this snapshot to the WAL (a "carry" record) before retiring the
+// segments the folded-and-persisted keys came from: the rolled-over
+// keys stay crash-durable without keeping every old segment alive.
+func (x *Index) PendingDelta() []DeltaObs {
+	lv := x.live
+	n := x.net.NumSegments()
+	lv.mu.RLock()
+	defer lv.mu.RUnlock()
+	var out []DeltaObs
+	for key, e := range lv.entries {
+		slot, seg := key/n, key%n
+		for d, words := range e.days {
+			for wi, w := range words {
+				for w != 0 {
+					taxi := wi<<6 + bits.TrailingZeros64(w)
+					w &= w - 1
+					out = append(out, DeltaObs{
+						Seg:  roadnet.SegmentID(seg),
+						Slot: slot,
+						Day:  traj.Day(d),
+						Taxi: traj.TaxiID(taxi),
+					})
+				}
+			}
+		}
+	}
+	return out
 }
 
 // tuplesFromBits rebuilds the sorted packed-tuple run Build would have

@@ -385,3 +385,100 @@ func TestDeltaAppendRefreshesCachedReads(t *testing.T) {
 		t.Fatal("append to an uncached key changed cache residency")
 	}
 }
+
+// TestDeltaBudgetedCompactionConverges checks the incremental fold:
+// each budgeted cycle folds at most maxKeys keys (the hottest first, so
+// per-cycle folded observations are non-increasing), Remaining reports
+// the rolled-over keys honestly, repeated cycles drain the delta, and
+// the converged index reads identically to a full one-shot compaction
+// of the same delta on a twin index.
+func TestDeltaBudgetedCompactionConverges(t *testing.T) {
+	n := testNetwork(t)
+	ds := testDataset(t, n)
+	live := buildIndex(t, n, ds)
+	defer live.Close()
+	twin := buildIndex(t, n, ds)
+	defer twin.Close()
+
+	obs := testDeltaObs(live)
+	if err := live.AppendDelta(obs); err != nil {
+		t.Fatal(err)
+	}
+	if err := twin.AppendDelta(obs); err != nil {
+		t.Fatal(err)
+	}
+
+	dirty0 := live.DeltaStats().DirtyKeys
+	budget := dirty0 / 4
+	if budget < 1 {
+		t.Fatalf("test dataset too small: %d dirty keys", dirty0)
+	}
+
+	var cycles int
+	var lastFullObs int64 = 1 << 62
+	var epoch uint64
+	remaining := dirty0
+	for {
+		cs, err := live.CompactDeltasBudget(budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles++
+		if cs.Keys > budget {
+			t.Fatalf("cycle %d folded %d keys, budget %d", cycles, cs.Keys, budget)
+		}
+		if want := remaining - cs.Keys; cs.Remaining != want {
+			t.Fatalf("cycle %d: Remaining = %d, want %d (had %d, folded %d)",
+				cycles, cs.Remaining, want, remaining, cs.Keys)
+		}
+		if cs.Epoch != epoch+1 {
+			t.Fatalf("cycle %d: epoch %d, want %d", cycles, cs.Epoch, epoch+1)
+		}
+		epoch = cs.Epoch
+		if cs.Keys == budget {
+			// Hottest-first selection: a full cycle's folded observation
+			// count never increases from the previous full cycle's.
+			if cs.Observations > lastFullObs {
+				t.Fatalf("cycle %d folded %d observations, previous full cycle folded %d: not hottest-first",
+					cycles, cs.Observations, lastFullObs)
+			}
+			lastFullObs = cs.Observations
+		}
+		remaining = cs.Remaining
+		if remaining > 0 {
+			if pend := live.PendingDelta(); len(pend) == 0 {
+				t.Fatalf("cycle %d: %d keys remaining but PendingDelta is empty", cycles, remaining)
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+	}
+	if cycles < 3 {
+		t.Fatalf("budget %d over %d dirty keys converged in %d cycles, want >= 3 (budget not binding)",
+			budget, dirty0, cycles)
+	}
+	if st := live.DeltaStats(); st.DirtyKeys != 0 || st.PendingObs != 0 {
+		t.Fatalf("delta not drained after convergence: %+v", st)
+	}
+
+	// The twin folds everything in one cycle; reads must agree bit for bit.
+	if _, err := twin.CompactDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	for seg := 0; seg < n.NumSegments(); seg++ {
+		for slot := 0; slot < live.NumSlots(); slot++ {
+			got, err := live.TimeListBitsAt(roadnet.SegmentID(seg), slot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := twin.TimeListBitsAt(roadnet.SegmentID(seg), slot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(setBits(got), setBits(want)) {
+				t.Fatalf("(seg=%d slot=%d) budgeted convergence differs from one-shot compaction", seg, slot)
+			}
+		}
+	}
+}

@@ -32,28 +32,51 @@ import (
 // and decode transparently. v3 adds two CRC-32C checksums: pagesCRC over
 // the page store's full contents (the time-list blobs) and a trailing
 // metaCRC over the meta bytes themselves, so a flipped bit in either
-// file is detected at load instead of surfacing as a wrong answer. New
-// indexes are always saved as v3; v1/v2 metas still load (no checksums
-// to verify, but trailing garbage is rejected so a corrupted version
-// field cannot silently downgrade a v3 file).
+// file is detected at load instead of surfacing as a wrong answer. v4
+// narrows pagesCRC to the first `tail` bytes of the page store — the
+// bytes this meta's handles can reach. The blob file is append-only, so
+// a compaction that appended new blobs but crashed before installing its
+// meta leaves bytes only beyond the old tail: a v4 meta still verifies
+// and reopens over them (the WAL replays the unfolded rest), where a v3
+// meta would declare the whole store corrupt and force a cold rebuild.
+// New indexes are always saved as v4; v1-v3 metas still load (v3 with
+// its whole-store check), and trailing garbage is rejected so a
+// corrupted version field cannot silently downgrade a checksummed file.
 const (
 	metaMagic      = "STIX"
-	metaVersion    = 3
+	metaVersion    = 4
 	metaVersionMin = 1
 )
 
 // PagesChecksum computes the CRC-32C of the page store's full contents,
 // read through the buffer pool so unflushed dirty pages are included —
-// exactly the bytes a flush would persist.
+// exactly the bytes a flush would persist. This is the v3 meta check.
 func (x *Index) PagesChecksum() (uint32, error) {
+	return x.PagesChecksumN(x.pool.NumPages() * storage.PageSize)
+}
+
+// PagesChecksumN computes the CRC-32C of the first limit bytes of the
+// page store, read through the buffer pool. v4 metas record the checksum
+// of the first Tail() bytes — everything their handles can reach — so
+// blobs appended after the meta was saved (a compaction that crashed
+// before its meta install) do not invalidate it.
+func (x *Index) PagesChecksumN(limit int64) (uint32, error) {
 	h := storage.NewChecksum()
+	remain := limit
 	n := x.pool.NumPages()
-	for id := storage.PageID(0); int64(id) < n; id++ {
+	for id := storage.PageID(0); int64(id) < n && remain > 0; id++ {
 		page, err := x.pool.GetPage(id)
 		if err != nil {
 			return 0, fmt.Errorf("stindex: checksum page %d: %w", id, err)
 		}
+		if remain < int64(len(page)) {
+			page = page[:remain]
+		}
 		h.Write(page)
+		remain -= int64(len(page))
+	}
+	if remain > 0 {
+		return 0, fmt.Errorf("stindex: page store holds %d bytes, checksum needs %d", n*storage.PageSize, limit)
 	}
 	return h.Sum32(), nil
 }
@@ -66,7 +89,9 @@ func (x *Index) PagesChecksum() (uint32, error) {
 func (x *Index) SaveMeta(w io.Writer) error {
 	x.live.compactMu.Lock()
 	defer x.live.compactMu.Unlock()
-	pagesCRC, err := x.PagesChecksum()
+	// v4: the checksum covers exactly the bytes the handle table can
+	// reach, so later appends never invalidate this meta.
+	pagesCRC, err := x.PagesChecksumN(x.blob.Tail())
 	if err != nil {
 		return err
 	}
@@ -268,7 +293,19 @@ func LoadIndex(net *roadnet.Network, cfg Config, meta io.Reader) (*Index, error)
 	for s := 0; s < numSlots; s++ {
 		idx.temporal.Put(int64(s*int(slotSec)), int64(s))
 	}
-	if ver >= 3 {
+	switch {
+	case ver >= 4:
+		// v4 covers the first tail bytes only: blobs appended by a
+		// compaction that crashed before its meta landed sit beyond the
+		// tail and are unreachable garbage, not corruption.
+		got, err := idx.PagesChecksumN(int64(tail))
+		if err != nil {
+			return nil, err
+		}
+		if got != pagesCRC {
+			return nil, xerr.Markf(xerr.KindCorrupt, "stindex: page store checksum mismatch (stored %08x, computed %08x)", pagesCRC, got)
+		}
+	case ver == 3:
 		got, err := idx.PagesChecksum()
 		if err != nil {
 			return nil, err

@@ -189,6 +189,19 @@ func (bp *BufferPool) Flush() error {
 	return nil
 }
 
+// Sync flushes every dirty page and then fsyncs the backing store (when
+// it has a durability boundary): the persistence point a durable
+// compaction needs before installing a meta that references the pages.
+func (bp *BufferPool) Sync() error {
+	if err := bp.Flush(); err != nil {
+		return err
+	}
+	if s, ok := bp.store.(Syncer); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
 // Invalidate drops every cached page (flushing dirty ones first). Used by
 // experiments to measure cold-cache behaviour.
 func (bp *BufferPool) Invalidate() error {

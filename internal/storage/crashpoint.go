@@ -1,0 +1,57 @@
+package storage
+
+import (
+	"os"
+	"sync/atomic"
+)
+
+// Crash-point injection (DESIGN.md §14). Every durability boundary in
+// the persistence spine — WAL segment creation, batch append, fsync,
+// seal, retire, atomic-install write/sync/rename, directory sync, page
+// flush — announces itself through CrashPoint before performing the
+// operation. The default hook is nil (zero overhead beyond one atomic
+// load); the crash-recovery harness installs a hook that panics at a
+// chosen point, simulating a power cut between the previous boundary
+// and this one: everything before the point is on disk exactly as a
+// real crash would leave it, nothing after it runs.
+//
+// The hook is process-global because the boundaries span packages
+// (internal/ingest, the streach facade, this package); tests that
+// install one must not run in parallel with other persistence tests.
+
+var crashHook atomic.Pointer[func(string)]
+
+// SetCrashHook installs fn as the crash-point hook (nil to clear). The
+// hook runs on the goroutine performing the guarded operation; a hook
+// that panics aborts the operation sequence mid-flight, which is the
+// intended "power cut" semantics.
+func SetCrashHook(fn func(string)) {
+	if fn == nil {
+		crashHook.Store(nil)
+		return
+	}
+	crashHook.Store(&fn)
+}
+
+// CrashPoint announces one named durability boundary. No-op unless a
+// hook is installed.
+func CrashPoint(name string) {
+	if p := crashHook.Load(); p != nil {
+		(*p)(name)
+	}
+}
+
+// SyncDir fsyncs a directory, making preceding renames, creations, and
+// removals inside it durable on filesystems (ext4 and friends) where a
+// file rename is not persisted until its parent directory is synced.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

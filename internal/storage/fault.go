@@ -311,3 +311,12 @@ func (f *FaultStore) WritePage(id PageID, buf []byte) error {
 
 // Close implements Store.
 func (f *FaultStore) Close() error { return f.inner.Close() }
+
+// Sync forwards to the inner store's durability boundary when it has
+// one, so a fault-wrapped FileStore still persists like one.
+func (f *FaultStore) Sync() error {
+	if s, ok := f.inner.(Syncer); ok {
+		return s.Sync()
+	}
+	return nil
+}

@@ -168,5 +168,19 @@ func (s *FileStore) WritePage(id PageID, buf []byte) error {
 // Close implements Store.
 func (s *FileStore) Close() error { return s.f.Close() }
 
+// Sync fsyncs the backing file: pages written (flushed) before the call
+// are durable when it returns. Part of the optional Syncer contract the
+// persistence layer probes for.
+func (s *FileStore) Sync() error {
+	CrashPoint("pages.sync")
+	return s.f.Sync()
+}
+
 // Path returns the backing file path.
 func (s *FileStore) Path() string { return s.path }
+
+// Syncer is the optional Store extension for backends with a durability
+// boundary (FileStore). Memory-backed stores simply don't implement it.
+type Syncer interface {
+	Sync() error
+}

@@ -5,6 +5,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync/atomic"
 
 	"streach/internal/conindex"
 	"streach/internal/ingest"
@@ -28,13 +30,20 @@ import (
 //	                   the adjacency blob existed simply lack the file
 //	                   and reopen with cold, lazily-materialised tables.
 //
-// A live-ingesting system adds one more file:
+// A live-ingesting system adds a write-ahead log directory:
 //
-//	dir/ingest.delta   write-ahead log of accepted live updates not yet
-//	                   folded by a durable compaction ("IDLT" format;
-//	                   see internal/ingest). OpenSystem replays it; a
-//	                   corrupt log is detected by its per-batch CRC,
-//	                   logged, and dropped — never silently merged.
+//	dir/wal/           segmented write-ahead log of accepted live
+//	                   updates not yet covered by a durable compaction:
+//	                   size/age-rotated per-shard segment files
+//	                   seg-<epoch>-<seq>.log ("IDSG" format; see
+//	                   internal/ingest). OpenSystem replays the shards
+//	                   in parallel; a corrupt frame is detected by its
+//	                   CRC and the segment truncated to its intact
+//	                   prefix, with later segments unaffected — never
+//	                   silently merged.
+//	dir/ingest.delta   the pre-segmented single-file WAL ("IDLT").
+//	                   Still replayed on open for migration; removed by
+//	                   the first durable compaction.
 const (
 	fileNetwork     = "network.bin"
 	fileDataset     = "dataset.bin"
@@ -43,6 +52,7 @@ const (
 	fileConIndex    = "conindex.bin"
 	fileConAdj      = "conindex.adj"
 	fileIngestDelta = "ingest.delta"
+	walDirName      = "wal"
 )
 
 // Save persists the whole system into dir (created if absent): network,
@@ -121,8 +131,12 @@ func (s *System) copyPagesTo(f *os.File) error {
 
 // writeFileAtomic writes dir/name via a temp file and rename, so a
 // crash mid-write can never leave a half-written file where a valid one
-// used to be.
+// used to be. The parent directory is fsynced after the rename: without
+// it the rename itself can be lost to a power cut, resurrecting the old
+// file — legal for the caller (the old state plus a WAL replay), but
+// only because the WAL is never retired before this returns.
 func writeFileAtomic(dir, name string, fn func(f *os.File) error) error {
+	storage.CrashPoint("persist." + name + ".write")
 	tmp, err := os.CreateTemp(dir, name+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("streach: create temp for %s: %w", name, err)
@@ -139,8 +153,13 @@ func writeFileAtomic(dir, name string, fn func(f *os.File) error) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("streach: close %s: %w", name, err)
 	}
+	storage.CrashPoint("persist." + name + ".rename")
 	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
 		return fmt.Errorf("streach: install %s: %w", name, err)
+	}
+	storage.CrashPoint("persist." + name + ".dirsync")
+	if err := storage.SyncDir(dir); err != nil {
+		return fmt.Errorf("streach: sync dir for %s: %w", name, err)
 	}
 	return nil
 }
@@ -152,7 +171,11 @@ func writeFileAtomic(dir, name string, fn func(f *os.File) error) error {
 // a crash between steps leaves a meta whose handles all resolve (the
 // blob file is append-only) plus a WAL that replays anything newer.
 func (s *System) persistCompacted() error {
-	if err := s.st.Pool().Flush(); err != nil {
+	// Sync, not just Flush: the new blobs must be on stable storage
+	// before a meta whose handles (and tail-bounded checksum) reference
+	// them can be installed.
+	storage.CrashPoint("persist.pages.flush")
+	if err := s.st.Pool().Sync(); err != nil {
 		return fmt.Errorf("streach: flush pages: %w", err)
 	}
 	if !s.pagesInDir {
@@ -245,9 +268,10 @@ func OpenSystem(dir string, idx IndexConfig) (*System, error) {
 	// Replay the ingest WAL: live updates accepted since the last durable
 	// compaction fold back into the delta layer and the speed statistics
 	// (after the adjacency load, so replayed observations invalidate any
-	// stale restored rows). A corrupt log is detected by its per-batch
-	// CRC and dropped — intact batches before the damage are kept, the
-	// lost tail needs a cold re-ingest — never silently merged.
+	// stale restored rows). The legacy single-file log replays first for
+	// migration — a corrupt one is detected by its per-batch CRC and
+	// dropped, intact batches before the damage kept. A corrupt log is
+	// never silently merged.
 	walPath := filepath.Join(dir, fileIngestDelta)
 	var replayed, replayDropped int
 	if n, rerr := ingest.ReplayLog(walPath, func(batch []ingest.Update) error {
@@ -262,6 +286,35 @@ func OpenSystem(dir string, idx IndexConfig) (*System, error) {
 		}
 	} else if replayed > 0 || replayDropped > 0 {
 		log.Printf("streach: replayed %d live updates from ingest wal (%d dropped)", replayed, replayDropped)
+	}
+	// Then the segmented WAL, shards in parallel. Frame corruption is
+	// contained per segment: the file is truncated to its intact prefix
+	// and later segments still replay. The apply callbacks hit the same
+	// locked index paths the live worker pool does, so concurrent shard
+	// replay is safe; both are idempotent, so records that straddle a
+	// repaired tail or a carry record simply re-union.
+	var segApplied, segDropped, segObs, segObsDropped atomic.Int64
+	segStats, segErr := ingest.ReplaySegments(filepath.Join(dir, walDirName), runtime.GOMAXPROCS(0),
+		func(batch []ingest.Update) error {
+			a, d := ingest.ApplyBatch(st, con, batch)
+			segApplied.Add(int64(a))
+			segDropped.Add(int64(d))
+			return nil
+		},
+		func(obs []stindex.DeltaObs) error {
+			a, d := ingest.ApplyObs(st, obs)
+			segObs.Add(int64(a))
+			segObsDropped.Add(int64(d))
+			return nil
+		})
+	if segErr != nil {
+		st.Close()
+		return nil, fmt.Errorf("streach: replay wal segments: %w", segErr)
+	}
+	if segStats.Segments > 0 {
+		log.Printf("streach: replayed %d wal segments: %d updates, %d carried observations (%d dropped, %d segments repaired, %d bytes truncated)",
+			segStats.Segments, segApplied.Load()+segDropped.Load(), segObs.Load(),
+			segDropped.Load()+segObsDropped.Load(), segStats.CorruptSegments, segStats.TruncatedBytes)
 	}
 	s, err := assembleSystem(net, ds, st, con, idx)
 	if err != nil {

@@ -275,7 +275,12 @@ type System struct {
 	ingestMu  sync.Mutex
 	compactMu sync.Mutex
 	ingestW   *ingest.Writer
-	wal       *ingest.Log
+	wal       *ingest.SegmentedLog
+	// Background incremental compaction loop (see compactLoop).
+	compactStop   chan struct{}
+	compactDone   chan struct{}
+	bgCompacts    atomic.Int64
+	bgCompactErrs atomic.Int64
 }
 
 // sharingCounters are the live batch-sharing counters; snapshot with
