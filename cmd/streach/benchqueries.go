@@ -1,0 +1,394 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// benchSpec is one concrete HTTP request a template expands to. shape
+// identifies the query shape (the plan-cache axis): requests sharing a
+// shape share a plan, so the first request per shape is the cold sample
+// and the rest measure warm serving.
+type benchSpec struct {
+	shape  string
+	method string
+	path   string
+	body   []byte
+}
+
+// benchTemplate is a named query mix: reach/reverse/multi, narrow or
+// wide windows, duplicate-heavy (every request the same shape — the
+// steady-traffic case plan caching serves) or all-distinct (every
+// request a fresh shape — the worst case that measures cold planning).
+type benchTemplate struct {
+	name   string
+	expand func(n int) []benchSpec
+}
+
+// benchTemplates builds the scenario set. Multi templates need real
+// coordinates (the server snaps them to segments), so they are built
+// from locations probed out of a live reach answer and skipped when the
+// probe cannot supply enough.
+func benchTemplates(locs [][2]float64) []benchTemplate {
+	reachPath := func(start, dur string, reverse bool) string {
+		p := fmt.Sprintf("/v1/reach?start=%s&dur=%s&prob=0.2", start, dur)
+		if reverse {
+			p += "&reverse=1"
+		}
+		return p
+	}
+	dup := func(name, start, dur string, reverse bool) benchTemplate {
+		return benchTemplate{name: name, expand: func(n int) []benchSpec {
+			path := reachPath(start, dur, reverse)
+			specs := make([]benchSpec, n)
+			for i := range specs {
+				specs[i] = benchSpec{shape: path, method: http.MethodGet, path: path}
+			}
+			return specs
+		}}
+	}
+	// Distinct mixes shift the start time one minute per shape: every
+	// request a distinct group key, so none shares a plan.
+	distinct := func(name, dur string, baseMin int, reverse bool) benchTemplate {
+		return benchTemplate{name: name, expand: func(n int) []benchSpec {
+			specs := make([]benchSpec, n)
+			for i := range specs {
+				path := reachPath(fmt.Sprintf("%dm", baseMin+i), dur, reverse)
+				specs[i] = benchSpec{shape: path, method: http.MethodGet, path: path}
+			}
+			return specs
+		}}
+	}
+	ts := []benchTemplate{
+		dup("reach-narrow-dup", "8h30m", "8m", false),
+		dup("reach-wide-dup", "8h30m", "45m", false),
+		distinct("reach-narrow-distinct", "8m", 8*60, false),
+		dup("reverse-narrow-dup", "17h30m", "8m", true),
+		distinct("reverse-wide-distinct", "45m", 17*60, true),
+	}
+	if len(locs) >= 2 {
+		body, _ := json.Marshal(map[string]any{
+			"locations": []map[string]float64{
+				{"lat": locs[0][0], "lng": locs[0][1]},
+				{"lat": locs[1][0], "lng": locs[1][1]},
+			},
+			"start": "9h", "dur": "10m", "prob": 0.2,
+		})
+		ts = append(ts, benchTemplate{name: "multi-dup", expand: func(n int) []benchSpec {
+			specs := make([]benchSpec, n)
+			for i := range specs {
+				specs[i] = benchSpec{shape: "multi|9h|10m", method: http.MethodPost, path: "/v1/reach", body: body}
+			}
+			return specs
+		}})
+	}
+	return ts
+}
+
+// runBenchQueries replays the named query templates against a running
+// `streach serve` and writes BENCH_queries.json: per-template and
+// overall p50/p95/p99, SLO attainment, and the cold tail (the first
+// request of every distinct shape — the latency the warm-plan pipeline
+// exists to cut). With -baseline it appends the p95 and cold-p99 ratios
+// against a prior report, so one artifact carries the comparison.
+func runBenchQueries(args []string) error {
+	fs := flag.NewFlagSet("bench queries", flag.ExitOnError)
+	base := fs.String("url", "http://localhost:8780", "base URL of a running streach serve")
+	n := fs.Int("n", 40, "requests per template")
+	c := fs.Int("c", 4, "concurrent clients per template")
+	slo := fs.Duration("slo", 250*time.Millisecond, "latency SLO for the attainment ratio")
+	reqTimeout := fs.Duration("request-timeout", 15*time.Second, "per-request client timeout")
+	out := fs.String("out", "BENCH_queries.json", "output JSON path (empty = stdout only)")
+	baseline := fs.String("baseline", "", "prior BENCH_queries.json to compute p95/cold-p99 ratios against")
+	label := fs.String("label", "", "free-form label recorded in the report (e.g. warm-plans, cold)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	client := &http.Client{Timeout: *reqTimeout}
+	locs, err := probeLocations(client, *base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench queries: location probe failed (%v): multi templates skipped\n", err)
+	}
+	templates := benchTemplates(locs)
+
+	type sample struct {
+		lat  time.Duration
+		cold bool
+		err  bool
+	}
+	quantMS := func(lats []time.Duration, q float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		sorted := append([]time.Duration(nil), lats...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return float64(sorted[int(q*float64(len(sorted)-1))]) / float64(time.Millisecond)
+	}
+
+	var reports []map[string]any
+	var allLats, allCold []time.Duration
+	var allAttained, allCount, allErrs int
+	for _, tpl := range templates {
+		specs := tpl.expand(*n)
+		samples := make([]sample, len(specs))
+		// The first request of each distinct shape is the cold sample:
+		// the cold pass issues exactly those first, so a later duplicate
+		// always finds whatever plan state the first request left behind,
+		// and "cold" stays well-defined under concurrency.
+		firstOf := map[string]int{}
+		for i, sp := range specs {
+			if _, ok := firstOf[sp.shape]; !ok {
+				firstOf[sp.shape] = i
+			}
+		}
+		run := func(i int) {
+			sp := specs[i]
+			t0 := time.Now()
+			var resp *http.Response
+			var rerr error
+			if sp.method == http.MethodPost {
+				resp, rerr = client.Post(*base+sp.path, "application/json", bytes.NewReader(sp.body))
+			} else {
+				resp, rerr = client.Get(*base + sp.path)
+			}
+			lat := time.Since(t0)
+			ok := rerr == nil
+			if resp != nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				ok = resp.StatusCode == http.StatusOK
+			}
+			samples[i] = sample{lat: lat, cold: firstOf[sp.shape] == i, err: !ok}
+		}
+		runAll := func(list []int) {
+			var next int
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for w := 0; w < *c; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						mu.Lock()
+						i := next
+						next++
+						mu.Unlock()
+						if i >= len(list) {
+							return
+						}
+						run(list[i])
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		var coldList, warmList []int
+		for i := range specs {
+			if firstOf[specs[i].shape] == i {
+				coldList = append(coldList, i)
+			} else {
+				warmList = append(warmList, i)
+			}
+		}
+		runAll(coldList)
+		runAll(warmList)
+
+		var lats, cold []time.Duration
+		attained, errs := 0, 0
+		for _, s := range samples {
+			if s.err {
+				errs++
+				continue
+			}
+			lats = append(lats, s.lat)
+			if s.cold {
+				cold = append(cold, s.lat)
+			}
+			if s.lat <= *slo {
+				attained++
+			}
+		}
+		rep := map[string]any{
+			"name":         tpl.name,
+			"requests":     len(specs),
+			"errors":       errs,
+			"shapes":       len(firstOf),
+			"p50_ms":       quantMS(lats, 0.50),
+			"p95_ms":       quantMS(lats, 0.95),
+			"p99_ms":       quantMS(lats, 0.99),
+			"cold_p99_ms":  quantMS(cold, 0.99),
+			"slo_attained": float64(attained) / float64(max(1, len(samples))),
+		}
+		reports = append(reports, rep)
+		allLats = append(allLats, lats...)
+		allCold = append(allCold, cold...)
+		allAttained += attained
+		allCount += len(samples)
+		allErrs += errs
+		fmt.Fprintf(os.Stderr, "bench queries: %-24s p50=%.1fms p95=%.1fms p99=%.1fms cold-p99=%.1fms slo=%.0f%%\n",
+			tpl.name, rep["p50_ms"], rep["p95_ms"], rep["p99_ms"], rep["cold_p99_ms"],
+			100*rep["slo_attained"].(float64))
+	}
+
+	report := map[string]any{
+		"url":       *base,
+		"label":     *label,
+		"slo_ms":    float64(*slo) / float64(time.Millisecond),
+		"templates": reports,
+		"overall": map[string]any{
+			"requests":     allCount,
+			"errors":       allErrs,
+			"p50_ms":       quantMS(allLats, 0.50),
+			"p95_ms":       quantMS(allLats, 0.95),
+			"p99_ms":       quantMS(allLats, 0.99),
+			"cold_p50_ms":  quantMS(allCold, 0.50),
+			"cold_p99_ms":  quantMS(allCold, 0.99),
+			"slo_attained": float64(allAttained) / float64(max(1, allCount)),
+		},
+	}
+	if m := scrapePlanMetrics(client, *base); len(m) > 0 {
+		report["metrics"] = m
+	}
+	if *baseline != "" {
+		if cmp, err := compareBaseline(*baseline, report); err != nil {
+			fmt.Fprintf(os.Stderr, "bench queries: baseline %s unusable: %v\n", *baseline, err)
+		} else {
+			report["vs_baseline"] = cmp
+		}
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(enc))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench queries: report written to %s\n", *out)
+	}
+	if allErrs > 0 {
+		return fmt.Errorf("bench queries: %d/%d requests failed", allErrs, allCount)
+	}
+	return nil
+}
+
+// probeLocations pulls a couple of real (lat, lng) pairs out of a live
+// reach answer's GeoJSON, for the multi-location templates.
+func probeLocations(client *http.Client, base string) ([][2]float64, error) {
+	resp, err := client.Get(base + "/v1/reach?start=9h&dur=15m&prob=0.2&format=geojson")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("probe status %s", resp.Status)
+	}
+	var fc struct {
+		Features []struct {
+			Geometry struct {
+				Coordinates [][2]float64 `json:"coordinates"` // lng, lat
+			} `json:"geometry"`
+		} `json:"features"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fc); err != nil {
+		return nil, err
+	}
+	var locs [][2]float64
+	for _, f := range fc.Features {
+		if len(f.Geometry.Coordinates) == 0 {
+			continue
+		}
+		c := f.Geometry.Coordinates[0]
+		locs = append(locs, [2]float64{c[1], c[0]}) // back to lat, lng
+		if len(locs) == 2 {
+			break
+		}
+	}
+	if len(locs) < 2 {
+		return nil, fmt.Errorf("only %d usable features", len(locs))
+	}
+	return locs, nil
+}
+
+// scrapePlanMetrics pulls the plan-cache and sharding gauges out of
+// /metrics/prometheus so the artifact records how the server served the
+// run (warmed plans, cache hit ratio, slot fallbacks).
+func scrapePlanMetrics(client *http.Client, base string) map[string]float64 {
+	resp, err := client.Get(base + "/metrics/prometheus")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil
+	}
+	want := map[string]bool{
+		"streach_plan_cache_hits":           true,
+		"streach_plan_cache_misses":         true,
+		"streach_plans_warmed":              true,
+		"streach_plans_slot_fallback_total": true,
+		"streach_shards":                    true,
+		"streach_slot_shards":               true,
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || !want[name] {
+			continue
+		}
+		var f float64
+		if _, err := fmt.Sscanf(val, "%g", &f); err == nil {
+			out[name] = f
+		}
+	}
+	return out
+}
+
+// compareBaseline loads a prior report and computes the ratios the perf
+// acceptance criteria are stated in: baseline/current for overall p95
+// and cold p99 (> 1 means this run is faster).
+func compareBaseline(path string, current map[string]any) (map[string]any, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var prior struct {
+		Label   string `json:"label"`
+		Overall struct {
+			P95      float64 `json:"p95_ms"`
+			ColdP99  float64 `json:"cold_p99_ms"`
+			Requests int     `json:"requests"`
+		} `json:"overall"`
+	}
+	if err := json.Unmarshal(raw, &prior); err != nil {
+		return nil, err
+	}
+	cur := current["overall"].(map[string]any)
+	ratio := func(base, now float64) float64 {
+		if now <= 0 {
+			return 0
+		}
+		return base / now
+	}
+	return map[string]any{
+		"file":                 path,
+		"baseline_label":       prior.Label,
+		"p95_ratio":            ratio(prior.Overall.P95, cur["p95_ms"].(float64)),
+		"cold_p99_ratio":       ratio(prior.Overall.ColdP99, cur["cold_p99_ms"].(float64)),
+		"baseline_p95_ms":      prior.Overall.P95,
+		"baseline_cold_p99_ms": prior.Overall.ColdP99,
+	}, nil
+}

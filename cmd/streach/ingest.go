@@ -157,16 +157,19 @@ func postIngest(client *http.Client, endpoint string, batch []wireUpdate) (int, 
 	return 0, fmt.Errorf("ingest: %s: %s", resp.Status, ack.Error)
 }
 
-// runBench dispatches the bench modes ("streach bench ingest").
+// runBench dispatches the bench modes ("streach bench ingest",
+// "streach bench queries").
 func runBench(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("bench: usage: streach bench ingest [flags]")
+		return fmt.Errorf("bench: usage: streach bench ingest|queries [flags]")
 	}
 	switch args[0] {
 	case "ingest":
 		return runBenchIngest(args[1:])
+	case "queries":
+		return runBenchQueries(args[1:])
 	}
-	return fmt.Errorf("bench: unknown mode %q (want ingest)", args[0])
+	return fmt.Errorf("bench: unknown mode %q (want ingest or queries)", args[0])
 }
 
 // runBenchIngest measures the live-ingestion subsystem in process and

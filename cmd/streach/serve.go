@@ -41,6 +41,8 @@ func runServe(args []string) error {
 	hedge := fs.Bool("hedge", false, "hedged shard verification: race a slow shard's verify slice with a second attempt, first result wins (requires -shards)")
 	hedgeAfter := fs.Duration("hedge-after", 0, "hedge trigger latency floor (0 = default 25ms; effective trigger also tracks 2x shard p95)")
 	shards := fs.Int("shards", 0, "sharded execution: partition the network across this many engines and answer by scatter-gather (0/1 = single engine; results are bit-identical)")
+	slotShards := fs.Int("slot-shards", 0, "temporal sharding: cut the day's slot axis into this many density-balanced ranges, one shard row each, routing queries by window start; composes with -shards into grid x slots (0/1 = off; results are bit-identical)")
+	warmPlans := fs.Int("warm-plans", 0, "warm-plan pipeline: re-plan this many of the hottest recorded query shapes in the background after open and after each compaction epoch swap; grows the plan cache to hold them (0 = off)")
 	shardBudget := fs.Duration("shard-budget", 0, "per-shard deadline budget: a shard slower than this fails (typed Timeout) or is skipped under ?partial=true (0 = no budget)")
 	chaos := fs.String("chaos", "", "DEV ONLY fault injection: comma-separated shard=N:error|panic|hang items, e.g. shard=1:error,shard=2:hang (requires -shards)")
 	accessLog := fs.Bool("access-log", false, "log one line per request (method, URI, status, latency, request ID) to stderr")
@@ -63,11 +65,20 @@ func runServe(args []string) error {
 	if *shardBudget > 0 {
 		sys.SetShardBudget(*shardBudget)
 	}
-	if *shards > 1 {
-		if err := sys.Shard(*shards); err != nil {
+	if *shards > 1 || *slotShards > 1 {
+		gridK := *shards
+		if gridK < 1 {
+			gridK = 1
+		}
+		if err := sys.ShardSlots(gridK, *slotShards); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "sharded execution: %d partitioned engines\n", sys.Shards())
+		if sys.SlotShards() > 1 {
+			fmt.Fprintf(os.Stderr, "sharded execution: %d partitioned engines (%d slot rows x %d grid shards)\n",
+				sys.Shards(), sys.SlotShards(), sys.Shards()/sys.SlotShards())
+		} else {
+			fmt.Fprintf(os.Stderr, "sharded execution: %d partitioned engines\n", sys.Shards())
+		}
 	}
 	if *breakers {
 		if sys.Shards() <= 1 {
@@ -104,6 +115,10 @@ func runServe(args []string) error {
 		if *compactEvery > 0 {
 			fmt.Fprintf(os.Stderr, "background incremental compaction every %v\n", *compactEvery)
 		}
+	}
+	if *warmPlans > 0 {
+		sys.EnableWarmPlanning(*warmPlans)
+		fmt.Fprintf(os.Stderr, "warm-plan pipeline enabled (top %d shapes)\n", *warmPlans)
 	}
 	if *warmDur > 0 {
 		t0 := time.Now()

@@ -20,6 +20,15 @@ type Slice struct {
 	x     *Index
 	shard int
 	owned bitset.Set
+
+	// slotRanged, when true, additionally restricts the slice to
+	// adjacency rows whose (normalised) slot falls in the inclusive
+	// [slotLo, slotHi] range — the served range of a temporal shard.
+	// Rows are fetched per (segment, slot), so unlike the ST-Index held
+	// range no overhang is needed: the row router sends each fetch to
+	// the slot's serving shard directly.
+	slotRanged     bool
+	slotLo, slotHi int
 }
 
 // Slice returns a shard-local view that serves adjacency rows only for
@@ -27,6 +36,13 @@ type Slice struct {
 // messages and metrics.
 func (x *Index) Slice(shard int, owned bitset.Set) *Slice {
 	return &Slice{x: x, shard: shard, owned: owned}
+}
+
+// SliceSlots returns a shard-local view restricted on both axes: rows
+// resolve only for owned segments and only at slots inside [slotLo,
+// slotHi]. owned may be nil for a pure temporal shard.
+func (x *Index) SliceSlots(shard int, owned bitset.Set, slotLo, slotHi int) *Slice {
+	return &Slice{x: x, shard: shard, owned: owned, slotRanged: true, slotLo: slotLo, slotHi: slotHi}
 }
 
 // Index returns the shared underlying index.
@@ -41,8 +57,25 @@ func (s *Slice) Owns(seg roadnet.SegmentID) bool {
 }
 
 func (s *Slice) check(seg roadnet.SegmentID) error {
-	if !s.Owns(seg) {
+	if s.owned != nil && !s.Owns(seg) {
 		return fmt.Errorf("conindex: segment %d is not owned by shard %d", seg, s.shard)
+	}
+	return nil
+}
+
+// checkSlot rejects row fetches outside a slot-ranged slice's served
+// range, normalising the slot mod numSlots exactly as the row
+// resolvers do, so a wrapped slot checks against the slot it actually
+// reads.
+func (s *Slice) checkSlot(slot int) error {
+	if !s.slotRanged {
+		return nil
+	}
+	n := s.x.numSlots
+	slot = ((slot % n) + n) % n
+	if slot < s.slotLo || slot > s.slotHi {
+		return fmt.Errorf("conindex: slot %d is outside shard %d's served range [%d, %d]",
+			slot, s.shard, s.slotLo, s.slotHi)
 	}
 	return nil
 }
@@ -50,6 +83,9 @@ func (s *Slice) check(seg roadnet.SegmentID) error {
 // FarRow resolves F(seg, slot) through the shard slice.
 func (s *Slice) FarRow(ctx context.Context, seg roadnet.SegmentID, slot int) (Row, error) {
 	if err := s.check(seg); err != nil {
+		return Row{}, err
+	}
+	if err := s.checkSlot(slot); err != nil {
 		return Row{}, err
 	}
 	return s.x.FarRowCtx(ctx, seg, slot)
@@ -60,6 +96,9 @@ func (s *Slice) NearRow(ctx context.Context, seg roadnet.SegmentID, slot int) (R
 	if err := s.check(seg); err != nil {
 		return Row{}, err
 	}
+	if err := s.checkSlot(slot); err != nil {
+		return Row{}, err
+	}
 	return s.x.NearRowCtx(ctx, seg, slot)
 }
 
@@ -68,12 +107,18 @@ func (s *Slice) FarReverseRow(ctx context.Context, seg roadnet.SegmentID, slot i
 	if err := s.check(seg); err != nil {
 		return Row{}, err
 	}
+	if err := s.checkSlot(slot); err != nil {
+		return Row{}, err
+	}
 	return s.x.FarReverseRowCtx(ctx, seg, slot)
 }
 
 // NearReverseRow resolves the reverse Near row through the shard slice.
 func (s *Slice) NearReverseRow(ctx context.Context, seg roadnet.SegmentID, slot int) (Row, error) {
 	if err := s.check(seg); err != nil {
+		return Row{}, err
+	}
+	if err := s.checkSlot(slot); err != nil {
 		return Row{}, err
 	}
 	return s.x.NearReverseRowCtx(ctx, seg, slot)

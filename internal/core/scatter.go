@@ -39,6 +39,11 @@ func (p *SharedPlan) Lazy() bool { return p.lazy }
 // it before Close.
 func (p *SharedPlan) Candidates() []roadnet.SegmentID { return p.order }
 
+// SlotWindow returns the inclusive slot range [lo, hi] of the plan's
+// query window, recorded at plan time. The temporal sharding layer
+// scatters only to the shard row whose held slot range covers it.
+func (p *SharedPlan) SlotWindow() (lo, hi int) { return p.slotLo, p.slotHi }
+
 // Children returns the per-location child plans of a sequential m-query
 // plan (nil otherwise). A scatter step verifies each child separately.
 func (p *SharedPlan) Children() []*SharedPlan { return p.children }

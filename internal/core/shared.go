@@ -51,6 +51,12 @@ type SharedPlan struct {
 	rows   RowSource
 	starts []roadnet.SegmentID
 
+	// slotLo, slotHi is the query window's slot range, recorded at plan
+	// time for the temporal sharding layer: a slot-sharded cluster
+	// scatters only to the shard row whose slot range covers the window
+	// and falls back to eager execution when no row holds it whole.
+	slotLo, slotHi int
+
 	maxReg, minReg *region
 	// keep is Bmax ∩ Bmin: admitted without verification under the
 	// default trace-back policy.
@@ -204,6 +210,7 @@ func (e *Engine) PlanMultiSequential(ctx context.Context, q MultiQuery, opts ...
 	cfg := resolvePlanConfig(opts)
 	p := e.newSharedPlan(planSequential)
 	p.deferred = cfg.deferVerify
+	p.slotLo, p.slotHi = e.slotWindow(q.Start, q.Duration)
 	for _, loc := range q.Locations {
 		child, err := e.PlanReach(ctx, Query{Location: loc, Start: q.Start, Duration: q.Duration}, opts...)
 		if err != nil {
@@ -257,6 +264,7 @@ func (e *Engine) PlanReverse(ctx context.Context, q Query, opts ...PlanOption) (
 
 	tVerify := now()
 	lo, hi := e.slotWindow(q.Start, q.Duration)
+	p.slotLo, p.slotHi = lo, hi
 	p.rpr, err = e.newReverseProbe(ctx, dst, lo, lo, hi)
 	if err != nil {
 		p.Close()
@@ -306,6 +314,7 @@ func (e *Engine) PlanReachES(ctx context.Context, q Query, opts ...PlanOption) (
 	p := e.newSharedPlan(planExhaustive)
 	p.starts = []roadnet.SegmentID{r0}
 	lo, hi := e.slotWindow(q.Start, q.Duration)
+	p.slotLo, p.slotHi = lo, hi
 	pr, err := e.newProbe(ctx, p.starts, lo, lo, hi)
 	if err != nil {
 		p.Close()
@@ -362,6 +371,7 @@ func (e *Engine) PlanReverseES(ctx context.Context, q Query, opts ...PlanOption)
 	p := e.newSharedPlan(planExhaustive)
 	p.starts = []roadnet.SegmentID{dst}
 	lo, hi := e.slotWindow(q.Start, q.Duration)
+	p.slotLo, p.slotHi = lo, hi
 	rpr, err := e.newReverseProbe(ctx, dst, lo, lo, hi)
 	if err != nil {
 		p.Close()
@@ -426,6 +436,7 @@ func (p *SharedPlan) boundForward(ctx context.Context, start, dur time.Duration,
 
 	tVerify := now()
 	lo, hi := e.slotWindow(start, dur)
+	p.slotLo, p.slotHi = lo, hi
 	p.pr, err = e.newProbe(ctx, p.starts, lo, lo, hi)
 	if err != nil {
 		return err

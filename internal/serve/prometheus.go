@@ -79,6 +79,18 @@ func (s *Server) writePrometheus(w io.Writer) {
 		"Queries answered from a cached cross-batch shared plan.", sh.PlanCacheHits)
 	counter("streach_plan_cache_misses_total",
 		"Plan-cache lookups that built a fresh plan.", sh.PlanCacheMisses)
+	// Gauge aliases of the plan-cache counters plus the warm-plan count:
+	// dashboards graphing cache effectiveness alongside the warm pipeline
+	// read all three from one family.
+	planGauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	planGauge("streach_plan_cache_hits",
+		"Queries answered from a cached cross-batch shared plan.", sh.PlanCacheHits)
+	planGauge("streach_plan_cache_misses",
+		"Plan-cache lookups that built a fresh plan.", sh.PlanCacheMisses)
+	planGauge("streach_plans_warmed",
+		"Plans built proactively by the warm-plan pipeline (neither hits nor misses).", sh.PlansWarmed)
 
 	// Sharded execution: one gauge/counter set per shard, labelled by
 	// ordinal, so a scrape shows partition balance and where the
@@ -107,6 +119,22 @@ func (s *Server) writePrometheus(w io.Writer) {
 		shardMetric("streach_shard_verify_seconds_total",
 			"Wall-clock the shard spent in scatter verification.", "counter",
 			func(st streach.ShardStat) float64 { return st.Verify.Seconds() })
+
+		// Temporal sharding: the row layout (served slot ranges) and the
+		// fallback counter. slot_shards stays 1 and the ranges span the
+		// whole day on spatially-sharded systems, so dashboards need no
+		// mode-specific queries.
+		fmt.Fprintf(w, "# HELP streach_slot_shards Temporal shard rows of the sharded execution layer.\n")
+		fmt.Fprintf(w, "# TYPE streach_slot_shards gauge\nstreach_slot_shards %d\n", s.sys.SlotShards())
+		shardMetric("streach_shard_slot_lo",
+			"First slot of the inclusive slot range the shard's row serves.", "gauge",
+			func(st streach.ShardStat) float64 { return float64(st.SlotLo) })
+		shardMetric("streach_shard_slot_hi",
+			"Last slot of the inclusive slot range the shard's row serves.", "gauge",
+			func(st streach.ShardStat) float64 { return float64(st.SlotHi) })
+		counter("streach_plans_slot_fallback_total",
+			"Sharded queries whose window outgrew its row's held slot range and ran unsharded.",
+			s.sys.PlansSlotFallback())
 
 		// Overload self-protection: per-shard breaker state plus the
 		// cluster-wide hedge/breaker counters.

@@ -43,7 +43,7 @@ func (r *rowRouter) row(memo *map[int64]conindex.Row, seg roadnet.SegmentID, slo
 		r.rowHits++
 		return row, nil
 	}
-	sh := r.c.part.Owner(seg)
+	sh := r.c.shardOf(seg, slot)
 	row, err := fetch(r.c.conSlices[sh])
 	if err != nil {
 		return conindex.Row{}, err

@@ -1,0 +1,130 @@
+package shard
+
+import "fmt"
+
+// SlotPartition is the temporal sharding dimension: the day's slot axis
+// cut into k contiguous ranges balanced by observation density, so the
+// rush-hour slots that concentrate real trajectory traffic spread across
+// as many shard rows as the quiet night hours, not more.
+//
+// Each row t *serves* the inclusive slot range [lo_t, hi_t]: a query
+// whose window starts in a served slot is answered entirely by that
+// row's engines. Because one candidate's verification reads time lists
+// across the whole window — segment reachability does not decompose
+// over time sub-ranges — a row cannot serve only a window's prefix, so
+// each row additionally *holds* an overhang of slots past its served
+// range (default one hour's worth). A window that starts in row t and
+// ends inside the held range stays on row t; a rarer window reaching
+// beyond the overhang falls back to unsharded execution on the planner
+// (counted, never wrong).
+type SlotPartition struct {
+	k        int
+	numSlots int
+	overhang int
+	lo, hi   []int   // served ranges, inclusive, indexed by row
+	owner    []int32 // slot -> serving row
+	weight   []int64 // served density per row
+}
+
+// PartitionSlots cuts numSlots day slots into k contiguous served
+// ranges whose cumulative density is as even as a contiguous cut
+// allows. density is the per-slot observation weight (see
+// stindex.SlotDensity); an all-zero density degrades to a uniform cut.
+// overhang is the number of slots each row holds past its served range
+// (capped at the end of the day); overhang < 0 selects the default of
+// one hour's worth of slots (numSlots/24, min 1). k is clamped to
+// [1, numSlots].
+func PartitionSlots(density []int64, k, overhang int) (*SlotPartition, error) {
+	numSlots := len(density)
+	if numSlots == 0 {
+		return nil, fmt.Errorf("shard: slot partition needs a non-empty density vector")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > numSlots {
+		k = numSlots
+	}
+	if overhang < 0 {
+		overhang = numSlots / 24
+		if overhang < 1 {
+			overhang = 1
+		}
+	}
+	p := &SlotPartition{
+		k:        k,
+		numSlots: numSlots,
+		overhang: overhang,
+		lo:       make([]int, k),
+		hi:       make([]int, k),
+		owner:    make([]int32, numSlots),
+		weight:   make([]int64, k),
+	}
+	var total int64
+	for _, d := range density {
+		if d < 0 {
+			return nil, fmt.Errorf("shard: negative slot density %d", d)
+		}
+		total += d
+	}
+	if total == 0 {
+		// No data yet (fresh system, pre-ingest): uniform cut.
+		for t := 0; t < k; t++ {
+			p.lo[t] = t * numSlots / k
+			p.hi[t] = (t+1)*numSlots/k - 1
+		}
+	} else {
+		// Greedy prefix cut: close row t once its cumulative share
+		// reaches (t+1)/k of the total, keeping at least one slot for
+		// every remaining row.
+		row := 0
+		var cum int64
+		for s := 0; s < numSlots; s++ {
+			cum += density[s]
+			remainRows := k - row - 1
+			remainSlots := numSlots - s - 1
+			if row < k-1 && (remainSlots == remainRows ||
+				(cum*int64(k) >= total*int64(row+1) && remainSlots >= remainRows)) {
+				p.hi[row] = s
+				row++
+				p.lo[row] = s + 1
+			}
+		}
+		p.hi[k-1] = numSlots - 1
+	}
+	for t := 0; t < k; t++ {
+		for s := p.lo[t]; s <= p.hi[t]; s++ {
+			p.owner[s] = int32(t)
+			p.weight[t] += density[s]
+		}
+	}
+	return p, nil
+}
+
+// Shards returns the number of slot ranges (rows).
+func (p *SlotPartition) Shards() int { return p.k }
+
+// NumSlots returns the slot-axis length the partition covers.
+func (p *SlotPartition) NumSlots() int { return p.numSlots }
+
+// Overhang returns the held-range overhang in slots.
+func (p *SlotPartition) Overhang() int { return p.overhang }
+
+// Served returns row t's served slot range, inclusive.
+func (p *SlotPartition) Served(t int) (lo, hi int) { return p.lo[t], p.hi[t] }
+
+// Held returns row t's held slot range: served plus the overhang,
+// capped at the end of the day.
+func (p *SlotPartition) Held(t int) (lo, hi int) {
+	lo, hi = p.lo[t], p.hi[t]+p.overhang
+	if hi >= p.numSlots {
+		hi = p.numSlots - 1
+	}
+	return lo, hi
+}
+
+// OwnerOf returns the row serving slot (which must be in [0, numSlots)).
+func (p *SlotPartition) OwnerOf(slot int) int { return int(p.owner[slot]) }
+
+// Weight returns the summed density of row t's served range.
+func (p *SlotPartition) Weight(t int) int64 { return p.weight[t] }

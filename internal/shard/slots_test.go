@@ -1,0 +1,100 @@
+package shard
+
+import "testing"
+
+func TestPartitionSlotsUniform(t *testing.T) {
+	density := make([]int64, 288) // all zero: fresh system
+	p, err := PartitionSlots(density, 4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() != 4 || p.NumSlots() != 288 {
+		t.Fatalf("got %d shards over %d slots", p.Shards(), p.NumSlots())
+	}
+	if p.Overhang() != 12 { // 288/24 = one hour of 5-minute slots
+		t.Fatalf("default overhang = %d, want 12", p.Overhang())
+	}
+	for tt := 0; tt < 4; tt++ {
+		lo, hi := p.Served(tt)
+		if lo != tt*72 || hi != tt*72+71 {
+			t.Fatalf("row %d serves [%d,%d], want uniform [%d,%d]", tt, lo, hi, tt*72, tt*72+71)
+		}
+	}
+}
+
+func TestPartitionSlotsDensityBalance(t *testing.T) {
+	// All weight concentrated in a morning rush block: the cut must
+	// split the hot block across rows instead of handing it to one.
+	density := make([]int64, 288)
+	for s := 96; s < 120; s++ { // 8h-10h
+		density[s] = 1000
+	}
+	p, err := PartitionSlots(density, 4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for tt := 0; tt < 4; tt++ {
+		total += p.Weight(tt)
+	}
+	for tt := 0; tt < 4; tt++ {
+		if w := p.Weight(tt); w < total/8 || w > total/2 {
+			t.Fatalf("row %d weight %d of %d: hot block not balanced", tt, w, total)
+		}
+	}
+}
+
+func TestPartitionSlotsInvariants(t *testing.T) {
+	density := []int64{5, 0, 0, 9, 1, 1, 1, 7, 0, 2, 2, 30}
+	p, err := PartitionSlots(density, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Served ranges partition [0, numSlots): contiguous, non-overlapping,
+	// covering, and OwnerOf agrees with them.
+	next := 0
+	for tt := 0; tt < p.Shards(); tt++ {
+		lo, hi := p.Served(tt)
+		if lo != next || hi < lo {
+			t.Fatalf("row %d serves [%d,%d], expected to start at %d", tt, lo, hi, next)
+		}
+		for s := lo; s <= hi; s++ {
+			if p.OwnerOf(s) != tt {
+				t.Fatalf("OwnerOf(%d) = %d, want %d", s, p.OwnerOf(s), tt)
+			}
+		}
+		hlo, hhi := p.Held(tt)
+		if hlo != lo || hhi < hi || hhi > len(density)-1 || (hhi != len(density)-1 && hhi != hi+2) {
+			t.Fatalf("row %d holds [%d,%d] for served [%d,%d], overhang 2", tt, hlo, hhi, lo, hi)
+		}
+		next = hi + 1
+	}
+	if next != len(density) {
+		t.Fatalf("served ranges end at %d, want %d", next, len(density))
+	}
+}
+
+func TestPartitionSlotsClampAndErrors(t *testing.T) {
+	if _, err := PartitionSlots(nil, 2, 0); err == nil {
+		t.Fatal("empty density accepted")
+	}
+	if _, err := PartitionSlots([]int64{1, -1}, 2, 0); err == nil {
+		t.Fatal("negative density accepted")
+	}
+	// k above numSlots clamps: every row still serves at least one slot.
+	p, err := PartitionSlots([]int64{3, 1}, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() != 2 {
+		t.Fatalf("k not clamped: %d rows over 2 slots", p.Shards())
+	}
+	// k below 1 clamps to a single full-day row.
+	p, err = PartitionSlots([]int64{3, 1, 2}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi := p.Served(0); p.Shards() != 1 || lo != 0 || hi != 2 {
+		t.Fatalf("k=0 gave %d rows serving [%d,%d]", p.Shards(), lo, hi)
+	}
+}

@@ -52,6 +52,7 @@ const (
 	fileConIndex    = "conindex.bin"
 	fileConAdj      = "conindex.adj"
 	fileIngestDelta = "ingest.delta"
+	filePlanShapes  = "planshapes.bin"
 	walDirName      = "wal"
 )
 
@@ -105,6 +106,12 @@ func (s *System) Save(dir string) error {
 		if err := writeTo(filePages, s.copyPagesTo); err != nil {
 			return err
 		}
+	}
+	// The recorded plan shapes ride along (best effort — a hint, not
+	// state) so a reopened system warms the same query shapes this one
+	// served.
+	if err := s.savePlanShapes(dir); err != nil {
+		log.Printf("streach: save plan shapes: %v", err)
 	}
 	// The directory now holds the whole system: remember it so
 	// CompactIngest can persist folds (and place the ingest WAL) here.
@@ -192,7 +199,15 @@ func (s *System) persistCompacted() error {
 	// The adjacency cache is re-written too: rows invalidated by live
 	// speed observations must not resurrect from a stale blob on the
 	// next open.
-	return writeFileAtomic(s.dir, fileConAdj, func(f *os.File) error { return s.con.SaveAdjacency(f) })
+	if err := writeFileAtomic(s.dir, fileConAdj, func(f *os.File) error { return s.con.SaveAdjacency(f) }); err != nil {
+		return err
+	}
+	// Plan shapes last and best effort: they are a warm-start hint, not
+	// crash-consistency state, so a failed write must not fail the fold.
+	if err := s.savePlanShapes(s.dir); err != nil {
+		log.Printf("streach: save plan shapes: %v", err)
+	}
+	return nil
 }
 
 // OpenSystem reopens a system saved with Save. PoolPages, the TBS
@@ -320,6 +335,13 @@ func OpenSystem(dir string, idx IndexConfig) (*System, error) {
 	if err != nil {
 		st.Close()
 		return nil, err
+	}
+	// Restore the recorded plan shapes when present. Like the adjacency
+	// cache, the ring is a derived warm-start hint: any corruption —
+	// CRC mismatch, truncation, oversize, invalid shapes — drops it with
+	// a log line and the open proceeds with an empty ring.
+	if perr := s.loadPlanShapes(dir); perr != nil {
+		log.Printf("streach: plan shapes unreadable (%v): dropped, warm planning starts empty", perr)
 	}
 	s.dir = dir
 	s.pagesInDir = true

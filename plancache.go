@@ -117,6 +117,20 @@ func (c *planCache) clear() {
 	}
 }
 
+// grow raises the capacity to at least n; it never shrinks. Warming N
+// shapes into a smaller LRU would evict its own work, so
+// EnableWarmPlanning grows the cache to hold what it warms.
+func (c *planCache) grow(n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if n > c.cap {
+		c.cap = n
+	}
+	c.mu.Unlock()
+}
+
 // len reports how many plans are parked (tests).
 func (c *planCache) len() int {
 	if c == nil {

@@ -362,6 +362,10 @@ func (s *System) acquirePlan(ctx context.Context, req Request, qo queryOptions) 
 			return pl, key, true, nil
 		}
 		s.sharing.planMisses.Add(1)
+		// An organic miss is exactly the signal the warm-plan pipeline
+		// feeds on: record the shape so the next epoch swap can rebuild
+		// this plan before traffic asks for it.
+		s.recordPlanShape(req, qo)
 	}
 	plan, err = s.newPlan(ctx, req, qo)
 	return plan, key, cacheable, err

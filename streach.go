@@ -132,6 +132,17 @@ type IndexConfig struct {
 	// Results are bit-identical to unsharded execution. 0 or 1 keeps the
 	// single engine. Route queries always run unsharded.
 	Shards int
+	// SlotShards adds the temporal sharding dimension: a value above 1
+	// cuts the day's slot axis into that many contiguous ranges balanced
+	// by observation density, one shard row per range, and routes each
+	// query to the row serving its window's start slot — so hot-hours
+	// traffic spreads across rows instead of all landing on one working
+	// set. Composes with Shards into a grid × slots hybrid (Shards ×
+	// SlotShards total shards). Windows outgrowing a row's held range
+	// fall back to unsharded execution (counted, never wrong); results
+	// stay bit-identical either way. 0 or 1 disables the temporal
+	// dimension.
+	SlotShards int
 	// PlanCache is the cross-batch shared-plan LRU capacity in plans:
 	// recently built plans are kept (keyed by the batch group key) so
 	// steady-state duplicate traffic skips bounding and verification
@@ -281,17 +292,27 @@ type System struct {
 	compactDone   chan struct{}
 	bgCompacts    atomic.Int64
 	bgCompactErrs atomic.Int64
+	// Warm-plan pipeline (see warmplans.go): shapes records recent
+	// plan-cache-miss query shapes; warmN > 0 re-plans the top shapes in
+	// the background after opens and compaction epoch swaps.
+	shapes     *shapeRecorder
+	warmN      atomic.Int32
+	warmBusy   atomic.Bool
+	warmWG     sync.WaitGroup
+	warmCtx    context.Context
+	warmCancel context.CancelFunc
 }
 
 // sharingCounters are the live batch-sharing counters; snapshot with
 // SharingStats.
 type sharingCounters struct {
-	groups     atomic.Int64
-	coalesced  atomic.Int64
-	probeSets  atomic.Int64
-	rowsShared atomic.Int64
-	planHits   atomic.Int64
-	planMisses atomic.Int64
+	groups      atomic.Int64
+	coalesced   atomic.Int64
+	probeSets   atomic.Int64
+	rowsShared  atomic.Int64
+	planHits    atomic.Int64
+	planMisses  atomic.Int64
+	plansWarmed atomic.Int64
 }
 
 // SharingStats counts the cross-query work sharing DoBatch's group-and-
@@ -315,6 +336,11 @@ type SharingStats struct {
 	// verification entirely.
 	PlanCacheHits   int64
 	PlanCacheMisses int64
+	// PlansWarmed counts plans built proactively by the warm-plan
+	// pipeline (WarmPlans / EnableWarmPlanning) rather than by a query
+	// paying the cold-planning cost. Warm passes touch neither hit nor
+	// miss counters.
+	PlansWarmed int64
 }
 
 // SharingStats snapshots the batch-sharing counters.
@@ -326,6 +352,7 @@ func (s *System) SharingStats() SharingStats {
 		ConRowsShared:    s.sharing.rowsShared.Load(),
 		PlanCacheHits:    s.sharing.planHits.Load(),
 		PlanCacheMisses:  s.sharing.planMisses.Load(),
+		PlansWarmed:      s.sharing.plansWarmed.Load(),
 	}
 }
 
@@ -465,9 +492,15 @@ func assembleSystem(net *roadnet.Network, ds *traj.Dataset, st *stindex.Index, c
 		planCap = 32
 	}
 	s := &System{net: net, ds: ds, st: st, con: con, engine: engine, plans: newPlanCache(planCap),
-		shardBudget: idx.ShardBudget, breakerCfg: idx.Breaker, hedgeCfg: idx.Hedge}
-	if idx.Shards > 1 {
-		if err := s.Shard(idx.Shards); err != nil {
+		shardBudget: idx.ShardBudget, breakerCfg: idx.Breaker, hedgeCfg: idx.Hedge,
+		shapes: newShapeRecorder()}
+	s.warmCtx, s.warmCancel = context.WithCancel(context.Background())
+	if idx.Shards > 1 || idx.SlotShards > 1 {
+		gridK := idx.Shards
+		if gridK < 1 {
+			gridK = 1
+		}
+		if err := s.ShardSlots(gridK, idx.SlotShards); err != nil {
 			return nil, err
 		}
 	}
@@ -486,12 +519,24 @@ func assembleSystem(net *roadnet.Network, ds *traj.Dataset, st *stindex.Index, c
 // to the previous execution layout; a straggler parking a plan after
 // the flush is harmless, as its answers stay bit-identical.
 func (s *System) Shard(k int) error {
-	if k <= 1 {
+	return s.ShardSlots(k, 1)
+}
+
+// ShardSlots switches the system to hybrid grid × slots sharded
+// execution: gridK spatial shards (as Shard) times slotK temporal shard
+// rows, each row serving the queries whose window starts in its
+// density-balanced slice of the day's slot axis (see
+// IndexConfig.SlotShards). gridK <= 1 with slotK > 1 is pure temporal
+// sharding; both <= 1 restores single-engine execution. Everything else
+// behaves exactly as Shard: safe while queries are in flight, plan
+// cache flushed, answers bit-identical.
+func (s *System) ShardSlots(gridK, slotK int) error {
+	if gridK <= 1 && slotK <= 1 {
 		s.cluster.Store(nil)
 		s.plans.clear()
 		return nil
 	}
-	cluster, err := shard.NewCluster(s.st, s.con, s.engine.Options(), k)
+	cluster, err := shard.NewClusterSlots(s.st, s.con, s.engine.Options(), gridK, slotK, -1)
 	if err != nil {
 		return err
 	}
@@ -518,6 +563,26 @@ func (s *System) Shards() int {
 	return 1
 }
 
+// SlotShards reports how many temporal shard rows the system executes
+// across (1 = no temporal dimension).
+func (s *System) SlotShards() int {
+	if c := s.cluster.Load(); c != nil {
+		return c.SlotShards()
+	}
+	return 1
+}
+
+// PlansSlotFallback counts sharded queries whose window outgrew its
+// serving row's held slot range and ran unsharded instead (still
+// bit-identical; a persistently high rate suggests a larger overhang or
+// fewer slot shards).
+func (s *System) PlansSlotFallback() int64 {
+	if c := s.cluster.Load(); c != nil {
+		return c.PlansSlotFallback()
+	}
+	return 0
+}
+
 // ShardStat describes one shard of a sharded system: its slice of the
 // partition and the work routed to it.
 type ShardStat struct {
@@ -534,6 +599,10 @@ type ShardStat struct {
 	// shard's ST-Index slice, and Verify the wall-clock spent doing it.
 	CandidatesVerified int64
 	Verify             time.Duration
+	// SlotLo and SlotHi are the inclusive slot range the shard's row
+	// serves under temporal sharding; [0, numSlots-1] (the whole day)
+	// when the system has no temporal dimension.
+	SlotLo, SlotHi int
 }
 
 // ShardStats snapshots per-shard activity; nil when the system is
@@ -553,6 +622,8 @@ func (s *System) ShardStats() []ShardStat {
 			RowsFetched:        st.RowsFetched,
 			CandidatesVerified: st.CandidatesVerified,
 			Verify:             time.Duration(st.VerifyNS),
+			SlotLo:             st.SlotLo,
+			SlotHi:             st.SlotHi,
 		}
 	}
 	return out
@@ -605,6 +676,10 @@ func (s *System) SetShardBudget(d time.Duration) {
 // Close stops the live-ingest writer (draining its queue), closes the
 // WAL, flushes the shared-plan cache, and releases index storage.
 func (s *System) Close() error {
+	if s.warmCancel != nil {
+		s.warmCancel()
+		s.warmWG.Wait()
+	}
 	err := s.stopIngest()
 	s.plans.clear()
 	if cerr := s.st.Close(); err == nil {

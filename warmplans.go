@@ -1,0 +1,424 @@
+package streach
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Warm-plan pipeline: the plan cache only pays off after the first
+// query of each shape has eaten a cold bounding + verification pass,
+// and every compaction epoch swap invalidates the whole cache again
+// (the data-version key moves). This file closes the gap: the system
+// records the shape — kind, algorithm, result-affecting option bits,
+// window, locations; never results — of every plan-cache miss in a
+// small ring, persists the ring to dir/planshapes.bin alongside the
+// indexes, and re-plans the top-N most frequent shapes in the
+// background after an open or a compaction, so steady traffic lands on
+// warm plans instead of paying the cold-start tail.
+
+const (
+	// planShapeRingCap bounds the recorded shape ring; with the
+	// location cap below the persisted file stays well under the read
+	// cap even when full.
+	planShapeRingCap = 256
+	// planShapeMaxLocs skips recording multi-queries beyond this many
+	// locations — rare shapes whose encoded size isn't worth the ring
+	// space.
+	planShapeMaxLocs = 8
+	// planShapesMaxBytes caps how much of planshapes.bin a load will
+	// read: the file is a hint, and a runaway size is corruption.
+	planShapesMaxBytes = 256 << 10
+
+	planShapesMagic   = "SPSH"
+	planShapesVersion = 1
+)
+
+var planShapesCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// planShape is one recorded query shape: everything groupKey
+// canonicalises except the probability threshold (the axis plans are
+// shared across), so re-planning a shape reproduces the exact cache key
+// live traffic will ask for.
+type planShape struct {
+	Kind       Kind
+	Algorithm  Algorithm
+	OptionBits uint8
+	Start      time.Duration
+	Duration   time.Duration
+	Locations  []Location
+}
+
+// shapeOptionBits packs the result-affecting engine options the same
+// way engineOptionBits does, as a byte for the shape encoding.
+func shapeOptionBits(qo queryOptions) uint8 {
+	var bits uint8
+	if qo.engine.VerifyAll {
+		bits |= 1
+	}
+	if qo.engine.EarlyStop {
+		bits |= 2
+	}
+	if qo.engine.NoVisitedSet {
+		bits |= 4
+	}
+	if qo.engine.NoOverlapFilter {
+		bits |= 8
+	}
+	return bits
+}
+
+// shapeRecorder is the fixed-capacity ring of recent plan-cache-miss
+// shapes, deduplicated at read time by frequency. Safe for concurrent
+// record/snapshot.
+type shapeRecorder struct {
+	mu     sync.Mutex
+	shapes []planShape // ring storage, len == cap once full
+	keys   []string    // parallel groupKeys (no data-version suffix)
+	next   int         // next write position
+	full   bool
+}
+
+func newShapeRecorder() *shapeRecorder { return &shapeRecorder{} }
+
+func (r *shapeRecorder) record(shape planShape, key string) {
+	if len(shape.Locations) == 0 || len(shape.Locations) > planShapeMaxLocs {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.shapes) < planShapeRingCap {
+		r.shapes = append(r.shapes, shape)
+		r.keys = append(r.keys, key)
+		r.next = len(r.shapes) % planShapeRingCap
+		r.full = len(r.shapes) == planShapeRingCap
+		return
+	}
+	r.shapes[r.next] = shape
+	r.keys[r.next] = key
+	r.next = (r.next + 1) % planShapeRingCap
+}
+
+// snapshot returns the ring in chronological order (oldest first).
+func (r *shapeRecorder) snapshot() ([]planShape, []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.shapes)
+	shapes := make([]planShape, 0, n)
+	keys := make([]string, 0, n)
+	start := 0
+	if r.full {
+		start = r.next
+	}
+	for i := 0; i < n; i++ {
+		j := (start + i) % n
+		shapes = append(shapes, r.shapes[j])
+		keys = append(keys, r.keys[j])
+	}
+	return shapes, keys
+}
+
+// top returns up to n distinct shapes ordered by ring frequency
+// (duplicate-heavy traffic floats to the front), breaking ties toward
+// the most recently recorded.
+func (r *shapeRecorder) top(n int) []planShape {
+	shapes, keys := r.snapshot()
+	count := map[string]int{}
+	lastSeen := map[string]int{}
+	firstIdx := map[string]int{}
+	for i, k := range keys {
+		count[k]++
+		lastSeen[k] = i
+		if _, ok := firstIdx[k]; !ok {
+			firstIdx[k] = i
+		}
+	}
+	distinct := make([]string, 0, len(count))
+	for k := range count {
+		distinct = append(distinct, k)
+	}
+	// Frequency desc, recency desc: insertion sort keeps this simple
+	// for a ≤256-entry ring.
+	for i := 1; i < len(distinct); i++ {
+		for j := i; j > 0; j-- {
+			a, b := distinct[j-1], distinct[j]
+			if count[b] > count[a] || (count[b] == count[a] && lastSeen[b] > lastSeen[a]) {
+				distinct[j-1], distinct[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	if n > len(distinct) {
+		n = len(distinct)
+	}
+	out := make([]planShape, 0, n)
+	for _, k := range distinct[:n] {
+		out = append(out, shapes[firstIdx[k]])
+	}
+	return out
+}
+
+// load replaces the ring contents (used by the planshapes.bin loader).
+func (r *shapeRecorder) load(shapes []planShape, keys []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(shapes) > planShapeRingCap {
+		shapes = shapes[len(shapes)-planShapeRingCap:]
+		keys = keys[len(keys)-planShapeRingCap:]
+	}
+	r.shapes = append([]planShape(nil), shapes...)
+	r.keys = append([]string(nil), keys...)
+	r.full = len(r.shapes) == planShapeRingCap
+	r.next = len(r.shapes) % planShapeRingCap
+}
+
+// encodePlanShapes serialises the ring: "SPSH" | version u16 | count
+// u16 | shapes | crc32c of everything before it. Shapes carry no query
+// results — only the request parameters needed to rebuild a plan.
+func encodePlanShapes(shapes []planShape) []byte {
+	var buf []byte
+	buf = append(buf, planShapesMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, planShapesVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(shapes)))
+	for _, sh := range shapes {
+		buf = append(buf, byte(sh.Kind), byte(sh.Algorithm), sh.OptionBits)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(sh.Start))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(sh.Duration))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(sh.Locations)))
+		for _, l := range sh.Locations {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(l.Lat))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(l.Lng))
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, planShapesCRC))
+}
+
+// decodePlanShapes validates and decodes a planshapes.bin payload.
+// Every failure is an error — the caller drops the ring and logs, it
+// never fails the open.
+func decodePlanShapes(buf []byte) ([]planShape, error) {
+	if len(buf) < len(planShapesMagic)+2+2+4 {
+		return nil, fmt.Errorf("truncated (%d bytes)", len(buf))
+	}
+	body, sum := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if got := crc32.Checksum(body, planShapesCRC); got != sum {
+		return nil, fmt.Errorf("checksum mismatch (%08x != %08x)", got, sum)
+	}
+	if string(body[:4]) != planShapesMagic {
+		return nil, fmt.Errorf("bad magic %q", body[:4])
+	}
+	if v := binary.LittleEndian.Uint16(body[4:]); v != planShapesVersion {
+		return nil, fmt.Errorf("unsupported version %d", v)
+	}
+	count := int(binary.LittleEndian.Uint16(body[6:]))
+	if count > planShapeRingCap {
+		return nil, fmt.Errorf("shape count %d exceeds ring capacity %d", count, planShapeRingCap)
+	}
+	p := body[8:]
+	shapes := make([]planShape, 0, count)
+	for i := 0; i < count; i++ {
+		if len(p) < 3+8+8+2 {
+			return nil, fmt.Errorf("shape %d truncated", i)
+		}
+		sh := planShape{
+			Kind:       Kind(p[0]),
+			Algorithm:  Algorithm(p[1]),
+			OptionBits: p[2],
+			Start:      time.Duration(binary.LittleEndian.Uint64(p[3:])),
+			Duration:   time.Duration(binary.LittleEndian.Uint64(p[11:])),
+		}
+		nloc := int(binary.LittleEndian.Uint16(p[19:]))
+		p = p[21:]
+		if nloc == 0 || nloc > planShapeMaxLocs {
+			return nil, fmt.Errorf("shape %d has %d locations (cap %d)", i, nloc, planShapeMaxLocs)
+		}
+		if len(p) < nloc*16 {
+			return nil, fmt.Errorf("shape %d locations truncated", i)
+		}
+		for j := 0; j < nloc; j++ {
+			sh.Locations = append(sh.Locations, Location{
+				Lat: math.Float64frombits(binary.LittleEndian.Uint64(p[j*16:])),
+				Lng: math.Float64frombits(binary.LittleEndian.Uint64(p[j*16+8:])),
+			})
+		}
+		p = p[nloc*16:]
+		if err := validatePlanShape(sh); err != nil {
+			return nil, fmt.Errorf("shape %d: %w", i, err)
+		}
+		shapes = append(shapes, sh)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes", len(p))
+	}
+	return shapes, nil
+}
+
+// validatePlanShape rejects decoded shapes a bit-flip turned
+// semantically invalid even though the CRC (vanishingly unlikely) or a
+// hand-edited file let them through.
+func validatePlanShape(sh planShape) error {
+	switch sh.Kind {
+	case KindReach, KindReverse, KindMulti:
+	default:
+		return fmt.Errorf("kind %d not warmable", int(sh.Kind))
+	}
+	if sh.Duration <= 0 || sh.Start < 0 || sh.Start >= 24*time.Hour {
+		return fmt.Errorf("invalid window %v+%v", sh.Start, sh.Duration)
+	}
+	return nil
+}
+
+// recordPlanShape notes one plan-cache miss's shape in the ring (called
+// from acquirePlan; only cacheable shapes reach it).
+func (s *System) recordPlanShape(req Request, qo queryOptions) {
+	if s.shapes == nil {
+		return
+	}
+	shape := planShape{
+		Kind:       req.Kind,
+		Algorithm:  qo.algorithm,
+		OptionBits: shapeOptionBits(qo),
+		Start:      req.Start,
+		Duration:   req.Duration,
+		Locations:  append([]Location(nil), req.Locations...),
+	}
+	s.shapes.record(shape, groupKey(req, qo))
+}
+
+// shapeQuery rebuilds the request and resolved options a recorded shape
+// was planned under: the system's engine options with the shape's
+// result-affecting bits applied, so the rebuilt groupKey is
+// byte-identical to the one live traffic computes.
+func (s *System) shapeQuery(sh planShape) (Request, queryOptions) {
+	req := Request{
+		Kind:      sh.Kind,
+		Locations: sh.Locations,
+		Start:     sh.Start,
+		Duration:  sh.Duration,
+		Prob:      0.5, // plans are threshold-independent; any valid value
+	}
+	qo := queryOptions{algorithm: sh.Algorithm, engine: s.engine.Options()}
+	base := shapeOptionBits(qo)
+	qo.engine.VerifyAll = sh.OptionBits&1 != 0
+	qo.engine.EarlyStop = sh.OptionBits&2 != 0
+	qo.engine.NoVisitedSet = sh.OptionBits&4 != 0
+	qo.engine.NoOverlapFilter = sh.OptionBits&8 != 0
+	qo.engineDirty = shapeOptionBits(qo) != base
+	return req, qo
+}
+
+// WarmPlans re-plans up to topN of the most frequent recorded shapes
+// and parks the plans in the shared-plan cache under the current data
+// version, so the next matching query is a cache hit instead of a cold
+// bounding + verification pass. Shapes already cached are skipped;
+// shapes that no longer plan (e.g. recorded against a different
+// network) are dropped silently. Returns how many plans were built.
+// Safe to call concurrently with live queries.
+func (s *System) WarmPlans(ctx context.Context, topN int) (int, error) {
+	if s.plans == nil || s.shapes == nil || topN <= 0 {
+		return 0, nil
+	}
+	warmed := 0
+	for _, sh := range s.shapes.top(topN) {
+		if err := ctx.Err(); err != nil {
+			return warmed, err
+		}
+		if !groupable(s.shapeQuery(sh)) {
+			continue
+		}
+		req, qo := s.shapeQuery(sh)
+		key := groupKey(req, qo) + "|" + s.DataVersionKey()
+		if pl, ok := s.plans.take(key); ok {
+			s.plans.put(key, pl) // already warm
+			continue
+		}
+		plan, err := s.newPlan(ctx, req, qo)
+		if err != nil {
+			continue
+		}
+		s.plans.put(key, plan)
+		s.sharing.plansWarmed.Add(1)
+		warmed++
+	}
+	return warmed, nil
+}
+
+// EnableWarmPlanning turns on background plan warming: the top topN
+// recorded shapes are re-planned now and again after every compaction
+// epoch swap (whose data-version bump invalidates all cached plans).
+// topN <= 0 disables. The plan cache is grown to hold at least topN
+// plans — warming more shapes than the LRU can park would evict its
+// own work. The background pass is skipped while one is already
+// running and is cancelled by Close.
+func (s *System) EnableWarmPlanning(topN int) {
+	s.plans.grow(topN)
+	s.warmN.Store(int32(topN))
+	s.warmPlansAsync()
+}
+
+// warmPlansAsync kicks one background warm pass if warming is enabled
+// and none is in flight.
+func (s *System) warmPlansAsync() {
+	n := int(s.warmN.Load())
+	if n <= 0 || s.warmCtx == nil || !s.warmBusy.CompareAndSwap(false, true) {
+		return
+	}
+	s.warmWG.Add(1)
+	go func() {
+		defer s.warmWG.Done()
+		defer s.warmBusy.Store(false)
+		_, _ = s.WarmPlans(s.warmCtx, n)
+	}()
+}
+
+// savePlanShapes persists the shape ring to dir/planshapes.bin
+// (atomically; the file is a hint, but a torn write must never survive
+// to poison a later load).
+func (s *System) savePlanShapes(dir string) error {
+	shapes, _ := s.shapes.snapshot()
+	return writeFileAtomic(dir, filePlanShapes, func(f *os.File) error {
+		_, err := f.Write(encodePlanShapes(shapes))
+		return err
+	})
+}
+
+// loadPlanShapes restores the shape ring from dir/planshapes.bin. A
+// missing file is a fresh system; anything unreadable — bad magic, size
+// over the cap, CRC mismatch, truncation, invalid shapes — drops the
+// ring with an error for the caller to log. Never fails an open.
+func (s *System) loadPlanShapes(dir string) error {
+	f, err := os.Open(filepath.Join(dir, filePlanShapes))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	buf, err := io.ReadAll(io.LimitReader(f, planShapesMaxBytes+1))
+	if err != nil {
+		return err
+	}
+	if len(buf) > planShapesMaxBytes {
+		return fmt.Errorf("file exceeds %d-byte cap", planShapesMaxBytes)
+	}
+	shapes, err := decodePlanShapes(buf)
+	if err != nil {
+		return err
+	}
+	keys := make([]string, len(shapes))
+	for i, sh := range shapes {
+		req, qo := s.shapeQuery(sh)
+		keys[i] = groupKey(req, qo)
+	}
+	s.shapes.load(shapes, keys)
+	return nil
+}

@@ -1,0 +1,272 @@
+package streach
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// warmTestSystem builds a private system with the plan cache on, so
+// warm-pipeline tests don't disturb the shared fixtures' counters.
+func warmTestSystem(t *testing.T) *System {
+	t.Helper()
+	base := smallSystem(t)
+	sys, err := NewSystemFromData(base.Network(), base.Dataset(), DefaultIndexConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestShapeRecorderTop(t *testing.T) {
+	r := newShapeRecorder()
+	shape := func(start time.Duration) planShape {
+		return planShape{Kind: KindReach, Start: start, Duration: 10 * time.Minute,
+			Locations: []Location{{Lat: 22.5, Lng: 114}}}
+	}
+	// "b" recorded three times, "a" twice, "c" once: top must order by
+	// frequency.
+	for _, k := range []string{"a", "b", "c", "b", "a", "b"} {
+		r.record(shape(time.Duration(k[0])*time.Hour), k)
+	}
+	top := r.top(2)
+	if len(top) != 2 {
+		t.Fatalf("top(2) returned %d shapes", len(top))
+	}
+	if top[0].Start != time.Duration('b')*time.Hour || top[1].Start != time.Duration('a')*time.Hour {
+		t.Fatalf("top order wrong: %v, %v", top[0].Start, top[1].Start)
+	}
+	// Shapes over the location cap or with no locations are not recorded.
+	r2 := newShapeRecorder()
+	r2.record(planShape{Kind: KindReach}, "empty")
+	r2.record(planShape{Kind: KindMulti, Locations: make([]Location, planShapeMaxLocs+1)}, "huge")
+	if got, _ := r2.snapshot(); len(got) != 0 {
+		t.Fatalf("uncacheable shapes recorded: %d", len(got))
+	}
+	// The ring stays bounded and keeps the newest entries.
+	r3 := newShapeRecorder()
+	for i := 0; i < planShapeRingCap+50; i++ {
+		r3.record(shape(time.Duration(i)*time.Second), "k")
+	}
+	shapes, _ := r3.snapshot()
+	if len(shapes) != planShapeRingCap {
+		t.Fatalf("ring length %d, want %d", len(shapes), planShapeRingCap)
+	}
+	if shapes[len(shapes)-1].Start != time.Duration(planShapeRingCap+49)*time.Second {
+		t.Fatalf("ring lost the newest entry: %v", shapes[len(shapes)-1].Start)
+	}
+}
+
+func TestPlanShapesCodecRoundTrip(t *testing.T) {
+	shapes := []planShape{
+		{Kind: KindReach, Algorithm: AlgoBounded, OptionBits: 3, Start: 8 * time.Hour,
+			Duration: 10 * time.Minute, Locations: []Location{{Lat: 22.51, Lng: 114.02}}},
+		{Kind: KindMulti, Start: 17 * time.Hour, Duration: 45 * time.Minute,
+			Locations: []Location{{Lat: 22.5, Lng: 114}, {Lat: 22.52, Lng: 114.03}}},
+		{Kind: KindReverse, Start: 0, Duration: time.Minute,
+			Locations: []Location{{Lat: -1.5, Lng: 100.25}}},
+	}
+	buf := encodePlanShapes(shapes)
+	got, err := decodePlanShapes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(shapes) {
+		t.Fatalf("decoded %d shapes, want %d", len(got), len(shapes))
+	}
+	for i := range shapes {
+		a, b := shapes[i], got[i]
+		if a.Kind != b.Kind || a.Algorithm != b.Algorithm || a.OptionBits != b.OptionBits ||
+			a.Start != b.Start || a.Duration != b.Duration || len(a.Locations) != len(b.Locations) {
+			t.Fatalf("shape %d mismatch: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Locations {
+			if a.Locations[j] != b.Locations[j] {
+				t.Fatalf("shape %d location %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+// TestPlanShapesBitFlipFuzz is the robustness satellite: any single-bit
+// flip in planshapes.bin must either decode to the identical ring (a
+// CRC-32C miss on one flipped bit is impossible) or fail cleanly — and
+// an OpenSystem over a corrupt file must drop the ring, never the open.
+func TestPlanShapesBitFlipFuzz(t *testing.T) {
+	shapes := []planShape{
+		{Kind: KindReach, Algorithm: AlgoBounded, Start: 8 * time.Hour,
+			Duration: 10 * time.Minute, Locations: []Location{{Lat: 22.51, Lng: 114.02}}},
+		{Kind: KindReverse, OptionBits: 1, Start: 17 * time.Hour,
+			Duration: 45 * time.Minute, Locations: []Location{{Lat: 22.5, Lng: 114}}},
+	}
+	buf := encodePlanShapes(shapes)
+	rng := rand.New(rand.NewSource(42))
+	flips := len(buf) * 8
+	if flips > 2000 {
+		flips = 2000
+	}
+	for i := 0; i < flips; i++ {
+		bit := rng.Intn(len(buf) * 8)
+		mut := append([]byte(nil), buf...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if _, err := decodePlanShapes(mut); err == nil {
+			t.Fatalf("bit flip at %d decoded cleanly", bit)
+		}
+	}
+	// Truncations must fail too, not panic.
+	for _, cut := range []int{0, 1, 4, 7, 8, len(buf) / 2, len(buf) - 1} {
+		if _, err := decodePlanShapes(buf[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded cleanly", cut)
+		}
+	}
+}
+
+// TestOpenSystemCorruptPlanShapes: a flipped bit in the persisted file
+// must not fail the reopen — the ring is dropped and warming starts
+// empty.
+func TestOpenSystemCorruptPlanShapes(t *testing.T) {
+	sys := warmTestSystem(t)
+	loc := smallSystem(t).BusiestLocation(9 * time.Hour)
+	if _, err := sys.Do(context.Background(), ReachRequest(loc, 9*time.Hour, 10*time.Minute, 0.2)); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, filePlanShapes)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, derr := decodePlanShapes(raw); derr != nil || len(got) == 0 {
+		t.Fatalf("saved ring unreadable or empty (%v, %d shapes)", derr, len(got))
+	}
+	raw[len(raw)/2] ^= 0x10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenSystem(dir, DefaultIndexConfig())
+	if err != nil {
+		t.Fatalf("open failed on corrupt plan shapes: %v", err)
+	}
+	defer reopened.Close()
+	if got, _ := reopened.shapes.snapshot(); len(got) != 0 {
+		t.Fatalf("corrupt ring partially restored: %d shapes", len(got))
+	}
+	// An oversize file is corruption too.
+	if err := os.WriteFile(path, make([]byte, planShapesMaxBytes+1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopened2, err := OpenSystem(dir, DefaultIndexConfig())
+	if err != nil {
+		t.Fatalf("open failed on oversize plan shapes: %v", err)
+	}
+	reopened2.Close()
+}
+
+// TestWarmPlansEffectiveness: a warmed shape answers its next query
+// from the cache — a hit without a preceding organic miss — and the
+// warm pass is visible in SharingStats.PlansWarmed only.
+func TestWarmPlansEffectiveness(t *testing.T) {
+	sys := warmTestSystem(t)
+	loc := smallSystem(t).BusiestLocation(9 * time.Hour)
+	req := ReachRequest(loc, 9*time.Hour, 10*time.Minute, 0.2)
+	if _, err := sys.Do(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if miss := sys.SharingStats().PlanCacheMisses; miss != 1 {
+		t.Fatalf("setup: %d misses, want 1", miss)
+	}
+	// Simulate the post-epoch-swap cold cache.
+	sys.plans.clear()
+	warmed, err := sys.WarmPlans(context.Background(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmed != 1 {
+		t.Fatalf("WarmPlans built %d plans, want 1", warmed)
+	}
+	st := sys.SharingStats()
+	if st.PlansWarmed != 1 {
+		t.Fatalf("PlansWarmed = %d, want 1", st.PlansWarmed)
+	}
+	if _, err := sys.Do(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	after := sys.SharingStats()
+	if after.PlanCacheHits != st.PlanCacheHits+1 || after.PlanCacheMisses != st.PlanCacheMisses {
+		t.Fatalf("warmed shape not served from cache: hits %d->%d misses %d->%d",
+			st.PlanCacheHits, after.PlanCacheHits, st.PlanCacheMisses, after.PlanCacheMisses)
+	}
+	// Warming again is a no-op: the shape is already cached.
+	if warmed, err = sys.WarmPlans(context.Background(), 8); err != nil || warmed != 0 {
+		t.Fatalf("re-warm built %d plans (%v), want 0", warmed, err)
+	}
+}
+
+// TestWarmPlansPersistedAcrossReopen: the recorded shapes ride Save and
+// OpenSystem, so a reopened system warms the shapes its predecessor
+// served.
+func TestWarmPlansPersistedAcrossReopen(t *testing.T) {
+	sys := warmTestSystem(t)
+	loc := smallSystem(t).BusiestLocation(9 * time.Hour)
+	req := ReachRequest(loc, 9*time.Hour, 10*time.Minute, 0.2)
+	if _, err := sys.Do(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenSystem(dir, DefaultIndexConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	warmed, err := reopened.WarmPlans(context.Background(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmed != 1 {
+		t.Fatalf("reopened system warmed %d plans, want 1", warmed)
+	}
+	if _, err := reopened.Do(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	st := reopened.SharingStats()
+	if st.PlanCacheHits != 1 || st.PlanCacheMisses != 0 {
+		t.Fatalf("reopened warm plan not hit: hits=%d misses=%d", st.PlanCacheHits, st.PlanCacheMisses)
+	}
+}
+
+// TestEnableWarmPlanning: the background trigger builds plans and is
+// re-armed by compaction epoch swaps; Close waits it out.
+func TestEnableWarmPlanning(t *testing.T) {
+	sys := warmTestSystem(t)
+	loc := smallSystem(t).BusiestLocation(9 * time.Hour)
+	req := ReachRequest(loc, 9*time.Hour, 10*time.Minute, 0.2)
+	if _, err := sys.Do(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	sys.plans.clear()
+	sys.EnableWarmPlanning(8)
+	deadline := time.Now().Add(5 * time.Second)
+	for sys.SharingStats().PlansWarmed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background warm pass never completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	sys.warmWG.Wait()
+	before := sys.SharingStats()
+	if _, err := sys.Do(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if after := sys.SharingStats(); after.PlanCacheHits != before.PlanCacheHits+1 {
+		t.Fatalf("background-warmed shape missed the cache")
+	}
+}
